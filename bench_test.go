@@ -1,0 +1,158 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure, plus the ablations indexed in DESIGN.md §4. Each benchmark
+// reports the headline quantities as custom metrics (gas, bytes), so the
+// paper's numbers appear directly in `go test -bench` output; cmd/bench
+// prints the same data as formatted tables.
+package onoffchain
+
+import (
+	"testing"
+
+	"onoffchain/internal/experiments"
+)
+
+// BenchmarkTable2GasCost reproduces paper Table II: the gas cost of the
+// two dispute-resolution extra functions. Paper (Kovan, Solidity):
+// deployVerifiedInstance() = 225082 + reveal(), returnDisputeResolution()
+// = 37745.
+func BenchmarkTable2GasCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]uint64{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].DeployVIGas), "gas/deployVerifiedInstance")
+		b.ReportMetric(float64(rows[0].ReturnDRGas), "gas/returnDisputeResolution")
+		b.ReportMetric(float64(rows[0].OffChainBytecode), "bytes/signed-copy")
+	}
+}
+
+// BenchmarkTable2RevealSweep exposes the additive "+ reveal()" structure
+// of the paper's deploy cost account.
+func BenchmarkTable2RevealSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]uint64{0, 256, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].ReturnDRGas), "gas/returnDR-0-rounds")
+		b.ReportMetric(float64(rows[2].ReturnDRGas), "gas/returnDR-1024-rounds")
+	}
+}
+
+// BenchmarkFig1ModelComparison reproduces paper Fig. 1: miner gas under
+// the all-on-chain model vs the hybrid model over a full lifecycle.
+func BenchmarkFig1ModelComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig1([]uint64{512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(float64(r.MonolithGas), "gas/all-on-chain")
+		b.ReportMetric(float64(r.HybridHonestGas), "gas/hybrid-honest")
+		b.ReportMetric(float64(r.HybridDisputeGas), "gas/hybrid-dispute")
+		b.ReportMetric(r.HonestSavingsPct, "%savings")
+	}
+}
+
+// BenchmarkFig2StageCosts reproduces paper Fig. 2: per-stage cost of the
+// four-stage enforcement mechanism.
+func BenchmarkFig2StageCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var onChain, offChain float64
+		for _, r := range rows {
+			if r.OnChain {
+				onChain += float64(r.Gas)
+			} else {
+				offChain += float64(r.Gas)
+			}
+		}
+		b.ReportMetric(onChain, "gas/on-chain-stages")
+		b.ReportMetric(offChain, "gas/off-chain-stages")
+	}
+}
+
+// BenchmarkAblationDisputeProbability (A1): expected miner gas vs p and
+// the crossover against the all-on-chain baseline.
+func BenchmarkAblationDisputeProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DisputeProbability(512, []float64{0, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].ExpectedHybrid, "gas/expected-p0")
+		b.ReportMetric(rows[2].ExpectedHybrid, "gas/expected-p1")
+		b.ReportMetric(float64(rows[0].MonolithGas), "gas/monolith")
+	}
+}
+
+// BenchmarkAblationPrivacyLeakage (A2): public bytes per model and the
+// bytes kept private by the honest hybrid path.
+func BenchmarkAblationPrivacyLeakage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PrivacyLeakage(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Model {
+			case "all-on-chain":
+				b.ReportMetric(float64(r.CodeBytes+r.CalldataBytes), "bytes/public-monolith")
+			case "hybrid (honest)":
+				b.ReportMetric(float64(r.CodeBytes+r.CalldataBytes), "bytes/public-hybrid")
+				b.ReportMetric(float64(r.HiddenBytes), "bytes/kept-private")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationParticipants (A3): deployVerifiedInstance gas as the
+// signer set grows (n-of-n ecrecover verification).
+func BenchmarkAblationParticipants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Participants([]int{2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].DeployVIGas), "gas/n2")
+		b.ReportMetric(float64(rows[1].DeployVIGas), "gas/n8")
+	}
+}
+
+// BenchmarkAblationDeposit (A4): the dispute-resolution cost a security
+// deposit must cover to make the honest resolver whole.
+func BenchmarkAblationDeposit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DepositCompensation(64, []uint64{1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].ResolverGasCost), "gas/resolver-cost")
+	}
+}
+
+// BenchmarkHonestLifecycle measures wall-clock for one full honest hybrid
+// run (protocol overhead, not chain consensus).
+func BenchmarkHonestLifecycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBettingLifecycle(experiments.ModeHybrid, 64, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisputeLifecycle measures wall-clock for one full dispute run.
+func BenchmarkDisputeLifecycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBettingLifecycle(experiments.ModeHybrid, 64, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

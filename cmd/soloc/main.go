@@ -1,0 +1,98 @@
+// Command soloc compiles Solo contract source to EVM bytecode and prints
+// the artifacts (deploy code, runtime code, ABI) — the role Remix/Truffle
+// play in the paper's workflow.
+//
+// Usage:
+//
+//	soloc contract.solo
+//	soloc -contract Betting -runtime contract.solo
+//	echo 'contract C { ... }' | soloc -
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+)
+
+import "onoffchain/internal/lang"
+
+func main() {
+	contractFlag := flag.String("contract", "", "only print this contract")
+	runtimeOnly := flag.Bool("runtime", false, "print runtime code instead of deploy code")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: soloc [-contract name] [-runtime] <file.solo | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	compiled, err := lang.Compile(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var names []string
+	for name := range compiled.Contracts {
+		if *contractFlag == "" || *contractFlag == name {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		log.Fatalf("no contract matched %q", *contractFlag)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		cc := compiled.Contracts[name]
+		fmt.Printf("=== contract %s ===\n", name)
+		code := cc.Deploy
+		kind := "deploy"
+		if *runtimeOnly {
+			code, kind = cc.Runtime, "runtime"
+		}
+		fmt.Printf("%s bytecode (%d bytes):\n0x%s\n\n", kind, len(code), hex.EncodeToString(code))
+		fmt.Println("ABI:")
+		var fns []string
+		for fname := range cc.Funcs {
+			fns = append(fns, fname)
+		}
+		sort.Strings(fns)
+		for _, fname := range fns {
+			fm := cc.Funcs[fname]
+			ret := ""
+			if fm.Ret != nil {
+				ret = " returns (" + fm.Ret.ABIName() + ")"
+			}
+			pay := ""
+			if fm.Payable {
+				pay = " payable"
+			}
+			fmt.Printf("  %x  %s%s%s\n", fm.Selector, fm.Signature, pay, ret)
+		}
+		var evs []string
+		for ename := range cc.Events {
+			evs = append(evs, ename)
+		}
+		sort.Strings(evs)
+		for _, ename := range evs {
+			em := cc.Events[ename]
+			fmt.Printf("  event %s  topic %s\n", em.Signature, em.Topic.Hex())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,130 @@
+// Betting walks the paper's §IV example end to end, twice: the honest path
+// (Table I rules 1-4: deposit, off-chain agreement, submit, finalize) and
+// the dispute path (rule 5: the loser lies, the winner reveals the signed
+// copy, miners enforce the truth). It prints the same gas accounts the
+// paper's Table II reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+func eth(n uint64) *uint256.Int {
+	return new(uint256.Int).Mul(uint256.NewInt(n), uint256.NewInt(1e18))
+}
+
+func run(dispute bool) {
+	title := "HONEST PATH (Table I rules 1-4)"
+	if dispute {
+		title = "DISPUTE PATH (Table I rule 5)"
+	}
+	fmt.Printf("\n========== %s ==========\n", title)
+
+	// World: Alice, Bob, a dev chain, and a whisper network.
+	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xA11CE))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xB0B))
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		types.Address(keyA.EthereumAddress()): eth(10),
+		types.Address(keyB.EthereumAddress()): eth(10),
+	})
+	net := whisper.NewNetwork(c.Now)
+	alice := hybrid.NewParticipant(keyA, c, net)
+	bob := hybrid.NewParticipant(keyB, c, net)
+
+	// Stage 1 — split/generate.
+	split, err := hybrid.Split(hybrid.BettingSource, "Betting", hybrid.BettingPolicy(600))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 1 split/generate: on-chain %d B, off-chain %d B, monolith %d B\n",
+		len(split.OnChain.Runtime), len(split.OffChain.Runtime), len(split.Monolith.Runtime))
+
+	sess, err := hybrid.NewSession(split, []*hybrid.Participant{alice, bob})
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := c.Now()
+	ctorArgs := []interface{}{
+		alice.Addr, bob.Addr, now + 1000, now + 2000, now + 3000,
+		uint64(0x5ec4e7a), uint64(0x5ec4e7b), uint64(64),
+	}
+
+	// Stage 2 — deploy/sign.
+	r, err := sess.DeployOnChain(3_000_000, ctorArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 2 deploy: on-chain contract at %s (gas %d)\n", sess.OnChainAddr.Hex(), r.GasUsed)
+	if err := sess.SignAndExchange(ctorArgs...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 2 sign: signed copy = %d bytecode bytes + %d signatures (exchanged over whisper, AES-GCM sealed)\n",
+		len(sess.Copy.Bytecode), len(sess.Copy.Sigs))
+
+	// Rule 2: deposits.
+	for _, p := range []*hybrid.Participant{alice, bob} {
+		r, err := p.Invoke(split.OnChain, sess.OnChainAddr, eth(1), 300_000, "deposit")
+		if err != nil || !r.Succeeded() {
+			log.Fatalf("deposit: %v", err)
+		}
+	}
+	fmt.Printf("rule 2: both deposited 1 ether; pot = %s wei\n", sess.OnChainBalance())
+
+	// Rule 4: off-chain computation after T2.
+	c.AdvanceTime(2100)
+	outcome, err := sess.ExecuteOffChainAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	winner := []*hybrid.Participant{alice, bob}[outcome.Result]
+	names := []string{"Alice", "Bob"}
+	fmt.Printf("rule 4: off-chain result = %d (%s wins); %d gas-equivalents stayed off the public chain\n",
+		outcome.Result, names[outcome.Result], outcome.DeployGas+outcome.ExecGas)
+
+	if !dispute {
+		r, err := sess.SubmitResult(0, outcome.Result)
+		if err != nil || !r.Succeeded() {
+			log.Fatalf("submit: %v", err)
+		}
+		fmt.Printf("submit: representative submitted result (gas %d); challenge window opens\n", r.GasUsed)
+		c.AdvanceTime(700)
+		r, err = sess.FinalizeResult(1)
+		if err != nil || !r.Succeeded() {
+			log.Fatalf("finalize: %v", err)
+		}
+		fmt.Printf("finalize: unchallenged result settled (gas %d)\n", r.GasUsed)
+	} else {
+		liar := 1 - int(outcome.Result)
+		r, err := sess.SubmitResult(liar, uint64(1-outcome.Result))
+		if err != nil || !r.Succeeded() {
+			log.Fatalf("lying submit: %v", err)
+		}
+		fmt.Printf("rule 5: %s (the loser) submitted a FALSE result (gas %d)\n", names[liar], r.GasUsed)
+		deployR, returnR, err := sess.Dispute(int(outcome.Result))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dispute: deployVerifiedInstance()    gas = %d   (paper: 225082 + reveal())\n", deployR.GasUsed)
+		fmt.Printf("dispute: returnDisputeResolution()   gas = %d   (paper: 37745)\n", returnR.GasUsed)
+		fmt.Printf("dispute: verified instance at %s\n", sess.InstanceAddr.Hex())
+	}
+
+	settled, _ := sess.IsSettled()
+	fmt.Printf("settled = %v; pot drained = %v; %s balance = %s wei\n",
+		settled, sess.OnChainBalance().IsZero(), names[outcome.Result], c.BalanceAt(winner.Addr))
+}
+
+func main() {
+	fmt.Println("Paper §IV: the Alice/Bob betting contract under the hybrid on/off-chain model")
+	run(false)
+	run(true)
+}

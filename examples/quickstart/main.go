@@ -1,0 +1,90 @@
+// Quickstart: compile a Solo contract, deploy it on the in-process dev
+// chain, call it, and read an event — the minimal end-to-end tour of the
+// substrate the reproduction is built on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/lang"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+const src = `
+contract Greeter {
+    uint greetings;
+    address owner;
+
+    event Greeted(address who, uint count);
+
+    constructor(address o) {
+        owner = o;
+    }
+
+    function greet() public {
+        greetings = greetings + 1;
+        emit Greeted(msg.sender, greetings);
+    }
+
+    function count() public view returns (uint) {
+        return greetings;
+    }
+}
+`
+
+func main() {
+	// A funded account on a fresh dev chain.
+	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0x1234))
+	if err != nil {
+		log.Fatal(err)
+	}
+	me := types.Address(key.EthereumAddress())
+	ten := new(uint256.Int).Mul(uint256.NewInt(10), uint256.NewInt(1e18))
+	c := chain.NewDefault(map[types.Address]*uint256.Int{me: ten})
+	alice := hybrid.NewParticipant(key, c, nil)
+	fmt.Printf("account %s funded with %s wei\n", me.Hex(), c.BalanceAt(me))
+
+	// Compile.
+	compiled, err := lang.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greeter := compiled.Contracts["Greeter"]
+	fmt.Printf("compiled Greeter: %d bytes runtime, %d public functions\n",
+		len(greeter.Runtime), len(greeter.Funcs))
+
+	// Deploy with a constructor argument.
+	code, err := greeter.DeployWithArgs(me)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, receipt, err := alice.Deploy(code, nil, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed at %s (gas %d)\n", addr.Hex(), receipt.GasUsed)
+
+	// Transact.
+	for i := 0; i < 3; i++ {
+		r, err := alice.Invoke(greeter, addr, nil, 200_000, "greet")
+		if err != nil || !r.Succeeded() {
+			log.Fatalf("greet failed: %v", err)
+		}
+		fmt.Printf("greet #%d: gas %d, %d log(s), topic %s\n",
+			i+1, r.GasUsed, len(r.Logs), r.Logs[0].Topics[0].Hex()[:18]+"…")
+	}
+
+	// Read back.
+	v, err := alice.Query(greeter, addr, "count")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count() = %s\n", v.(*uint256.Int))
+	fmt.Printf("chain height %d, block time %d\n", c.Height(), c.Latest().Time())
+}

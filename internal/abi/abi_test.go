@@ -1,0 +1,170 @@
+package abi
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+// The canonical Solidity selector everyone knows.
+func TestKnownSelectors(t *testing.T) {
+	sel := SelectorOf("transfer(address,uint256)")
+	if got := hex.EncodeToString(sel[:]); got != "a9059cbb" {
+		t.Errorf("transfer selector = %s", got)
+	}
+	sel = SelectorOf("balanceOf(address)")
+	if got := hex.EncodeToString(sel[:]); got != "70a08231" {
+		t.Errorf("balanceOf selector = %s", got)
+	}
+	// The ERC-20 Transfer event topic.
+	want := "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+	if got := hex.EncodeToString(EventTopic("Transfer(address,address,uint256)").Bytes()); got != want {
+		t.Errorf("Transfer topic = %s", got)
+	}
+}
+
+func TestMethodSignatureUsesRawNames(t *testing.T) {
+	m := MustMethod("deployVerifiedInstance",
+		[]string{"bytes", "uint8", "bytes32", "bytes32", "uint8", "bytes32", "bytes32"}, nil)
+	want := "deployVerifiedInstance(bytes,uint8,bytes32,bytes32,uint8,bytes32,bytes32)"
+	if m.Signature() != want {
+		t.Errorf("signature = %s", m.Signature())
+	}
+	// uint8 vs uint256 must change the selector.
+	m2 := MustMethod("f", []string{"uint8"}, nil)
+	m3 := MustMethod("f", []string{"uint256"}, nil)
+	if m2.Selector() == m3.Selector() {
+		t.Error("uint8 and uint256 selectors collide")
+	}
+}
+
+func TestStaticEncoding(t *testing.T) {
+	m := MustMethod("g", []string{"uint256", "address", "bool", "bytes32"}, nil)
+	addr := types.BytesToAddress([]byte{0xAA})
+	h := types.BytesToHash([]byte{0xBB})
+	data, err := m.Pack(uint256.NewInt(300), addr, true, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4+4*32 {
+		t.Fatalf("packed length %d", len(data))
+	}
+	if got := new(uint256.Int).SetBytes(data[4:36]); got.Uint64() != 300 {
+		t.Errorf("arg0 = %s", got)
+	}
+	if !bytes.Equal(data[36+12:68], addr.Bytes()) {
+		t.Errorf("arg1 = %x", data[36:68])
+	}
+	if data[99] != 1 {
+		t.Error("bool not encoded")
+	}
+	if !bytes.Equal(data[100:132], h.Bytes()) {
+		t.Error("bytes32 mismatch")
+	}
+}
+
+func TestDynamicEncoding(t *testing.T) {
+	m := MustMethod("h", []string{"bytes", "uint256"}, nil)
+	payload := []byte("hello world, this payload is longer than one word!")
+	data, err := m.Pack(payload, uint64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := data[4:]
+	// Head: [offset=64][7]; tail at 64: [len][payload padded]
+	off := new(uint256.Int).SetBytes(body[0:32])
+	if off.Uint64() != 64 {
+		t.Errorf("offset = %s", off)
+	}
+	length := new(uint256.Int).SetBytes(body[64:96])
+	if length.Uint64() != uint64(len(payload)) {
+		t.Errorf("length = %s", length)
+	}
+	if !bytes.Equal(body[96:96+len(payload)], payload) {
+		t.Error("payload mismatch")
+	}
+	if len(body)%32 != 0 {
+		t.Error("body not word aligned")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	typs := []Type{Uint256, Bool, Bytes, Address, String, Bytes32}
+	f := func(vRaw uint64, b bool, blob []byte, addrRaw [20]byte, s string, hRaw [32]byte) bool {
+		args := []interface{}{
+			uint256.NewInt(vRaw), b, blob, types.Address(addrRaw), s, types.Hash(hRaw),
+		}
+		enc, err := EncodeValues(typs, args)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeValues(typs, enc)
+		if err != nil {
+			return false
+		}
+		return dec[0].(*uint256.Int).Uint64() == vRaw &&
+			dec[1].(bool) == b &&
+			bytes.Equal(dec[2].([]byte), blob) &&
+			dec[3].(types.Address) == types.Address(addrRaw) &&
+			dec[4].(string) == s &&
+			dec[5].(types.Hash) == types.Hash(hRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackArgCountMismatch(t *testing.T) {
+	m := MustMethod("f", []string{"uint256"}, nil)
+	if _, err := m.Pack(); err == nil {
+		t.Error("missing arg accepted")
+	}
+	if _, err := m.Pack(uint64(1), uint64(2)); err == nil {
+		t.Error("extra arg accepted")
+	}
+}
+
+func TestPackTypeMismatch(t *testing.T) {
+	m := MustMethod("f", []string{"address"}, nil)
+	if _, err := m.Pack("not an address"); err == nil {
+		t.Error("string accepted as address")
+	}
+	m2 := MustMethod("g", []string{"bytes"}, nil)
+	if _, err := m2.Pack(12345); err == nil {
+		t.Error("int accepted as bytes")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeValues([]Type{Uint256}, []byte{1, 2}); err == nil {
+		t.Error("short data accepted")
+	}
+	// Dynamic offset pointing past the data.
+	bad := make([]byte, 32)
+	bad[31] = 0xFF
+	if _, err := DecodeValues([]Type{Bytes}, bad); err == nil {
+		t.Error("bad offset accepted")
+	}
+}
+
+func TestUnpackOutputs(t *testing.T) {
+	m := MustMethod("winner", nil, []string{"bool"})
+	enc, _ := EncodeValues([]Type{Bool}, []interface{}{true})
+	vals, err := m.Unpack(enc)
+	if err != nil || len(vals) != 1 || vals[0].(bool) != true {
+		t.Errorf("unpack: %v, %v", vals, err)
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	if _, err := ParseType("fancytype"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := NewMethod("f", []string{"wat"}, nil); err == nil {
+		t.Error("NewMethod with bad type accepted")
+	}
+}

@@ -1,0 +1,460 @@
+// Package chain implements a single-node development blockchain in the
+// style of the Kovan testnet the paper evaluated on: instant (or manual)
+// block production, full EVM transaction execution with the yellow-paper
+// gas schedule, receipts and logs, and a controllable clock so the betting
+// protocol's T0..T3 deadlines can be driven deterministically in tests and
+// benchmarks.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"onoffchain/internal/state"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/vm"
+)
+
+// Validation errors.
+var (
+	ErrNonceTooLow        = errors.New("chain: nonce too low")
+	ErrNonceTooHigh       = errors.New("chain: nonce too high")
+	ErrInsufficientFunds  = errors.New("chain: insufficient funds for gas * price + value")
+	ErrIntrinsicGas       = errors.New("chain: intrinsic gas too low")
+	ErrGasLimitExceeded   = errors.New("chain: exceeds block gas limit")
+	ErrUnknownTransaction = errors.New("chain: unknown transaction")
+	ErrUnknownBlock       = errors.New("chain: unknown block")
+)
+
+// Config tunes chain behaviour.
+type Config struct {
+	// GasLimit is the per-block gas limit.
+	GasLimit uint64
+	// Coinbase receives transaction fees.
+	Coinbase types.Address
+	// BlockInterval is the simulated seconds between blocks.
+	BlockInterval uint64
+	// AutoMine, when true, mines a block after every accepted transaction
+	// (dev-chain behaviour). When false, transactions pool until MineBlock.
+	AutoMine bool
+}
+
+// DefaultConfig mirrors a developer testnet.
+func DefaultConfig() Config {
+	return Config{
+		GasLimit:      10_000_000,
+		Coinbase:      types.BytesToAddress([]byte("miner")),
+		BlockInterval: 4, // Kovan's PoA block time
+		AutoMine:      true,
+	}
+}
+
+// Chain is a single-node blockchain.
+type Chain struct {
+	mu sync.Mutex
+
+	config   Config
+	state    *state.StateDB
+	blocks   []*types.Block
+	byHash   map[types.Hash]*types.Block
+	receipts map[types.Hash]*types.Receipt
+	txs      map[types.Hash]*types.Transaction
+	pending  []*types.Transaction
+	now      uint64 // current simulated time
+}
+
+// New creates a chain with the given genesis balance allocation.
+func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
+	c := &Chain{
+		config:   config,
+		state:    state.New(),
+		byHash:   make(map[types.Hash]*types.Block),
+		receipts: make(map[types.Hash]*types.Receipt),
+		txs:      make(map[types.Hash]*types.Transaction),
+		now:      1_500_000_000, // arbitrary epoch start
+	}
+	for addr, balance := range alloc {
+		c.state.SetBalance(addr, balance)
+	}
+	c.state.Finalise()
+	root := c.state.Commit()
+	genesis := &types.Block{
+		Header: &types.Header{
+			Number:   0,
+			GasLimit: config.GasLimit,
+			Time:     c.now,
+			Root:     root,
+			Coinbase: config.Coinbase,
+			Extra:    []byte("on/off-chain dev chain genesis"),
+		},
+	}
+	c.appendBlock(genesis)
+	return c
+}
+
+// NewDefault creates a chain with DefaultConfig.
+func NewDefault(alloc map[types.Address]*uint256.Int) *Chain {
+	return New(DefaultConfig(), alloc)
+}
+
+func (c *Chain) appendBlock(b *types.Block) {
+	c.blocks = append(c.blocks, b)
+	c.byHash[b.Hash()] = b
+}
+
+// Now returns the current simulated time.
+func (c *Chain) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// SetTime moves the simulated clock forward to t (no-op if t is earlier).
+func (c *Chain) SetTime(t uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// AdvanceTime moves the simulated clock forward by delta seconds.
+func (c *Chain) AdvanceTime(delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += delta
+}
+
+// Latest returns the head block.
+func (c *Chain) Latest() *types.Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// BlockByNumber returns block n.
+func (c *Chain) BlockByNumber(n uint64) (*types.Block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= uint64(len(c.blocks)) {
+		return nil, ErrUnknownBlock
+	}
+	return c.blocks[n], nil
+}
+
+// BalanceAt returns the current balance of addr.
+func (c *Chain) BalanceAt(addr types.Address) *uint256.Int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.GetBalance(addr)
+}
+
+// NonceAt returns the current nonce of addr.
+func (c *Chain) NonceAt(addr types.Address) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.GetNonce(addr)
+}
+
+// CodeAt returns the contract code at addr.
+func (c *Chain) CodeAt(addr types.Address) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte{}, c.state.GetCode(addr)...)
+}
+
+// StorageAt returns a raw storage slot.
+func (c *Chain) StorageAt(addr types.Address, slot types.Hash) types.Hash {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.GetState(addr, slot)
+}
+
+// Receipt returns the receipt for a mined transaction.
+func (c *Chain) Receipt(txHash types.Hash) (*types.Receipt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.receipts[txHash]
+	if !ok {
+		return nil, ErrUnknownTransaction
+	}
+	return r, nil
+}
+
+// SendTransaction validates and accepts a signed transaction. With AutoMine
+// it is executed immediately in a fresh block and the receipt is available
+// on return.
+func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validateTx(tx); err != nil {
+		return types.Hash{}, err
+	}
+	c.pending = append(c.pending, tx)
+	if c.config.AutoMine {
+		c.mineLocked()
+	}
+	return tx.Hash(), nil
+}
+
+// MineBlock executes all pending transactions into one block.
+func (c *Chain) MineBlock() *types.Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mineLocked()
+}
+
+func (c *Chain) validateTx(tx *types.Transaction) error {
+	sender, err := tx.Sender()
+	if err != nil {
+		return fmt.Errorf("chain: invalid signature: %w", err)
+	}
+	nonce := c.state.GetNonce(sender)
+	pendingExtra := uint64(0)
+	for _, p := range c.pending {
+		if s, _ := p.Sender(); s == sender {
+			pendingExtra++
+		}
+	}
+	expect := nonce + pendingExtra
+	if tx.Nonce < expect {
+		return fmt.Errorf("%w: have %d, state %d", ErrNonceTooLow, tx.Nonce, expect)
+	}
+	if tx.Nonce > expect {
+		return fmt.Errorf("%w: have %d, state %d", ErrNonceTooHigh, tx.Nonce, expect)
+	}
+	if tx.Gas > c.config.GasLimit {
+		return ErrGasLimitExceeded
+	}
+	if vm.IntrinsicGas(tx.Data, tx.IsContractCreation()) > tx.Gas {
+		return ErrIntrinsicGas
+	}
+	if c.state.GetBalance(sender).Lt(tx.Cost()) {
+		return ErrInsufficientFunds
+	}
+	return nil
+}
+
+func (c *Chain) mineLocked() *types.Block {
+	parent := c.blocks[len(c.blocks)-1]
+	c.now += c.config.BlockInterval
+	number := parent.Number() + 1
+
+	var (
+		receipts   []*types.Receipt
+		included   []*types.Transaction
+		cumulative uint64
+	)
+	for _, tx := range c.pending {
+		receipt, err := c.applyTransaction(tx, number, uint(len(included)))
+		if err != nil {
+			// Invalid at execution time (e.g. balance consumed by an
+			// earlier pending tx): drop it.
+			continue
+		}
+		cumulative += receipt.GasUsed
+		receipt.CumulativeGasUsed = cumulative
+		receipts = append(receipts, receipt)
+		included = append(included, tx)
+		c.receipts[tx.Hash()] = receipt
+		c.txs[tx.Hash()] = tx
+	}
+	c.pending = nil
+
+	root := c.state.Commit()
+	header := &types.Header{
+		ParentHash:  parent.Hash(),
+		Coinbase:    c.config.Coinbase,
+		Root:        root,
+		TxHash:      types.DeriveTxListHash(included),
+		ReceiptHash: types.DeriveReceiptListHash(receipts),
+		Bloom:       types.CreateBloom(receipts),
+		Number:      number,
+		GasLimit:    c.config.GasLimit,
+		GasUsed:     cumulative,
+		Time:        c.now,
+	}
+	block := &types.Block{Header: header, Transactions: included, Receipts: receipts}
+	c.appendBlock(block)
+	return block
+}
+
+func (c *Chain) blockContext(number, timestamp uint64) vm.BlockContext {
+	return vm.BlockContext{
+		Coinbase: c.config.Coinbase,
+		Number:   number,
+		Time:     timestamp,
+		GasLimit: c.config.GasLimit,
+		BlockHash: func(n uint64) types.Hash {
+			if n < uint64(len(c.blocks)) {
+				return c.blocks[n].Hash()
+			}
+			return types.Hash{}
+		},
+	}
+}
+
+// applyTransaction runs one transaction against the current state.
+func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIndex uint) (*types.Receipt, error) {
+	sender, err := tx.Sender()
+	if err != nil {
+		return nil, err
+	}
+	if c.state.GetNonce(sender) != tx.Nonce {
+		return nil, ErrNonceTooLow
+	}
+	if c.state.GetBalance(sender).Lt(tx.Cost()) {
+		return nil, ErrInsufficientFunds
+	}
+	intrinsic := vm.IntrinsicGas(tx.Data, tx.IsContractCreation())
+	if intrinsic > tx.Gas {
+		return nil, ErrIntrinsicGas
+	}
+
+	// Buy gas up front.
+	upfront := new(uint256.Int).SetUint64(tx.Gas)
+	upfront.Mul(upfront, tx.GasPrice)
+	c.state.SubBalance(sender, upfront)
+
+	c.state.SetTxContext(tx.Hash(), txIndex, blockNumber)
+	evm := vm.NewEVM(c.blockContext(blockNumber, c.now), vm.TxContext{
+		Origin:   sender,
+		GasPrice: tx.GasPrice,
+	}, c.state)
+
+	gas := tx.Gas - intrinsic
+	var (
+		leftover     uint64
+		execErr      error
+		ret          []byte
+		contractAddr types.Address
+	)
+	if tx.IsContractCreation() {
+		ret, contractAddr, leftover, execErr = evm.Create(sender, tx.Data, gas, tx.Value)
+	} else {
+		c.state.SetNonce(sender, tx.Nonce+1)
+		ret, leftover, execErr = evm.Call(sender, *tx.To, tx.Data, gas, tx.Value)
+	}
+
+	gasUsed := tx.Gas - leftover
+	// Apply refund counter, capped at half the gas used (pre-London).
+	refund := c.state.GetRefund()
+	if max := gasUsed / vm.RefundQuotient; refund > max {
+		refund = max
+	}
+	gasUsed -= refund
+	leftover += refund
+
+	// Return unused gas, pay the miner.
+	back := new(uint256.Int).SetUint64(leftover)
+	back.Mul(back, tx.GasPrice)
+	c.state.AddBalance(sender, back)
+	fee := new(uint256.Int).SetUint64(gasUsed)
+	fee.Mul(fee, tx.GasPrice)
+	c.state.AddBalance(c.config.Coinbase, fee)
+
+	receipt := &types.Receipt{
+		Status:  types.ReceiptStatusSuccessful,
+		GasUsed: gasUsed,
+		TxHash:  tx.Hash(),
+		Logs:    c.state.TakeLogs(),
+	}
+	if execErr != nil {
+		receipt.Status = types.ReceiptStatusFailed
+		receipt.Logs = nil
+		if execErr == vm.ErrExecutionReverted {
+			receipt.RevertReason = ret
+		}
+	}
+	if tx.IsContractCreation() && execErr == nil {
+		receipt.ContractAddress = contractAddr
+	}
+	for _, l := range receipt.Logs {
+		receipt.Bloom.AddLog(l)
+	}
+	c.state.Finalise()
+	return receipt, nil
+}
+
+// CallMsg describes a read-only call.
+type CallMsg struct {
+	From  types.Address
+	To    types.Address
+	Data  []byte
+	Value *uint256.Int
+	Gas   uint64
+}
+
+// Call executes a message against a copy of the head state without mining
+// a block (eth_call). It returns the output, the gas used, and the
+// execution error, if any.
+func (c *Chain) Call(msg CallMsg) ([]byte, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if msg.Gas == 0 {
+		msg.Gas = c.config.GasLimit
+	}
+	st := c.state.Copy()
+	head := c.blocks[len(c.blocks)-1]
+	evm := vm.NewEVM(c.blockContext(head.Number(), c.now), vm.TxContext{
+		Origin:   msg.From,
+		GasPrice: new(uint256.Int),
+	}, st)
+	ret, leftover, err := evm.Call(msg.From, msg.To, msg.Data, msg.Gas, msg.Value)
+	return ret, msg.Gas - leftover, err
+}
+
+// EstimateGas runs the message and reports total gas including intrinsic
+// cost, padded the way wallets do (exact execution cost, no search).
+func (c *Chain) EstimateGas(msg CallMsg) (uint64, error) {
+	_, used, err := c.Call(msg)
+	if err != nil {
+		return 0, err
+	}
+	return used + vm.IntrinsicGas(msg.Data, false), nil
+}
+
+// FilterQuery selects logs.
+type FilterQuery struct {
+	FromBlock uint64
+	ToBlock   uint64 // 0 means head
+	Address   *types.Address
+	Topic     *types.Hash // matched against topic[0] if set
+}
+
+// FilterLogs scans mined blocks for matching logs.
+func (c *Chain) FilterLogs(q FilterQuery) []*types.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	to := q.ToBlock
+	if to == 0 || to >= uint64(len(c.blocks)) {
+		to = uint64(len(c.blocks)) - 1
+	}
+	var out []*types.Log
+	for n := q.FromBlock; n <= to; n++ {
+		for _, r := range c.blocks[n].Receipts {
+			for _, l := range r.Logs {
+				if q.Address != nil && l.Address != *q.Address {
+					continue
+				}
+				if q.Topic != nil && (len(l.Topics) == 0 || l.Topics[0] != *q.Topic) {
+					continue
+				}
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// GasLimit returns the per-block gas limit.
+func (c *Chain) GasLimit() uint64 { return c.config.GasLimit }
+
+// Height returns the head block number.
+func (c *Chain) Height() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint64(len(c.blocks)) - 1
+}

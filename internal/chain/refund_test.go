@@ -1,0 +1,129 @@
+package chain
+
+import (
+	"testing"
+
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/vm"
+)
+
+// The refund counter is capped at gasUsed/2 (pre-London rule): a contract
+// that clears many slots cannot be paid to run.
+func TestRefundCappedAtHalfGasUsed(t *testing.T) {
+	alice := newAccount(200)
+	c := testChain(alice)
+
+	// Runtime: clear 4 pre-set slots, then STOP. Refund would be 60000
+	// uncapped; execution cost is ~4*5000 + overhead, so the cap binds.
+	var body []byte
+	for slot := byte(1); slot <= 4; slot++ {
+		body = append(body, byte(vm.PUSH1), 0, byte(vm.PUSH1), slot, byte(vm.SSTORE))
+	}
+	body = append(body, byte(vm.STOP))
+	init := []byte{
+		byte(vm.PUSH1), byte(len(body)), byte(vm.PUSH1), 12, byte(vm.PUSH1), 0, byte(vm.CODECOPY),
+		byte(vm.PUSH1), byte(len(body)), byte(vm.PUSH1), 0, byte(vm.RETURN),
+	}
+	deployTx := types.NewContractCreation(0, nil, 500_000, uint256.NewInt(1), append(init, body...))
+	deployTx.Sign(alice.key)
+	h, err := c.SendTransaction(deployTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Receipt(h)
+	addr := r.ContractAddress
+
+	// Pre-set the slots with a setter variant at the same address is not
+	// possible; instead set them through direct state manipulation via a
+	// second contract is overkill — use the test hook: a setter contract
+	// sharing no storage won't help, so pre-set by sending a tx to a
+	// setter deployed from the SAME init with set semantics. Simplest: use
+	// a single contract whose first call sets, second call clears.
+	setterBody := []byte{}
+	for slot := byte(1); slot <= 4; slot++ {
+		setterBody = append(setterBody, byte(vm.PUSH1), 9, byte(vm.PUSH1), slot, byte(vm.SSTORE))
+	}
+	setterBody = append(setterBody, byte(vm.STOP))
+	_ = setterBody
+
+	// First call: slots are zero, writing zero over zero: cheap, no refund.
+	tx1 := types.NewTransaction(1, addr, nil, 200_000, uint256.NewInt(1), nil)
+	tx1.Sign(alice.key)
+	h1, _ := c.SendTransaction(tx1)
+	r1, _ := c.Receipt(h1)
+	if !r1.Succeeded() {
+		t.Fatal("first call failed")
+	}
+
+	// Now preset the slots via a dedicated setter contract that writes to
+	// ITS OWN storage and then clears them in a later call — to exercise
+	// the cap we need set-then-clear in separate txs on one contract.
+	// Deploy a combined contract: calldata byte selects set (0) or clear.
+	comb := []byte{
+		byte(vm.PUSH1), 0, byte(vm.CALLDATALOAD), // word 0
+		byte(vm.PUSH1), 13, byte(vm.JUMPI), // if nonzero -> clear at pc 13
+		// set: slots 1..4 = 9
+	}
+	for slot := byte(1); slot <= 4; slot++ {
+		comb = append(comb, byte(vm.PUSH1), 9, byte(vm.PUSH1), slot, byte(vm.SSTORE))
+	}
+	comb = append(comb, byte(vm.STOP))
+	// Fix the jump target: compute actual offset of the clear section.
+	clearStart := len(comb)
+	comb = append(comb, byte(vm.JUMPDEST))
+	for slot := byte(1); slot <= 4; slot++ {
+		comb = append(comb, byte(vm.PUSH1), 0, byte(vm.PUSH1), slot, byte(vm.SSTORE))
+	}
+	comb = append(comb, byte(vm.STOP))
+	comb[4] = byte(clearStart)
+
+	init2 := []byte{
+		byte(vm.PUSH1), byte(len(comb)), byte(vm.PUSH1), 12, byte(vm.PUSH1), 0, byte(vm.CODECOPY),
+		byte(vm.PUSH1), byte(len(comb)), byte(vm.PUSH1), 0, byte(vm.RETURN),
+	}
+	d2 := types.NewContractCreation(2, nil, 500_000, uint256.NewInt(1), append(init2, comb...))
+	d2.Sign(alice.key)
+	h2, err := c.SendTransaction(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c.Receipt(h2)
+	if !r2.Succeeded() {
+		t.Fatal("combined contract deploy failed")
+	}
+	addr2 := r2.ContractAddress
+
+	// Set (calldata word zero).
+	setTx := types.NewTransaction(3, addr2, nil, 300_000, uint256.NewInt(1), make([]byte, 32))
+	setTx.Sign(alice.key)
+	hs, _ := c.SendTransaction(setTx)
+	rs, _ := c.Receipt(hs)
+	if !rs.Succeeded() {
+		t.Fatal("set call failed")
+	}
+	if rs.GasUsed < 4*vm.GasSstoreSet {
+		t.Fatalf("set gas %d below 4 cold stores", rs.GasUsed)
+	}
+
+	// Clear (calldata word nonzero): refund 4*15000=60000 requested, but
+	// capped at gasUsed/2.
+	data := make([]byte, 32)
+	data[31] = 1
+	clearTx := types.NewTransaction(4, addr2, nil, 300_000, uint256.NewInt(1), data)
+	clearTx.Sign(alice.key)
+	hc, _ := c.SendTransaction(clearTx)
+	rc, _ := c.Receipt(hc)
+	if !rc.Succeeded() {
+		t.Fatal("clear call failed")
+	}
+	// Uncapped accounting would be ~(21000+calldata+4*5000+small) - 60000,
+	// far below 21000. With the cap, gasUsed = ceil(raw/2) >= ~21500.
+	if rc.GasUsed < 20_000 {
+		t.Errorf("refund cap violated: gasUsed = %d", rc.GasUsed)
+	}
+	// And clearing must still be cheaper than setting.
+	if rc.GasUsed >= rs.GasUsed {
+		t.Errorf("clear (%d) not cheaper than set (%d)", rc.GasUsed, rs.GasUsed)
+	}
+}

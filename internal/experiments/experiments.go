@@ -1,0 +1,403 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+)
+
+// --- Experiment T2: paper Table II -------------------------------------
+
+// Table2Row reproduces one row of the paper's gas-cost table, sweeping the
+// weight of reveal() (the paper reports the dispute cost as
+// "225082 + reveal()"; the sweep makes that additive structure visible).
+type Table2Row struct {
+	RevealRounds     uint64
+	DeployVIGas      uint64 // deployVerifiedInstance()
+	ReturnDRGas      uint64 // returnDisputeResolution()
+	OffChainBytecode int    // signed-copy size driving the deploy cost
+}
+
+// Table2 measures the two extra functions' gas across reveal() weights.
+func Table2(revealRounds []uint64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, rounds := range revealRounds {
+		lc, err := RunBettingLifecycle(ModeHybrid, rounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("table2 rounds=%d: %w", rounds, err)
+		}
+		split, err := hybrid.Split(hybrid.BettingSource, "Betting", hybrid.BettingPolicy(600))
+		if err != nil {
+			return nil, err
+		}
+		code, err := split.OffChain.DeployWithArgs(
+			types.Address{1}, types.Address{2},
+			uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), rounds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			RevealRounds:     rounds,
+			DeployVIGas:      lc.DeployVIGas,
+			ReturnDRGas:      lc.ReturnDRGas,
+			OffChainBytecode: len(code),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows in the paper's Table II shape.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II — Gas cost of the dispute-resolution extra functions\n")
+	b.WriteString("(paper, Kovan/Solidity: deployVerifiedInstance = 225082 + reveal(); returnDisputeResolution = 37745)\n\n")
+	fmt.Fprintf(&b, "%-14s %28s %28s %18s\n", "reveal rounds", "deployVerifiedInstance()", "returnDisputeResolution()", "bytecode bytes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14d %28d %28d %18d\n", r.RevealRounds, r.DeployVIGas, r.ReturnDRGas, r.OffChainBytecode)
+	}
+	return b.String()
+}
+
+// --- Experiment F1: paper Fig. 1 ----------------------------------------
+
+// Fig1Row compares miner work between the all-on-chain model and the
+// hybrid model for the same contract lifecycle.
+type Fig1Row struct {
+	RevealRounds     uint64
+	MonolithGas      uint64 // all functions executed by miners
+	HybridHonestGas  uint64 // heavy function executed privately
+	HybridDisputeGas uint64 // dispute forces re-execution by miners
+	OffChainGas      uint64 // participant-side work in the hybrid model
+	HonestSavingsPct float64
+}
+
+// Fig1 sweeps the heavy-function weight, reproducing the comparison of the
+// two execution models in the paper's Fig. 1. Finding: the hybrid model
+// only wins once the heavy function outweighs the padded dispute
+// machinery's deployment overhead — below that crossover the all-on-chain
+// model is cheaper (see EXPERIMENTS.md).
+func Fig1(revealRounds []uint64) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, rounds := range revealRounds {
+		mono, err := RunBettingLifecycle(ModeMonolith, rounds, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 monolith rounds=%d: %w", rounds, err)
+		}
+		honest, err := RunBettingLifecycle(ModeHybrid, rounds, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 hybrid rounds=%d: %w", rounds, err)
+		}
+		disputed, err := RunBettingLifecycle(ModeHybrid, rounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 dispute rounds=%d: %w", rounds, err)
+		}
+		row := Fig1Row{
+			RevealRounds:     rounds,
+			MonolithGas:      mono.TotalMinerGas(),
+			HybridHonestGas:  honest.TotalMinerGas(),
+			HybridDisputeGas: disputed.TotalMinerGas(),
+			OffChainGas:      honest.OffChainGas,
+		}
+		row.HonestSavingsPct = 100 * (1 - float64(row.HybridHonestGas)/float64(row.MonolithGas))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig1 renders the model comparison.
+func FormatFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — Miner gas: all-on-chain vs hybrid-on/off-chain execution model\n")
+	b.WriteString("(full lifecycle: deploy + 2 deposits + resolution)\n\n")
+	fmt.Fprintf(&b, "%-14s %14s %16s %17s %14s %10s\n",
+		"reveal rounds", "all-on-chain", "hybrid (honest)", "hybrid (dispute)", "off-chain gas", "savings")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14d %14d %16d %17d %14d %9.1f%%\n",
+			r.RevealRounds, r.MonolithGas, r.HybridHonestGas, r.HybridDisputeGas, r.OffChainGas, r.HonestSavingsPct)
+	}
+	return b.String()
+}
+
+// --- Experiment F2: paper Fig. 2 ----------------------------------------
+
+// Fig2Row is one stage of the four-stage mechanism with its cost.
+type Fig2Row struct {
+	Stage   string
+	Path    string // "honest" or "dispute"
+	OnChain bool
+	Gas     uint64
+	Note    string
+}
+
+// Fig2 measures the cost of each protocol stage for both paths.
+func Fig2(revealRounds uint64) ([]Fig2Row, error) {
+	honest, err := RunBettingLifecycle(ModeHybrid, revealRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	disputed, err := RunBettingLifecycle(ModeHybrid, revealRounds, true)
+	if err != nil {
+		return nil, err
+	}
+	return []Fig2Row{
+		{"1 split/generate", "both", false, 0, "compiler + splitter, no chain interaction"},
+		{"2 deploy (on-chain half)", "both", true, honest.DeployGas, "only the light/public functions are deployed"},
+		{"2 sign (off-chain half)", "both", false, 0, "keccak256(bytecode) signed by all; whisper exchange"},
+		{"3 deposits", "both", true, honest.DepositGas, "light/public function calls"},
+		{"3 off-chain execution", "both", false, honest.OffChainGas, "participants' private sandbox (gas-equivalent)"},
+		{"3 submit+finalize", "honest", true, honest.ResolveGas, "representative submits; challenge window passes"},
+		{"4 deployVerifiedInstance", "dispute", true, disputed.DeployVIGas, "signature check + CREATE of verified instance"},
+		{"4 returnDisputeResolution", "dispute", true, disputed.ReturnDRGas, "miners recompute reveal(); truth enforced"},
+	}, nil
+}
+
+// FormatFig2 renders the stage table.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 2 — Four-stage enforcement mechanism: per-stage cost\n\n")
+	fmt.Fprintf(&b, "%-28s %-8s %-9s %12s  %s\n", "stage", "path", "location", "gas", "note")
+	for _, r := range rows {
+		loc := "off-chain"
+		if r.OnChain {
+			loc = "on-chain"
+		}
+		fmt.Fprintf(&b, "%-28s %-8s %-9s %12d  %s\n", r.Stage, r.Path, loc, r.Gas, r.Note)
+	}
+	return b.String()
+}
+
+// --- Ablation A1: dispute probability crossover --------------------------
+
+// DisputeProbRow gives expected miner gas as a function of the dispute
+// probability p: E[hybrid] = (1-p)·honest + p·dispute.
+type DisputeProbRow struct {
+	P               float64
+	ExpectedHybrid  float64
+	MonolithGas     uint64
+	HybridStillWins bool
+}
+
+// DisputeProbability sweeps p and finds where the hybrid model stops
+// paying off against always-on-chain execution.
+func DisputeProbability(revealRounds uint64, ps []float64) ([]DisputeProbRow, error) {
+	mono, err := RunBettingLifecycle(ModeMonolith, revealRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := RunBettingLifecycle(ModeHybrid, revealRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	disputed, err := RunBettingLifecycle(ModeHybrid, revealRounds, true)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DisputeProbRow
+	for _, p := range ps {
+		expected := (1-p)*float64(honest.TotalMinerGas()) + p*float64(disputed.TotalMinerGas())
+		rows = append(rows, DisputeProbRow{
+			P:               p,
+			ExpectedHybrid:  expected,
+			MonolithGas:     mono.TotalMinerGas(),
+			HybridStillWins: expected < float64(mono.TotalMinerGas()),
+		})
+	}
+	return rows, nil
+}
+
+// FormatDisputeProbability renders the sweep.
+func FormatDisputeProbability(rows []DisputeProbRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A1 — Expected miner gas vs dispute probability p\n\n")
+	fmt.Fprintf(&b, "%-8s %18s %14s %s\n", "p", "E[hybrid] gas", "all-on-chain", "hybrid wins?")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.2f %18.0f %14d %v\n", r.P, r.ExpectedHybrid, r.MonolithGas, r.HybridStillWins)
+	}
+	return b.String()
+}
+
+// --- Ablation A2: privacy leakage ----------------------------------------
+
+// PrivacyRow measures the public footprint of each model. Raw size is not
+// the privacy metric (the padded on-chain half is BIGGER than the
+// monolith); what matters is whether the heavy/private logic and its
+// parameters are exposed, and how many bytes stay private.
+type PrivacyRow struct {
+	Model          string
+	CodeBytes      int
+	CalldataBytes  int
+	SecretsOnChain bool
+	HiddenBytes    int // off-chain bytecode kept private in this model/path
+}
+
+// PrivacyLeakage compares the bytes (code + calldata) each model reveals
+// on the public chain, and whether the private rule parameters appear.
+func PrivacyLeakage(revealRounds uint64) ([]PrivacyRow, error) {
+	mono, err := RunBettingLifecycle(ModeMonolith, revealRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := RunBettingLifecycle(ModeHybrid, revealRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	disputed, err := RunBettingLifecycle(ModeHybrid, revealRounds, true)
+	if err != nil {
+		return nil, err
+	}
+	split, err := hybrid.Split(hybrid.BettingSource, "Betting", hybrid.BettingPolicy(600))
+	if err != nil {
+		return nil, err
+	}
+	offCode, err := split.OffChain.DeployWithArgs(
+		types.Address{1}, types.Address{2},
+		uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), revealRounds)
+	if err != nil {
+		return nil, err
+	}
+	return []PrivacyRow{
+		{"all-on-chain", mono.OnChainCodeBytes, mono.OnChainCalldataBytes, true, 0},
+		{"hybrid (honest)", honest.OnChainCodeBytes, honest.OnChainCalldataBytes, false, len(offCode)},
+		{"hybrid (dispute)", disputed.OnChainCodeBytes, disputed.OnChainCalldataBytes, true, 0},
+	}, nil
+}
+
+// FormatPrivacyLeakage renders the comparison.
+func FormatPrivacyLeakage(rows []PrivacyRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A2 — Public on-chain footprint (privacy surface)\n\n")
+	fmt.Fprintf(&b, "%-18s %12s %16s %14s %s\n", "model", "code bytes", "calldata bytes", "private bytes", "secrets visible on-chain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12d %16d %14d %v\n", r.Model, r.CodeBytes, r.CalldataBytes, r.HiddenBytes, r.SecretsOnChain)
+	}
+	return b.String()
+}
+
+// --- Ablation A3: participant scaling ------------------------------------
+
+// ParticipantsRow reports dispute gas as the signer set grows.
+type ParticipantsRow struct {
+	N           int
+	DeployVIGas uint64
+	PerSigGas   uint64 // marginal cost per additional signature
+}
+
+// Participants sweeps the pool size: deployVerifiedInstance verifies one
+// ecrecover per participant, so dispute cost grows linearly with n.
+func Participants(ns []int) ([]ParticipantsRow, error) {
+	var rows []ParticipantsRow
+	var prev *ParticipantsRow
+	for _, n := range ns {
+		gas, err := runPoolDispute(n)
+		if err != nil {
+			return nil, fmt.Errorf("participants n=%d: %w", n, err)
+		}
+		row := ParticipantsRow{N: n, DeployVIGas: gas}
+		if prev != nil && n > prev.N {
+			row.PerSigGas = (gas - prev.DeployVIGas) / uint64(n-prev.N)
+		}
+		rows = append(rows, row)
+		prev = &rows[len(rows)-1]
+	}
+	return rows, nil
+}
+
+// runPoolDispute deploys an n-party pool and measures the dispute deploy.
+func runPoolDispute(n int) (uint64, error) {
+	e := newEnv()
+	keys := make([]*secp256k1.PrivateKey, n)
+	parties := make([]*hybrid.Participant, n)
+	ctorArgs := make([]interface{}, 0, n+1)
+	for i := 0; i < n; i++ {
+		k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0xF00 + i)))
+		if err != nil {
+			return 0, err
+		}
+		keys[i] = k
+		parties[i] = hybrid.NewParticipant(k, e.chain, e.net)
+		// Fund each party.
+		if _, err := e.alice.SendTx(&parties[i].Addr, eth(10), 21_000, nil); err != nil {
+			return 0, err
+		}
+		ctorArgs = append(ctorArgs, parties[i].Addr)
+	}
+	ctorArgs = append(ctorArgs, uint64(0x5eed))
+
+	split, err := hybrid.Split(hybrid.MultiPartySource(n), "Pool", hybrid.MultiPartyPolicy(600))
+	if err != nil {
+		return 0, err
+	}
+	sess, err := hybrid.NewSession(split, parties)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sess.DeployOnChain(8_000_000, ctorArgs...); err != nil {
+		return 0, err
+	}
+	if err := sess.SignAndExchange(ctorArgs...); err != nil {
+		return 0, err
+	}
+	deployR, _, err := sess.Dispute(0)
+	if err != nil {
+		return 0, err
+	}
+	return deployR.GasUsed, nil
+}
+
+// FormatParticipants renders the scaling table.
+func FormatParticipants(rows []ParticipantsRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A3 — deployVerifiedInstance gas vs number of participants\n\n")
+	fmt.Fprintf(&b, "%-6s %24s %24s\n", "n", "deployVerifiedInstance", "marginal gas per signer")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %24d %24d\n", r.N, r.DeployVIGas, r.PerSigGas)
+	}
+	return b.String()
+}
+
+// --- Ablation A4: security deposits --------------------------------------
+
+// DepositRow analyses the honest resolver's net position with and without
+// the security deposit the paper recommends in §IV.
+type DepositRow struct {
+	DepositWei      uint64 // security deposit per participant (wei, 1-gwei gas price)
+	ResolverGasCost uint64 // what the honest party pays to resolve a dispute
+	Compensated     bool   // deposit >= resolver cost
+}
+
+// DepositCompensation measures dispute-resolution cost and checks which
+// deposit sizes make the honest participant whole (paper §IV last
+// paragraph: "it should be mandatory for each participant to pay security
+// deposit so that the honest participant ... can receive compensation").
+func DepositCompensation(revealRounds uint64, depositsWei []uint64) ([]DepositRow, error) {
+	lc, err := RunBettingLifecycle(ModeHybrid, revealRounds, true)
+	if err != nil {
+		return nil, err
+	}
+	resolverCost := lc.DeployVIGas + lc.ReturnDRGas // gas price 1 wei
+	var rows []DepositRow
+	for _, d := range depositsWei {
+		rows = append(rows, DepositRow{
+			DepositWei:      d,
+			ResolverGasCost: resolverCost,
+			Compensated:     d >= resolverCost,
+		})
+	}
+	return rows, nil
+}
+
+// FormatDepositCompensation renders the analysis.
+func FormatDepositCompensation(rows []DepositRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A4 — Security deposit vs honest resolver's dispute cost\n")
+	b.WriteString("(gas price 1 wei; the deposit must cover deployVerifiedInstance + returnDisputeResolution)\n\n")
+	fmt.Fprintf(&b, "%-16s %20s %s\n", "deposit (wei)", "resolver cost (wei)", "compensated?")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16d %20d %v\n", r.DepositWei, r.ResolverGasCost, r.Compensated)
+	}
+	return b.String()
+}

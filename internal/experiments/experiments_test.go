@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table II shape: returnDisputeResolution grows with reveal weight (the
+// miners recompute it), while deployVerifiedInstance is dominated by the
+// constant part (calldata + 2 ecrecover + CREATE + code deposit).
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2([]uint64{0, 64, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := rows[0]
+	// Same decade as the paper's 225082 constant.
+	if base.DeployVIGas < 100_000 || base.DeployVIGas > 1_000_000 {
+		t.Errorf("deployVerifiedInstance base = %d, expected ~10^5", base.DeployVIGas)
+	}
+	// Paper's 37745: tens of thousands for a light reveal.
+	if base.ReturnDRGas < 20_000 || base.ReturnDRGas > 120_000 {
+		t.Errorf("returnDisputeResolution base = %d, expected ~10^4..10^5", base.ReturnDRGas)
+	}
+	// returnDisputeResolution carries the reveal() re-execution: strictly
+	// increasing in rounds.
+	if !(rows[0].ReturnDRGas < rows[1].ReturnDRGas && rows[1].ReturnDRGas < rows[2].ReturnDRGas) {
+		t.Errorf("returnDR not increasing: %d, %d, %d",
+			rows[0].ReturnDRGas, rows[1].ReturnDRGas, rows[2].ReturnDRGas)
+	}
+	// deployVerifiedInstance must be roughly constant (bytecode size does
+	// not depend on rounds; only the constructor arg changes).
+	spread := float64(rows[2].DeployVIGas) / float64(rows[0].DeployVIGas)
+	if spread > 1.1 {
+		t.Errorf("deployVI spread %.2f, expected near-constant", spread)
+	}
+	if !strings.Contains(FormatTable2(rows), "deployVerifiedInstance") {
+		t.Error("bad table format")
+	}
+}
+
+// Fig. 1 shape: the hybrid model saves miner gas in the honest case, and
+// the saving grows with the heavy function's weight; the dispute path costs
+// more than the monolith (that is the deterrent, not the common case).
+func TestFig1Shape(t *testing.T) {
+	rows, err := Fig1([]uint64{16, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.HybridDisputeGas <= r.HybridHonestGas {
+			t.Errorf("rounds=%d: dispute %d <= honest %d",
+				r.RevealRounds, r.HybridDisputeGas, r.HybridHonestGas)
+		}
+	}
+	// Below the crossover the monolith wins (padding overhead); above it
+	// the hybrid model must win. 1024 keccak rounds is far above.
+	last := rows[len(rows)-1]
+	if last.HybridHonestGas >= last.MonolithGas {
+		t.Errorf("rounds=%d: hybrid honest %d >= monolith %d — no crossover",
+			last.RevealRounds, last.HybridHonestGas, last.MonolithGas)
+	}
+	// Savings grow with heavy weight.
+	if !(rows[0].HonestSavingsPct < rows[2].HonestSavingsPct) {
+		t.Errorf("savings not increasing: %.1f%% vs %.1f%%",
+			rows[0].HonestSavingsPct, rows[2].HonestSavingsPct)
+	}
+	// The honest hybrid path's miner gas must NOT grow with reveal weight
+	// (the whole point: miners never run reveal).
+	if rows[2].HybridHonestGas > rows[0].HybridHonestGas+rows[0].HybridHonestGas/10 {
+		t.Errorf("hybrid honest grows with reveal weight: %d -> %d",
+			rows[0].HybridHonestGas, rows[2].HybridHonestGas)
+	}
+	// Monolith gas must grow with reveal weight.
+	if rows[2].MonolithGas <= rows[0].MonolithGas {
+		t.Error("monolith gas does not grow with reveal weight")
+	}
+	if !strings.Contains(FormatFig1(rows), "savings") {
+		t.Error("bad fig1 format")
+	}
+}
+
+func TestFig2Stages(t *testing.T) {
+	rows, err := Fig2(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("stages = %d", len(rows))
+	}
+	var disputeOnChain uint64
+	for _, r := range rows {
+		if r.Path == "dispute" && r.OnChain {
+			disputeOnChain += r.Gas
+		}
+	}
+	if disputeOnChain == 0 {
+		t.Error("no dispute-stage gas recorded")
+	}
+	out := FormatFig2(rows)
+	for _, stage := range []string{"split/generate", "deployVerifiedInstance", "returnDisputeResolution"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("format missing %s", stage)
+		}
+	}
+}
+
+// A1 shape: at p=0 hybrid wins; at p=1 hybrid loses (dispute path includes
+// everything the monolith does plus verification overhead); expected cost
+// is monotone in p, so there is a crossover.
+func TestDisputeProbabilityCrossover(t *testing.T) {
+	ps := []float64{0, 0.25, 0.5, 0.75, 1}
+	rows, err := DisputeProbability(512, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].HybridStillWins {
+		t.Error("hybrid loses even at p=0")
+	}
+	if rows[len(rows)-1].HybridStillWins {
+		t.Error("hybrid wins even at p=1 — dispute overhead unaccounted")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ExpectedHybrid < rows[i-1].ExpectedHybrid {
+			t.Error("expected cost not monotone in p")
+		}
+	}
+	if !strings.Contains(FormatDisputeProbability(rows), "E[hybrid]") {
+		t.Error("bad format")
+	}
+}
+
+// A2 shape: honest hybrid reveals strictly fewer bytes than the monolith;
+// a dispute reveals the bytecode (the paper's explicit trade-off).
+func TestPrivacyLeakageShape(t *testing.T) {
+	rows, err := PrivacyLeakage(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string]PrivacyRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	mono := byModel["all-on-chain"]
+	honest := byModel["hybrid (honest)"]
+	disputed := byModel["hybrid (dispute)"]
+	if honest.HiddenBytes == 0 {
+		t.Error("honest hybrid hides no bytes")
+	}
+	if mono.HiddenBytes != 0 || disputed.HiddenBytes != 0 {
+		t.Error("monolith/dispute should hide nothing")
+	}
+	if honest.SecretsOnChain {
+		t.Error("honest hybrid leaks secrets")
+	}
+	if !mono.SecretsOnChain || !disputed.SecretsOnChain {
+		t.Error("expected secret exposure flags")
+	}
+	if disputed.CodeBytes <= honest.CodeBytes {
+		t.Error("dispute did not increase the public footprint")
+	}
+	if !strings.Contains(FormatPrivacyLeakage(rows), "secrets") {
+		t.Error("bad format")
+	}
+}
+
+// A3 shape: dispute deployment grows roughly linearly with participants
+// (one ecrecover + calldata per extra signature).
+func TestParticipantsScaling(t *testing.T) {
+	rows, err := Participants([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].DeployVIGas < rows[1].DeployVIGas && rows[1].DeployVIGas < rows[2].DeployVIGas) {
+		t.Errorf("gas not increasing with n: %v", rows)
+	}
+	// Marginal per-signer cost: ecrecover (3000) + ~96 bytes calldata
+	// (~6.5k) + the growing off-chain contract's code deposit at CREATE
+	// (the settle loop and guards grow with n). Observed ~31k; keep a
+	// generous envelope that still catches pathological blowups.
+	for _, r := range rows[1:] {
+		if r.PerSigGas < 3_000 || r.PerSigGas > 60_000 {
+			t.Errorf("n=%d: per-signature gas %d out of range", r.N, r.PerSigGas)
+		}
+	}
+	if !strings.Contains(FormatParticipants(rows), "marginal") {
+		t.Error("bad format")
+	}
+}
+
+func TestDepositCompensation(t *testing.T) {
+	rows, err := DepositCompensation(64, []uint64{0, 100_000, 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Compensated {
+		t.Error("zero deposit compensates")
+	}
+	if !rows[2].Compensated {
+		t.Error("10M-wei deposit does not compensate")
+	}
+	if !strings.Contains(FormatDepositCompensation(rows), "deposit") {
+		t.Error("bad format")
+	}
+}
+
+// Lifecycle sanity shared by all experiments.
+func TestLifecycleAccounting(t *testing.T) {
+	lc, err := RunBettingLifecycle(ModeHybrid, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lc.DeployGas + lc.DepositGas + lc.ResolveGas + lc.DeployVIGas + lc.ReturnDRGas
+	if lc.TotalMinerGas() != sum {
+		t.Error("TotalMinerGas mismatch")
+	}
+	if lc.OffChainGas == 0 {
+		t.Error("no off-chain gas recorded for hybrid mode")
+	}
+	mono, err := RunBettingLifecycle(ModeMonolith, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.OffChainGas != 0 {
+		t.Error("monolith recorded off-chain gas")
+	}
+	if mono.DeployVIGas != 0 || mono.ReturnDRGas != 0 {
+		t.Error("monolith recorded dispute gas")
+	}
+}

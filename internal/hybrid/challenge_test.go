@@ -1,0 +1,87 @@
+package hybrid
+
+import (
+	"testing"
+)
+
+// The challenge window is the liveness/safety boundary of stage 3: a
+// false submission can be overridden DURING the window, and an expired
+// window freezes the submitted result even if it was false (the paper's
+// incentive argument: challenge in time or accept the result).
+func TestChallengeWindowSemantics(t *testing.T) {
+	fx := newFixture(t)
+	sess := bettingSession(t, fx, 32)
+
+	for _, p := range []*Participant{fx.alice, fx.bob} {
+		if r, err := p.Invoke(sess.Split.OnChain, sess.OnChainAddr, eth(1), 300_000, "deposit"); err != nil || !r.Succeeded() {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+	fx.chain.AdvanceTime(2100)
+	outcome, err := sess.ExecuteOffChainAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A false submission, then the honest party waits TOO LONG: after the
+	// window the false result finalizes. This is by design: the deterrent
+	// depends on honest parties challenging within the window.
+	liar := 1 - int(outcome.Result)
+	if r, err := sess.SubmitResult(liar, uint64(1-outcome.Result)); err != nil || !r.Succeeded() {
+		t.Fatalf("submit: %v", err)
+	}
+	fx.chain.AdvanceTime(700) // past the 600s window
+	r, err := sess.FinalizeResult(liar)
+	if err != nil || !r.Succeeded() {
+		t.Fatalf("finalize after window: %v", err)
+	}
+	settled, _ := sess.IsSettled()
+	if !settled {
+		t.Fatal("not settled")
+	}
+	// Once settled, the dispute path is closed (deployVerifiedInstance
+	// requires !settled) — the honest party missed their chance.
+	if _, _, err := sess.Dispute(int(outcome.Result)); err == nil {
+		t.Fatal("dispute succeeded after settlement")
+	}
+}
+
+// A re-submission during the window (the representative correcting
+// themselves, or a second participant overriding) replaces the pending
+// result — last write wins until the window closes.
+func TestResubmissionDuringWindow(t *testing.T) {
+	fx := newFixture(t)
+	sess := bettingSession(t, fx, 32)
+	for _, p := range []*Participant{fx.alice, fx.bob} {
+		if r, err := p.Invoke(sess.Split.OnChain, sess.OnChainAddr, eth(1), 300_000, "deposit"); err != nil || !r.Succeeded() {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+	fx.chain.AdvanceTime(2100)
+	outcome, err := sess.ExecuteOffChainAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong, then corrected.
+	if _, err := sess.SubmitResult(0, uint64(1-outcome.Result)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitResult(1, outcome.Result); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := sess.Parties[0].Query(sess.Split.OnChain, sess.OnChainAddr, "pendingResult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending.(interface{ Uint64() uint64 }).Uint64() != outcome.Result {
+		t.Fatal("resubmission did not replace the pending result")
+	}
+	fx.chain.AdvanceTime(700)
+	if r, err := sess.FinalizeResult(0); err != nil || !r.Succeeded() {
+		t.Fatalf("finalize: %v", err)
+	}
+	winner := []*Participant{fx.alice, fx.bob}[outcome.Result]
+	if fx.chain.BalanceAt(winner.Addr).Lt(eth(100)) {
+		t.Error("corrected result did not pay the winner")
+	}
+}

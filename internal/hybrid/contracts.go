@@ -1,0 +1,256 @@
+package hybrid
+
+import "fmt"
+
+// BettingSource is the paper's §IV example: a betting contract between
+// Alice and Bob (paper Table I rules). The whole contract is written once;
+// Split() derives the on-chain contract (paper Algorithm 2), the off-chain
+// contract (Algorithm 3) and the all-on-chain baseline from it.
+//
+// The "customized betting rules that are private to the participants"
+// (paper §II-B) are modelled by the two secret parameters fed to an
+// iterated keccak mixing loop in reveal(); revealRounds controls how heavy
+// the off-chain computation is, which drives the paper's Table II
+// "225082 + reveal()" cost account.
+const BettingSource = `
+contract Betting {
+    address[2] participants;
+    mapping(address => uint) accountBalance;
+    uint t1;
+    uint t2;
+    uint t3;
+    uint betSecretA;
+    uint betSecretB;
+    uint revealRounds;
+
+    event Deposit(address who, uint amount);
+    event Refund(address who, uint amount);
+
+    modifier participantOnly {
+        require(msg.sender == participants[0] || msg.sender == participants[1]);
+        _;
+    }
+
+    constructor(address a, address b, uint T1, uint T2, uint T3, uint secretA, uint secretB, uint rounds) {
+        participants[0] = a;
+        participants[1] = b;
+        t1 = T1;
+        t2 = T2;
+        t3 = T3;
+        betSecretA = secretA;
+        betSecretB = secretB;
+        revealRounds = rounds;
+    }
+
+    function deposit() public payable participantOnly {
+        require(block.timestamp < t1);
+        require(msg.value == 1 ether);
+        accountBalance[msg.sender] = accountBalance[msg.sender] + msg.value;
+        emit Deposit(msg.sender, msg.value);
+    }
+
+    function refundRoundOne() public participantOnly {
+        require(block.timestamp < t1);
+        uint amount = accountBalance[msg.sender];
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amount);
+        emit Refund(msg.sender, amount);
+    }
+
+    function refundRoundTwo() public participantOnly {
+        require(block.timestamp >= t1 && block.timestamp < t2);
+        require(accountBalance[participants[0]] != 1 ether || accountBalance[participants[1]] != 1 ether);
+        uint amount = accountBalance[msg.sender];
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amount);
+        emit Refund(msg.sender, amount);
+    }
+
+    function reveal() internal returns (uint) {
+        uint x = betSecretA;
+        uint i = 0;
+        while (i < revealRounds) {
+            x = uint(keccak256(x, betSecretB, i));
+            i = i + 1;
+        }
+        return x % 2;
+    }
+
+    function reassign() public participantOnly {
+        require(block.timestamp >= t2 && block.timestamp < t3);
+        settle(reveal());
+    }
+
+    function settle(uint winnerIdx) internal {
+        uint pot = accountBalance[participants[0]] + accountBalance[participants[1]];
+        accountBalance[participants[0]] = 0;
+        accountBalance[participants[1]] = 0;
+        participants[winnerIdx].transfer(pot);
+    }
+
+    function balanceOf(address who) public view returns (uint) {
+        return accountBalance[who];
+    }
+}
+`
+
+// BettingPolicy is the split policy for the betting contract: reveal() is
+// the single heavy/private function (paper §II-B recommends keeping all
+// cryptocurrency-transfer functions on-chain).
+func BettingPolicy(challengePeriod uint64) Policy {
+	return Policy{
+		Heavy:           []string{"reveal"},
+		Result:          "reveal",
+		Settle:          "settle",
+		ChallengePeriod: challengePeriod,
+	}
+}
+
+// AuctionSource is a second workload: a two-party sealed-bid trade where
+// the heavy/private scoring function compares confidential bids with a
+// private weighting rule. It exercises the same split machinery with a
+// different result (winner index from private scoring).
+const AuctionSource = `
+contract Auction {
+    address[2] participants;
+    mapping(address => uint) deposits;
+    uint bidA;
+    uint bidB;
+    uint weightQuality;
+    uint weightPrice;
+    uint deadline;
+
+    modifier participantOnly {
+        require(msg.sender == participants[0] || msg.sender == participants[1]);
+        _;
+    }
+
+    constructor(address a, address b, uint sealedBidA, uint sealedBidB, uint wq, uint wp, uint end) {
+        participants[0] = a;
+        participants[1] = b;
+        bidA = sealedBidA;
+        bidB = sealedBidB;
+        weightQuality = wq;
+        weightPrice = wp;
+        deadline = end;
+    }
+
+    function deposit() public payable participantOnly {
+        require(block.timestamp < deadline);
+        deposits[msg.sender] = deposits[msg.sender] + msg.value;
+    }
+
+    function score() internal returns (uint) {
+        uint scoreA = bidA * weightPrice + (bidA % 97) * weightQuality;
+        uint scoreB = bidB * weightPrice + (bidB % 97) * weightQuality;
+        uint i = 0;
+        while (i < 32) {
+            scoreA = uint(keccak256(scoreA, i)) % 1000000 + scoreA % 1000;
+            scoreB = uint(keccak256(scoreB, i)) % 1000000 + scoreB % 1000;
+            i = i + 1;
+        }
+        if (scoreA >= scoreB) {
+            return 0;
+        }
+        return 1;
+    }
+
+    function settle(uint winnerIdx) internal {
+        uint pot = deposits[participants[0]] + deposits[participants[1]];
+        deposits[participants[0]] = 0;
+        deposits[participants[1]] = 0;
+        participants[winnerIdx].transfer(pot);
+    }
+
+    function depositOf(address who) public view returns (uint) {
+        return deposits[who];
+    }
+}
+`
+
+// AuctionPolicy splits the auction with score() off-chain.
+func AuctionPolicy(challengePeriod uint64) Policy {
+	return Policy{
+		Heavy:           []string{"score"},
+		Result:          "score",
+		Settle:          "settle",
+		ChallengePeriod: challengePeriod,
+	}
+}
+
+// MultiPartySource generates an n-participant variant of the betting
+// contract for the scalability ablation (signature verification grows with
+// n in deployVerifiedInstance).
+func MultiPartySource(n int) string {
+	requireClause := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			requireClause += " || "
+		}
+		requireClause += fmt.Sprintf("msg.sender == participants[%d]", i)
+	}
+	ctorParams := ""
+	ctorBody := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			ctorParams += ", "
+		}
+		ctorParams += fmt.Sprintf("address p%d", i)
+		ctorBody += fmt.Sprintf("        participants[%d] = p%d;\n", i, i)
+	}
+	return fmt.Sprintf(`
+contract Pool {
+    address[%d] participants;
+    mapping(address => uint) stakes;
+    uint seed;
+
+    modifier participantOnly {
+        require(%s);
+        _;
+    }
+
+    constructor(%s, uint s) {
+%s        seed = s;
+    }
+
+    function deposit() public payable participantOnly {
+        stakes[msg.sender] = stakes[msg.sender] + msg.value;
+    }
+
+    function draw() internal returns (uint) {
+        uint x = seed;
+        uint i = 0;
+        while (i < 16) {
+            x = uint(keccak256(x, i));
+            i = i + 1;
+        }
+        return x %% %d;
+    }
+
+    function settle(uint winnerIdx) internal {
+        uint pot = 0;
+        uint i = 0;
+        while (i < %d) {
+            pot = pot + stakes[participants[i]];
+            stakes[participants[i]] = 0;
+            i = i + 1;
+        }
+        participants[winnerIdx].transfer(pot);
+    }
+
+    function stakeOf(address who) public view returns (uint) {
+        return stakes[who];
+    }
+}
+`, n, requireClause, ctorParams, ctorBody, n, n)
+}
+
+// MultiPartyPolicy splits the n-party pool with draw() off-chain.
+func MultiPartyPolicy(challengePeriod uint64) Policy {
+	return Policy{
+		Heavy:           []string{"draw"},
+		Result:          "draw",
+		Settle:          "settle",
+		ChallengePeriod: challengePeriod,
+	}
+}

@@ -1,0 +1,107 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/lang"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+// Participant is one party of the agreement: a signing key, its chain
+// access, and a whisper node for the off-chain channel.
+type Participant struct {
+	Key   *secp256k1.PrivateKey
+	Addr  types.Address
+	Chain *chain.Chain
+	Node  *whisper.Node
+}
+
+// NewParticipant wires a key to the chain and the off-chain network.
+func NewParticipant(key *secp256k1.PrivateKey, c *chain.Chain, net *whisper.Network) *Participant {
+	p := &Participant{
+		Key:   key,
+		Addr:  types.Address(key.EthereumAddress()),
+		Chain: c,
+	}
+	if net != nil {
+		p.Node = net.NewNode(key)
+	}
+	return p
+}
+
+// defaultGasPrice keeps fee arithmetic simple in experiments.
+var defaultGasPrice = uint256.NewInt(1)
+
+// SendTx signs and submits a transaction, returning its receipt (the dev
+// chain auto-mines).
+func (p *Participant) SendTx(to *types.Address, value *uint256.Int, gas uint64, data []byte) (*types.Receipt, error) {
+	nonce := p.Chain.NonceAt(p.Addr)
+	var tx *types.Transaction
+	if to == nil {
+		tx = types.NewContractCreation(nonce, value, gas, defaultGasPrice, data)
+	} else {
+		tx = types.NewTransaction(nonce, *to, value, gas, defaultGasPrice, data)
+	}
+	if err := tx.Sign(p.Key); err != nil {
+		return nil, err
+	}
+	hash, err := p.Chain.SendTransaction(tx)
+	if err != nil {
+		return nil, err
+	}
+	return p.Chain.Receipt(hash)
+}
+
+// Deploy sends a contract-creation transaction and returns the new address
+// with the receipt.
+func (p *Participant) Deploy(code []byte, value *uint256.Int, gas uint64) (types.Address, *types.Receipt, error) {
+	r, err := p.SendTx(nil, value, gas, code)
+	if err != nil {
+		return types.Address{}, nil, err
+	}
+	if !r.Succeeded() {
+		return types.Address{}, r, fmt.Errorf("hybrid: deployment reverted")
+	}
+	return r.ContractAddress, r, nil
+}
+
+// Invoke packs and sends a state-changing call to a compiled contract.
+func (p *Participant) Invoke(cc *lang.CompiledContract, at types.Address, value *uint256.Int, gas uint64, fn string, args ...interface{}) (*types.Receipt, error) {
+	m, err := cc.Method(fn)
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.Pack(args...)
+	if err != nil {
+		return nil, err
+	}
+	return p.SendTx(&at, value, gas, data)
+}
+
+// Query performs a read-only call and decodes the single return value.
+func (p *Participant) Query(cc *lang.CompiledContract, at types.Address, fn string, args ...interface{}) (interface{}, error) {
+	m, err := cc.Method(fn)
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.Pack(args...)
+	if err != nil {
+		return nil, err
+	}
+	ret, _, err := p.Chain.Call(chain.CallMsg{From: p.Addr, To: at, Data: data})
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: query %s: %w", fn, err)
+	}
+	vals, err := m.Unpack(ret)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != 1 {
+		return nil, fmt.Errorf("hybrid: query %s returned %d values", fn, len(vals))
+	}
+	return vals[0], nil
+}

@@ -1,0 +1,122 @@
+package hybrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"onoffchain/internal/uint256"
+)
+
+// The paper's privacy claim: the heavy/private logic and its parameters
+// are hidden from the public. After the split, the secret constructor
+// arguments and the reveal() logic must not be derivable from anything
+// that touches the chain in the honest path.
+func TestSecretsNeverTouchChainInHonestPath(t *testing.T) {
+	fx := newFixture(t)
+	split, err := Split(BettingSource, "Betting", BettingPolicy(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pruned on-chain constructor keeps only the public parameters
+	// (participants + the deadlines still used on-chain; T3 is subsumed by
+	// the generated challenge window, and the secrets are pruned).
+	if got := len(split.OnChainCtorIdx); got != 4 {
+		t.Fatalf("on-chain ctor keeps %d of 8 params: %v", got, split.OnChainCtorIdx)
+	}
+	for _, idx := range split.OnChainCtorIdx {
+		if idx >= 5 {
+			t.Fatalf("secret constructor parameter %d survived on-chain", idx)
+		}
+	}
+	// The on-chain source must not mention the secret state at all.
+	for _, secret := range []string{"betSecretA", "betSecretB", "revealRounds", "reveal"} {
+		if strings.Contains(split.OnChainSource, secret) {
+			t.Errorf("on-chain source leaks %q", secret)
+		}
+	}
+
+	sess, err := NewSession(split, []*Participant{fx.alice, fx.bob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := fx.chain.Now()
+	secretA, secretB := uint64(0xDEADBEEF12345), uint64(0xCAFEBABE67890)
+	ctorArgs := []interface{}{
+		fx.alice.Addr, fx.bob.Addr, now + 1000, now + 2000, now + 3000,
+		secretA, secretB, uint64(64),
+	}
+	if _, err := sess.DeployOnChain(3_000_000, ctorArgs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SignAndExchange(ctorArgs...); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Participant{fx.alice, fx.bob} {
+		if r, err := p.Invoke(split.OnChain, sess.OnChainAddr, eth(1), 300_000, "deposit"); err != nil || !r.Succeeded() {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+	fx.chain.AdvanceTime(2100)
+	outcome, err := sess.ExecuteOffChainAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitResult(0, outcome.Result); err != nil {
+		t.Fatal(err)
+	}
+	fx.chain.AdvanceTime(700)
+	if _, err := sess.FinalizeResult(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan EVERYTHING that touched the chain: every transaction's data and
+	// the deployed code. The secrets must not appear.
+	secretABytes := uint256.NewInt(secretA).Bytes()
+	secretBBytes := uint256.NewInt(secretB).Bytes()
+	for n := uint64(0); n <= fx.chain.Height(); n++ {
+		block, err := fx.chain.BlockByNumber(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tx := range block.Transactions {
+			if bytes.Contains(tx.Data, secretABytes) || bytes.Contains(tx.Data, secretBBytes) {
+				t.Fatalf("secret found in calldata of block %d", n)
+			}
+		}
+	}
+	if code := fx.chain.CodeAt(sess.OnChainAddr); bytes.Contains(code, secretABytes) || bytes.Contains(code, secretBBytes) {
+		t.Fatal("secret found in deployed on-chain code")
+	}
+
+	// Control: in the DISPUTE path the bytecode (with secrets baked in) is
+	// revealed on-chain — that is the paper's explicit trade-off.
+	if !bytes.Contains(sess.Copy.Bytecode, secretABytes) {
+		t.Error("off-chain bytecode does not contain the rule parameters?")
+	}
+}
+
+// The off-chain half must still see every constructor argument (the signed
+// bytecode commits to the full rules).
+func TestOffChainKeepsFullConstructor(t *testing.T) {
+	split, err := Split(BettingSource, "Betting", BettingPolicy(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(split.OffChain.AST.Ctor.Params); got != 8 {
+		t.Fatalf("off-chain ctor has %d params, want 8", got)
+	}
+}
+
+// Dropping unused state also shrinks the public artifact.
+func TestOnChainArtifactSmallerThanMonolith(t *testing.T) {
+	split, err := Split(BettingSource, "Betting", BettingPolicy(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.OnChain.Runtime) >= len(split.Monolith.Runtime)+2000 {
+		t.Errorf("on-chain runtime (%d bytes) not meaningfully smaller than monolith (%d bytes)",
+			len(split.OnChain.Runtime), len(split.Monolith.Runtime))
+	}
+}

@@ -1,0 +1,245 @@
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"onoffchain/internal/rlp"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+// Session drives one run of the four-stage protocol for a split contract.
+// The stages map one-to-one onto the paper's Fig. 2.
+type Session struct {
+	Split   *SplitResult
+	Parties []*Participant // in participant order (index = signature slot)
+
+	// OnChainAddr is set by DeployOnChain (stage 2).
+	OnChainAddr types.Address
+	// Copy is the fully-signed off-chain contract (stage 2).
+	Copy *SignedCopy
+	// InstanceAddr is the verified instance created during a dispute
+	// (stage 4).
+	InstanceAddr types.Address
+
+	topic  whisper.Topic
+	symKey []byte
+}
+
+// NewSession binds the split artifacts to the participant set.
+func NewSession(split *SplitResult, parties []*Participant) (*Session, error) {
+	if len(parties) != split.Participants {
+		return nil, fmt.Errorf("hybrid: split expects %d participants, got %d", split.Participants, len(parties))
+	}
+	addrs := make([]types.Address, len(parties))
+	for i, p := range parties {
+		addrs[i] = p.Addr
+	}
+	return &Session{
+		Split:   split,
+		Parties: parties,
+		topic:   whisper.TopicFromString("hybrid/signed-copy/" + split.Name),
+		symKey:  whisper.SharedTopicKey("hybrid/"+split.Name, addrs),
+	}, nil
+}
+
+// ParticipantAddrs returns the ordered participant addresses.
+func (s *Session) ParticipantAddrs() []types.Address {
+	addrs := make([]types.Address, len(s.Parties))
+	for i, p := range s.Parties {
+		addrs[i] = p.Addr
+	}
+	return addrs
+}
+
+// DeployOnChain performs the first half of stage 2 (deploy/sign): any
+// participant (by convention the first) deploys the on-chain contract.
+// ctorArgs is the WHOLE contract's argument list; the session selects the
+// pruned public subset, so private rule parameters never leave the
+// participants' machines.
+func (s *Session) DeployOnChain(gas uint64, ctorArgs ...interface{}) (*types.Receipt, error) {
+	code, err := s.Split.OnChain.DeployWithArgs(s.Split.OnChainCtorArgs(ctorArgs)...)
+	if err != nil {
+		return nil, err
+	}
+	addr, receipt, err := s.Parties[0].Deploy(code, nil, gas)
+	if err != nil {
+		return nil, err
+	}
+	s.OnChainAddr = addr
+	return receipt, nil
+}
+
+// SignAndExchange performs the second half of stage 2: every participant
+// compiles the off-chain contract to bytecode (with the agreed constructor
+// arguments baked in), signs keccak256(bytecode), and circulates the
+// signature over the encrypted whisper topic. It returns once every
+// participant holds a complete, verified signed copy.
+func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
+	bytecode, err := s.Split.OffChain.DeployWithArgs(ctorArgs...)
+	if err != nil {
+		return err
+	}
+	s.Copy = &SignedCopy{Bytecode: bytecode}
+
+	// Everyone subscribes before anyone posts.
+	inboxes := make([]<-chan *whisper.Envelope, len(s.Parties))
+	for i, p := range s.Parties {
+		if p.Node == nil {
+			return errors.New("hybrid: participant has no whisper node")
+		}
+		inboxes[i] = p.Node.Subscribe(s.topic)
+	}
+	for i, p := range s.Parties {
+		sig, err := SignBytecode(p.Key, bytecode)
+		if err != nil {
+			return err
+		}
+		payload := rlp.EncodeList(
+			rlp.Uint(uint64(i)),
+			rlp.Uint(uint64(sig.V)),
+			rlp.Bytes(sig.R[:]),
+			rlp.Bytes(sig.S[:]),
+		)
+		if _, err := p.Node.Post(s.topic, payload, whisper.PostOptions{Key: s.symKey}); err != nil {
+			return err
+		}
+	}
+	// Each participant independently collects and verifies all signatures;
+	// the session keeps participant 0's view as the canonical copy.
+	for pi, inbox := range inboxes {
+		copyView := &SignedCopy{Bytecode: bytecode}
+		got := 0
+		timeout := time.After(2 * time.Second)
+		for got < len(s.Parties) {
+			select {
+			case env := <-inbox:
+				if !env.Verify() {
+					return errors.New("hybrid: envelope signature invalid")
+				}
+				plain, err := whisper.Decrypt(s.symKey, env.Payload)
+				if err != nil {
+					return fmt.Errorf("hybrid: decrypt signature share: %w", err)
+				}
+				item, err := rlp.Decode(plain)
+				if err != nil || len(item.Items) != 4 {
+					return errors.New("hybrid: malformed signature share")
+				}
+				idx, _ := item.Items[0].Uint64()
+				v, _ := item.Items[1].Uint64()
+				var sig SigTuple
+				sig.V = byte(v)
+				copy(sig.R[32-len(item.Items[2].Bytes):], item.Items[2].Bytes)
+				copy(sig.S[32-len(item.Items[3].Bytes):], item.Items[3].Bytes)
+				copyView.AddSignature(int(idx), sig)
+				got++
+			case <-timeout:
+				return errors.New("hybrid: timed out collecting signatures")
+			}
+		}
+		if err := copyView.Verify(s.ParticipantAddrs()); err != nil {
+			return fmt.Errorf("hybrid: participant %d rejects copy: %w", pi, err)
+		}
+		if pi == 0 {
+			s.Copy = copyView
+		}
+	}
+	return nil
+}
+
+// ExecuteOffChainAll performs stage 3's private computation: every
+// participant executes the signed bytecode locally and the outcomes must
+// be unanimous.
+func (s *Session) ExecuteOffChainAll() (*OffChainOutcome, error) {
+	if s.Copy == nil {
+		return nil, errors.New("hybrid: no signed copy (run SignAndExchange)")
+	}
+	var first *OffChainOutcome
+	for i := range s.Parties {
+		out, err := ExecuteOffChain(s.Copy.Bytecode)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: participant %d off-chain execution: %w", i, err)
+		}
+		if first == nil {
+			first = out
+		} else if out.Result != first.Result {
+			return nil, fmt.Errorf("hybrid: participants disagree: %d vs %d", first.Result, out.Result)
+		}
+	}
+	return first, nil
+}
+
+// SubmitResult has the representative participant push the agreed result
+// to the on-chain contract, opening the challenge period (stage 3).
+func (s *Session) SubmitResult(partyIdx int, result uint64) (*types.Receipt, error) {
+	return s.Parties[partyIdx].Invoke(s.Split.OnChain, s.OnChainAddr, nil, 200_000,
+		"submitResult", result)
+}
+
+// FinalizeResult settles from the unchallenged submission once the
+// challenge period has elapsed.
+func (s *Session) FinalizeResult(partyIdx int) (*types.Receipt, error) {
+	return s.Parties[partyIdx].Invoke(s.Split.OnChain, s.OnChainAddr, nil, 500_000,
+		"finalizeResult")
+}
+
+// Dispute performs stage 4 (dispute/resolve): the honest participant
+// submits the signed copy via deployVerifiedInstance (signature check +
+// CREATE), then triggers returnDisputeResolution on the verified instance,
+// which recomputes the result in miners' hands and enforces it through
+// enforceDisputeResolution. It returns the receipts of the two
+// transactions (paper Table II measures exactly these).
+func (s *Session) Dispute(partyIdx int) (deployReceipt, returnReceipt *types.Receipt, err error) {
+	if s.Copy == nil {
+		return nil, nil, errors.New("hybrid: no signed copy")
+	}
+	if err := s.Copy.Verify(s.ParticipantAddrs()); err != nil {
+		return nil, nil, err
+	}
+	args := []interface{}{s.Copy.Bytecode}
+	for _, sig := range s.Copy.Sigs {
+		args = append(args, uint64(sig.V), types.Hash(sig.R), types.Hash(sig.S))
+	}
+	deployReceipt, err = s.Parties[partyIdx].Invoke(s.Split.OnChain, s.OnChainAddr, nil, 8_000_000,
+		"deployVerifiedInstance", args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !deployReceipt.Succeeded() {
+		return deployReceipt, nil, errors.New("hybrid: deployVerifiedInstance reverted")
+	}
+	inst, err := s.Parties[partyIdx].Query(s.Split.OnChain, s.OnChainAddr, "verifiedInstance")
+	if err != nil {
+		return deployReceipt, nil, err
+	}
+	s.InstanceAddr = inst.(types.Address)
+	if s.InstanceAddr.IsZero() {
+		return deployReceipt, nil, errors.New("hybrid: no verified instance recorded")
+	}
+	returnReceipt, err = s.Parties[partyIdx].Invoke(s.Split.OffChain, s.InstanceAddr, nil, 8_000_000,
+		"returnDisputeResolution", s.OnChainAddr)
+	if err != nil {
+		return deployReceipt, nil, err
+	}
+	if !returnReceipt.Succeeded() {
+		return deployReceipt, returnReceipt, errors.New("hybrid: returnDisputeResolution reverted")
+	}
+	return deployReceipt, returnReceipt, nil
+}
+
+// IsSettled reads the on-chain settled flag.
+func (s *Session) IsSettled() (bool, error) {
+	v, err := s.Parties[0].Query(s.Split.OnChain, s.OnChainAddr, "isSettled")
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// OnChainBalance reads the pot held by the on-chain contract.
+func (s *Session) OnChainBalance() *uint256.Int {
+	return s.Parties[0].Chain.BalanceAt(s.OnChainAddr)
+}

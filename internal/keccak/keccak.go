@@ -1,0 +1,177 @@
+// Package keccak implements the Keccak-f[1600] sponge and the Keccak-256 /
+// Keccak-512 hash functions with the ORIGINAL Keccak padding (domain byte
+// 0x01) as used by Ethereum, plus the NIST SHA3 variants (domain byte 0x06)
+// for completeness. Ethereum's keccak256 predates the final SHA-3 standard,
+// which is why the padding differs from crypto/sha3-style functions.
+package keccak
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// roundConstants are the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc[x][y] is the rho-step rotation offset for lane (x, y).
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+func rotl(v uint64, n uint) uint64 {
+	if n == 0 {
+		return v
+	}
+	return v<<n | v>>(64-n)
+}
+
+// permute applies the full 24-round Keccak-f[1600] permutation to the state.
+// The state is indexed a[x][y] as in the Keccak reference.
+func permute(a *[5][5]uint64) {
+	var c, d [5]uint64
+	var b [5][5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x][y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y][(2*x+3*y)%5] = rotl(a[x][y], rotc[x][y])
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x][y] = b[x][y] ^ (^b[(x+1)%5][y] & b[(x+2)%5][y])
+			}
+		}
+		// iota
+		a[0][0] ^= roundConstants[round]
+	}
+}
+
+// digest is a sponge-based hash.Hash implementation.
+type digest struct {
+	state  [5][5]uint64
+	buf    []byte // pending input, less than rate bytes
+	rate   int    // rate in bytes (136 for 256-bit, 72 for 512-bit)
+	size   int    // output size in bytes
+	dsbyte byte   // domain-separation/padding byte (0x01 Keccak, 0x06 SHA3)
+}
+
+// New256 returns a hash.Hash computing Keccak-256 (Ethereum padding).
+func New256() hash.Hash { return &digest{rate: 136, size: 32, dsbyte: 0x01} }
+
+// New512 returns a hash.Hash computing Keccak-512 (Ethereum padding).
+func New512() hash.Hash { return &digest{rate: 72, size: 64, dsbyte: 0x01} }
+
+// NewSHA3256 returns a hash.Hash computing NIST SHA3-256.
+func NewSHA3256() hash.Hash { return &digest{rate: 136, size: 32, dsbyte: 0x06} }
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data ...[]byte) [32]byte {
+	d := digest{rate: 136, size: 32, dsbyte: 0x01}
+	for _, b := range data {
+		d.Write(b)
+	}
+	var out [32]byte
+	d.finalize(out[:])
+	return out
+}
+
+// Sum256Bytes is Sum256 returning a heap slice, convenient for APIs that
+// want []byte.
+func Sum256Bytes(data ...[]byte) []byte {
+	h := Sum256(data...)
+	return h[:]
+}
+
+// Sum512 returns the Keccak-512 digest of data.
+func Sum512(data []byte) [64]byte {
+	d := digest{rate: 72, size: 64, dsbyte: 0x01}
+	d.Write(data)
+	var out [64]byte
+	d.finalize(out[:])
+	return out
+}
+
+func (d *digest) Size() int      { return d.size }
+func (d *digest) BlockSize() int { return d.rate }
+
+func (d *digest) Reset() {
+	d.state = [5][5]uint64{}
+	d.buf = d.buf[:0]
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.buf = append(d.buf, p...)
+	for len(d.buf) >= d.rate {
+		d.absorb(d.buf[:d.rate])
+		d.buf = d.buf[d.rate:]
+	}
+	return n, nil
+}
+
+// absorb XORs one full rate-sized block into the state and permutes.
+func (d *digest) absorb(block []byte) {
+	for i := 0; i < d.rate/8; i++ {
+		lane := binary.LittleEndian.Uint64(block[i*8:])
+		x, y := i%5, i/5
+		d.state[x][y] ^= lane
+	}
+	permute(&d.state)
+}
+
+// finalize pads, absorbs the last block and squeezes into out. It operates
+// on a copy of the state so the digest remains usable for further writes
+// (matching hash.Hash Sum semantics).
+func (d *digest) finalize(out []byte) {
+	dc := *d
+	dc.buf = append([]byte{}, d.buf...)
+	// Pad: dsbyte, zeros, final 0x80 (multi-rate padding).
+	pad := make([]byte, dc.rate-len(dc.buf))
+	pad[0] = dc.dsbyte
+	pad[len(pad)-1] |= 0x80
+	dc.buf = append(dc.buf, pad...)
+	dc.absorb(dc.buf[:dc.rate])
+	// Squeeze.
+	off := 0
+	for off < len(out) {
+		for i := 0; i < dc.rate/8 && off < len(out); i++ {
+			x, y := i%5, i/5
+			var lane [8]byte
+			binary.LittleEndian.PutUint64(lane[:], dc.state[x][y])
+			n := copy(out[off:], lane[:])
+			off += n
+		}
+		if off < len(out) {
+			permute(&dc.state)
+		}
+	}
+}
+
+func (d *digest) Sum(b []byte) []byte {
+	out := make([]byte, d.size)
+	d.finalize(out)
+	return append(b, out...)
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"fmt"
+
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/vm"
+)
+
+// Assembler builds EVM bytecode from symbolic instructions with labels.
+// Label references assemble to fixed-width PUSH2 so offsets can be resolved
+// in two passes.
+type instr struct {
+	op    vm.OpCode // valid when kind == iOp
+	imm   []byte    // push immediate or raw bytes
+	label string    // label name for iPushLabel / iLabel / iMark
+	kind  int
+}
+
+const (
+	iOp = iota
+	iPush
+	iPushLabel
+	iLabel // emits JUMPDEST and defines the label
+	iMark  // defines a label without emitting anything (data boundaries)
+	iRaw   // raw bytes
+)
+
+// Assembler accumulates instructions.
+type Assembler struct {
+	instrs []instr
+}
+
+// Op appends plain opcodes.
+func (a *Assembler) Op(ops ...vm.OpCode) {
+	for _, op := range ops {
+		a.instrs = append(a.instrs, instr{kind: iOp, op: op})
+	}
+}
+
+// Push appends a minimal-width PUSH of v.
+func (a *Assembler) Push(v *uint256.Int) {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	a.instrs = append(a.instrs, instr{kind: iPush, imm: b})
+}
+
+// PushUint appends a minimal-width PUSH of v.
+func (a *Assembler) PushUint(v uint64) {
+	a.Push(uint256.NewInt(v))
+}
+
+// PushBytes appends a PUSH of the exact byte string (1..32 bytes).
+func (a *Assembler) PushBytes(b []byte) {
+	if len(b) == 0 || len(b) > 32 {
+		panic(fmt.Sprintf("asm: push of %d bytes", len(b)))
+	}
+	a.instrs = append(a.instrs, instr{kind: iPush, imm: append([]byte{}, b...)})
+}
+
+// PushLabel appends a PUSH2 that resolves to the label's offset.
+func (a *Assembler) PushLabel(name string) {
+	a.instrs = append(a.instrs, instr{kind: iPushLabel, label: name})
+}
+
+// Label defines a jump target here (emits JUMPDEST).
+func (a *Assembler) Label(name string) {
+	a.instrs = append(a.instrs, instr{kind: iLabel, label: name})
+}
+
+// Mark defines a label here without emitting code (e.g. data start).
+func (a *Assembler) Mark(name string) {
+	a.instrs = append(a.instrs, instr{kind: iMark, label: name})
+}
+
+// Raw appends literal bytes (e.g. embedded runtime code).
+func (a *Assembler) Raw(b []byte) {
+	a.instrs = append(a.instrs, instr{kind: iRaw, imm: append([]byte{}, b...)})
+}
+
+// Append splices another assembler's instructions.
+func (a *Assembler) Append(other *Assembler) {
+	a.instrs = append(a.instrs, other.instrs...)
+}
+
+func (in *instr) size() int {
+	switch in.kind {
+	case iOp:
+		return 1
+	case iPush:
+		return 1 + len(in.imm)
+	case iPushLabel:
+		return 3 // PUSH2 hi lo
+	case iLabel:
+		return 1 // JUMPDEST
+	case iMark:
+		return 0
+	case iRaw:
+		return len(in.imm)
+	}
+	panic("asm: unknown instruction kind")
+}
+
+// Assemble resolves labels and emits bytecode.
+func (a *Assembler) Assemble() ([]byte, error) {
+	offsets := make(map[string]int)
+	pos := 0
+	for _, in := range a.instrs {
+		if in.kind == iLabel || in.kind == iMark {
+			if _, dup := offsets[in.label]; dup {
+				return nil, fmt.Errorf("asm: duplicate label %q", in.label)
+			}
+			offsets[in.label] = pos
+		}
+		pos += in.size()
+	}
+	if pos > 0xFFFF {
+		return nil, fmt.Errorf("asm: code size %d exceeds PUSH2 label range", pos)
+	}
+	out := make([]byte, 0, pos)
+	for _, in := range a.instrs {
+		switch in.kind {
+		case iOp:
+			out = append(out, byte(in.op))
+		case iPush:
+			out = append(out, byte(vm.PUSH1)+byte(len(in.imm)-1))
+			out = append(out, in.imm...)
+		case iPushLabel:
+			off, ok := offsets[in.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q", in.label)
+			}
+			out = append(out, byte(vm.PUSH2), byte(off>>8), byte(off))
+		case iLabel:
+			out = append(out, byte(vm.JUMPDEST))
+		case iRaw:
+			out = append(out, in.imm...)
+		}
+	}
+	return out, nil
+}

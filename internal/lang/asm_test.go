@@ -1,0 +1,112 @@
+package lang
+
+import (
+	"bytes"
+	"testing"
+
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/vm"
+)
+
+func TestAssemblerBasics(t *testing.T) {
+	a := &Assembler{}
+	a.PushUint(1)
+	a.PushUint(0x1234)
+	a.Op(vm.ADD, vm.STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{byte(vm.PUSH1), 1, byte(vm.PUSH2), 0x12, 0x34, byte(vm.ADD), byte(vm.STOP)}
+	if !bytes.Equal(code, want) {
+		t.Errorf("code = %x, want %x", code, want)
+	}
+}
+
+func TestAssemblerLabels(t *testing.T) {
+	a := &Assembler{}
+	a.PushLabel("end") // 3 bytes
+	a.Op(vm.JUMP)      // 1 byte
+	a.Op(vm.STOP)      // 1 byte (dead)
+	a.Label("end")     // offset 5, emits JUMPDEST
+	a.Op(vm.STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0] != byte(vm.PUSH2) || code[1] != 0 || code[2] != 5 {
+		t.Errorf("label resolved to %x", code[:3])
+	}
+	if code[5] != byte(vm.JUMPDEST) {
+		t.Errorf("no JUMPDEST at label: %x", code)
+	}
+}
+
+func TestAssemblerMarkAndRaw(t *testing.T) {
+	a := &Assembler{}
+	a.PushLabel("data")
+	a.Op(vm.STOP)
+	a.Mark("data") // no JUMPDEST emitted
+	a.Raw([]byte{0xde, 0xad})
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// data offset = 3 (push2) + 1 (stop) = 4
+	if code[2] != 4 {
+		t.Errorf("mark offset = %d", code[2])
+	}
+	if !bytes.Equal(code[4:], []byte{0xde, 0xad}) {
+		t.Errorf("raw bytes lost: %x", code)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := &Assembler{}
+	a.PushLabel("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b := &Assembler{}
+	b.Label("dup")
+	b.Label("dup")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestAssemblerPushWidths(t *testing.T) {
+	a := &Assembler{}
+	a.Push(uint256.NewInt(0))
+	a.Push(uint256.NewInt(255))
+	a.Push(uint256.NewInt(256))
+	big := new(uint256.Int).Not(new(uint256.Int))
+	a.Push(big)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> PUSH1 00; 255 -> PUSH1 ff; 256 -> PUSH2 0100; max -> PUSH32.
+	if code[0] != byte(vm.PUSH1) || code[2] != byte(vm.PUSH1) || code[4] != byte(vm.PUSH2) || code[7] != byte(vm.PUSH32) {
+		t.Errorf("push widths wrong: %x", code)
+	}
+	if len(code) != 2+2+3+33 {
+		t.Errorf("total length %d", len(code))
+	}
+}
+
+func TestAssemblerAppend(t *testing.T) {
+	a := &Assembler{}
+	a.PushUint(1)
+	b := &Assembler{}
+	b.PushUint(2)
+	b.Op(vm.ADD)
+	a.Append(b)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 5 {
+		t.Errorf("appended code = %x", code)
+	}
+}

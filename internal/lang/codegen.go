@@ -1,0 +1,838 @@
+package lang
+
+import (
+	"onoffchain/internal/abi"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/vm"
+)
+
+var (
+	tUint    = &TypeRef{Kind: TypeUint}
+	tAddress = &TypeRef{Kind: TypeAddress}
+	tBool    = &TypeRef{Kind: TypeBool}
+	tBytes32 = &TypeRef{Kind: TypeBytes32}
+	tVoid    = &TypeRef{Kind: TypeVoid}
+)
+
+func (c *compiler) compileStmts(a *Assembler, f *frame, stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := c.compileStmt(a, f, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(a *Assembler, f *frame, s Stmt) error {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		if _, exists := f.lookup(s.Name); exists {
+			return errAt(s.Line, 1, "redeclaration of %q", s.Name)
+		}
+		t, err := c.emitExpr(a, f, s.Init)
+		if err != nil {
+			return err
+		}
+		if !sameType(t, s.Type) && !(s.Type.Kind == TypeBytes && t.Kind == TypeBytes) {
+			return errAt(s.Line, 1, "cannot initialize %s with %s", s.Type, t)
+		}
+		lv := f.alloc(s.Name, s.Type)
+		a.PushUint(lv.offset)
+		a.Op(vm.MSTORE)
+		return nil
+
+	case *AssignStmt:
+		return c.compileAssign(a, f, s)
+
+	case *IfStmt:
+		t, err := c.emitExpr(a, f, s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeBool {
+			return errAt(s.Line, 1, "if condition must be bool, got %s", t)
+		}
+		elseLabel := c.newLabel("else")
+		endLabel := c.newLabel("endif")
+		a.Op(vm.ISZERO)
+		a.PushLabel(elseLabel)
+		a.Op(vm.JUMPI)
+		if err := c.compileStmts(a, f, s.Then); err != nil {
+			return err
+		}
+		a.PushLabel(endLabel)
+		a.Op(vm.JUMP)
+		a.Label(elseLabel)
+		if len(s.Else) > 0 {
+			if err := c.compileStmts(a, f, s.Else); err != nil {
+				return err
+			}
+		}
+		a.Label(endLabel)
+		return nil
+
+	case *WhileStmt:
+		startLabel := c.newLabel("while")
+		endLabel := c.newLabel("endwhile")
+		a.Label(startLabel)
+		t, err := c.emitExpr(a, f, s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeBool {
+			return errAt(s.Line, 1, "while condition must be bool, got %s", t)
+		}
+		a.Op(vm.ISZERO)
+		a.PushLabel(endLabel)
+		a.Op(vm.JUMPI)
+		if err := c.compileStmts(a, f, s.Body); err != nil {
+			return err
+		}
+		a.PushLabel(startLabel)
+		a.Op(vm.JUMP)
+		a.Label(endLabel)
+		return nil
+
+	case *ReturnStmt:
+		want := f.fn.Ret
+		if want == nil && s.Value != nil {
+			return errAt(s.Line, 1, "function %s returns nothing", f.fn.Name)
+		}
+		if want != nil && s.Value == nil {
+			return errAt(s.Line, 1, "function %s must return %s", f.fn.Name, want)
+		}
+		if s.Value != nil {
+			t, err := c.emitExpr(a, f, s.Value)
+			if err != nil {
+				return err
+			}
+			if !sameType(t, want) {
+				return errAt(s.Line, 1, "return type mismatch: have %s, want %s", t, want)
+			}
+		}
+		if f.inlineRetLabel != "" {
+			// Inlined internal function: stash the value, jump to the end
+			// of the inlined block.
+			if s.Value != nil {
+				a.PushUint(f.inlineRetSlot)
+				a.Op(vm.MSTORE)
+			}
+			a.PushLabel(f.inlineRetLabel)
+			a.Op(vm.JUMP)
+			return nil
+		}
+		if f.fn.IsCtor {
+			return errAt(s.Line, 1, "constructor cannot return a value")
+		}
+		if s.Value != nil {
+			a.PushUint(memScratch)
+			a.Op(vm.MSTORE)
+			a.PushUint(32)
+			a.PushUint(memScratch)
+			a.Op(vm.RETURN)
+		} else {
+			a.Op(vm.STOP)
+		}
+		return nil
+
+	case *RequireStmt:
+		t, err := c.emitExpr(a, f, s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeBool {
+			return errAt(s.Line, 1, "require condition must be bool, got %s", t)
+		}
+		a.Op(vm.ISZERO)
+		a.PushLabel("revert")
+		a.Op(vm.JUMPI)
+		return nil
+
+	case *RevertStmt:
+		a.PushUint(0)
+		a.PushUint(0)
+		a.Op(vm.REVERT)
+		return nil
+
+	case *EmitStmt:
+		ev, ok := c.events[s.Event]
+		if !ok {
+			return errAt(s.Line, 1, "unknown event %q", s.Event)
+		}
+		if len(s.Args) != len(ev.Params) {
+			return errAt(s.Line, 1, "event %s expects %d args, got %d", ev.Name, len(ev.Params), len(s.Args))
+		}
+		for i, arg := range s.Args {
+			t, err := c.emitExpr(a, f, arg)
+			if err != nil {
+				return err
+			}
+			if !t.isWord() || !sameType(t, ev.Params[i].Type) {
+				return errAt(s.Line, 1, "event %s arg %d: have %s, want %s", ev.Name, i, t, ev.Params[i].Type)
+			}
+			a.PushUint(memFreePtr)
+			a.Op(vm.MLOAD)
+			a.PushUint(uint64(32 * i))
+			a.Op(vm.ADD)
+			a.Op(vm.MSTORE)
+		}
+		topic := uint256.Int{}
+		topicHash := eventTopicHash(ev)
+		topic.SetBytes(topicHash[:])
+		a.Push(&topic)
+		a.PushUint(uint64(32 * len(s.Args)))
+		a.PushUint(memFreePtr)
+		a.Op(vm.MLOAD)
+		a.Op(vm.LOG1)
+		return nil
+
+	case *ExprStmt:
+		t, err := c.emitExpr(a, f, s.X)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeVoid {
+			a.Op(vm.POP)
+		}
+		return nil
+
+	case *PlaceholderStmt:
+		return errAt(s.Line, 1, "placeholder outside modifier body")
+
+	default:
+		return errAt(0, 0, "unknown statement %T", s)
+	}
+}
+
+func (c *compiler) compileAssign(a *Assembler, f *frame, s *AssignStmt) error {
+	switch target := s.Target.(type) {
+	case *IdentExpr:
+		// Local first, then state variable.
+		if lv, ok := f.lookup(target.Name); ok {
+			t, err := c.emitExpr(a, f, s.Value)
+			if err != nil {
+				return err
+			}
+			if !sameType(t, lv.typ) {
+				return errAt(s.Line, 1, "cannot assign %s to %s %q", t, lv.typ, target.Name)
+			}
+			a.PushUint(lv.offset)
+			a.Op(vm.MSTORE)
+			return nil
+		}
+		sv, ok := c.stateVars[target.Name]
+		if !ok {
+			return errAt(s.Line, 1, "unknown variable %q", target.Name)
+		}
+		if !sv.Type.isWord() {
+			return errAt(s.Line, 1, "cannot assign whole %s", sv.Type)
+		}
+		t, err := c.emitExpr(a, f, s.Value)
+		if err != nil {
+			return err
+		}
+		if !sameType(t, sv.Type) {
+			return errAt(s.Line, 1, "cannot assign %s to %s %q", t, sv.Type, target.Name)
+		}
+		a.PushUint(uint64(sv.Slot))
+		a.Op(vm.SSTORE)
+		return nil
+
+	case *IndexExpr:
+		base, ok := target.Base.(*IdentExpr)
+		if !ok {
+			return errAt(s.Line, 1, "indexed assignment target must be a state variable")
+		}
+		sv, ok := c.stateVars[base.Name]
+		if !ok {
+			return errAt(s.Line, 1, "unknown state variable %q", base.Name)
+		}
+		var valType *TypeRef
+		switch sv.Type.Kind {
+		case TypeMapping:
+			valType = sv.Type.Value
+		case TypeArray:
+			valType = sv.Type.Elem
+		default:
+			return errAt(s.Line, 1, "%q is not indexable", base.Name)
+		}
+		t, err := c.emitExpr(a, f, s.Value)
+		if err != nil {
+			return err
+		}
+		if !sameType(t, valType) {
+			return errAt(s.Line, 1, "cannot assign %s to %s element", t, valType)
+		}
+		if err := c.emitSlotOf(a, f, sv, target.Index); err != nil {
+			return err
+		}
+		a.Op(vm.SSTORE)
+		return nil
+
+	default:
+		return errAt(s.Line, 1, "invalid assignment target")
+	}
+}
+
+// emitSlotOf leaves the storage slot of a mapping/array element on the
+// stack.
+func (c *compiler) emitSlotOf(a *Assembler, f *frame, sv *StateVar, index Expr) error {
+	switch sv.Type.Kind {
+	case TypeMapping:
+		t, err := c.emitExpr(a, f, index)
+		if err != nil {
+			return err
+		}
+		if !sameType(t, sv.Type.Key) {
+			return errAt(0, 0, "mapping %s key: have %s, want %s", sv.Name, t, sv.Type.Key)
+		}
+		a.PushUint(memScratch)
+		a.Op(vm.MSTORE)
+		a.PushUint(uint64(sv.Slot))
+		a.PushUint(memScratch + 32)
+		a.Op(vm.MSTORE)
+		a.PushUint(64)
+		a.PushUint(memScratch)
+		a.Op(vm.SHA3)
+		return nil
+	case TypeArray:
+		t, err := c.emitExpr(a, f, index)
+		if err != nil {
+			return err
+		}
+		if !sameType(t, tUint) {
+			return errAt(0, 0, "array index must be uint, got %s", t)
+		}
+		// Bounds check: revert unless len > index.
+		a.Op(vm.DUP1)
+		a.PushUint(uint64(sv.Type.Len))
+		a.Op(vm.GT) // len > index
+		a.Op(vm.ISZERO)
+		a.PushLabel("revert")
+		a.Op(vm.JUMPI)
+		a.PushUint(uint64(sv.Slot))
+		a.Op(vm.ADD)
+		return nil
+	default:
+		return errAt(0, 0, "%q is not indexable", sv.Name)
+	}
+}
+
+// emitExpr generates code leaving the expression value on the stack (one
+// word; bytes values are memory pointers). It returns the static type.
+func (c *compiler) emitExpr(a *Assembler, f *frame, e Expr) (*TypeRef, error) {
+	switch e := e.(type) {
+	case *NumberExpr:
+		a.Push(e.Value)
+		return tUint, nil
+
+	case *BoolExpr:
+		if e.Value {
+			a.PushUint(1)
+		} else {
+			a.PushUint(0)
+		}
+		return tBool, nil
+
+	case *IdentExpr:
+		if lv, ok := f.lookup(e.Name); ok {
+			a.PushUint(lv.offset)
+			a.Op(vm.MLOAD)
+			return lv.typ, nil
+		}
+		if sv, ok := c.stateVars[e.Name]; ok {
+			if !sv.Type.isWord() {
+				return nil, errAt(e.Line, 1, "cannot read whole %s %q", sv.Type, e.Name)
+			}
+			a.PushUint(uint64(sv.Slot))
+			a.Op(vm.SLOAD)
+			return sv.Type, nil
+		}
+		return nil, errAt(e.Line, 1, "unknown identifier %q", e.Name)
+
+	case *IndexExpr:
+		base, ok := e.Base.(*IdentExpr)
+		if !ok {
+			return nil, errAt(e.Line, 1, "only state variables are indexable")
+		}
+		sv, ok := c.stateVars[base.Name]
+		if !ok {
+			return nil, errAt(e.Line, 1, "unknown state variable %q", base.Name)
+		}
+		if err := c.emitSlotOf(a, f, sv, e.Index); err != nil {
+			return nil, err
+		}
+		a.Op(vm.SLOAD)
+		switch sv.Type.Kind {
+		case TypeMapping:
+			return sv.Type.Value, nil
+		case TypeArray:
+			return sv.Type.Elem, nil
+		}
+		return nil, errAt(e.Line, 1, "%q is not indexable", base.Name)
+
+	case *BinaryExpr:
+		return c.emitBinary(a, f, e)
+
+	case *UnaryExpr:
+		t, err := c.emitExpr(a, f, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "!":
+			if t.Kind != TypeBool {
+				return nil, errAt(e.Line, 1, "! requires bool, got %s", t)
+			}
+			a.Op(vm.ISZERO)
+			return tBool, nil
+		case "-":
+			if !sameType(t, tUint) {
+				return nil, errAt(e.Line, 1, "unary - requires uint, got %s", t)
+			}
+			a.PushUint(0)
+			a.Op(vm.SUB) // 0 - x
+			return tUint, nil
+		}
+		return nil, errAt(e.Line, 1, "unknown unary operator %q", e.Op)
+
+	case *EnvExpr:
+		switch e.Name {
+		case "msg.sender":
+			a.Op(vm.CALLER)
+			return tAddress, nil
+		case "msg.value":
+			a.Op(vm.CALLVALUE)
+			return tUint, nil
+		case "block.timestamp":
+			a.Op(vm.TIMESTAMP)
+			return tUint, nil
+		case "block.number":
+			a.Op(vm.NUMBER)
+			return tUint, nil
+		case "this":
+			a.Op(vm.ADDRESS)
+			return tAddress, nil
+		}
+		return nil, errAt(e.Line, 1, "unknown environment value %q", e.Name)
+
+	case *CastExpr:
+		t, err := c.emitExpr(a, f, e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.isWord() && t.Kind != TypeBytes32 {
+			return nil, errAt(e.Line, 1, "cannot cast %s", t)
+		}
+		switch e.To.Kind {
+		case TypeAddress:
+			c.emitAddressMask(a)
+		case TypeUint8:
+			a.PushUint(0xff)
+			a.Op(vm.AND)
+		case TypeBool:
+			a.Op(vm.ISZERO)
+			a.Op(vm.ISZERO)
+		}
+		return e.To, nil
+
+	case *CallExpr:
+		return c.emitCall(a, f, e)
+
+	case *ExternalCallExpr:
+		return c.emitExternalCall(a, f, e)
+
+	case *TransferExpr:
+		return c.emitTransfer(a, f, e)
+
+	default:
+		return nil, errAt(0, 0, "unknown expression %T", e)
+	}
+}
+
+func (c *compiler) emitBinary(a *Assembler, f *frame, e *BinaryExpr) (*TypeRef, error) {
+	tx, err := c.emitExpr(a, f, e.X)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := c.emitExpr(a, f, e.Y)
+	if err != nil {
+		return nil, err
+	}
+	// Stack is [x, y] with y on top; EVM binary ops compute f(top, next).
+	switch e.Op {
+	case "+", "-", "*", "/", "%":
+		if !sameType(tx, tUint) || !sameType(ty, tUint) {
+			return nil, errAt(e.Line, 1, "%s requires uint operands, got %s and %s", e.Op, tx, ty)
+		}
+		switch e.Op {
+		case "+":
+			a.Op(vm.ADD)
+		case "*":
+			a.Op(vm.MUL)
+		case "-":
+			a.Op(vm.SWAP1, vm.SUB)
+		case "/":
+			a.Op(vm.SWAP1, vm.DIV)
+		case "%":
+			a.Op(vm.SWAP1, vm.MOD)
+		}
+		return tUint, nil
+	case "<", ">", "<=", ">=":
+		if !sameType(tx, tUint) || !sameType(ty, tUint) {
+			return nil, errAt(e.Line, 1, "%s requires uint operands, got %s and %s", e.Op, tx, ty)
+		}
+		switch e.Op {
+		case "<":
+			a.Op(vm.SWAP1, vm.LT)
+		case ">":
+			a.Op(vm.SWAP1, vm.GT)
+		case "<=":
+			a.Op(vm.SWAP1, vm.GT, vm.ISZERO)
+		case ">=":
+			a.Op(vm.SWAP1, vm.LT, vm.ISZERO)
+		}
+		return tBool, nil
+	case "==", "!=":
+		if !sameType(tx, ty) {
+			return nil, errAt(e.Line, 1, "%s requires same types, got %s and %s", e.Op, tx, ty)
+		}
+		if tx.Kind == TypeBytes {
+			return nil, errAt(e.Line, 1, "bytes comparison unsupported (compare keccak256 hashes)")
+		}
+		a.Op(vm.EQ)
+		if e.Op == "!=" {
+			a.Op(vm.ISZERO)
+		}
+		return tBool, nil
+	case "&&", "||":
+		if tx.Kind != TypeBool || ty.Kind != TypeBool {
+			return nil, errAt(e.Line, 1, "%s requires bool operands, got %s and %s", e.Op, tx, ty)
+		}
+		if e.Op == "&&" {
+			a.Op(vm.AND)
+		} else {
+			a.Op(vm.OR)
+		}
+		return tBool, nil
+	}
+	return nil, errAt(e.Line, 1, "unknown operator %q", e.Op)
+}
+
+func (c *compiler) emitCall(a *Assembler, f *frame, e *CallExpr) (*TypeRef, error) {
+	switch e.Name {
+	case "keccak256":
+		return c.emitKeccak(a, f, e)
+	case "ecrecover":
+		return c.emitEcrecover(a, f, e)
+	case "create":
+		return c.emitCreate(a, f, e)
+	case "balance":
+		if len(e.Args) != 1 {
+			return nil, errAt(e.Line, 1, "balance expects 1 argument")
+		}
+		t, err := c.emitExpr(a, f, e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TypeAddress {
+			return nil, errAt(e.Line, 1, "balance requires address, got %s", t)
+		}
+		a.Op(vm.BALANCE)
+		return tUint, nil
+	}
+	// Internal function: inline.
+	fn, ok := c.internal[e.Name]
+	if !ok {
+		return nil, errAt(e.Line, 1, "unknown function %q", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return nil, errAt(e.Line, 1, "%s expects %d args, got %d", fn.Name, len(fn.Params), len(e.Args))
+	}
+	nf := f.child(fn)
+	nf.inlineRetLabel = c.newLabel("ret_" + fn.Name)
+	retSlot := nf.alloc("", fn.Ret)
+	nf.inlineRetSlot = retSlot.offset
+	for i, arg := range e.Args {
+		t, err := c.emitExpr(a, f, arg)
+		if err != nil {
+			return nil, err
+		}
+		if !sameType(t, fn.Params[i].Type) {
+			return nil, errAt(e.Line, 1, "%s arg %d: have %s, want %s", fn.Name, i, t, fn.Params[i].Type)
+		}
+		lv := nf.alloc(fn.Params[i].Name, fn.Params[i].Type)
+		a.PushUint(lv.offset)
+		a.Op(vm.MSTORE)
+	}
+	if err := c.compileStmts(a, nf, fn.Body); err != nil {
+		return nil, err
+	}
+	a.Label(nf.inlineRetLabel)
+	if fn.Ret != nil {
+		a.PushUint(nf.inlineRetSlot)
+		a.Op(vm.MLOAD)
+		return fn.Ret, nil
+	}
+	return tVoid, nil
+}
+
+func (c *compiler) emitKeccak(a *Assembler, f *frame, e *CallExpr) (*TypeRef, error) {
+	if len(e.Args) == 0 {
+		return nil, errAt(e.Line, 1, "keccak256 expects arguments")
+	}
+	// Single dynamic-bytes argument: hash its payload.
+	if len(e.Args) == 1 {
+		t, err := c.emitExpr(a, f, e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TypeBytes {
+			// [ptr] -> SHA3(ptr+32, mload(ptr))
+			a.Op(vm.DUP1)
+			a.Op(vm.MLOAD) // [ptr, len]
+			a.Op(vm.SWAP1)
+			a.PushUint(32)
+			a.Op(vm.ADD)  // [len, ptr+32]
+			a.Op(vm.SHA3) // offset=ptr+32, size=len
+			return tBytes32, nil
+		}
+		if !t.isWord() {
+			return nil, errAt(e.Line, 1, "cannot hash %s", t)
+		}
+		a.PushUint(memScratch)
+		a.Op(vm.MSTORE)
+		a.PushUint(32)
+		a.PushUint(memScratch)
+		a.Op(vm.SHA3)
+		return tBytes32, nil
+	}
+	// Multiple word arguments: hash their 32-byte concatenation, written
+	// above the free pointer (not advancing it; safe within an expression).
+	for i, arg := range e.Args {
+		t, err := c.emitExpr(a, f, arg)
+		if err != nil {
+			return nil, err
+		}
+		if !t.isWord() {
+			return nil, errAt(e.Line, 1, "keccak256 arg %d: cannot hash %s here", i, t)
+		}
+		a.PushUint(memFreePtr)
+		a.Op(vm.MLOAD)
+		a.PushUint(uint64(32 * i))
+		a.Op(vm.ADD)
+		a.Op(vm.MSTORE)
+	}
+	a.PushUint(uint64(32 * len(e.Args)))
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD)
+	a.Op(vm.SHA3)
+	return tBytes32, nil
+}
+
+func (c *compiler) emitEcrecover(a *Assembler, f *frame, e *CallExpr) (*TypeRef, error) {
+	if len(e.Args) != 4 {
+		return nil, errAt(e.Line, 1, "ecrecover expects (bytes32, uint8, bytes32, bytes32)")
+	}
+	wantKinds := []TypeKind{TypeBytes32, TypeUint8, TypeBytes32, TypeBytes32}
+	for i, arg := range e.Args {
+		t, err := c.emitExpr(a, f, arg)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != wantKinds[i] && !(wantKinds[i] == TypeUint8 && sameType(t, tUint)) {
+			return nil, errAt(e.Line, 1, "ecrecover arg %d: have %s", i, t)
+		}
+		a.PushUint(memFreePtr)
+		a.Op(vm.MLOAD)
+		a.PushUint(uint64(32 * i))
+		a.Op(vm.ADD)
+		a.Op(vm.MSTORE)
+	}
+	// Zero the output slot at fp+128 (failed recovery leaves it untouched).
+	a.PushUint(0)
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD)
+	a.PushUint(128)
+	a.Op(vm.ADD)
+	a.Op(vm.MSTORE)
+	// staticcall(gas, 1, fp, 128, fp+128, 32)
+	a.PushUint(32) // retSize
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD)
+	a.PushUint(128)
+	a.Op(vm.ADD) // retOffset
+	a.PushUint(128)
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD) // argsOffset
+	a.PushUint(0)  // value
+	a.PushUint(1)  // ecrecover precompile address
+	a.Op(vm.GAS)
+	a.Op(vm.CALL)
+	a.Op(vm.POP) // ignore success flag; output slot was pre-zeroed
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD)
+	a.PushUint(128)
+	a.Op(vm.ADD)
+	a.Op(vm.MLOAD)
+	return tAddress, nil
+}
+
+func (c *compiler) emitCreate(a *Assembler, f *frame, e *CallExpr) (*TypeRef, error) {
+	if len(e.Args) != 1 {
+		return nil, errAt(e.Line, 1, "create expects (bytes)")
+	}
+	t, err := c.emitExpr(a, f, e.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != TypeBytes {
+		return nil, errAt(e.Line, 1, "create requires bytes, got %s", t)
+	}
+	// [ptr] -> CREATE(0, ptr+32, mload(ptr))
+	a.Op(vm.DUP1)
+	a.Op(vm.MLOAD) // [ptr, len]
+	a.Op(vm.SWAP1)
+	a.PushUint(32)
+	a.Op(vm.ADD)  // [len, ptr+32]
+	a.PushUint(0) // value
+	a.Op(vm.CREATE)
+	// Require a nonzero address (creation success).
+	a.Op(vm.DUP1)
+	a.Op(vm.ISZERO)
+	a.PushLabel("revert")
+	a.Op(vm.JUMPI)
+	return tAddress, nil
+}
+
+func (c *compiler) emitExternalCall(a *Assembler, f *frame, e *ExternalCallExpr) (*TypeRef, error) {
+	iface, ok := c.interfaces[e.Iface]
+	if !ok {
+		return nil, errAt(e.Line, 1, "unknown interface %q", e.Iface)
+	}
+	var sig *FuncSig
+	for _, fs := range iface.Functions {
+		if fs.Name == e.Method {
+			sig = fs
+			break
+		}
+	}
+	if sig == nil {
+		return nil, errAt(e.Line, 1, "interface %s has no method %q", e.Iface, e.Method)
+	}
+	if len(e.Args) != len(sig.Params) {
+		return nil, errAt(e.Line, 1, "%s.%s expects %d args, got %d", e.Iface, e.Method, len(sig.Params), len(e.Args))
+	}
+	// Evaluate the target address into a temp local (we need it after the
+	// argument writes).
+	addrT, err := c.emitExpr(a, f, e.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if addrT.Kind != TypeAddress {
+		return nil, errAt(e.Line, 1, "interface cast requires address, got %s", addrT)
+	}
+	tmp := f.alloc("", tAddress)
+	a.PushUint(tmp.offset)
+	a.Op(vm.MSTORE)
+
+	// Write selector (left-aligned) at the free pointer.
+	sel := selectorOfSig(sig)
+	selWord := new(uint256.Int).SetBytes(sel[:])
+	selWord.Lsh(selWord, 224)
+	a.Push(selWord)
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD)
+	a.Op(vm.MSTORE)
+	// Arguments at fp+4+32i.
+	for i, arg := range e.Args {
+		t, err := c.emitExpr(a, f, arg)
+		if err != nil {
+			return nil, err
+		}
+		if !t.isWord() || !sameType(t, sig.Params[i].Type) {
+			return nil, errAt(e.Line, 1, "%s.%s arg %d: have %s, want %s", e.Iface, e.Method, i, t, sig.Params[i].Type)
+		}
+		a.PushUint(memFreePtr)
+		a.Op(vm.MLOAD)
+		a.PushUint(uint64(4 + 32*i))
+		a.Op(vm.ADD)
+		a.Op(vm.MSTORE)
+	}
+	retSize := uint64(0)
+	if sig.Ret != nil {
+		retSize = 32
+	}
+	argsSize := uint64(4 + 32*len(e.Args))
+	// call(gas, addr, 0, fp, argsSize, fp, retSize)
+	a.PushUint(retSize)
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD) // retOffset = fp
+	a.PushUint(argsSize)
+	a.PushUint(memFreePtr)
+	a.Op(vm.MLOAD) // argsOffset = fp
+	a.PushUint(0)  // value
+	a.PushUint(tmp.offset)
+	a.Op(vm.MLOAD) // address
+	a.Op(vm.GAS)
+	a.Op(vm.CALL)
+	// Require success.
+	a.Op(vm.ISZERO)
+	a.PushLabel("revert")
+	a.Op(vm.JUMPI)
+	if sig.Ret != nil {
+		a.PushUint(memFreePtr)
+		a.Op(vm.MLOAD)
+		a.Op(vm.MLOAD)
+		return sig.Ret, nil
+	}
+	return tVoid, nil
+}
+
+func (c *compiler) emitTransfer(a *Assembler, f *frame, e *TransferExpr) (*TypeRef, error) {
+	toT, err := c.emitExpr(a, f, e.To)
+	if err != nil {
+		return nil, err
+	}
+	if toT.Kind != TypeAddress {
+		return nil, errAt(e.Line, 1, "transfer target must be address, got %s", toT)
+	}
+	tmp := f.alloc("", tAddress)
+	a.PushUint(tmp.offset)
+	a.Op(vm.MSTORE)
+	amtT, err := c.emitExpr(a, f, e.Amount)
+	if err != nil {
+		return nil, err
+	}
+	if !sameType(amtT, tUint) {
+		return nil, errAt(e.Line, 1, "transfer amount must be uint, got %s", amtT)
+	}
+	tmpAmt := f.alloc("", tUint)
+	a.PushUint(tmpAmt.offset)
+	a.Op(vm.MSTORE)
+	// call(0 gas, to, amount, 0, 0, 0, 0): the 2300 stipend applies when
+	// value > 0, matching Solidity's transfer().
+	a.PushUint(0) // retSize
+	a.PushUint(0) // retOffset
+	a.PushUint(0) // argsSize
+	a.PushUint(0) // argsOffset
+	a.PushUint(tmpAmt.offset)
+	a.Op(vm.MLOAD) // value
+	a.PushUint(tmp.offset)
+	a.Op(vm.MLOAD) // address
+	a.PushUint(0)  // gas (stipend covers the callee)
+	a.Op(vm.CALL)
+	a.Op(vm.ISZERO)
+	a.PushLabel("revert")
+	a.Op(vm.JUMPI)
+	return tVoid, nil
+}
+
+func selectorOfSig(sig *FuncSig) [4]byte {
+	return abi.SelectorOf(sig.Signature())
+}
+
+func eventTopicHash(ev *Event) types.Hash {
+	return abi.EventTopic(ev.Signature())
+}

@@ -1,0 +1,679 @@
+package lang_test
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/lang"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+// harness bundles a chain and a funded account for contract testing.
+type harness struct {
+	t     *testing.T
+	chain *chain.Chain
+	key   *secp256k1.PrivateKey
+	addr  types.Address
+	nonce uint64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xC0FFEE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := types.Address(key.EthereumAddress())
+	hundred := new(uint256.Int).Mul(uint256.NewInt(100), uint256.NewInt(1e18))
+	c := chain.NewDefault(map[types.Address]*uint256.Int{addr: hundred})
+	return &harness{t: t, chain: c, key: key, addr: addr}
+}
+
+func (h *harness) compile(src, contract string) *lang.CompiledContract {
+	h.t.Helper()
+	out, err := lang.Compile(src)
+	if err != nil {
+		h.t.Fatalf("compile: %v", err)
+	}
+	cc, ok := out.Contracts[contract]
+	if !ok {
+		h.t.Fatalf("contract %s not found", contract)
+	}
+	return cc
+}
+
+func (h *harness) deploy(cc *lang.CompiledContract, value *uint256.Int, args ...interface{}) types.Address {
+	h.t.Helper()
+	code, err := cc.DeployWithArgs(args...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	tx := types.NewContractCreation(h.nonce, value, 3_000_000, uint256.NewInt(1), code)
+	h.nonce++
+	if err := tx.Sign(h.key); err != nil {
+		h.t.Fatal(err)
+	}
+	hash, err := h.chain.SendTransaction(tx)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	r, err := h.chain.Receipt(hash)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		h.t.Fatalf("deployment of %s reverted", cc.Name)
+	}
+	return r.ContractAddress
+}
+
+// send invokes a public function via transaction and returns the receipt.
+func (h *harness) send(cc *lang.CompiledContract, at types.Address, value *uint256.Int, fn string, args ...interface{}) *types.Receipt {
+	h.t.Helper()
+	m, err := cc.Method(fn)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	data, err := m.Pack(args...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	tx := types.NewTransaction(h.nonce, at, value, 2_000_000, uint256.NewInt(1), data)
+	h.nonce++
+	if err := tx.Sign(h.key); err != nil {
+		h.t.Fatal(err)
+	}
+	hash, err := h.chain.SendTransaction(tx)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	r, err := h.chain.Receipt(hash)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return r
+}
+
+// call invokes read-only and decodes the single return value.
+func (h *harness) call(cc *lang.CompiledContract, at types.Address, fn string, args ...interface{}) interface{} {
+	h.t.Helper()
+	m, err := cc.Method(fn)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	data, err := m.Pack(args...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	ret, _, err := h.chain.Call(chain.CallMsg{From: h.addr, To: at, Data: data})
+	if err != nil {
+		h.t.Fatalf("call %s: %v (ret %x)", fn, err, ret)
+	}
+	vals, err := m.Unpack(ret)
+	if err != nil {
+		h.t.Fatalf("unpack %s: %v", fn, err)
+	}
+	if len(vals) != 1 {
+		h.t.Fatalf("expected 1 return value, got %d", len(vals))
+	}
+	return vals[0]
+}
+
+const counterSrc = `
+contract Counter {
+    uint count;
+    address owner;
+
+    constructor(uint start) {
+        count = start;
+        owner = msg.sender;
+    }
+
+    function increment() public {
+        count = count + 1;
+    }
+
+    function add(uint n) public {
+        count = count + n;
+    }
+
+    function get() public view returns (uint) {
+        return count;
+    }
+
+    function getOwner() public view returns (address) {
+        return owner;
+    }
+}
+`
+
+func TestCounterContract(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(counterSrc, "Counter")
+	addr := h.deploy(cc, nil, uint64(10))
+
+	if got := h.call(cc, addr, "get").(*uint256.Int); got.Uint64() != 10 {
+		t.Fatalf("initial count = %s", got)
+	}
+	if got := h.call(cc, addr, "getOwner").(types.Address); got != h.addr {
+		t.Fatalf("owner = %s, want %s", got, h.addr)
+	}
+	if r := h.send(cc, addr, nil, "increment"); !r.Succeeded() {
+		t.Fatal("increment reverted")
+	}
+	h.send(cc, addr, nil, "add", uint64(31))
+	if got := h.call(cc, addr, "get").(*uint256.Int); got.Uint64() != 42 {
+		t.Fatalf("count = %s, want 42", got)
+	}
+}
+
+const exprSrc = `
+contract Expr {
+    function arith(uint a, uint b) public view returns (uint) {
+        return (a + b) * 2 - a / 2 + a % 3;
+    }
+    function logic(uint a, uint b) public view returns (bool) {
+        return (a < b && b >= 10) || a == 99;
+    }
+    function neg(bool x) public view returns (bool) {
+        return !x;
+    }
+    function ethUnits() public view returns (uint) {
+        return 2 ether + 1 gwei;
+    }
+}
+`
+
+func TestExpressions(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(exprSrc, "Expr")
+	addr := h.deploy(cc, nil)
+
+	got := h.call(cc, addr, "arith", uint64(10), uint64(5)).(*uint256.Int)
+	want := uint64((10+5)*2 - 10/2 + 10%3)
+	if got.Uint64() != want {
+		t.Errorf("arith = %s, want %d", got, want)
+	}
+	if v := h.call(cc, addr, "logic", uint64(5), uint64(10)).(bool); !v {
+		t.Error("logic(5,10) should be true")
+	}
+	if v := h.call(cc, addr, "logic", uint64(50), uint64(10)).(bool); v {
+		t.Error("logic(50,10) should be false")
+	}
+	if v := h.call(cc, addr, "logic", uint64(99), uint64(0)).(bool); !v {
+		t.Error("logic(99,0) should be true")
+	}
+	if v := h.call(cc, addr, "neg", true).(bool); v {
+		t.Error("neg(true) should be false")
+	}
+	units := h.call(cc, addr, "ethUnits").(*uint256.Int)
+	if units.String() != "2000000001000000000" {
+		t.Errorf("ethUnits = %s", units)
+	}
+}
+
+const bankSrc = `
+contract Bank {
+    mapping(address => uint) balanceOf;
+    uint totalDeposits;
+
+    event Deposited(address who, uint amount);
+
+    function deposit() public payable {
+        balanceOf[msg.sender] = balanceOf[msg.sender] + msg.value;
+        totalDeposits = totalDeposits + msg.value;
+        emit Deposited(msg.sender, msg.value);
+    }
+
+    function withdraw(uint amount) public {
+        require(balanceOf[msg.sender] >= amount);
+        balanceOf[msg.sender] = balanceOf[msg.sender] - amount;
+        totalDeposits = totalDeposits - amount;
+        msg.sender.transfer(amount);
+    }
+
+    function balanceFor(address who) public view returns (uint) {
+        return balanceOf[who];
+    }
+
+    function total() public view returns (uint) {
+        return totalDeposits;
+    }
+}
+`
+
+func TestBankMappingAndTransfer(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(bankSrc, "Bank")
+	addr := h.deploy(cc, nil)
+
+	r := h.send(cc, addr, uint256.NewInt(5000), "deposit")
+	if !r.Succeeded() {
+		t.Fatal("deposit reverted")
+	}
+	// Event emitted with the right topic and data.
+	if len(r.Logs) != 1 {
+		t.Fatalf("logs = %d", len(r.Logs))
+	}
+	ev := cc.Events["Deposited"]
+	if r.Logs[0].Topics[0] != ev.Topic {
+		t.Error("event topic mismatch")
+	}
+	if got := new(uint256.Int).SetBytes(r.Logs[0].Data[32:64]); got.Uint64() != 5000 {
+		t.Errorf("event amount = %s", got)
+	}
+
+	if got := h.call(cc, addr, "balanceFor", h.addr).(*uint256.Int); got.Uint64() != 5000 {
+		t.Errorf("balance = %s", got)
+	}
+	if got := h.chain.BalanceAt(addr); got.Uint64() != 5000 {
+		t.Errorf("contract holds %s", got)
+	}
+
+	before := h.chain.BalanceAt(h.addr)
+	r = h.send(cc, addr, nil, "withdraw", uint64(3000))
+	if !r.Succeeded() {
+		t.Fatal("withdraw reverted")
+	}
+	if got := h.call(cc, addr, "balanceFor", h.addr).(*uint256.Int); got.Uint64() != 2000 {
+		t.Errorf("balance after withdraw = %s", got)
+	}
+	// Alice got 3000 minus gas.
+	diff := new(uint256.Int).Sub(h.chain.BalanceAt(h.addr), before)
+	gasCost := uint256.NewInt(r.GasUsed)
+	diff.Add(diff, gasCost)
+	if diff.Uint64() != 3000 {
+		t.Errorf("net received %s", diff)
+	}
+	// Overdraft reverts.
+	r = h.send(cc, addr, nil, "withdraw", uint64(1_000_000))
+	if r.Succeeded() {
+		t.Error("overdraft withdraw succeeded")
+	}
+}
+
+const modifierSrc = `
+contract Guarded {
+    address owner;
+    uint value;
+
+    modifier onlyOwner {
+        require(msg.sender == owner);
+        _;
+    }
+
+    constructor(address o) {
+        owner = o;
+    }
+
+    function set(uint v) public onlyOwner {
+        value = v;
+    }
+
+    function get() public view returns (uint) {
+        return value;
+    }
+}
+`
+
+func TestModifiers(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(modifierSrc, "Guarded")
+	// Owner is the harness account.
+	addr := h.deploy(cc, nil, h.addr)
+	if r := h.send(cc, addr, nil, "set", uint64(7)); !r.Succeeded() {
+		t.Fatal("owner set reverted")
+	}
+	if got := h.call(cc, addr, "get").(*uint256.Int); got.Uint64() != 7 {
+		t.Fatalf("value = %s", got)
+	}
+	// Deploy with a different owner: set must revert.
+	other := types.BytesToAddress([]byte{0xEE})
+	addr2 := h.deploy(cc, nil, other)
+	if r := h.send(cc, addr2, nil, "set", uint64(9)); r.Succeeded() {
+		t.Error("non-owner set succeeded")
+	}
+}
+
+const internalSrc = `
+contract Inliner {
+    function double(uint x) internal returns (uint) {
+        return x * 2;
+    }
+    function pick(uint a, uint b) internal returns (uint) {
+        if (a > b) {
+            return a;
+        }
+        return b;
+    }
+    function compute(uint x) public view returns (uint) {
+        uint d = double(x);
+        return pick(d, 10) + double(1);
+    }
+}
+`
+
+func TestInternalFunctionInlining(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(internalSrc, "Inliner")
+	addr := h.deploy(cc, nil)
+	// compute(3) = pick(6,10) + 2 = 12
+	if got := h.call(cc, addr, "compute", uint64(3)).(*uint256.Int); got.Uint64() != 12 {
+		t.Errorf("compute(3) = %s, want 12", got)
+	}
+	// compute(50) = pick(100,10) + 2 = 102
+	if got := h.call(cc, addr, "compute", uint64(50)).(*uint256.Int); got.Uint64() != 102 {
+		t.Errorf("compute(50) = %s, want 102", got)
+	}
+	// Internal functions must not be dispatchable.
+	if _, err := cc.Method("double"); err == nil {
+		t.Error("internal function exposed in ABI")
+	}
+}
+
+const loopSrc = `
+contract Loops {
+    function sumTo(uint n) public view returns (uint) {
+        uint sum = 0;
+        uint i = 1;
+        while (i <= n) {
+            sum = sum + i;
+            i = i + 1;
+        }
+        return sum;
+    }
+}
+`
+
+func TestWhileLoop(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(loopSrc, "Loops")
+	addr := h.deploy(cc, nil)
+	if got := h.call(cc, addr, "sumTo", uint64(10)).(*uint256.Int); got.Uint64() != 55 {
+		t.Errorf("sumTo(10) = %s", got)
+	}
+	if got := h.call(cc, addr, "sumTo", uint64(0)).(*uint256.Int); got.Uint64() != 0 {
+		t.Errorf("sumTo(0) = %s", got)
+	}
+}
+
+const arraySrc = `
+contract Roster {
+    address[3] members;
+    uint nextIdx;
+
+    function join() public {
+        members[nextIdx] = msg.sender;
+        nextIdx = nextIdx + 1;
+    }
+
+    function memberAt(uint i) public view returns (address) {
+        return members[i];
+    }
+}
+`
+
+func TestFixedArrays(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(arraySrc, "Roster")
+	addr := h.deploy(cc, nil)
+	h.send(cc, addr, nil, "join")
+	if got := h.call(cc, addr, "memberAt", uint64(0)).(types.Address); got != h.addr {
+		t.Errorf("member[0] = %s", got)
+	}
+	// Out-of-bounds read reverts.
+	m, _ := cc.Method("memberAt")
+	data, _ := m.Pack(uint64(5))
+	if _, _, err := h.chain.Call(chain.CallMsg{From: h.addr, To: addr, Data: data}); err == nil {
+		t.Error("out-of-bounds array read succeeded")
+	}
+}
+
+const cryptoSrc = `
+contract Crypto {
+    function hashBytes(bytes memory data) public view returns (bytes32) {
+        return keccak256(data);
+    }
+    function hashTwo(uint a, uint b) public view returns (bytes32) {
+        return keccak256(a, b);
+    }
+    function recover(bytes32 h, uint8 v, bytes32 r, bytes32 s) public view returns (address) {
+        return ecrecover(h, v, r, s);
+    }
+}
+`
+
+func TestCryptoBuiltins(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(cryptoSrc, "Crypto")
+	addr := h.deploy(cc, nil)
+
+	payload := []byte("the off-chain contract bytecode, arbitrary length...")
+	got := h.call(cc, addr, "hashBytes", payload).(types.Hash)
+	want := types.Hash(keccak.Sum256(payload))
+	if got != want {
+		t.Errorf("hashBytes = %s, want %s", got, want)
+	}
+
+	a := uint256.NewInt(7).Bytes32()
+	b := uint256.NewInt(9).Bytes32()
+	got2 := h.call(cc, addr, "hashTwo", uint64(7), uint64(9)).(types.Hash)
+	want2 := types.Hash(keccak.Sum256(a[:], b[:]))
+	if got2 != want2 {
+		t.Errorf("hashTwo = %s, want %s", got2, want2)
+	}
+
+	// ecrecover inside the EVM must agree with native recovery.
+	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xABCDEF))
+	msgHash := keccak.Sum256([]byte("signed copy"))
+	sig, _ := secp256k1.Sign(key, msgHash[:])
+	v, r, s := sig.VRS27()
+	rec := h.call(cc, addr, "recover", types.Hash(msgHash), uint64(v), types.Hash(r), types.Hash(s)).(types.Address)
+	if rec != types.Address(key.EthereumAddress()) {
+		t.Errorf("ecrecover = %s, want %s", rec, types.Address(key.EthereumAddress()))
+	}
+	// A wrong v yields a different (or zero) address, never the signer.
+	rec2 := h.call(cc, addr, "recover", types.Hash(msgHash), uint64(v^1), types.Hash(r), types.Hash(s)).(types.Address)
+	if rec2 == types.Address(key.EthereumAddress()) {
+		t.Error("flipped v recovered the signer")
+	}
+}
+
+// The paper's core primitive: a factory contract that CREATEs a verified
+// instance from raw bytecode, and the instance calls back through an
+// interface.
+const factorySrc = `
+interface Target {
+    function ping(uint x) external;
+}
+
+contract Child {
+    uint lastPing;
+    address parent;
+
+    constructor(address p) {
+        parent = p;
+    }
+
+    function notify(address t, uint x) public {
+        Target(t).ping(x);
+    }
+}
+
+contract Factory {
+    address public deployedAddr;
+    uint pings;
+
+    function deployFrom(bytes memory bytecode) public returns (address) {
+        address a = create(bytecode);
+        deployedAddr = a;
+        return a;
+    }
+
+    function ping(uint x) public {
+        pings = pings + x;
+    }
+
+    function pingCount() public view returns (uint) {
+        return pings;
+    }
+
+    function instance() public view returns (address) {
+        return deployedAddr;
+    }
+}
+`
+
+func TestCreateFromBytesAndInterfaceCall(t *testing.T) {
+	h := newHarness(t)
+	out, err := lang.Compile(factorySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := out.Contracts["Factory"]
+	child := out.Contracts["Child"]
+
+	fAddr := h.deploy(factory, nil)
+
+	// Build child deploy code with constructor arg = factory address.
+	childCode, err := child.DeployWithArgs(fAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.send(factory, fAddr, nil, "deployFrom", childCode)
+	if !r.Succeeded() {
+		t.Fatalf("deployFrom reverted: %x", r.RevertReason)
+	}
+	instAddr := h.call(factory, fAddr, "instance").(types.Address)
+	if instAddr.IsZero() {
+		t.Fatal("no instance recorded")
+	}
+	// The instance address must follow the CREATE rule with the factory as
+	// sender. The factory has nonce 1 at creation time (EIP-161 sets
+	// contract nonces to 1).
+	if want := types.CreateAddress(fAddr, 1); instAddr != want {
+		t.Errorf("instance = %s, want %s", instAddr, want)
+	}
+	if len(h.chain.CodeAt(instAddr)) == 0 {
+		t.Fatal("instance has no code")
+	}
+	// Call notify on the child: it must call back into the factory.
+	r = h.send(child, instAddr, nil, "notify", fAddr, uint64(5))
+	if !r.Succeeded() {
+		t.Fatal("notify reverted")
+	}
+	if got := h.call(factory, fAddr, "pingCount").(*uint256.Int); got.Uint64() != 5 {
+		t.Errorf("pingCount = %s", got)
+	}
+}
+
+const payableSrc = `
+contract Vault {
+    function store() public payable {
+    }
+    function strict() public {
+    }
+}
+`
+
+func TestPayableEnforcement(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(payableSrc, "Vault")
+	addr := h.deploy(cc, nil)
+	if r := h.send(cc, addr, uint256.NewInt(100), "store"); !r.Succeeded() {
+		t.Error("payable store rejected value")
+	}
+	if r := h.send(cc, addr, uint256.NewInt(100), "strict"); r.Succeeded() {
+		t.Error("non-payable strict accepted value")
+	}
+	if r := h.send(cc, addr, nil, "strict"); !r.Succeeded() {
+		t.Error("strict without value reverted")
+	}
+}
+
+const castSrc = `
+contract Caster {
+    function toAddr(uint x) public view returns (address) {
+        return address(x);
+    }
+    function toBool(uint x) public view returns (bool) {
+        return bool(x);
+    }
+    function addrToUint(address a) public view returns (uint) {
+        return uint(a);
+    }
+    function contractBalance() public view returns (uint) {
+        return balance(address(this));
+    }
+}
+`
+
+func TestCasts(t *testing.T) {
+	h := newHarness(t)
+	cc := h.compile(castSrc, "Caster")
+	addr := h.deploy(cc, nil)
+	got := h.call(cc, addr, "toAddr", uint64(0xABCD)).(types.Address)
+	if got != types.BytesToAddress([]byte{0xAB, 0xCD}) {
+		t.Errorf("toAddr = %s", got)
+	}
+	if v := h.call(cc, addr, "toBool", uint64(2)).(bool); !v {
+		t.Error("toBool(2) = false")
+	}
+	if v := h.call(cc, addr, "toBool", uint64(0)).(bool); v {
+		t.Error("toBool(0) = true")
+	}
+	back := h.call(cc, addr, "addrToUint", h.addr).(*uint256.Int)
+	b32 := back.Bytes32()
+	if !bytes.Equal(b32[12:], h.addr.Bytes()) {
+		t.Errorf("addrToUint = %x", b32)
+	}
+	if v := h.call(cc, addr, "contractBalance").(*uint256.Int); !v.IsZero() {
+		t.Errorf("balance = %s", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown ident", `contract C { function f() public { x = 1; } }`},
+		{"type mismatch assign", `contract C { uint x; function f(bool b) public { x = b; } }`},
+		{"bad require type", `contract C { function f(uint x) public { require(x); } }`},
+		{"unknown modifier", `contract C { function f() public nosuch { } }`},
+		{"duplicate function", `contract C { function f() public {} function f() public {} }`},
+		{"return type mismatch", `contract C { function f() public returns (uint) { return true; } }`},
+		{"unknown event", `contract C { function f() public { emit Nope(1); } }`},
+		{"bytes state var", `contract C { bytes data; }`},
+		{"placeholder outside modifier", `contract C { function f() public { _; } }`},
+		{"unterminated", `contract C {`},
+		{"bad token", `contract C @ {}`},
+	}
+	for _, tc := range cases {
+		if _, err := lang.Compile(tc.src); err == nil {
+			t.Errorf("%s: compile succeeded", tc.name)
+		}
+	}
+}
+
+func TestRuntimeCodeDeterministic(t *testing.T) {
+	a, err := lang.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lang.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Contracts["Counter"].Runtime, b.Contracts["Counter"].Runtime) {
+		t.Error("compilation not deterministic")
+	}
+	if !bytes.Equal(a.Contracts["Counter"].Deploy, b.Contracts["Counter"].Deploy) {
+		t.Error("deploy code not deterministic")
+	}
+}

@@ -1,0 +1,471 @@
+// Package secp256k1 implements the secp256k1 elliptic curve and the ECDSA
+// operations Ethereum relies on: deterministic signing (RFC 6979),
+// verification, and public-key recovery (the on-chain ecrecover primitive).
+//
+// The implementation uses math/big field arithmetic with Jacobian
+// projective coordinates. It is NOT constant-time and therefore not
+// hardened against local side-channel attacks; it is intended for protocol
+// research, testing and simulation, which is exactly the role it plays in
+// this repository.
+package secp256k1
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"onoffchain/internal/keccak"
+)
+
+// Curve parameters (SEC 2, version 2.0).
+var (
+	// P is the field prime 2^256 - 2^32 - 977.
+	P, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
+	// N is the group order.
+	N, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+	// Gx, Gy are the base point coordinates.
+	Gx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
+	Gy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
+	// B is the curve constant in y^2 = x^3 + B.
+	B = big.NewInt(7)
+
+	halfN = new(big.Int).Rsh(N, 1)
+)
+
+// PublicKey is a point on the curve in affine coordinates.
+type PublicKey struct {
+	X, Y *big.Int
+}
+
+// PrivateKey is a secp256k1 private scalar with its public point.
+type PrivateKey struct {
+	PublicKey
+	D *big.Int
+}
+
+// Signature is an ECDSA signature with the recovery id V in {0,1,2,3}.
+// Ethereum transports V as 27+recid (pre-EIP-155); helpers below convert.
+type Signature struct {
+	R, S *big.Int
+	V    byte
+}
+
+// jacobian is a point in Jacobian projective coordinates; the point at
+// infinity has Z == 0.
+type jacobian struct {
+	x, y, z *big.Int
+}
+
+func newJacobian(x, y *big.Int) *jacobian {
+	return &jacobian{new(big.Int).Set(x), new(big.Int).Set(y), big.NewInt(1)}
+}
+
+func infinity() *jacobian {
+	return &jacobian{new(big.Int), new(big.Int), new(big.Int)}
+}
+
+func (p *jacobian) isInfinity() bool { return p.z.Sign() == 0 }
+
+func mod(v *big.Int) *big.Int { return v.Mod(v, P) }
+
+// double returns 2p using the a=0 doubling formulas.
+func (p *jacobian) double() *jacobian {
+	if p.isInfinity() || p.y.Sign() == 0 {
+		return infinity()
+	}
+	a := mod(new(big.Int).Mul(p.x, p.x))         // X^2
+	b := mod(new(big.Int).Mul(p.y, p.y))         // Y^2
+	c := mod(new(big.Int).Mul(b, b))             // B^2
+	t := new(big.Int).Add(p.x, b)                // X + B
+	t.Mul(t, t)                                  // (X+B)^2
+	t.Sub(t, a)                                  //
+	t.Sub(t, c)                                  //
+	d := mod(t.Lsh(t, 1))                        // 2((X+B)^2 - A - C)
+	e := mod(new(big.Int).Mul(big.NewInt(3), a)) // 3A
+	f := mod(new(big.Int).Mul(e, e))             // E^2
+
+	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
+	mod(x3)
+	y3 := new(big.Int).Sub(d, x3)
+	y3.Mul(e, mod(y3))
+	y3.Sub(y3, new(big.Int).Lsh(c, 3))
+	mod(y3)
+	z3 := mod(new(big.Int).Lsh(new(big.Int).Mul(p.y, p.z), 1))
+	return &jacobian{x3, y3, z3}
+}
+
+// add returns p + q (general Jacobian addition).
+func (p *jacobian) add(q *jacobian) *jacobian {
+	if p.isInfinity() {
+		return q
+	}
+	if q.isInfinity() {
+		return p
+	}
+	z1z1 := mod(new(big.Int).Mul(p.z, p.z))
+	z2z2 := mod(new(big.Int).Mul(q.z, q.z))
+	u1 := mod(new(big.Int).Mul(p.x, z2z2))
+	u2 := mod(new(big.Int).Mul(q.x, z1z1))
+	s1 := mod(new(big.Int).Mul(new(big.Int).Mul(p.y, q.z), z2z2))
+	s2 := mod(new(big.Int).Mul(new(big.Int).Mul(q.y, p.z), z1z1))
+	if u1.Cmp(u2) == 0 {
+		if s1.Cmp(s2) != 0 {
+			return infinity()
+		}
+		return p.double()
+	}
+	h := new(big.Int).Sub(u2, u1)
+	mod(h)
+	i := new(big.Int).Lsh(h, 1)
+	i.Mul(i, i)
+	mod(i)
+	j := mod(new(big.Int).Mul(h, i))
+	r := new(big.Int).Sub(s2, s1)
+	mod(r)
+	r.Lsh(r, 1)
+	mod(r)
+	v := mod(new(big.Int).Mul(u1, i))
+
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, new(big.Int).Lsh(v, 1))
+	mod(x3)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(r, mod(y3))
+	t := new(big.Int).Mul(s1, j)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	mod(y3)
+
+	z3 := new(big.Int).Add(p.z, q.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(mod(z3), h)
+	mod(z3)
+	return &jacobian{x3, y3, z3}
+}
+
+// scalarMult returns k*p using MSB-first double-and-add.
+func (p *jacobian) scalarMult(k *big.Int) *jacobian {
+	acc := infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = acc.double()
+		if k.Bit(i) == 1 {
+			acc = acc.add(p)
+		}
+	}
+	return acc
+}
+
+// affine converts to affine coordinates; returns (nil, nil) for infinity.
+func (p *jacobian) affine() (*big.Int, *big.Int) {
+	if p.isInfinity() {
+		return nil, nil
+	}
+	zinv := new(big.Int).ModInverse(p.z, P)
+	zinv2 := mod(new(big.Int).Mul(zinv, zinv))
+	x := mod(new(big.Int).Mul(p.x, zinv2))
+	y := mod(new(big.Int).Mul(new(big.Int).Mul(p.y, zinv2), zinv))
+	return x, y
+}
+
+// IsOnCurve reports whether (x, y) satisfies y^2 = x^3 + 7 (mod p).
+func IsOnCurve(x, y *big.Int) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	if x.Sign() < 0 || x.Cmp(P) >= 0 || y.Sign() < 0 || y.Cmp(P) >= 0 {
+		return false
+	}
+	lhs := mod(new(big.Int).Mul(y, y))
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, B)
+	mod(rhs)
+	return lhs.Cmp(rhs) == 0
+}
+
+// ScalarBaseMult returns k*G in affine coordinates.
+func ScalarBaseMult(k *big.Int) (*big.Int, *big.Int) {
+	return newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(k, N)).affine()
+}
+
+// GenerateKey creates a private key using entropy from rnd (crypto/rand if
+// nil).
+func GenerateKey(rnd io.Reader) (*PrivateKey, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	for {
+		buf := make([]byte, 32)
+		if _, err := io.ReadFull(rnd, buf); err != nil {
+			return nil, fmt.Errorf("secp256k1: entropy: %w", err)
+		}
+		d := new(big.Int).SetBytes(buf)
+		if d.Sign() == 0 || d.Cmp(N) >= 0 {
+			continue
+		}
+		return PrivateKeyFromScalar(d)
+	}
+}
+
+// PrivateKeyFromScalar builds a key pair from an existing scalar in [1, N).
+func PrivateKeyFromScalar(d *big.Int) (*PrivateKey, error) {
+	if d.Sign() <= 0 || d.Cmp(N) >= 0 {
+		return nil, errors.New("secp256k1: scalar out of range")
+	}
+	x, y := ScalarBaseMult(d)
+	return &PrivateKey{PublicKey: PublicKey{X: x, Y: y}, D: new(big.Int).Set(d)}, nil
+}
+
+// PrivateKeyFromBytes builds a key pair from a 32-byte big-endian scalar.
+func PrivateKeyFromBytes(b []byte) (*PrivateKey, error) {
+	if len(b) != 32 {
+		return nil, fmt.Errorf("secp256k1: private key must be 32 bytes, got %d", len(b))
+	}
+	return PrivateKeyFromScalar(new(big.Int).SetBytes(b))
+}
+
+// Bytes returns the 32-byte big-endian scalar.
+func (k *PrivateKey) Bytes() []byte {
+	return leftPad32(k.D.Bytes())
+}
+
+// SerializeUncompressed returns the 65-byte 0x04-prefixed public key.
+func (pub *PublicKey) SerializeUncompressed() []byte {
+	out := make([]byte, 65)
+	out[0] = 0x04
+	copy(out[1:33], leftPad32(pub.X.Bytes()))
+	copy(out[33:65], leftPad32(pub.Y.Bytes()))
+	return out
+}
+
+// ParsePublicKey parses a 65-byte uncompressed public key.
+func ParsePublicKey(b []byte) (*PublicKey, error) {
+	if len(b) != 65 || b[0] != 0x04 {
+		return nil, errors.New("secp256k1: invalid uncompressed public key")
+	}
+	x := new(big.Int).SetBytes(b[1:33])
+	y := new(big.Int).SetBytes(b[33:65])
+	if !IsOnCurve(x, y) {
+		return nil, errors.New("secp256k1: point not on curve")
+	}
+	return &PublicKey{X: x, Y: y}, nil
+}
+
+// EthereumAddress returns the 20-byte Ethereum address of the public key:
+// the low 20 bytes of keccak256(X || Y).
+func (pub *PublicKey) EthereumAddress() [20]byte {
+	raw := pub.SerializeUncompressed()[1:] // drop the 0x04 prefix
+	h := keccak.Sum256(raw)
+	var addr [20]byte
+	copy(addr[:], h[12:])
+	return addr
+}
+
+func leftPad32(b []byte) []byte {
+	if len(b) >= 32 {
+		return b[len(b)-32:]
+	}
+	out := make([]byte, 32)
+	copy(out[32-len(b):], b)
+	return out
+}
+
+// rfc6979Nonce derives the deterministic nonce k for (priv, hash) per
+// RFC 6979 with HMAC-SHA256. Because both the hash and the curve order are
+// 256 bits, bits2int is the identity.
+func rfc6979Nonce(priv *big.Int, hash []byte) *big.Int {
+	x := leftPad32(priv.Bytes())
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, N)
+	h1 := leftPad32(z.Bytes())
+
+	V := make([]byte, 32)
+	K := make([]byte, 32)
+	for i := range V {
+		V[i] = 0x01
+	}
+	hm := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+	K = hm(K, V, []byte{0x00}, x, h1)
+	V = hm(K, V)
+	K = hm(K, V, []byte{0x01}, x, h1)
+	V = hm(K, V)
+	for {
+		V = hm(K, V)
+		k := new(big.Int).SetBytes(V)
+		if k.Sign() > 0 && k.Cmp(N) < 0 {
+			return k
+		}
+		K = hm(K, V, []byte{0x00})
+		V = hm(K, V)
+	}
+}
+
+// Sign produces a deterministic (RFC 6979) ECDSA signature over a 32-byte
+// message hash, with the recovery id in V and S normalized to the lower
+// half of the group order (Ethereum's homestead rule).
+func Sign(priv *PrivateKey, hash []byte) (*Signature, error) {
+	if len(hash) != 32 {
+		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
+	}
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, N)
+
+	extra := []byte(nil)
+	for attempt := 0; ; attempt++ {
+		k := rfc6979Nonce(priv.D, hash)
+		if extra != nil {
+			// Extremely unlikely retry path: perturb deterministically.
+			k.Add(k, big.NewInt(int64(attempt)))
+			k.Mod(k, N)
+			if k.Sign() == 0 {
+				continue
+			}
+		}
+		rp := newJacobian(Gx, Gy).scalarMult(k)
+		rx, ry := rp.affine()
+		if rx == nil {
+			extra = []byte{1}
+			continue
+		}
+		r := new(big.Int).Mod(rx, N)
+		if r.Sign() == 0 {
+			extra = []byte{1}
+			continue
+		}
+		recid := byte(ry.Bit(0))
+		if rx.Cmp(N) >= 0 {
+			recid |= 2
+		}
+		kinv := new(big.Int).ModInverse(k, N)
+		s := new(big.Int).Mul(r, priv.D)
+		s.Add(s, z)
+		s.Mul(s, kinv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			extra = []byte{1}
+			continue
+		}
+		if s.Cmp(halfN) > 0 {
+			s.Sub(N, s)
+			recid ^= 1
+		}
+		return &Signature{R: r, S: s, V: recid}, nil
+	}
+}
+
+// Verify checks an ECDSA signature over a 32-byte hash.
+func Verify(pub *PublicKey, hash []byte, r, s *big.Int) bool {
+	if len(hash) != 32 || !IsOnCurve(pub.X, pub.Y) {
+		return false
+	}
+	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
+		return false
+	}
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, N)
+	w := new(big.Int).ModInverse(s, N)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, N)
+	p1 := newJacobian(Gx, Gy).scalarMult(u1)
+	p2 := newJacobian(pub.X, pub.Y).scalarMult(u2)
+	sum := p1.add(p2)
+	x, _ := sum.affine()
+	if x == nil {
+		return false
+	}
+	x.Mod(x, N)
+	return x.Cmp(r) == 0
+}
+
+// RecoverPubkey recovers the signing public key from a signature and the
+// 32-byte message hash. This mirrors the EVM ecrecover precompile: v is the
+// recovery id in {0,1,2,3}.
+func RecoverPubkey(hash []byte, r, s *big.Int, v byte) (*PublicKey, error) {
+	if len(hash) != 32 {
+		return nil, errors.New("secp256k1: hash must be 32 bytes")
+	}
+	if v > 3 {
+		return nil, fmt.Errorf("secp256k1: invalid recovery id %d", v)
+	}
+	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
+		return nil, errors.New("secp256k1: r/s out of range")
+	}
+	// Candidate R point x-coordinate.
+	x := new(big.Int).Set(r)
+	if v&2 != 0 {
+		x.Add(x, N)
+	}
+	if x.Cmp(P) >= 0 {
+		return nil, errors.New("secp256k1: invalid x candidate")
+	}
+	// y^2 = x^3 + 7; sqrt via exponent (p+1)/4 (p ≡ 3 mod 4).
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, B)
+	mod(y2)
+	e := new(big.Int).Add(P, big.NewInt(1))
+	e.Rsh(e, 2)
+	y := new(big.Int).Exp(y2, e, P)
+	if mod(new(big.Int).Mul(y, y)).Cmp(y2) != 0 {
+		return nil, errors.New("secp256k1: x is not on the curve")
+	}
+	if y.Bit(0) != uint(v&1) {
+		y.Sub(P, y)
+	}
+	// Q = r^-1 (s*R - z*G)
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, N)
+	rinv := new(big.Int).ModInverse(r, N)
+	u1 := new(big.Int).Mul(z, rinv)
+	u1.Mod(u1, N)
+	u1.Sub(N, u1) // -z/r
+	u2 := new(big.Int).Mul(s, rinv)
+	u2.Mod(u2, N)
+
+	p1 := newJacobian(Gx, Gy).scalarMult(u1)
+	p2 := newJacobian(x, y).scalarMult(u2)
+	qx, qy := p1.add(p2).affine()
+	if qx == nil {
+		return nil, errors.New("secp256k1: recovered point at infinity")
+	}
+	pub := &PublicKey{X: qx, Y: qy}
+	if !IsOnCurve(pub.X, pub.Y) {
+		return nil, errors.New("secp256k1: recovered point not on curve")
+	}
+	return pub, nil
+}
+
+// RecoverAddress is a convenience wrapper returning the Ethereum address of
+// the recovered key, mirroring the EVM ecrecover output.
+func RecoverAddress(hash []byte, r, s *big.Int, v byte) ([20]byte, error) {
+	pub, err := RecoverPubkey(hash, r, s, v)
+	if err != nil {
+		return [20]byte{}, err
+	}
+	return pub.EthereumAddress(), nil
+}
+
+// VRS27 returns the (v, r, s) triple with v offset by 27, the encoding the
+// paper's JavaScript (ethereumjs-util ecsign) produces and the on-chain
+// ecrecover consumes.
+func (sig *Signature) VRS27() (v byte, r, s [32]byte) {
+	copy(r[:], leftPad32(sig.R.Bytes()))
+	copy(s[:], leftPad32(sig.S.Bytes()))
+	return sig.V + 27, r, s
+}

@@ -1,0 +1,317 @@
+package secp256k1
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onoffchain/internal/keccak"
+)
+
+func TestCurveParameters(t *testing.T) {
+	if !IsOnCurve(Gx, Gy) {
+		t.Fatal("generator is not on the curve")
+	}
+	// n*G must be the point at infinity.
+	inf := newJacobian(Gx, Gy).scalarMult(N)
+	if !inf.isInfinity() {
+		t.Fatal("N*G is not infinity")
+	}
+	// (n-1)*G == -G
+	x, y := ScalarBaseMult(new(big.Int).Sub(N, big.NewInt(1)))
+	if x.Cmp(Gx) != 0 {
+		t.Fatal("(N-1)*G x-coordinate mismatch")
+	}
+	negY := new(big.Int).Sub(P, Gy)
+	if y.Cmp(negY) != 0 {
+		t.Fatal("(N-1)*G y-coordinate mismatch")
+	}
+}
+
+func TestScalarMultDistributive(t *testing.T) {
+	// (a+b)G == aG + bG for random scalars.
+	f := func(aRaw, bRaw uint64) bool {
+		a := new(big.Int).SetUint64(aRaw)
+		b := new(big.Int).SetUint64(bRaw)
+		a.Mul(a, big.NewInt(1<<62)) // widen beyond one limb
+		b.Add(b, big.NewInt(12345))
+		sum := new(big.Int).Add(a, b)
+		sum.Mod(sum, N)
+		lx, ly := ScalarBaseMult(sum)
+		pa := newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(a, N))
+		pb := newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(b, N))
+		rx, ry := pa.add(pb).affine()
+		if lx == nil || rx == nil {
+			return lx == nil && rx == nil
+		}
+		return lx.Cmp(rx) == 0 && ly.Cmp(ry) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Well-known Ethereum vanity addresses for tiny private keys. These pin
+// down the full pipeline: scalar mult, uncompressed serialization, keccak.
+func TestKnownEthereumAddresses(t *testing.T) {
+	cases := []struct {
+		key  int64
+		addr string
+	}{
+		{1, "7e5f4552091a69125d5dfcb7b8c2659029395bdf"},
+		{2, "2b5ad5c4795c026514f8317c7a215e218dccd6cf"},
+		{3, "6813eb9362372eef6200f3b1dbc3f819671cba69"},
+	}
+	for _, c := range cases {
+		k, err := PrivateKeyFromScalar(big.NewInt(c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := k.EthereumAddress()
+		if hex.EncodeToString(addr[:]) != c.addr {
+			t.Errorf("address(%d) = %x, want %s", c.key, addr, c.addr)
+		}
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		key, err := GenerateKey(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("message number " + string(rune('a'+i)))
+		hash := keccak.Sum256(msg)
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(&key.PublicKey, hash[:], sig.R, sig.S) {
+			t.Fatalf("signature %d did not verify", i)
+		}
+		// Tampered hash must fail.
+		bad := keccak.Sum256(append(msg, 'x'))
+		if Verify(&key.PublicKey, bad[:], sig.R, sig.S) {
+			t.Fatalf("signature %d verified against wrong hash", i)
+		}
+	}
+}
+
+func TestSignIsDeterministic(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
+	hash := keccak.Sum256([]byte("deterministic"))
+	s1, err := Sign(key, hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sign(key, hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 || s1.V != s2.V {
+		t.Error("RFC6979 signatures differ between calls")
+	}
+}
+
+func TestLowSNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		key, _ := GenerateKey(rng)
+		hash := keccak.Sum256([]byte{byte(i)})
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.S.Cmp(halfN) > 0 {
+			t.Fatalf("signature %d has high S", i)
+		}
+	}
+}
+
+func TestRecoverMatchesSigner(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		key, _ := GenerateKey(rng)
+		hash := keccak.Sum256([]byte{byte(i), 0xaa})
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pub.X.Cmp(key.X) != 0 || pub.Y.Cmp(key.Y) != 0 {
+			t.Fatalf("recovered key %d differs from signer", i)
+		}
+		addr, err := RecoverAddress(hash[:], sig.R, sig.S, sig.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != key.EthereumAddress() {
+			t.Fatalf("recovered address %d differs", i)
+		}
+	}
+}
+
+func TestRecoverWrongVGivesDifferentKey(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(424242))
+	hash := keccak.Sum256([]byte("recid matters"))
+	sig, _ := Sign(key, hash[:])
+	pub, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V^1)
+	if err == nil && pub.X.Cmp(key.X) == 0 && pub.Y.Cmp(key.Y) == 0 {
+		t.Error("flipped recovery id still recovered the same key")
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	hash := keccak.Sum256([]byte("x"))
+	if _, err := RecoverPubkey(hash[:], big.NewInt(0), big.NewInt(1), 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := RecoverPubkey(hash[:], big.NewInt(1), big.NewInt(0), 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := RecoverPubkey(hash[:], N, big.NewInt(1), 0); err == nil {
+		t.Error("r=N accepted")
+	}
+	if _, err := RecoverPubkey(hash[:], big.NewInt(1), big.NewInt(1), 9); err == nil {
+		t.Error("v=9 accepted")
+	}
+	if _, err := RecoverPubkey(hash[:31], big.NewInt(1), big.NewInt(1), 0); err == nil {
+		t.Error("short hash accepted")
+	}
+}
+
+func TestVerifyRejectsOutOfRange(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(5))
+	hash := keccak.Sum256([]byte("y"))
+	sig, _ := Sign(key, hash[:])
+	if Verify(&key.PublicKey, hash[:], new(big.Int), sig.S) {
+		t.Error("r=0 verified")
+	}
+	if Verify(&key.PublicKey, hash[:], sig.R, N) {
+		t.Error("s=N verified")
+	}
+	offCurve := &PublicKey{X: big.NewInt(1), Y: big.NewInt(1)}
+	if Verify(offCurve, hash[:], sig.R, sig.S) {
+		t.Error("off-curve key verified")
+	}
+}
+
+func TestPublicKeySerializeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	key, _ := GenerateKey(rng)
+	raw := key.SerializeUncompressed()
+	if len(raw) != 65 || raw[0] != 0x04 {
+		t.Fatalf("bad serialization: %x", raw[:2])
+	}
+	pub, err := ParsePublicKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.X.Cmp(key.X) != 0 || pub.Y.Cmp(key.Y) != 0 {
+		t.Error("round trip mismatch")
+	}
+	// Corrupt a byte: must fail the on-curve check.
+	raw[10] ^= 0xff
+	if _, err := ParsePublicKey(raw); err == nil {
+		t.Error("corrupted key parsed successfully")
+	}
+}
+
+func TestPrivateKeyFromScalarBounds(t *testing.T) {
+	if _, err := PrivateKeyFromScalar(new(big.Int)); err == nil {
+		t.Error("zero scalar accepted")
+	}
+	if _, err := PrivateKeyFromScalar(N); err == nil {
+		t.Error("scalar N accepted")
+	}
+	if _, err := PrivateKeyFromScalar(new(big.Int).Sub(N, big.NewInt(1))); err != nil {
+		t.Error("scalar N-1 rejected")
+	}
+}
+
+func TestPrivateKeyBytesRoundTrip(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(777))
+	b := key.Bytes()
+	if len(b) != 32 {
+		t.Fatalf("key bytes length %d", len(b))
+	}
+	k2, err := PrivateKeyFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.D.Cmp(key.D) != 0 {
+		t.Error("bytes round trip mismatch")
+	}
+	if _, err := PrivateKeyFromBytes(b[:31]); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestVRS27(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(31337))
+	hash := keccak.Sum256([]byte("vrs"))
+	sig, _ := Sign(key, hash[:])
+	v, r, s := sig.VRS27()
+	if v != sig.V+27 {
+		t.Errorf("v = %d, want %d", v, sig.V+27)
+	}
+	if !bytes.Equal(r[:], leftPad32(sig.R.Bytes())) || !bytes.Equal(s[:], leftPad32(sig.S.Bytes())) {
+		t.Error("r/s padding mismatch")
+	}
+}
+
+// Cross-check sign → on-chain-style recover with the address equality the
+// paper's deployVerifiedInstance() performs.
+func TestPaperSignedCopyFlow(t *testing.T) {
+	alice, _ := PrivateKeyFromScalar(big.NewInt(0xA11CE))
+	bytecode := []byte{0x60, 0x80, 0x60, 0x40, 0x52, 0x00, 0xfe, 0xba, 0xb4}
+	h := keccak.Sum256(bytecode)
+	sig, err := Sign(alice, h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecoverAddress(h[:], sig.R, sig.S, sig.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != alice.EthereumAddress() {
+		t.Error("ecrecover-style address check failed")
+	}
+	// A single flipped bit in the bytecode must break the check.
+	bytecode[3] ^= 0x01
+	h2 := keccak.Sum256(bytecode)
+	got2, err := RecoverAddress(h2[:], sig.R, sig.S, sig.V)
+	if err == nil && got2 == alice.EthereumAddress() {
+		t.Error("tampered bytecode still passed the signature check")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
+	hash := keccak.Sum256([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(key, hash[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
+	hash := keccak.Sum256([]byte("bench"))
+	sig, _ := Sign(key, hash[:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"onoffchain/internal/rlp"
+	"onoffchain/internal/uint256"
+)
+
+// DecodeTransaction parses a canonical signed-transaction RLP encoding
+// (the inverse of Transaction.EncodeRLP).
+func DecodeTransaction(data []byte) (*Transaction, error) {
+	item, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("types: decode tx: %w", err)
+	}
+	if item.Kind != rlp.KindList || len(item.Items) != 9 {
+		return nil, errors.New("types: transaction must be a 9-item list")
+	}
+	nonce, err := item.Items[0].Uint64()
+	if err != nil {
+		return nil, fmt.Errorf("types: tx nonce: %w", err)
+	}
+	gas, err := item.Items[2].Uint64()
+	if err != nil {
+		return nil, fmt.Errorf("types: tx gas: %w", err)
+	}
+	tx := &Transaction{
+		Nonce:    nonce,
+		GasPrice: new(uint256.Int).SetBytes(item.Items[1].Bytes),
+		Gas:      gas,
+		Value:    new(uint256.Int).SetBytes(item.Items[4].Bytes),
+		Data:     append([]byte{}, item.Items[5].Bytes...),
+	}
+	switch len(item.Items[3].Bytes) {
+	case 0: // contract creation
+	case AddressLength:
+		to := BytesToAddress(item.Items[3].Bytes)
+		tx.To = &to
+	default:
+		return nil, errors.New("types: tx recipient must be 0 or 20 bytes")
+	}
+	v, err := item.Items[6].Uint64()
+	if err != nil || v > 255 {
+		return nil, errors.New("types: tx signature v malformed")
+	}
+	tx.V = byte(v)
+	r, err := item.Items[7].BigInt()
+	if err != nil {
+		return nil, fmt.Errorf("types: tx signature r: %w", err)
+	}
+	s, err := item.Items[8].BigInt()
+	if err != nil {
+		return nil, fmt.Errorf("types: tx signature s: %w", err)
+	}
+	tx.R, tx.S = r, s
+	return tx, nil
+}

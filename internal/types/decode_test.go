@@ -1,0 +1,59 @@
+package types
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/uint256"
+)
+
+func TestDecodeTransactionRoundTrip(t *testing.T) {
+	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(99))
+	to := BytesToAddress([]byte{7})
+	tx := NewTransaction(5, to, uint256.NewInt(123), 50_000, uint256.NewInt(2), []byte{0xde, 0xad})
+	if err := tx.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeTransaction(tx.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Hash() != tx.Hash() {
+		t.Error("hash changed in round trip")
+	}
+	sender, err := decoded.Sender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tx.Sender()
+	if sender != want {
+		t.Error("sender changed in round trip")
+	}
+	if !bytes.Equal(decoded.Data, tx.Data) || decoded.Gas != tx.Gas || decoded.Nonce != tx.Nonce {
+		t.Error("fields changed in round trip")
+	}
+}
+
+func TestDecodeTransactionCreation(t *testing.T) {
+	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(98))
+	tx := NewContractCreation(0, nil, 100_000, uint256.NewInt(1), []byte{0x60, 0x00})
+	tx.Sign(key)
+	decoded, err := DecodeTransaction(tx.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.IsContractCreation() {
+		t.Error("creation flag lost")
+	}
+}
+
+func TestDecodeTransactionErrors(t *testing.T) {
+	if _, err := DecodeTransaction([]byte{0x01, 0x02}); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := DecodeTransaction([]byte{0xc3, 0x01, 0x02, 0x03}); err == nil {
+		t.Error("short list decoded")
+	}
+}

@@ -1,0 +1,23 @@
+package vm
+
+import "errors"
+
+// Execution errors. ErrExecutionReverted is special: it preserves return
+// data and refunds unconsumed gas; all others consume the frame's gas.
+var (
+	ErrOutOfGas                 = errors.New("vm: out of gas")
+	ErrStackUnderflow           = errors.New("vm: stack underflow")
+	ErrStackOverflow            = errors.New("vm: stack overflow")
+	ErrInvalidJump              = errors.New("vm: invalid jump destination")
+	ErrInvalidOpcode            = errors.New("vm: invalid opcode")
+	ErrExecutionReverted        = errors.New("vm: execution reverted")
+	ErrWriteProtection          = errors.New("vm: write protection (static call)")
+	ErrDepth                    = errors.New("vm: max call depth exceeded")
+	ErrInsufficientBalance      = errors.New("vm: insufficient balance for transfer")
+	ErrCodeStoreOutOfGas        = errors.New("vm: contract creation code storage out of gas")
+	ErrMaxCodeSizeExceeded      = errors.New("vm: max code size exceeded")
+	ErrContractAddressCollision = errors.New("vm: contract address collision")
+	ErrReturnDataOutOfBounds    = errors.New("vm: return data out of bounds")
+	ErrGasUintOverflow          = errors.New("vm: gas uint64 overflow")
+	ErrNonceOverflow            = errors.New("vm: nonce overflow")
+)

@@ -1,0 +1,166 @@
+package vm
+
+import "onoffchain/internal/uint256"
+
+// Gas schedule (yellow paper, 2019-era Constantinople/Petersburg values —
+// the rule set contemporary with the paper's Kovan measurements).
+const (
+	GasQuickStep   uint64 = 2
+	GasFastestStep uint64 = 3
+	GasFastStep    uint64 = 5
+	GasMidStep     uint64 = 8
+	GasSlowStep    uint64 = 10
+	GasExtStep     uint64 = 20
+
+	GasBalance            uint64 = 400
+	GasExtCode            uint64 = 700
+	GasExtCodeHash        uint64 = 400
+	GasSload              uint64 = 200
+	GasSstoreSet          uint64 = 20000
+	GasSstoreReset        uint64 = 5000
+	GasSstoreRefund       uint64 = 15000
+	GasJumpdest           uint64 = 1
+	GasLog                uint64 = 375
+	GasLogTopic           uint64 = 375
+	GasLogByte            uint64 = 8
+	GasSha3               uint64 = 30
+	GasSha3Word           uint64 = 6
+	GasCopyWord           uint64 = 3
+	GasCall               uint64 = 700
+	GasCallValue          uint64 = 9000
+	GasCallStipend        uint64 = 2300
+	GasNewAccount         uint64 = 25000
+	GasCreate             uint64 = 32000
+	GasCodeDepositByte    uint64 = 200
+	GasSelfdestruct       uint64 = 5000
+	GasSelfdestructRefund uint64 = 24000
+	GasMemoryWord         uint64 = 3
+	GasQuadCoeffDiv       uint64 = 512
+	GasExp                uint64 = 10
+	GasExpByte            uint64 = 50 // EIP-160
+
+	GasTx            uint64 = 21000
+	GasTxCreate      uint64 = 53000
+	GasTxDataZero    uint64 = 4
+	GasTxDataNonZero uint64 = 68 // pre-Istanbul, matching the paper's era
+
+	GasEcrecover    uint64 = 3000
+	GasSha256Base   uint64 = 60
+	GasSha256Word   uint64 = 12
+	GasIdentityBase uint64 = 15
+	GasIdentityWord uint64 = 3
+
+	// MaxCodeSize is the EIP-170 deployed-code limit.
+	MaxCodeSize = 24576
+	// StackLimit is the maximum EVM stack depth.
+	StackLimit = 1024
+	// CallCreateDepth is the maximum call/create nesting.
+	CallCreateDepth = 1024
+	// RefundQuotient caps refunds at gasUsed/2 (pre-London rule).
+	RefundQuotient uint64 = 2
+)
+
+// constGas is the static gas cost per opcode; dynamic components are
+// charged by the interpreter case for the op.
+var constGas [256]uint64
+
+func init() {
+	set := func(op OpCode, g uint64) { constGas[op] = g }
+	set(STOP, 0)
+	for _, op := range []OpCode{ADD, SUB, NOT, LT, GT, SLT, SGT, EQ, ISZERO, AND, OR, XOR, BYTE, SHL, SHR, SAR, CALLDATALOAD, MLOAD, MSTORE, MSTORE8, PUSH1} {
+		set(op, GasFastestStep)
+	}
+	for i := PUSH1; i <= PUSH32; i++ {
+		set(i, GasFastestStep)
+	}
+	for i := DUP1; i <= DUP16; i++ {
+		set(i, GasFastestStep)
+	}
+	for i := SWAP1; i <= SWAP16; i++ {
+		set(i, GasFastestStep)
+	}
+	for _, op := range []OpCode{MUL, DIV, SDIV, MOD, SMOD, SIGNEXTEND} {
+		set(op, GasFastStep)
+	}
+	for _, op := range []OpCode{ADDMOD, MULMOD, JUMP} {
+		set(op, GasMidStep)
+	}
+	set(JUMPI, GasSlowStep)
+	set(EXP, GasExp)
+	set(SHA3, GasSha3)
+	set(ADDRESS, GasQuickStep)
+	set(BALANCE, GasBalance)
+	set(ORIGIN, GasQuickStep)
+	set(CALLER, GasQuickStep)
+	set(CALLVALUE, GasQuickStep)
+	set(CALLDATASIZE, GasQuickStep)
+	set(CALLDATACOPY, GasFastestStep)
+	set(CODESIZE, GasQuickStep)
+	set(CODECOPY, GasFastestStep)
+	set(GASPRICE, GasQuickStep)
+	set(EXTCODESIZE, GasExtCode)
+	set(EXTCODECOPY, GasExtCode)
+	set(RETURNDATASIZE, GasQuickStep)
+	set(RETURNDATACOPY, GasFastestStep)
+	set(EXTCODEHASH, GasExtCodeHash)
+	set(BLOCKHASH, GasExtStep)
+	set(COINBASE, GasQuickStep)
+	set(TIMESTAMP, GasQuickStep)
+	set(NUMBER, GasQuickStep)
+	set(DIFFICULTY, GasQuickStep)
+	set(GASLIMIT, GasQuickStep)
+	set(POP, GasQuickStep)
+	set(SLOAD, GasSload)
+	set(SSTORE, 0) // fully dynamic
+	set(PC, GasQuickStep)
+	set(MSIZE, GasQuickStep)
+	set(GAS, GasQuickStep)
+	set(JUMPDEST, GasJumpdest)
+	set(LOG0, GasLog)
+	set(LOG1, GasLog+GasLogTopic)
+	set(LOG2, GasLog+2*GasLogTopic)
+	set(LOG3, GasLog+3*GasLogTopic)
+	set(LOG4, GasLog+4*GasLogTopic)
+	set(CREATE, GasCreate)
+	set(CREATE2, GasCreate)
+	set(CALL, GasCall)
+	set(CALLCODE, GasCall)
+	set(DELEGATECALL, GasCall)
+	set(STATICCALL, GasCall)
+	set(RETURN, 0)
+	set(REVERT, 0)
+	set(SELFDESTRUCT, GasSelfdestruct)
+}
+
+// memoryGasCost returns the total memory cost for a memory of the given
+// word size: Cmem(w) = 3w + w^2/512.
+func memoryGasCost(words uint64) uint64 {
+	return GasMemoryWord*words + words*words/GasQuadCoeffDiv
+}
+
+// toWordSize rounds a byte size up to 32-byte words.
+func toWordSize(size uint64) uint64 {
+	return (size + 31) / 32
+}
+
+// IntrinsicGas computes the transaction-level intrinsic gas: the base fee
+// plus calldata costs (and the creation surcharge).
+func IntrinsicGas(data []byte, isCreate bool) uint64 {
+	gas := GasTx
+	if isCreate {
+		gas = GasTxCreate
+	}
+	for _, b := range data {
+		if b == 0 {
+			gas += GasTxDataZero
+		} else {
+			gas += GasTxDataNonZero
+		}
+	}
+	return gas
+}
+
+// expGasCost returns the dynamic cost of EXP for a given exponent.
+func expGasCost(exponent *uint256.Int) uint64 {
+	return uint64(exponent.ByteLen()) * GasExpByte
+}

@@ -1,0 +1,713 @@
+package vm
+
+import (
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+// stackSpec describes stack consumption per opcode for uniform validation.
+type stackSpec struct {
+	pop, push int
+	defined   bool
+}
+
+var stackSpecs [256]stackSpec
+
+func init() {
+	def := func(op OpCode, pop, push int) {
+		stackSpecs[op] = stackSpec{pop: pop, push: push, defined: true}
+	}
+	def(STOP, 0, 0)
+	for _, op := range []OpCode{ADD, MUL, SUB, DIV, SDIV, MOD, SMOD, EXP, SIGNEXTEND, LT, GT, SLT, SGT, EQ, AND, OR, XOR, BYTE, SHL, SHR, SAR} {
+		def(op, 2, 1)
+	}
+	for _, op := range []OpCode{ADDMOD, MULMOD} {
+		def(op, 3, 1)
+	}
+	for _, op := range []OpCode{ISZERO, NOT, CALLDATALOAD, MLOAD, BALANCE, EXTCODESIZE, EXTCODEHASH, BLOCKHASH} {
+		def(op, 1, 1)
+	}
+	def(SHA3, 2, 1)
+	for _, op := range []OpCode{ADDRESS, ORIGIN, CALLER, CALLVALUE, CALLDATASIZE, CODESIZE, GASPRICE, RETURNDATASIZE, COINBASE, TIMESTAMP, NUMBER, DIFFICULTY, GASLIMIT, PC, MSIZE, GAS} {
+		def(op, 0, 1)
+	}
+	for _, op := range []OpCode{CALLDATACOPY, CODECOPY, RETURNDATACOPY} {
+		def(op, 3, 0)
+	}
+	def(EXTCODECOPY, 4, 0)
+	def(POP, 1, 0)
+	def(MSTORE, 2, 0)
+	def(MSTORE8, 2, 0)
+	def(SLOAD, 1, 1)
+	def(SSTORE, 2, 0)
+	def(JUMP, 1, 0)
+	def(JUMPI, 2, 0)
+	def(JUMPDEST, 0, 0)
+	for i := 0; i < 32; i++ {
+		def(PUSH1+OpCode(i), 0, 1)
+	}
+	for i := 0; i < 16; i++ {
+		def(DUP1+OpCode(i), i+1, i+2)  // requires i+1, net +1
+		def(SWAP1+OpCode(i), i+2, i+2) // requires i+2
+	}
+	for i := 0; i <= 4; i++ {
+		def(LOG0+OpCode(i), 2+i, 0)
+	}
+	def(CREATE, 3, 1)
+	def(CREATE2, 4, 1)
+	def(CALL, 7, 1)
+	def(CALLCODE, 7, 1)
+	def(DELEGATECALL, 6, 1)
+	def(STATICCALL, 6, 1)
+	def(RETURN, 2, 0)
+	def(REVERT, 2, 0)
+	def(SELFDESTRUCT, 1, 0)
+}
+
+// memExpansion computes the gas to grow memory so [offset, offset+size) is
+// addressable, returning the concrete offset/size as uint64.
+func memExpansion(mem *Memory, offset, size *uint256.Int) (cost, off, sz uint64, err error) {
+	if size.IsZero() {
+		if !offset.IsUint64() {
+			return 0, 0, 0, nil // zero-size reference may be out of range
+		}
+		return 0, offset.Uint64(), 0, nil
+	}
+	if !offset.IsUint64() || !size.IsUint64() {
+		return 0, 0, 0, ErrGasUintOverflow
+	}
+	off, sz = offset.Uint64(), size.Uint64()
+	end := off + sz
+	if end < off || end > 1<<40 { // 1 TiB hard cap guards the simulator
+		return 0, 0, 0, ErrGasUintOverflow
+	}
+	newWords := toWordSize(end)
+	curWords := toWordSize(mem.size())
+	if newWords <= curWords {
+		return 0, off, sz, nil
+	}
+	return memoryGasCost(newWords) - memoryGasCost(curWords), off, sz, nil
+}
+
+// run executes a contract frame to completion. Write protection is
+// governed by evm.static, which STATICCALL sets for the whole subtree.
+func (evm *EVM) run(c *Contract) ([]byte, error) {
+	evm.depth++
+	prevReturnData := evm.returnData
+	evm.returnData = nil
+	defer func() {
+		evm.depth--
+		evm.returnData = prevReturnData
+	}()
+	readOnly := evm.static
+
+	if len(c.Code) == 0 {
+		return nil, nil
+	}
+
+	st := newStack()
+	mem := newMemory()
+	var pc uint64
+	code := c.Code
+
+	for {
+		if pc >= uint64(len(code)) {
+			return nil, nil // implicit STOP
+		}
+		op := OpCode(code[pc])
+		spec := stackSpecs[op]
+		if !spec.defined {
+			return nil, ErrInvalidOpcode
+		}
+		if st.len() < spec.pop {
+			return nil, ErrStackUnderflow
+		}
+		if st.len()-spec.pop+spec.push > StackLimit {
+			return nil, ErrStackOverflow
+		}
+		if !c.useGas(constGas[op]) {
+			return nil, ErrOutOfGas
+		}
+
+		switch {
+		case op == STOP:
+			return nil, nil
+
+		case op == ADD, op == MUL, op == SUB, op == DIV, op == SDIV, op == MOD,
+			op == SMOD, op == EXP, op == SIGNEXTEND, op == LT, op == GT,
+			op == SLT, op == SGT, op == EQ, op == AND, op == OR, op == XOR,
+			op == BYTE, op == SHL, op == SHR, op == SAR:
+			x := st.pop()
+			y := st.peek(0)
+			var z uint256.Int
+			switch op {
+			case ADD:
+				z.Add(&x, y)
+			case MUL:
+				z.Mul(&x, y)
+			case SUB:
+				z.Sub(&x, y)
+			case DIV:
+				z.Div(&x, y)
+			case SDIV:
+				z.SDiv(&x, y)
+			case MOD:
+				z.Mod(&x, y)
+			case SMOD:
+				z.SMod(&x, y)
+			case EXP:
+				if !c.useGas(expGasCost(y)) {
+					return nil, ErrOutOfGas
+				}
+				z.Exp(&x, y)
+			case SIGNEXTEND:
+				z.SignExtend(&x, y)
+			case LT:
+				if x.Lt(y) {
+					z.SetOne()
+				}
+			case GT:
+				if x.Gt(y) {
+					z.SetOne()
+				}
+			case SLT:
+				if x.Slt(y) {
+					z.SetOne()
+				}
+			case SGT:
+				if x.Sgt(y) {
+					z.SetOne()
+				}
+			case EQ:
+				if x.Eq(y) {
+					z.SetOne()
+				}
+			case AND:
+				z.And(&x, y)
+			case OR:
+				z.Or(&x, y)
+			case XOR:
+				z.Xor(&x, y)
+			case BYTE:
+				z.Byte(&x, y)
+			case SHL:
+				if x.IsUint64() && x.Uint64() < 256 {
+					z.Lsh(y, uint(x.Uint64()))
+				}
+			case SHR:
+				if x.IsUint64() && x.Uint64() < 256 {
+					z.Rsh(y, uint(x.Uint64()))
+				}
+			case SAR:
+				if x.IsUint64() && x.Uint64() < 256 {
+					z.SRsh(y, uint(x.Uint64()))
+				} else if y.Sign() < 0 {
+					z.Not(&z) // all ones
+				}
+			}
+			*y = z
+
+		case op == ADDMOD, op == MULMOD:
+			x := st.pop()
+			y := st.pop()
+			m := st.peek(0)
+			var z uint256.Int
+			if op == ADDMOD {
+				z.AddMod(&x, &y, m)
+			} else {
+				z.MulMod(&x, &y, m)
+			}
+			*m = z
+
+		case op == ISZERO:
+			v := st.peek(0)
+			if v.IsZero() {
+				v.SetOne()
+			} else {
+				v.Clear()
+			}
+
+		case op == NOT:
+			v := st.peek(0)
+			v.Not(v)
+
+		case op == SHA3:
+			offset := st.pop()
+			size := st.pop()
+			cost, off, sz, err := memExpansion(mem, &offset, &size)
+			if err != nil {
+				return nil, err
+			}
+			words := toWordSize(sz)
+			if !c.useGas(cost + words*GasSha3Word) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			h := keccak.Sum256(mem.view(off, sz))
+			var z uint256.Int
+			z.SetBytes(h[:])
+			st.push(&z)
+
+		case op == ADDRESS:
+			pushAddress(st, c.Address)
+		case op == BALANCE:
+			a := st.peek(0)
+			addr := wordToAddress(a)
+			*a = *evm.State.GetBalance(addr)
+		case op == ORIGIN:
+			pushAddress(st, evm.Tx.Origin)
+		case op == CALLER:
+			pushAddress(st, c.CallerAddress)
+		case op == CALLVALUE:
+			st.push(c.Value)
+		case op == CALLDATALOAD:
+			v := st.peek(0)
+			v.SetBytes(readSlice(c.Input, v, 32))
+		case op == CALLDATASIZE:
+			st.pushUint64(uint64(len(c.Input)))
+		case op == CODESIZE:
+			st.pushUint64(uint64(len(c.Code)))
+		case op == GASPRICE:
+			st.push(evm.Tx.GasPrice)
+		case op == RETURNDATASIZE:
+			st.pushUint64(uint64(len(evm.returnData)))
+
+		case op == CALLDATACOPY, op == CODECOPY, op == RETURNDATACOPY:
+			memOff := st.pop()
+			dataOff := st.pop()
+			size := st.pop()
+			cost, off, sz, err := memExpansion(mem, &memOff, &size)
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost + toWordSize(sz)*GasCopyWord) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			var src []byte
+			switch op {
+			case CALLDATACOPY:
+				src = c.Input
+			case CODECOPY:
+				src = c.Code
+			case RETURNDATACOPY:
+				// Strict bounds: out-of-range is an error, not zero fill.
+				end := new(uint256.Int).Add(&dataOff, &size)
+				if !end.IsUint64() || end.Uint64() > uint64(len(evm.returnData)) {
+					return nil, ErrReturnDataOutOfBounds
+				}
+				src = evm.returnData
+			}
+			mem.set(off, readSlice(src, &dataOff, sz))
+
+		case op == EXTCODESIZE:
+			a := st.peek(0)
+			addr := wordToAddress(a)
+			a.SetUint64(uint64(evm.State.GetCodeSize(addr)))
+
+		case op == EXTCODECOPY:
+			target := st.pop()
+			memOff := st.pop()
+			codeOff := st.pop()
+			size := st.pop()
+			cost, off, sz, err := memExpansion(mem, &memOff, &size)
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost + toWordSize(sz)*GasCopyWord) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			extCode := evm.State.GetCode(wordToAddress(&target))
+			mem.set(off, readSlice(extCode, &codeOff, sz))
+
+		case op == EXTCODEHASH:
+			a := st.peek(0)
+			addr := wordToAddress(a)
+			if evm.State.Empty(addr) {
+				a.Clear()
+			} else {
+				a.SetBytes(evm.State.GetCodeHash(addr).Bytes())
+			}
+
+		case op == BLOCKHASH:
+			v := st.peek(0)
+			if v.IsUint64() && v.Uint64() < evm.Block.Number && evm.Block.Number-v.Uint64() <= 256 {
+				h := evm.Block.BlockHash(v.Uint64())
+				v.SetBytes(h.Bytes())
+			} else {
+				v.Clear()
+			}
+		case op == COINBASE:
+			pushAddress(st, evm.Block.Coinbase)
+		case op == TIMESTAMP:
+			st.pushUint64(evm.Block.Time)
+		case op == NUMBER:
+			st.pushUint64(evm.Block.Number)
+		case op == DIFFICULTY:
+			st.push(evm.Block.Difficulty)
+		case op == GASLIMIT:
+			st.pushUint64(evm.Block.GasLimit)
+
+		case op == POP:
+			st.pop()
+
+		case op == MLOAD:
+			offset := st.peek(0)
+			cost, off, _, err := memExpansion(mem, offset, uint256.NewInt(32))
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + 32)
+			offset.SetBytes(mem.view(off, 32))
+
+		case op == MSTORE:
+			offset := st.pop()
+			value := st.pop()
+			cost, off, _, err := memExpansion(mem, &offset, uint256.NewInt(32))
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + 32)
+			word := value.Bytes32()
+			mem.set(off, word[:])
+
+		case op == MSTORE8:
+			offset := st.pop()
+			value := st.pop()
+			cost, off, _, err := memExpansion(mem, &offset, uint256.NewInt(1))
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + 1)
+			mem.setByte(off, byte(value.Uint64()))
+
+		case op == SLOAD:
+			k := st.peek(0)
+			key := types.BytesToHash(kBytes(k))
+			val := evm.State.GetState(c.Address, key)
+			k.SetBytes(val.Bytes())
+
+		case op == SSTORE:
+			if readOnly {
+				return nil, ErrWriteProtection
+			}
+			key := st.pop()
+			val := st.pop()
+			kh := types.BytesToHash(kBytes(&key))
+			vh := types.BytesToHash(kBytes(&val))
+			current := evm.State.GetState(c.Address, kh)
+			// Pre-EIP-1283 rule (the schedule Solidity-era gas intuition and
+			// the paper's Table II numbers are based on).
+			var cost uint64
+			switch {
+			case current.IsZero() && !vh.IsZero():
+				cost = GasSstoreSet
+			default:
+				cost = GasSstoreReset
+				if !current.IsZero() && vh.IsZero() {
+					evm.State.AddRefund(GasSstoreRefund)
+				}
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			evm.State.SetState(c.Address, kh, vh)
+
+		case op == JUMP:
+			dest := st.pop()
+			if !c.validJumpdest(&dest) {
+				return nil, ErrInvalidJump
+			}
+			pc = dest.Uint64()
+			continue
+
+		case op == JUMPI:
+			dest := st.pop()
+			cond := st.pop()
+			if !cond.IsZero() {
+				if !c.validJumpdest(&dest) {
+					return nil, ErrInvalidJump
+				}
+				pc = dest.Uint64()
+				continue
+			}
+
+		case op == PC:
+			st.pushUint64(pc)
+		case op == MSIZE:
+			st.pushUint64(mem.size())
+		case op == GAS:
+			st.pushUint64(c.Gas)
+		case op == JUMPDEST:
+			// no-op
+
+		case op.IsPush():
+			n := uint64(op-PUSH1) + 1
+			var v uint256.Int
+			start := pc + 1
+			end := start + n
+			if start > uint64(len(code)) {
+				start = uint64(len(code))
+			}
+			if end > uint64(len(code)) {
+				// Zero-fill past end of code.
+				buf := make([]byte, n)
+				copy(buf, code[start:])
+				v.SetBytes(buf)
+			} else {
+				v.SetBytes(code[start:end])
+			}
+			st.push(&v)
+			pc += n + 1
+			continue
+
+		case op >= DUP1 && op <= DUP16:
+			st.dup(int(op-DUP1) + 1)
+
+		case op >= SWAP1 && op <= SWAP16:
+			st.swap(int(op-SWAP1) + 1)
+
+		case op >= LOG0 && op <= LOG4:
+			if readOnly {
+				return nil, ErrWriteProtection
+			}
+			nTopics := int(op - LOG0)
+			offset := st.pop()
+			size := st.pop()
+			topics := make([]types.Hash, nTopics)
+			for i := 0; i < nTopics; i++ {
+				t := st.pop()
+				topics[i] = types.BytesToHash(kBytes(&t))
+			}
+			cost, off, sz, err := memExpansion(mem, &offset, &size)
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost + sz*GasLogByte) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			evm.State.AddLog(&types.Log{
+				Address: c.Address,
+				Topics:  topics,
+				Data:    mem.get(off, sz),
+			})
+
+		case op == CREATE, op == CREATE2:
+			if readOnly {
+				return nil, ErrWriteProtection
+			}
+			value := st.pop()
+			offset := st.pop()
+			size := st.pop()
+			var salt uint256.Int
+			if op == CREATE2 {
+				salt = st.pop()
+			}
+			cost, off, sz, err := memExpansion(mem, &offset, &size)
+			if err != nil {
+				return nil, err
+			}
+			if op == CREATE2 {
+				cost += toWordSize(sz) * GasSha3Word // hashing the init code
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			initCode := mem.get(off, sz)
+			// EIP-150: forward all but 1/64th.
+			forward := c.Gas - c.Gas/64
+			c.Gas -= forward
+			var ret []byte
+			var addr types.Address
+			var leftGas uint64
+			if op == CREATE {
+				ret, addr, leftGas, err = evm.Create(c.Address, initCode, forward, &value)
+			} else {
+				ret, addr, leftGas, err = evm.Create2(c.Address, initCode, forward, &value, types.BytesToHash(kBytes(&salt)))
+			}
+			c.Gas += leftGas
+			var res uint256.Int
+			if err == nil {
+				res.SetBytes(addr.Bytes())
+				evm.returnData = nil
+			} else if err == ErrExecutionReverted {
+				evm.returnData = ret
+			} else {
+				evm.returnData = nil
+			}
+			st.push(&res)
+
+		case op == CALL, op == CALLCODE, op == DELEGATECALL, op == STATICCALL:
+			gasReq := st.pop()
+			target := st.pop()
+			var value uint256.Int
+			if op == CALL || op == CALLCODE {
+				value = st.pop()
+			}
+			inOff := st.pop()
+			inSize := st.pop()
+			outOff := st.pop()
+			outSize := st.pop()
+
+			if op == CALL && readOnly && !value.IsZero() {
+				return nil, ErrWriteProtection
+			}
+
+			costIn, inO, inS, err := memExpansion(mem, &inOff, &inSize)
+			if err != nil {
+				return nil, err
+			}
+			mem.resize(inO + inS)
+			costOut, outO, outS, err := memExpansion(mem, &outOff, &outSize)
+			if err != nil {
+				return nil, err
+			}
+			extra := costIn + costOut
+			if !value.IsZero() {
+				extra += GasCallValue
+				if op == CALL && !evm.State.Exist(wordToAddress(&target)) {
+					extra += GasNewAccount
+				}
+			}
+			if !c.useGas(extra) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(outO + outS)
+
+			// EIP-150 forwarding cap.
+			available := c.Gas - c.Gas/64
+			forward := available
+			if gasReq.IsUint64() && gasReq.Uint64() < available {
+				forward = gasReq.Uint64()
+			}
+			c.Gas -= forward
+			if !value.IsZero() {
+				forward += GasCallStipend
+			}
+
+			input := mem.get(inO, inS)
+			addr := wordToAddress(&target)
+			var ret []byte
+			var leftGas uint64
+			switch op {
+			case CALL:
+				ret, leftGas, err = evm.Call(c.Address, addr, input, forward, &value)
+			case CALLCODE:
+				ret, leftGas, err = evm.CallCode(c.Address, addr, input, forward, &value)
+			case DELEGATECALL:
+				ret, leftGas, err = evm.DelegateCall(c, addr, input, forward)
+			case STATICCALL:
+				ret, leftGas, err = evm.StaticCall(c.Address, addr, input, forward)
+			}
+			c.Gas += leftGas
+			evm.returnData = ret
+			var res uint256.Int
+			if err == nil {
+				res.SetOne()
+			}
+			if len(ret) > 0 && outS > 0 {
+				n := uint64(len(ret))
+				if n > outS {
+					n = outS
+				}
+				mem.set(outO, ret[:n])
+			}
+			st.push(&res)
+
+		case op == RETURN:
+			offset := st.pop()
+			size := st.pop()
+			cost, off, sz, err := memExpansion(mem, &offset, &size)
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			return mem.get(off, sz), nil
+
+		case op == REVERT:
+			offset := st.pop()
+			size := st.pop()
+			cost, off, sz, err := memExpansion(mem, &offset, &size)
+			if err != nil {
+				return nil, err
+			}
+			if !c.useGas(cost) {
+				return nil, ErrOutOfGas
+			}
+			mem.resize(off + sz)
+			return mem.get(off, sz), ErrExecutionReverted
+
+		case op == INVALID:
+			return nil, ErrInvalidOpcode
+
+		case op == SELFDESTRUCT:
+			if readOnly {
+				return nil, ErrWriteProtection
+			}
+			beneficiary := st.pop()
+			target := wordToAddress(&beneficiary)
+			balance := evm.State.GetBalance(c.Address)
+			if !balance.IsZero() && !evm.State.Exist(target) {
+				if !c.useGas(GasNewAccount) {
+					return nil, ErrOutOfGas
+				}
+			}
+			if !evm.State.HasSelfDestructed(c.Address) {
+				evm.State.AddRefund(GasSelfdestructRefund)
+			}
+			evm.State.AddBalance(target, balance)
+			evm.State.SelfDestruct(c.Address)
+			return nil, nil
+
+		default:
+			return nil, ErrInvalidOpcode
+		}
+		pc++
+	}
+}
+
+// readSlice reads size bytes from data at a 256-bit offset with zero fill.
+func readSlice(data []byte, offset *uint256.Int, size uint64) []byte {
+	out := make([]byte, size)
+	if !offset.IsUint64() {
+		return out
+	}
+	off := offset.Uint64()
+	if off >= uint64(len(data)) {
+		return out
+	}
+	copy(out, data[off:])
+	return out
+}
+
+func pushAddress(st *Stack, addr types.Address) {
+	var v uint256.Int
+	v.SetBytes(addr.Bytes())
+	st.push(&v)
+}
+
+func wordToAddress(v *uint256.Int) types.Address {
+	b := v.Bytes32()
+	return types.BytesToAddress(b[12:])
+}
+
+func kBytes(v *uint256.Int) []byte {
+	b := v.Bytes32()
+	return b[:]
+}

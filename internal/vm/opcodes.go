@@ -1,0 +1,152 @@
+package vm
+
+import "fmt"
+
+// OpCode is an EVM opcode.
+type OpCode byte
+
+// Opcode definitions (Constantinople-era instruction set).
+const (
+	STOP       OpCode = 0x00
+	ADD        OpCode = 0x01
+	MUL        OpCode = 0x02
+	SUB        OpCode = 0x03
+	DIV        OpCode = 0x04
+	SDIV       OpCode = 0x05
+	MOD        OpCode = 0x06
+	SMOD       OpCode = 0x07
+	ADDMOD     OpCode = 0x08
+	MULMOD     OpCode = 0x09
+	EXP        OpCode = 0x0a
+	SIGNEXTEND OpCode = 0x0b
+
+	LT     OpCode = 0x10
+	GT     OpCode = 0x11
+	SLT    OpCode = 0x12
+	SGT    OpCode = 0x13
+	EQ     OpCode = 0x14
+	ISZERO OpCode = 0x15
+	AND    OpCode = 0x16
+	OR     OpCode = 0x17
+	XOR    OpCode = 0x18
+	NOT    OpCode = 0x19
+	BYTE   OpCode = 0x1a
+	SHL    OpCode = 0x1b
+	SHR    OpCode = 0x1c
+	SAR    OpCode = 0x1d
+
+	SHA3 OpCode = 0x20
+
+	ADDRESS        OpCode = 0x30
+	BALANCE        OpCode = 0x31
+	ORIGIN         OpCode = 0x32
+	CALLER         OpCode = 0x33
+	CALLVALUE      OpCode = 0x34
+	CALLDATALOAD   OpCode = 0x35
+	CALLDATASIZE   OpCode = 0x36
+	CALLDATACOPY   OpCode = 0x37
+	CODESIZE       OpCode = 0x38
+	CODECOPY       OpCode = 0x39
+	GASPRICE       OpCode = 0x3a
+	EXTCODESIZE    OpCode = 0x3b
+	EXTCODECOPY    OpCode = 0x3c
+	RETURNDATASIZE OpCode = 0x3d
+	RETURNDATACOPY OpCode = 0x3e
+	EXTCODEHASH    OpCode = 0x3f
+
+	BLOCKHASH  OpCode = 0x40
+	COINBASE   OpCode = 0x41
+	TIMESTAMP  OpCode = 0x42
+	NUMBER     OpCode = 0x43
+	DIFFICULTY OpCode = 0x44
+	GASLIMIT   OpCode = 0x45
+
+	POP      OpCode = 0x50
+	MLOAD    OpCode = 0x51
+	MSTORE   OpCode = 0x52
+	MSTORE8  OpCode = 0x53
+	SLOAD    OpCode = 0x54
+	SSTORE   OpCode = 0x55
+	JUMP     OpCode = 0x56
+	JUMPI    OpCode = 0x57
+	PC       OpCode = 0x58
+	MSIZE    OpCode = 0x59
+	GAS      OpCode = 0x5a
+	JUMPDEST OpCode = 0x5b
+
+	PUSH1  OpCode = 0x60
+	PUSH2  OpCode = 0x61
+	PUSH3  OpCode = 0x62
+	PUSH4  OpCode = 0x63
+	PUSH20 OpCode = 0x73
+	PUSH32 OpCode = 0x7f
+	DUP1   OpCode = 0x80
+	DUP2   OpCode = 0x81
+	DUP3   OpCode = 0x82
+	DUP4   OpCode = 0x83
+	DUP16  OpCode = 0x8f
+	SWAP1  OpCode = 0x90
+	SWAP2  OpCode = 0x91
+	SWAP3  OpCode = 0x92
+	SWAP4  OpCode = 0x93
+	SWAP16 OpCode = 0x9f
+
+	LOG0 OpCode = 0xa0
+	LOG1 OpCode = 0xa1
+	LOG2 OpCode = 0xa2
+	LOG3 OpCode = 0xa3
+	LOG4 OpCode = 0xa4
+
+	CREATE       OpCode = 0xf0
+	CALL         OpCode = 0xf1
+	CALLCODE     OpCode = 0xf2
+	RETURN       OpCode = 0xf3
+	DELEGATECALL OpCode = 0xf4
+	CREATE2      OpCode = 0xf5
+	STATICCALL   OpCode = 0xfa
+	REVERT       OpCode = 0xfd
+	INVALID      OpCode = 0xfe
+	SELFDESTRUCT OpCode = 0xff
+)
+
+// IsPush reports whether op is PUSH1..PUSH32.
+func (op OpCode) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+var opNames = map[OpCode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", SDIV: "SDIV",
+	MOD: "MOD", SMOD: "SMOD", ADDMOD: "ADDMOD", MULMOD: "MULMOD", EXP: "EXP",
+	SIGNEXTEND: "SIGNEXTEND", LT: "LT", GT: "GT", SLT: "SLT", SGT: "SGT",
+	EQ: "EQ", ISZERO: "ISZERO", AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT",
+	BYTE: "BYTE", SHL: "SHL", SHR: "SHR", SAR: "SAR", SHA3: "SHA3",
+	ADDRESS: "ADDRESS", BALANCE: "BALANCE", ORIGIN: "ORIGIN", CALLER: "CALLER",
+	CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	CALLDATACOPY: "CALLDATACOPY", CODESIZE: "CODESIZE", CODECOPY: "CODECOPY",
+	GASPRICE: "GASPRICE", EXTCODESIZE: "EXTCODESIZE", EXTCODECOPY: "EXTCODECOPY",
+	RETURNDATASIZE: "RETURNDATASIZE", RETURNDATACOPY: "RETURNDATACOPY",
+	EXTCODEHASH: "EXTCODEHASH", BLOCKHASH: "BLOCKHASH", COINBASE: "COINBASE",
+	TIMESTAMP: "TIMESTAMP", NUMBER: "NUMBER", DIFFICULTY: "DIFFICULTY",
+	GASLIMIT: "GASLIMIT", POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE",
+	MSTORE8: "MSTORE8", SLOAD: "SLOAD", SSTORE: "SSTORE", JUMP: "JUMP",
+	JUMPI: "JUMPI", PC: "PC", MSIZE: "MSIZE", GAS: "GAS", JUMPDEST: "JUMPDEST",
+	LOG0: "LOG0", LOG1: "LOG1", LOG2: "LOG2", LOG3: "LOG3", LOG4: "LOG4",
+	CREATE: "CREATE", CALL: "CALL", CALLCODE: "CALLCODE", RETURN: "RETURN",
+	DELEGATECALL: "DELEGATECALL", CREATE2: "CREATE2", STATICCALL: "STATICCALL",
+	REVERT: "REVERT", INVALID: "INVALID", SELFDESTRUCT: "SELFDESTRUCT",
+}
+
+// String returns the mnemonic for the opcode.
+func (op OpCode) String() string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	if op.IsPush() {
+		return fmt.Sprintf("PUSH%d", int(op-PUSH1)+1)
+	}
+	if op >= DUP1 && op <= DUP16 {
+		return fmt.Sprintf("DUP%d", int(op-DUP1)+1)
+	}
+	if op >= SWAP1 && op <= SWAP16 {
+		return fmt.Sprintf("SWAP%d", int(op-SWAP1)+1)
+	}
+	return fmt.Sprintf("opcode(0x%02x)", byte(op))
+}

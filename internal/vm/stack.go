@@ -1,0 +1,102 @@
+package vm
+
+import "onoffchain/internal/uint256"
+
+// Stack is the EVM operand stack (max 1024 words). Values are stored by
+// value to prevent aliasing between slots.
+type Stack struct {
+	data []uint256.Int
+}
+
+func newStack() *Stack {
+	return &Stack{data: make([]uint256.Int, 0, 64)}
+}
+
+func (s *Stack) len() int { return len(s.data) }
+
+func (s *Stack) push(v *uint256.Int) {
+	s.data = append(s.data, *v)
+}
+
+func (s *Stack) pushUint64(v uint64) {
+	var z uint256.Int
+	z.SetUint64(v)
+	s.data = append(s.data, z)
+}
+
+// pop removes and returns the top element by value.
+func (s *Stack) pop() uint256.Int {
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v
+}
+
+// peek returns a pointer to the n'th element from the top (0 = top). The
+// pointer is valid until the next push.
+func (s *Stack) peek(n int) *uint256.Int {
+	return &s.data[len(s.data)-1-n]
+}
+
+func (s *Stack) dup(n int) {
+	s.data = append(s.data, s.data[len(s.data)-n])
+}
+
+func (s *Stack) swap(n int) {
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+}
+
+// Memory is the EVM byte-addressed volatile memory with word-granular
+// expansion.
+type Memory struct {
+	store []byte
+}
+
+func newMemory() *Memory { return &Memory{} }
+
+// size returns the current memory size in bytes.
+func (m *Memory) size() uint64 { return uint64(len(m.store)) }
+
+// resize grows memory to at least size bytes, rounded up to a word.
+func (m *Memory) resize(size uint64) {
+	if size <= uint64(len(m.store)) {
+		return
+	}
+	rounded := toWordSize(size) * 32
+	grown := make([]byte, rounded)
+	copy(grown, m.store)
+	m.store = grown
+}
+
+// set writes value at [offset, offset+len(value)). Memory must already be
+// sized (the interpreter charges and resizes before calling).
+func (m *Memory) set(offset uint64, value []byte) {
+	if len(value) == 0 {
+		return
+	}
+	copy(m.store[offset:offset+uint64(len(value))], value)
+}
+
+// setByte writes a single byte.
+func (m *Memory) setByte(offset uint64, b byte) {
+	m.store[offset] = b
+}
+
+// get returns a copy of memory [offset, offset+size).
+func (m *Memory) get(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	out := make([]byte, size)
+	copy(out, m.store[offset:offset+size])
+	return out
+}
+
+// view returns a direct slice of memory (no copy); caller must not retain
+// it across resizes.
+func (m *Memory) view(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	return m.store[offset : offset+size]
+}

@@ -1,0 +1,227 @@
+// Package whisper implements a minimal off-chain messaging layer in the
+// spirit of Ethereum Whisper, which the paper names as the channel for
+// circulating signed copies of the off-chain contract. It provides
+// topic-based publish/subscribe between identified nodes, envelope
+// signatures (sender authentication via secp256k1/keccak, the same
+// primitives the chain uses), optional AES-GCM symmetric encryption for
+// private topics, and TTL-based expiry.
+package whisper
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+)
+
+// Topic is a 4-byte routing tag, as in Whisper v5/v6.
+type Topic [4]byte
+
+// TopicFromString derives a topic from a human-readable name.
+func TopicFromString(s string) Topic {
+	h := keccak.Sum256([]byte(s))
+	var t Topic
+	copy(t[:], h[:4])
+	return t
+}
+
+// Envelope is a routed message. Payload may be encrypted; Sig authenticates
+// the sender over keccak256(topic || expiry || payload).
+type Envelope struct {
+	Topic   Topic
+	Expiry  uint64 // simulated-seconds timestamp after which it is dropped
+	Payload []byte
+	From    types.Address
+	SigV    byte
+	SigR    *big.Int
+	SigS    *big.Int
+}
+
+func (e *Envelope) signingHash() []byte {
+	var expiry [8]byte
+	for i := 0; i < 8; i++ {
+		expiry[7-i] = byte(e.Expiry >> (8 * i))
+	}
+	return keccak.Sum256Bytes(e.Topic[:], expiry[:], e.Payload)
+}
+
+// Verify checks the envelope signature against the claimed sender.
+func (e *Envelope) Verify() bool {
+	if e.SigR == nil || e.SigS == nil {
+		return false
+	}
+	addr, err := secp256k1.RecoverAddress(e.signingHash(), e.SigR, e.SigS, e.SigV)
+	if err != nil {
+		return false
+	}
+	return types.Address(addr) == e.From
+}
+
+// Network is an in-process message hub connecting nodes, standing in for
+// the Whisper DHT/gossip overlay.
+type Network struct {
+	mu    sync.Mutex
+	subs  map[Topic][]*subscription
+	now   func() uint64
+	drops int // expired envelopes dropped
+}
+
+type subscription struct {
+	node *Node
+	ch   chan *Envelope
+}
+
+// NewNetwork creates a hub. The clock function supplies simulated time for
+// TTL handling (defaults to a constant if nil, disabling expiry).
+func NewNetwork(clock func() uint64) *Network {
+	if clock == nil {
+		clock = func() uint64 { return 0 }
+	}
+	return &Network{subs: make(map[Topic][]*subscription), now: clock}
+}
+
+// Drops reports how many envelopes expired before delivery.
+func (n *Network) Drops() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.drops
+}
+
+// Node is a network participant bound to a secp256k1 identity.
+type Node struct {
+	network *Network
+	key     *secp256k1.PrivateKey
+	address types.Address
+}
+
+// NewNode attaches an identity to the network.
+func (n *Network) NewNode(key *secp256k1.PrivateKey) *Node {
+	return &Node{network: n, key: key, address: types.Address(key.EthereumAddress())}
+}
+
+// Address returns the node's identity address.
+func (nd *Node) Address() types.Address { return nd.address }
+
+// Subscribe returns a channel of verified envelopes on the topic. The
+// buffer is generous; a full buffer drops (simulating lossy gossip).
+func (nd *Node) Subscribe(topic Topic) <-chan *Envelope {
+	ch := make(chan *Envelope, 256)
+	nd.network.mu.Lock()
+	defer nd.network.mu.Unlock()
+	nd.network.subs[topic] = append(nd.network.subs[topic], &subscription{node: nd, ch: ch})
+	return ch
+}
+
+// PostOptions tunes a message posting.
+type PostOptions struct {
+	// TTL in simulated seconds; 0 means no expiry.
+	TTL uint64
+	// Key enables AES-GCM encryption with a 32-byte shared symmetric key.
+	Key []byte
+}
+
+// Post signs and publishes payload on the topic, delivering to all current
+// subscribers (including the sender's own subscriptions).
+func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, error) {
+	body := payload
+	if opts.Key != nil {
+		enc, err := Encrypt(opts.Key, payload)
+		if err != nil {
+			return nil, err
+		}
+		body = enc
+	}
+	env := &Envelope{
+		Topic:   topic,
+		Payload: body,
+		From:    nd.address,
+	}
+	if opts.TTL > 0 {
+		env.Expiry = nd.network.now() + opts.TTL
+	}
+	sig, err := secp256k1.Sign(nd.key, env.signingHash())
+	if err != nil {
+		return nil, fmt.Errorf("whisper: sign envelope: %w", err)
+	}
+	env.SigV, env.SigR, env.SigS = sig.V, sig.R, sig.S
+
+	nd.network.mu.Lock()
+	defer nd.network.mu.Unlock()
+	if env.Expiry != 0 && nd.network.now() > env.Expiry {
+		nd.network.drops++
+		return env, nil
+	}
+	for _, sub := range nd.network.subs[topic] {
+		select {
+		case sub.ch <- env:
+		default: // lossy delivery under backpressure
+		}
+	}
+	return env, nil
+}
+
+// Encrypt seals plaintext with AES-256-GCM under a 32-byte key.
+func Encrypt(key, plaintext []byte) ([]byte, error) {
+	if len(key) != 32 {
+		return nil, errors.New("whisper: symmetric key must be 32 bytes")
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, gcm.Seal(nil, nonce, plaintext, nil)...), nil
+}
+
+// Decrypt opens an AES-256-GCM sealed payload.
+func Decrypt(key, sealed []byte) ([]byte, error) {
+	if len(key) != 32 {
+		return nil, errors.New("whisper: symmetric key must be 32 bytes")
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, errors.New("whisper: sealed payload too short")
+	}
+	nonce, ct := sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():]
+	return gcm.Open(nil, nonce, ct, nil)
+}
+
+// SharedTopicKey derives a deterministic 32-byte symmetric key for a set of
+// participants (a stand-in for a key agreement run over the handshake; all
+// participants can compute it from the sorted address list plus a label).
+func SharedTopicKey(label string, participants []types.Address) []byte {
+	sorted := make([][]byte, len(participants))
+	for i, p := range participants {
+		sorted[i] = p.Bytes()
+	}
+	// insertion sort: participant sets are tiny
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && string(sorted[j-1]) > string(sorted[j]); j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	parts := [][]byte{[]byte(label)}
+	parts = append(parts, sorted...)
+	return keccak.Sum256Bytes(parts...)
+}

@@ -1,0 +1,202 @@
+package whisper
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+)
+
+func newKey(seed int64) *secp256k1.PrivateKey {
+	k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(seed))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestPostAndSubscribe(t *testing.T) {
+	net := NewNetwork(nil)
+	alice := net.NewNode(newKey(1))
+	bob := net.NewNode(newKey(2))
+
+	topic := TopicFromString("betting/signed-copy")
+	inbox := bob.Subscribe(topic)
+
+	if _, err := alice.Post(topic, []byte("hello bob"), PostOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-inbox
+	if string(env.Payload) != "hello bob" {
+		t.Errorf("payload = %q", env.Payload)
+	}
+	if env.From != alice.Address() {
+		t.Errorf("from = %s", env.From)
+	}
+	if !env.Verify() {
+		t.Error("envelope signature invalid")
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	net := NewNetwork(nil)
+	alice := net.NewNode(newKey(3))
+	bob := net.NewNode(newKey(4))
+
+	t1 := TopicFromString("topic-one")
+	t2 := TopicFromString("topic-two")
+	inbox1 := bob.Subscribe(t1)
+
+	alice.Post(t2, []byte("wrong room"), PostOptions{})
+	alice.Post(t1, []byte("right room"), PostOptions{})
+
+	env := <-inbox1
+	if string(env.Payload) != "right room" {
+		t.Errorf("got %q", env.Payload)
+	}
+	select {
+	case extra := <-inbox1:
+		t.Errorf("unexpected delivery: %q", extra.Payload)
+	default:
+	}
+}
+
+func TestEnvelopeTamperDetection(t *testing.T) {
+	net := NewNetwork(nil)
+	alice := net.NewNode(newKey(5))
+	bob := net.NewNode(newKey(6))
+	topic := TopicFromString("t")
+	inbox := bob.Subscribe(topic)
+	alice.Post(topic, []byte("authentic"), PostOptions{})
+	env := <-inbox
+	env.Payload = []byte("forged!!!")
+	if env.Verify() {
+		t.Error("tampered envelope verified")
+	}
+	// Claiming a different sender must also fail.
+	env.Payload = []byte("authentic")
+	env.From = bob.Address()
+	if env.Verify() {
+		t.Error("spoofed sender verified")
+	}
+}
+
+func TestEncryptionRoundTripAndWrongKey(t *testing.T) {
+	participants := []types.Address{
+		types.BytesToAddress([]byte{1}),
+		types.BytesToAddress([]byte{2}),
+	}
+	key := SharedTopicKey("bet-42", participants)
+	if len(key) != 32 {
+		t.Fatalf("key length %d", len(key))
+	}
+	sealed, err := Encrypt(key, []byte("secret contract bytecode"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Decrypt(key, sealed)
+	if err != nil || string(plain) != "secret contract bytecode" {
+		t.Fatalf("decrypt: %q, %v", plain, err)
+	}
+	wrong := SharedTopicKey("bet-43", participants)
+	if _, err := Decrypt(wrong, sealed); err == nil {
+		t.Error("wrong key decrypted")
+	}
+	if _, err := Encrypt(key[:16], nil); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestSharedKeyOrderIndependent(t *testing.T) {
+	a := types.BytesToAddress([]byte{0xAA})
+	b := types.BytesToAddress([]byte{0xBB})
+	k1 := SharedTopicKey("label", []types.Address{a, b})
+	k2 := SharedTopicKey("label", []types.Address{b, a})
+	if !bytes.Equal(k1, k2) {
+		t.Error("shared key depends on participant order")
+	}
+	k3 := SharedTopicKey("label", []types.Address{a})
+	if bytes.Equal(k1, k3) {
+		t.Error("different participant sets share a key")
+	}
+}
+
+func TestEncryptedPost(t *testing.T) {
+	net := NewNetwork(nil)
+	alice := net.NewNode(newKey(7))
+	bob := net.NewNode(newKey(8))
+	eve := net.NewNode(newKey(9))
+
+	topic := TopicFromString("private")
+	bobInbox := bob.Subscribe(topic)
+	eveInbox := eve.Subscribe(topic)
+
+	key := SharedTopicKey("alice-bob", []types.Address{alice.Address(), bob.Address()})
+	secret := []byte("the betting rules: reveal() internals")
+	alice.Post(topic, secret, PostOptions{Key: key})
+
+	bobEnv := <-bobInbox
+	plain, err := Decrypt(key, bobEnv.Payload)
+	if err != nil || !bytes.Equal(plain, secret) {
+		t.Fatalf("bob decrypt: %v", err)
+	}
+	// Eve receives the envelope but cannot read it.
+	eveEnv := <-eveInbox
+	if bytes.Contains(eveEnv.Payload, []byte("betting")) {
+		t.Error("payload leaked in plaintext")
+	}
+	eveKey := SharedTopicKey("alice-eve", []types.Address{alice.Address(), eve.Address()})
+	if _, err := Decrypt(eveKey, eveEnv.Payload); err == nil {
+		t.Error("eve decrypted with wrong key")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := uint64(1000)
+	net := NewNetwork(func() uint64 { return now })
+	alice := net.NewNode(newKey(10))
+	bob := net.NewNode(newKey(11))
+	topic := TopicFromString("ttl")
+	inbox := bob.Subscribe(topic)
+
+	env, err := alice.Post(topic, []byte("fresh"), PostOptions{TTL: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Expiry != 1100 {
+		t.Errorf("expiry = %d", env.Expiry)
+	}
+	<-inbox
+
+	// After the clock passes the expiry, posting an already-expired message
+	// is dropped (simulates propagation delay).
+	now = 5000
+	expired := &Envelope{Topic: topic, Expiry: 1100}
+	_ = expired
+	if _, err := alice.Post(topic, []byte("late"), PostOptions{TTL: 0}); err != nil {
+		t.Fatal(err)
+	}
+	<-inbox // TTL 0 = no expiry, still delivered
+	if net.Drops() != 0 {
+		t.Errorf("drops = %d", net.Drops())
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	net := NewNetwork(nil)
+	sender := net.NewNode(newKey(12))
+	topic := TopicFromString("fanout")
+	var inboxes []<-chan *Envelope
+	for i := int64(13); i < 18; i++ {
+		inboxes = append(inboxes, net.NewNode(newKey(i)).Subscribe(topic))
+	}
+	sender.Post(topic, []byte("broadcast"), PostOptions{})
+	for i, in := range inboxes {
+		env := <-in
+		if string(env.Payload) != "broadcast" {
+			t.Errorf("subscriber %d payload %q", i, env.Payload)
+		}
+	}
+}

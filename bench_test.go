@@ -6,9 +6,18 @@
 package onoffchain
 
 import (
+	"fmt"
+	"math/big"
 	"testing"
+	"time"
 
+	"onoffchain/internal/chain"
 	"onoffchain/internal/experiments"
+	"onoffchain/internal/hub"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
 )
 
 // BenchmarkTable2GasCost reproduces paper Table II: the gas cost of the
@@ -154,5 +163,64 @@ func BenchmarkDisputeLifecycle(b *testing.B) {
 		if _, err := experiments.RunBettingLifecycle(experiments.ModeHybrid, 64, true); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHubThroughput is the scalability headline the paper claims but
+// never measures: N concurrent hybrid sessions driven end-to-end through
+// all four stages (split/generate, deploy/sign, submit/challenge,
+// dispute/resolve) on ONE dev chain by the internal/hub orchestrator. One
+// session in ten is adversarial, so the watchtower's dispute path is part
+// of the measured workload. Reports sessions/sec and per-stage latency.
+func BenchmarkHubThroughput(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+				if err != nil {
+					b.Fatal(err)
+				}
+				faucetAddr := types.Address(faucetKey.EthereumAddress())
+				c := chain.NewDefault(map[types.Address]*uint256.Int{
+					faucetAddr: new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
+				})
+				net := whisper.NewNetwork(c.Now)
+				h := hub.New(c, net, faucetKey, hub.Config{Workers: 8})
+				specs := make([]*hub.Spec, n)
+				for s := range specs {
+					specs[s] = hub.BettingSpec(4, 600, s%10 == 0)
+				}
+				b.StartTimer()
+
+				start := time.Now()
+				reports := h.Run(specs)
+				elapsed := time.Since(start)
+
+				b.StopTimer()
+				disputes := 0
+				for s, rep := range reports {
+					if rep.Err != nil {
+						b.Fatalf("session %d failed: %v", s, rep.Err)
+					}
+					if rep.Disputed {
+						disputes++
+					}
+				}
+				m := h.Metrics()
+				if int(m.SessionsCompleted) != n || int(m.DisputesWon) != disputes {
+					b.Fatalf("metrics inconsistent: completed=%d disputes=%d/%d", m.SessionsCompleted, m.DisputesWon, disputes)
+				}
+				b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
+				for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
+					if agg, ok := m.Stages[st]; ok {
+						b.ReportMetric(float64(agg.Avg.Microseconds())/1000, "ms/"+st.String())
+					}
+				}
+				b.ReportMetric(float64(m.DisputesWon), "disputes-won")
+				h.Stop()
+				b.StartTimer()
+			}
+		})
 	}
 }

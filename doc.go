@@ -11,8 +11,8 @@
 // model with its four-stage enforcement mechanism (split/generate,
 // deploy/sign, submit/challenge, dispute/resolve).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured evaluation. The benchmarks in
-// bench_test.go regenerate every table and figure of the paper's
-// evaluation section.
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// hub's lifecycle/watchtower design. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation section and
+// add the concurrent-session throughput sweep the paper only assumes.
 package onoffchain

@@ -1,0 +1,109 @@
+// Hub demonstrates the concurrent session orchestrator: a fleet of
+// betting and auction sessions runs through the four-stage mechanism on
+// one dev chain, while the hub's watchtower monitors chain events. One
+// submitter is dishonest — watch the tower catch the lie inside the
+// challenge window and force the true result through dispute/resolve.
+// A log subscription (the push counterpart of FilterLogs) streams the
+// settlement events live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"sort"
+	"sync"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hub"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+func eth(n uint64) *uint256.Int {
+	return new(uint256.Int).Mul(uint256.NewInt(n), uint256.NewInt(1e18))
+}
+
+func main() {
+	// World: a dev chain with a rich faucet, a whisper network, a hub.
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
+	})
+	net := whisper.NewNetwork(c.Now)
+	h := hub.New(c, net, faucetKey, hub.Config{Workers: 4})
+
+	// Stream finalization and dispute events live over the push API.
+	finalized := c.SubscribeLogs(chain.FilterQuery{Topic: &hybrid.TopicResultFinalized})
+	resolved := c.SubscribeLogs(chain.FilterQuery{Topic: &hybrid.TopicDisputeResolved})
+	var feedWG sync.WaitGroup
+	feedWG.Add(2)
+	go func() {
+		defer feedWG.Done()
+		for l := range finalized.Logs() {
+			r, _ := hybrid.DecodeResultWord(l)
+			fmt.Printf("  [events] block %4d  %s  finalized result=%d (unchallenged)\n",
+				l.BlockNumber, l.Address.Hex()[:10], r)
+		}
+	}()
+	go func() {
+		defer feedWG.Done()
+		for l := range resolved.Logs() {
+			r, _ := hybrid.DecodeResultWord(l)
+			fmt.Printf("  [events] block %4d  %s  DISPUTE RESOLVED result=%d (enforced by miners)\n",
+				l.BlockNumber, l.Address.Hex()[:10], r)
+		}
+	}()
+
+	// The fleet: honest betting and auction sessions, plus one betting
+	// session whose representative will submit a flipped result.
+	specs := []*hub.Spec{
+		hub.BettingSpec(64, 600, false),
+		hub.AuctionSpec(600, false),
+		hub.BettingSpec(64, 600, true), // the adversary
+		hub.BettingSpec(64, 600, false),
+		hub.AuctionSpec(600, false),
+	}
+	fmt.Printf("running %d concurrent sessions (1 adversarial) through the hub...\n\n", len(specs))
+	reports := h.Run(specs)
+	m := h.Metrics()
+
+	// Flush the live event feed before summarizing.
+	h.Stop()
+	finalized.Unsubscribe()
+	resolved.Unsubscribe()
+	feedWG.Wait()
+
+	fmt.Println("\nper-session outcome:")
+	for i, rep := range reports {
+		if rep.Err != nil {
+			log.Fatalf("session %d (%s) failed: %v", i, rep.Scenario, rep.Err)
+		}
+		verdict := "settled honestly"
+		if rep.Disputed {
+			at, deadline := rep.Watch.DisputeTiming()
+			verdict = fmt.Sprintf("lied (%d for %d) -> auto-disputed at t=%d, %ds before the window closed",
+				rep.Submitted, rep.Result, at, deadline-at)
+		}
+		fmt.Printf("  %-20s stage=%-9s result=%d  %s\n", rep.Scenario, rep.Stage, rep.Result, verdict)
+	}
+
+	fmt.Printf("\nhub metrics: %d sessions in %s (%.1f sessions/sec), watchtower saw %d submissions, disputes raised/won %d/%d\n",
+		m.SessionsCompleted, m.Elapsed.Round(1e6), m.SessionsPerSec, m.SubmissionsSeen, m.DisputesRaised, m.DisputesWon)
+	fmt.Println("per-stage latency (avg/max):")
+	var stages []hub.Stage
+	for s := range m.Stages {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i] < stages[j] })
+	for _, s := range stages {
+		st := m.Stages[s]
+		fmt.Printf("  %-10s %8s / %s\n", s, st.Avg.Round(1e4), st.Max.Round(1e4))
+	}
+}

@@ -1,0 +1,3 @@
+module onoffchain
+
+go 1.24

@@ -63,6 +63,11 @@ type Chain struct {
 	txs      map[types.Hash]*types.Transaction
 	pending  []*types.Transaction
 	now      uint64 // current simulated time
+
+	// Push subscriptions (see subscription.go).
+	subID     uint64
+	logSubs   map[uint64]*LogSubscription
+	blockSubs map[uint64]*BlockSubscription
 }
 
 // New creates a chain with the given genesis balance allocation.
@@ -187,6 +192,12 @@ func (c *Chain) Receipt(txHash types.Hash) (*types.Receipt, error) {
 // it is executed immediately in a fresh block and the receipt is available
 // on return.
 func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
+	// Recover (and cache) the sender before taking the chain lock, so the
+	// elliptic-curve work of concurrent submitters runs in parallel
+	// instead of serializing inside the mining critical section.
+	if _, err := tx.Sender(); err != nil {
+		return types.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.validateTx(tx); err != nil {
@@ -278,6 +289,7 @@ func (c *Chain) mineLocked() *types.Block {
 	}
 	block := &types.Block{Header: header, Transactions: included, Receipts: receipts}
 	c.appendBlock(block)
+	c.notifySubs(block)
 	return block
 }
 
@@ -396,7 +408,7 @@ func (c *Chain) Call(msg CallMsg) ([]byte, uint64, error) {
 	if msg.Gas == 0 {
 		msg.Gas = c.config.GasLimit
 	}
-	st := c.state.Copy()
+	st := c.state.Fork()
 	head := c.blocks[len(c.blocks)-1]
 	evm := vm.NewEVM(c.blockContext(head.Number(), c.now), vm.TxContext{
 		Origin:   msg.From,
@@ -436,13 +448,9 @@ func (c *Chain) FilterLogs(q FilterQuery) []*types.Log {
 	for n := q.FromBlock; n <= to; n++ {
 		for _, r := range c.blocks[n].Receipts {
 			for _, l := range r.Logs {
-				if q.Address != nil && l.Address != *q.Address {
-					continue
+				if matchLog(&q, l) {
+					out = append(out, l)
 				}
-				if q.Topic != nil && (len(l.Topics) == 0 || l.Topics[0] != *q.Topic) {
-					continue
-				}
-				out = append(out, l)
 			}
 		}
 	}

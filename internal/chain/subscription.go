@@ -1,0 +1,227 @@
+package chain
+
+import (
+	"sync"
+
+	"onoffchain/internal/types"
+)
+
+// Push-based event delivery, the counterpart of the poll-only
+// FilterLogs/FilterQuery API: a subscription receives every matching log
+// (or every block) mined after the subscription was taken, in chain order.
+// Delivery is decoupled from mining by an unbounded per-subscription queue
+// and a pump goroutine, so a slow consumer can never stall block
+// production or other subscribers.
+
+// LogSubscription streams logs matching a filter as blocks are mined.
+type LogSubscription struct {
+	c  *Chain
+	id uint64
+	q  FilterQuery
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*types.Log
+	closed bool
+
+	quit chan struct{}
+	out  chan *types.Log
+}
+
+// BlockSubscription streams every newly mined block.
+type BlockSubscription struct {
+	c  *Chain
+	id uint64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*types.Block
+	closed bool
+
+	quit chan struct{}
+	out  chan *types.Block
+}
+
+// SubscribeLogs registers a push subscription for logs matching q's
+// Address/Topic selectors. The FromBlock/ToBlock range fields are ignored:
+// a subscription always starts at the next mined block (use FilterLogs for
+// history). The channel is closed by Unsubscribe.
+func (c *Chain) SubscribeLogs(q FilterQuery) *LogSubscription {
+	s := &LogSubscription{
+		c:    c,
+		q:    q,
+		quit: make(chan struct{}),
+		out:  make(chan *types.Log, 64),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	c.mu.Lock()
+	c.subID++
+	s.id = c.subID
+	if c.logSubs == nil {
+		c.logSubs = make(map[uint64]*LogSubscription)
+	}
+	c.logSubs[s.id] = s
+	c.mu.Unlock()
+	go s.pump()
+	return s
+}
+
+// Logs returns the delivery channel.
+func (s *LogSubscription) Logs() <-chan *types.Log { return s.out }
+
+// Unsubscribe detaches the subscription and closes the delivery channel
+// once queued logs are no longer wanted. Safe to call more than once.
+func (s *LogSubscription) Unsubscribe() {
+	s.c.mu.Lock()
+	delete(s.c.logSubs, s.id)
+	s.c.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *LogSubscription) enqueue(logs []*types.Log) {
+	s.mu.Lock()
+	s.queue = append(s.queue, logs...)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *LogSubscription) pump() {
+	defer close(s.out)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, l := range batch {
+			select {
+			case s.out <- l:
+			case <-s.quit:
+				return
+			}
+		}
+	}
+}
+
+// SubscribeBlocks registers a push subscription delivering every block
+// mined after the call, including empty blocks from a manual MineBlock.
+func (c *Chain) SubscribeBlocks() *BlockSubscription {
+	s := &BlockSubscription{
+		c:    c,
+		quit: make(chan struct{}),
+		out:  make(chan *types.Block, 64),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	c.mu.Lock()
+	c.subID++
+	s.id = c.subID
+	if c.blockSubs == nil {
+		c.blockSubs = make(map[uint64]*BlockSubscription)
+	}
+	c.blockSubs[s.id] = s
+	c.mu.Unlock()
+	go s.pump()
+	return s
+}
+
+// Blocks returns the delivery channel.
+func (s *BlockSubscription) Blocks() <-chan *types.Block { return s.out }
+
+// Unsubscribe detaches the subscription and closes the delivery channel.
+// Safe to call more than once.
+func (s *BlockSubscription) Unsubscribe() {
+	s.c.mu.Lock()
+	delete(s.c.blockSubs, s.id)
+	s.c.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *BlockSubscription) enqueue(b *types.Block) {
+	s.mu.Lock()
+	s.queue = append(s.queue, b)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *BlockSubscription) pump() {
+	defer close(s.out)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, b := range batch {
+			select {
+			case s.out <- b:
+			case <-s.quit:
+				return
+			}
+		}
+	}
+}
+
+// matchLog applies the Address/Topic selectors of a FilterQuery.
+func matchLog(q *FilterQuery, l *types.Log) bool {
+	if q.Address != nil && l.Address != *q.Address {
+		return false
+	}
+	if q.Topic != nil && (len(l.Topics) == 0 || l.Topics[0] != *q.Topic) {
+		return false
+	}
+	return true
+}
+
+// notifySubs fans a freshly mined block out to all subscriptions. Called
+// from mineLocked with c.mu held; enqueue only takes the subscription's
+// own lock, so the lock order is always c.mu -> sub.mu.
+func (c *Chain) notifySubs(b *types.Block) {
+	for _, s := range c.blockSubs {
+		s.enqueue(b)
+	}
+	if len(c.logSubs) == 0 {
+		return
+	}
+	var logs []*types.Log
+	for _, r := range b.Receipts {
+		logs = append(logs, r.Logs...)
+	}
+	if len(logs) == 0 {
+		return
+	}
+	for _, s := range c.logSubs {
+		var matched []*types.Log
+		for _, l := range logs {
+			if matchLog(&s.q, l) {
+				matched = append(matched, l)
+			}
+		}
+		if len(matched) > 0 {
+			s.enqueue(matched)
+		}
+	}
+}

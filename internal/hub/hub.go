@@ -1,0 +1,451 @@
+// Package hub is the concurrency layer the paper's evaluation assumes but
+// never builds: an orchestrator that drives many hybrid on/off-chain
+// contract sessions through the four-stage mechanism (split/generate,
+// deploy/sign, submit/challenge, dispute/resolve) at the same time, on one
+// chain, with an always-on watchtower that monitors chain events and
+// auto-disputes fraudulent result submissions within their challenge
+// windows. See DESIGN.md for the lifecycle diagram and the safety
+// argument for the caught-up barrier.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"time"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+// Spec declares one scenario a session should run. A Spec is immutable
+// configuration: the same *Spec may be submitted any number of times, and
+// every submission gets fresh participant keys and a fresh contract
+// instance.
+type Spec struct {
+	// Scenario labels the spec in reports.
+	Scenario string
+	// Source is the whole-contract Solo source; Contract names the
+	// contract within it.
+	Source   string
+	Contract string
+	// Policy partitions the contract (stage 1).
+	Policy hybrid.Policy
+	// CtorArgs builds the whole contract's constructor arguments for a
+	// fresh participant set. now is the chain's simulated time at session
+	// start; any deadlines derived from it should carry generous margins,
+	// because concurrent sessions share the one chain clock.
+	CtorArgs func(addrs []types.Address, now uint64) []interface{}
+	// Setup optionally runs scenario on-chain interactions (deposits)
+	// after deploy+sign and before off-chain execution.
+	Setup func(sess *hybrid.Session) error
+	// Funding is the per-party balance granted by the faucet (default 5
+	// ether).
+	Funding *uint256.Int
+	// DeployGas bounds the on-chain deployment (default 3,000,000).
+	DeployGas uint64
+	// Adversarial makes the submitting representative flip the agreed
+	// result. The watchtower must catch it: the session then terminates
+	// in StageResolved instead of StageSettled.
+	Adversarial bool
+}
+
+// Report is the terminal record of one session run.
+type Report struct {
+	Scenario    string
+	Stage       Stage // terminal stage
+	Err         error
+	Result      uint64 // unanimous off-chain outcome
+	Submitted   uint64 // what was actually pushed on-chain
+	Disputed    bool
+	OnChainAddr types.Address
+	Latency     map[Stage]time.Duration
+	// Session exposes the finished session for inspection (balances,
+	// on-chain queries). Never touched by the hub after the report is
+	// delivered.
+	Session *hybrid.Session
+	// Watch is the watchtower's record for the session.
+	Watch *Watch
+}
+
+// Ticket is a handle on an in-flight session.
+type Ticket struct {
+	Spec   *Spec
+	done   chan struct{}
+	report *Report
+}
+
+// Done is closed when the session reaches a terminal stage.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Report blocks until the session terminates and returns its record.
+func (t *Ticket) Report() *Report {
+	<-t.done
+	return t.report
+}
+
+// Config tunes the hub.
+type Config struct {
+	// Workers is the session worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue (default 4 * Workers).
+	QueueDepth int
+}
+
+// Hub owns a worker pool that runs sessions end-to-end, a watchtower
+// guarding every session it runs, a faucet that funds fresh per-session
+// participant keys, and a split cache so identical scenarios compile once.
+// The chain must be in AutoMine mode: the hub's flow control assumes a
+// transaction's receipt is available when SendTransaction returns.
+type Hub struct {
+	chain  *chain.Chain
+	net    *whisper.Network
+	faucet *hybrid.Participant
+	cfg    Config
+
+	tower   *Watchtower
+	metrics *metrics
+
+	splitMu sync.Mutex
+	splits  map[types.Hash]*hybrid.SplitResult
+
+	faucetMu sync.Mutex // serializes the root faucet (shard refills)
+	shards   []*hybrid.Participant
+	keyMu    sync.Mutex
+	keySeq   uint64
+
+	jobs     chan *Ticket
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New creates a hub. faucetKey's account must hold enough balance to fund
+// every participant of every submitted session.
+func New(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, cfg Config) *Hub {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	m := newMetrics()
+	h := &Hub{
+		chain:   c,
+		net:     net,
+		faucet:  hybrid.NewParticipant(faucetKey, c, nil),
+		cfg:     cfg,
+		tower:   NewWatchtower(c, m),
+		metrics: m,
+		splits:  make(map[types.Hash]*hybrid.SplitResult),
+		jobs:    make(chan *Ticket, cfg.QueueDepth),
+	}
+	// One faucet shard per worker: funding fresh participant keys is on
+	// every session's critical path, and a single faucet account would
+	// serialize it (nonces are strictly ordered per sender). Shards are
+	// topped up from the root faucet in rare, large refills.
+	h.shards = make([]*hybrid.Participant, cfg.Workers)
+	for i := range h.shards {
+		key, err := h.newKey()
+		if err != nil {
+			panic(fmt.Sprintf("hub: shard key: %v", err))
+		}
+		h.shards[i] = hybrid.NewParticipant(key, c, nil)
+	}
+	h.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go h.worker(h.shards[i])
+	}
+	return h
+}
+
+// Watchtower exposes the hub's tower (for tests and monitoring).
+func (h *Hub) Watchtower() *Watchtower { return h.tower }
+
+// Metrics returns a consistent snapshot of the hub's counters.
+func (h *Hub) Metrics() Snapshot { return h.metrics.snapshot() }
+
+// Submit enqueues a session for the worker pool. It blocks only when the
+// queue is full (backpressure).
+func (h *Hub) Submit(spec *Spec) *Ticket {
+	t := &Ticket{Spec: spec, done: make(chan struct{})}
+	h.metrics.add(&h.metrics.sessionsStarted, 1)
+	h.jobs <- t
+	return t
+}
+
+// Run submits every spec and waits for all reports, in order.
+func (h *Hub) Run(specs []*Spec) []*Report {
+	tickets := make([]*Ticket, len(specs))
+	for i, s := range specs {
+		tickets[i] = h.Submit(s)
+	}
+	reports := make([]*Report, len(specs))
+	for i, t := range tickets {
+		reports[i] = t.Report()
+	}
+	return reports
+}
+
+// Stop drains the queue, stops the workers and the watchtower. The hub
+// must not be used afterwards.
+func (h *Hub) Stop() {
+	h.stopOnce.Do(func() {
+		close(h.jobs)
+		h.wg.Wait()
+		h.tower.Stop()
+	})
+}
+
+func (h *Hub) worker(shard *hybrid.Participant) {
+	defer h.wg.Done()
+	for t := range h.jobs {
+		t.report = h.runSession(t.Spec, shard)
+		if t.report.Stage == StageFailed {
+			h.metrics.add(&h.metrics.sessionsFailed, 1)
+		} else {
+			h.metrics.add(&h.metrics.sessionsCompleted, 1)
+		}
+		close(t.done)
+	}
+}
+
+// split returns the (cached) stage-1 artifacts for a spec. SplitResult is
+// immutable after creation, so one instance is shared by every session of
+// the scenario.
+func (h *Hub) split(spec *Spec) (*hybrid.SplitResult, error) {
+	key := types.Hash(keccak.Sum256Bytes(
+		[]byte(spec.Source), []byte(spec.Contract),
+		[]byte(fmt.Sprintf("%+v", spec.Policy)),
+	))
+	h.splitMu.Lock()
+	defer h.splitMu.Unlock()
+	if sr, ok := h.splits[key]; ok {
+		return sr, nil
+	}
+	sr, err := hybrid.Split(spec.Source, spec.Contract, spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	h.splits[key] = sr
+	return sr, nil
+}
+
+// newKey mints a fresh deterministic secp256k1 key, distinct across all
+// sessions of this hub.
+func (h *Hub) newKey() (*secp256k1.PrivateKey, error) {
+	h.keyMu.Lock()
+	h.keySeq++
+	seq := h.keySeq
+	h.keyMu.Unlock()
+	scalar := new(big.Int).SetUint64(seq)
+	scalar.Add(scalar, new(big.Int).Lsh(big.NewInt(0x4855_42), 64)) // "HUB" base
+	return secp256k1.PrivateKeyFromScalar(scalar)
+}
+
+// fund transfers the spec's funding to each address from the worker's own
+// faucet shard (no cross-worker contention), refilling the shard from the
+// root faucet when it runs low.
+func (h *Hub) fund(shard *hybrid.Participant, addrs []types.Address, amount *uint256.Int) error {
+	need := new(uint256.Int).Mul(amount, uint256.NewInt(uint64(len(addrs))))
+	need.Add(need, eth(1)) // gas headroom
+	if shard.Chain.BalanceAt(shard.Addr).Lt(need) {
+		refill := new(uint256.Int).Mul(need, uint256.NewInt(64))
+		h.faucetMu.Lock()
+		r, err := h.faucet.SendTx(&shard.Addr, refill, 21_000, nil)
+		h.faucetMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("hub: refill shard: %w", err)
+		}
+		if !r.Succeeded() {
+			return fmt.Errorf("hub: shard refill reverted (root faucet empty?)")
+		}
+	}
+	for _, a := range addrs {
+		a := a
+		r, err := shard.SendTx(&a, amount, 21_000, nil)
+		if err != nil {
+			return fmt.Errorf("hub: fund %s: %w", a.Hex(), err)
+		}
+		if !r.Succeeded() {
+			return fmt.Errorf("hub: funding transfer to %s reverted", a.Hex())
+		}
+	}
+	return nil
+}
+
+var defaultFunding = new(uint256.Int).Mul(uint256.NewInt(5), uint256.NewInt(1e18))
+
+// runSession drives one session through the full lifecycle state machine.
+func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
+	rep := &Report{Scenario: spec.Scenario, Stage: StagePending, Latency: make(map[Stage]time.Duration)}
+	fail := func(err error) *Report {
+		rep.Stage = StageFailed
+		rep.Err = err
+		return rep
+	}
+	mark := func(s Stage, began time.Time) {
+		d := time.Since(began)
+		rep.Stage = s
+		rep.Latency[s] = d
+		h.metrics.recordStage(s, d)
+	}
+
+	// Stage 1: split/generate (cached per scenario).
+	began := time.Now()
+	split, err := h.split(spec)
+	if err != nil {
+		return fail(err)
+	}
+	mark(StageSplit, began)
+
+	// Fresh identities, funded by the faucet.
+	began = time.Now()
+	parties := make([]*hybrid.Participant, split.Participants)
+	addrs := make([]types.Address, split.Participants)
+	for i := range parties {
+		key, err := h.newKey()
+		if err != nil {
+			return fail(err)
+		}
+		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
+		addrs[i] = parties[i].Addr
+	}
+	funding := spec.Funding
+	if funding == nil {
+		funding = defaultFunding
+	}
+	if err := h.fund(shard, addrs, funding); err != nil {
+		return fail(err)
+	}
+	sess, err := hybrid.NewSession(split, parties)
+	if err != nil {
+		return fail(err)
+	}
+	rep.Session = sess
+
+	// Stage 2a: deploy the on-chain half.
+	gas := spec.DeployGas
+	if gas == 0 {
+		gas = 3_000_000
+	}
+	ctorArgs := spec.CtorArgs(addrs, h.chain.Now())
+	if _, err := sess.DeployOnChain(gas, ctorArgs...); err != nil {
+		return fail(fmt.Errorf("hub: deploy: %w", err))
+	}
+	rep.OnChainAddr = sess.OnChainAddr
+	mark(StageDeployed, began)
+
+	// Stage 2b: sign and exchange the off-chain copy.
+	began = time.Now()
+	if err := sess.SignAndExchange(ctorArgs...); err != nil {
+		return fail(fmt.Errorf("hub: sign/exchange: %w", err))
+	}
+	mark(StageSigned, began)
+
+	// Hand the session to the watchtower BEFORE any submission can land,
+	// so no challenge window ever opens unobserved.
+	watch, err := h.tower.Guard(sess, 0)
+	if err != nil {
+		return fail(err)
+	}
+	rep.Watch = watch
+
+	// Scenario setup (deposits etc.).
+	if spec.Setup != nil {
+		if err := spec.Setup(sess); err != nil {
+			return fail(fmt.Errorf("hub: setup: %w", err))
+		}
+	}
+
+	// Stage 3a: private unanimous execution.
+	began = time.Now()
+	outcome, err := sess.ExecuteOffChainAll()
+	if err != nil {
+		return fail(fmt.Errorf("hub: off-chain execution: %w", err))
+	}
+	rep.Result = outcome.Result
+	// Pre-compute the tower's verdict in this worker (parallel across
+	// sessions) so the tower's event loop finds it cached.
+	if _, err := watch.Expected(); err != nil {
+		return fail(err)
+	}
+	mark(StageExecuted, began)
+
+	// Stage 3b: submit, opening the challenge window.
+	began = time.Now()
+	submitIdx, submitted := 0, outcome.Result
+	if spec.Adversarial {
+		submitIdx = len(parties) - 1
+		if submitted == 0 {
+			submitted = 1
+		} else {
+			submitted = 0
+		}
+	}
+	rep.Submitted = submitted
+	r, err := sess.SubmitResult(submitIdx, submitted)
+	if err != nil {
+		return fail(fmt.Errorf("hub: submit: %w", err))
+	}
+	if !r.Succeeded() {
+		return fail(errors.New("hub: submitResult reverted"))
+	}
+	mark(StageSubmitted, began)
+
+	// Barrier: wait for the tower to have examined every block up to the
+	// submission. After this returns, a fraudulent submission has already
+	// been disputed and enforced, so advancing the clock past the window
+	// can no longer freeze a lie into the contract.
+	began = time.Now()
+	h.tower.WaitCaughtUp(h.chain.Height())
+	settled, err := sess.IsSettled()
+	if err != nil {
+		return fail(err)
+	}
+	if settled {
+		// The tower intervened (or another party settled first).
+		raised, won := watch.Disputed()
+		rep.Disputed = raised
+		if raised && !won {
+			return fail(errors.New("hub: dispute filed but not enforced"))
+		}
+		mark(StageDisputed, began)
+		mark(StageResolved, began)
+		return rep
+	}
+
+	// Honest path: advance past the challenge window and finalize.
+	h.advancePast(sess)
+	fr, err := sess.FinalizeResult(0)
+	if err != nil {
+		return fail(fmt.Errorf("hub: finalize: %w", err))
+	}
+	if !fr.Succeeded() {
+		// A dispute may have settled the contract between the barrier and
+		// the finalize transaction (only possible if someone re-submitted).
+		if s, _ := sess.IsSettled(); s {
+			rep.Disputed = true
+			mark(StageResolved, began)
+			return rep
+		}
+		return fail(errors.New("hub: finalizeResult reverted"))
+	}
+	mark(StageSettled, began)
+	return rep
+}
+
+// advancePast moves the shared clock beyond the session's challenge
+// window. The clock is shared by all sessions; advancing it for one
+// session is safe for the others because every owner barriers on the
+// watchtower before finalizing (see WaitCaughtUp), so a lie can never be
+// frozen in by someone else's clock jump.
+func (h *Hub) advancePast(sess *hybrid.Session) {
+	h.chain.AdvanceTime(sess.Split.Policy.ChallengePeriod + 1)
+}

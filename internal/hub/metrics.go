@@ -1,0 +1,101 @@
+package hub
+
+import (
+	"sync"
+	"time"
+)
+
+// metrics is the hub's shared, mutex-guarded counter set. Workers and the
+// watchtower record into it; Snapshot() publishes a consistent copy.
+type metrics struct {
+	mu        sync.Mutex
+	startedAt time.Time
+
+	sessionsStarted   uint64
+	sessionsCompleted uint64
+	sessionsFailed    uint64
+	disputesRaised    uint64
+	disputesWon       uint64
+	submissionsSeen   uint64 // submissions the watchtower examined
+
+	stages map[Stage]*stageAgg
+}
+
+type stageAgg struct {
+	count uint64
+	total time.Duration
+	max   time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{startedAt: time.Now(), stages: make(map[Stage]*stageAgg)}
+}
+
+func (m *metrics) recordStage(s Stage, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg := m.stages[s]
+	if agg == nil {
+		agg = &stageAgg{}
+		m.stages[s] = agg
+	}
+	agg.count++
+	agg.total += d
+	if d > agg.max {
+		agg.max = d
+	}
+}
+
+func (m *metrics) add(field *uint64, delta uint64) {
+	m.mu.Lock()
+	*field += delta
+	m.mu.Unlock()
+}
+
+// StageStats summarizes the observed latency of one lifecycle stage.
+type StageStats struct {
+	Count uint64
+	Avg   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot is a point-in-time copy of the hub's counters.
+type Snapshot struct {
+	Elapsed           time.Duration
+	SessionsStarted   uint64
+	SessionsCompleted uint64
+	SessionsFailed    uint64
+	// SessionsPerSec is completed sessions divided by elapsed wall time.
+	SessionsPerSec  float64
+	DisputesRaised  uint64
+	DisputesWon     uint64
+	SubmissionsSeen uint64
+	Stages          map[Stage]StageStats
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := time.Since(m.startedAt)
+	snap := Snapshot{
+		Elapsed:           elapsed,
+		SessionsStarted:   m.sessionsStarted,
+		SessionsCompleted: m.sessionsCompleted,
+		SessionsFailed:    m.sessionsFailed,
+		DisputesRaised:    m.disputesRaised,
+		DisputesWon:       m.disputesWon,
+		SubmissionsSeen:   m.submissionsSeen,
+		Stages:            make(map[Stage]StageStats, len(m.stages)),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		snap.SessionsPerSec = float64(m.sessionsCompleted) / sec
+	}
+	for s, agg := range m.stages {
+		st := StageStats{Count: agg.count, Max: agg.max}
+		if agg.count > 0 {
+			st.Avg = agg.total / time.Duration(agg.count)
+		}
+		snap.Stages[s] = st
+	}
+	return snap
+}

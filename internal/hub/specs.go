@@ -1,0 +1,100 @@
+package hub
+
+import (
+	"fmt"
+
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+// Canonical scenario specs, shared by the hub tests, the throughput
+// benchmarks and examples/hub. Deadlines are derived from chain time with
+// very generous margins: hub sessions share one simulated clock, and every
+// honest finalization jumps it past a challenge window.
+
+const deadlineMargin = 1_000_000_000 // seconds of slack for shared-clock jumps
+
+func eth(n uint64) *uint256.Int {
+	return new(uint256.Int).Mul(uint256.NewInt(n), uint256.NewInt(1e18))
+}
+
+// addrSeed folds an address into a uint64 so per-session secrets differ
+// across the hub's generated participant sets.
+func addrSeed(a types.Address) uint64 {
+	var x uint64
+	for i := 0; i < 8; i++ {
+		x = x<<8 | uint64(a[i])
+	}
+	return x
+}
+
+// depositAll has every participant deposit value into the contract.
+func depositAll(value *uint256.Int) func(sess *hybrid.Session) error {
+	return func(sess *hybrid.Session) error {
+		for i, p := range sess.Parties {
+			r, err := p.Invoke(sess.Split.OnChain, sess.OnChainAddr, value, 300_000, "deposit")
+			if err != nil {
+				return fmt.Errorf("participant %d deposit: %w", i, err)
+			}
+			if !r.Succeeded() {
+				return fmt.Errorf("participant %d deposit reverted", i)
+			}
+		}
+		return nil
+	}
+}
+
+// BettingSpec is the paper's §IV betting scenario run hub-style: deposit,
+// private reveal off-chain, submit, challenge window, settle. revealRounds
+// scales the off-chain work; challengePeriod is the submit/challenge
+// window in simulated seconds.
+func BettingSpec(revealRounds, challengePeriod uint64, adversarial bool) *Spec {
+	scenario := "betting"
+	if adversarial {
+		scenario = "betting/adversarial"
+	}
+	pol := hybrid.BettingPolicy(challengePeriod)
+	pol.LifecycleEvents = true // the watchtower monitors push-style
+	return &Spec{
+		Scenario: scenario,
+		Source:   hybrid.BettingSource,
+		Contract: "Betting",
+		Policy:   pol,
+		CtorArgs: func(addrs []types.Address, now uint64) []interface{} {
+			t1 := now + deadlineMargin
+			return []interface{}{
+				addrs[0], addrs[1], t1, t1 + deadlineMargin, t1 + 2*deadlineMargin,
+				addrSeed(addrs[0]), addrSeed(addrs[1]), revealRounds,
+			}
+		},
+		Setup:       depositAll(eth(1)),
+		Adversarial: adversarial,
+	}
+}
+
+// AuctionSpec is the sealed-bid trade scenario: confidential bids scored
+// off-chain by a private weighting rule.
+func AuctionSpec(challengePeriod uint64, adversarial bool) *Spec {
+	scenario := "auction"
+	if adversarial {
+		scenario = "auction/adversarial"
+	}
+	pol := hybrid.AuctionPolicy(challengePeriod)
+	pol.LifecycleEvents = true
+	return &Spec{
+		Scenario: scenario,
+		Source:   hybrid.AuctionSource,
+		Contract: "Auction",
+		Policy:   pol,
+		CtorArgs: func(addrs []types.Address, now uint64) []interface{} {
+			return []interface{}{
+				addrs[0], addrs[1],
+				addrSeed(addrs[0]) % 1_000_000, addrSeed(addrs[1]) % 1_000_000,
+				uint64(7), uint64(3), now + deadlineMargin,
+			}
+		},
+		Setup:       depositAll(eth(1)),
+		Adversarial: adversarial,
+	}
+}

@@ -1,0 +1,68 @@
+package hub
+
+// Stage is one state of the per-session lifecycle state machine. A session
+// moves strictly forward; the terminal states are StageSettled (honest
+// finalization), StageResolved (dispute enforced the true result) and
+// StageFailed.
+//
+//	Pending → Split → Deployed → Signed → Executed → Submitted
+//	                                                     │
+//	                            ┌────────────────────────┤
+//	                            ▼                        ▼
+//	                        Disputed → Resolved      Settled
+//
+// Any stage can fall into StageFailed on error.
+type Stage int
+
+const (
+	// StagePending: queued, no worker has picked the session up yet.
+	StagePending Stage = iota
+	// StageSplit: stage 1 (split/generate) artifacts are ready.
+	StageSplit
+	// StageDeployed: the on-chain half is live (first half of stage 2).
+	StageDeployed
+	// StageSigned: every participant holds the verified signed copy
+	// (second half of stage 2, deploy/sign).
+	StageSigned
+	// StageExecuted: the off-chain contract ran privately and unanimously
+	// (first half of stage 3).
+	StageExecuted
+	// StageSubmitted: a result is on-chain and the challenge window is
+	// open (second half of stage 3, submit/challenge).
+	StageSubmitted
+	// StageSettled: the unchallenged result finalized after the window.
+	StageSettled
+	// StageDisputed: the watchtower (or a party) opened stage 4 with
+	// deployVerifiedInstance.
+	StageDisputed
+	// StageResolved: returnDisputeResolution enforced the recomputed
+	// result; the contract is settled with the true outcome.
+	StageResolved
+	// StageFailed: the session aborted; Report.Err has the cause.
+	StageFailed
+)
+
+var stageNames = map[Stage]string{
+	StagePending:   "pending",
+	StageSplit:     "split",
+	StageDeployed:  "deployed",
+	StageSigned:    "signed",
+	StageExecuted:  "executed",
+	StageSubmitted: "submitted",
+	StageSettled:   "settled",
+	StageDisputed:  "disputed",
+	StageResolved:  "resolved",
+	StageFailed:    "failed",
+}
+
+func (s Stage) String() string {
+	if n, ok := stageNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state machine stops at s.
+func (s Stage) Terminal() bool {
+	return s == StageSettled || s == StageResolved || s == StageFailed
+}

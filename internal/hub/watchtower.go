@@ -1,0 +1,272 @@
+package hub
+
+import (
+	"fmt"
+	"sync"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/types"
+)
+
+// Watchtower is the hub's always-on chain monitor (in the tradition of
+// state-channel watchtowers): it subscribes to newly mined blocks, scans
+// them for the lifecycle events the generated on-chain contracts emit,
+// tracks every open challenge window, and — when a submitted result
+// disagrees with its own sandboxed execution of the signed off-chain
+// bytecode — automatically files a dispute on behalf of the honest
+// participant, inside the challenge window.
+type Watchtower struct {
+	chain   *chain.Chain
+	sub     *chain.BlockSubscription
+	metrics *metrics
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	entries   map[types.Address]*Watch
+	processed uint64 // highest block number fully processed
+	stopped   bool
+}
+
+// Watch is the watchtower's record of one guarded session.
+type Watch struct {
+	sess   *hybrid.Session
+	honest int // party index the tower files disputes as
+
+	expectOnce sync.Once
+	expected   uint64
+	expectErr  error
+
+	mu         sync.Mutex
+	window     *Window
+	disputed   bool
+	disputeWon bool
+	disputedAt uint64 // chain time when the tower filed the dispute
+	deadline   uint64 // window deadline at dispute time
+	settled    bool
+}
+
+// Window is an open challenge window: a submission awaiting finalization.
+type Window struct {
+	Contract  types.Address
+	Submitter types.Address
+	Result    uint64
+	OpenedAt  uint64 // submission block timestamp
+	Deadline  uint64 // OpenedAt + challenge period
+}
+
+// NewWatchtower starts a tower on the chain. Stop() must be called to
+// release the subscription and its goroutines.
+func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
+	if m == nil {
+		m = newMetrics()
+	}
+	w := &Watchtower{
+		chain:   c,
+		sub:     c.SubscribeBlocks(),
+		metrics: m,
+		entries: make(map[types.Address]*Watch),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// Guard registers a session whose on-chain contract the tower should
+// monitor. honest is the party index the tower uses to file disputes.
+// Must be called after DeployOnChain and SignAndExchange (the tower needs
+// the address and the signed copy) and before any result is submitted.
+func (w *Watchtower) Guard(sess *hybrid.Session, honest int) (*Watch, error) {
+	if sess.OnChainAddr.IsZero() || sess.Copy == nil {
+		return nil, fmt.Errorf("hub: session not ready to guard (deploy and sign first)")
+	}
+	if !sess.Split.Policy.LifecycleEvents {
+		return nil, fmt.Errorf("hub: session's split policy has LifecycleEvents off; the watchtower cannot see its challenge windows")
+	}
+	e := &Watch{sess: sess, honest: honest}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return nil, fmt.Errorf("hub: watchtower stopped")
+	}
+	w.entries[sess.OnChainAddr] = e
+	return e, nil
+}
+
+// Expected returns the tower's own verdict on the session outcome,
+// computed once by privately executing the signed bytecode in a sandbox.
+// It is exported on the Watch so the owning worker can pre-compute it in
+// parallel instead of serializing inside the tower's event loop.
+func (e *Watch) Expected() (uint64, error) {
+	e.expectOnce.Do(func() {
+		out, err := hybrid.ExecuteOffChain(e.sess.Copy.Bytecode)
+		if err != nil {
+			e.expectErr = err
+			return
+		}
+		e.expected = out.Result
+	})
+	return e.expected, e.expectErr
+}
+
+// Disputed reports whether the tower filed a dispute, and whether the
+// dispute resolved to the tower's expected result.
+func (e *Watch) Disputed() (raised, won bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.disputed, e.disputeWon
+}
+
+// DisputeTiming returns the chain time the dispute was filed at and the
+// challenge-window deadline it beat. Zero values if no dispute was filed.
+func (e *Watch) DisputeTiming() (at, deadline uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.disputedAt, e.deadline
+}
+
+// Window returns the currently open challenge window, or nil.
+func (e *Watch) OpenWindow() *Window {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.settled || e.window == nil {
+		return nil
+	}
+	cp := *e.window
+	return &cp
+}
+
+// WaitCaughtUp blocks until the tower has fully processed every block up
+// to and including height h. Session owners MUST call this before
+// finalizing: it guarantees any fraudulent submission mined at or before h
+// has already been disputed, so advancing time past the window is safe.
+func (w *Watchtower) WaitCaughtUp(h uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.processed < h && !w.stopped {
+		w.cond.Wait()
+	}
+}
+
+// OpenWindows counts challenge windows the tower is currently tracking.
+func (w *Watchtower) OpenWindows() int {
+	w.mu.Lock()
+	entries := make([]*Watch, 0, len(w.entries))
+	for _, e := range w.entries {
+		entries = append(entries, e)
+	}
+	w.mu.Unlock()
+	n := 0
+	for _, e := range entries {
+		if e.OpenWindow() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop unsubscribes and waits for the event loop to drain.
+func (w *Watchtower) Stop() {
+	w.sub.Unsubscribe()
+	w.wg.Wait()
+	w.mu.Lock()
+	w.stopped = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *Watchtower) loop() {
+	defer w.wg.Done()
+	for b := range w.sub.Blocks() {
+		w.processBlock(b)
+		w.mu.Lock()
+		if b.Number() > w.processed {
+			w.processed = b.Number()
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+func (w *Watchtower) processBlock(b *types.Block) {
+	for _, r := range b.Receipts {
+		for _, l := range r.Logs {
+			if len(l.Topics) == 0 {
+				continue
+			}
+			w.mu.Lock()
+			e := w.entries[l.Address]
+			w.mu.Unlock()
+			if e == nil {
+				continue
+			}
+			switch l.Topics[0] {
+			case hybrid.TopicResultSubmitted:
+				w.onSubmission(e, l)
+			case hybrid.TopicResultFinalized, hybrid.TopicDisputeResolved:
+				e.mu.Lock()
+				e.settled = true
+				e.window = nil
+				e.mu.Unlock()
+				// The contract is settled for good (both paths set the
+				// on-chain settled flag): drop the entry so a long-lived
+				// hub doesn't accumulate every session it ever guarded.
+				// Holders of the *Watch keep reading it safely.
+				w.mu.Lock()
+				delete(w.entries, l.Address)
+				w.mu.Unlock()
+			}
+		}
+	}
+}
+
+// onSubmission is the tower's core duty: open/refresh the challenge
+// window, recompute the true result, and dispute a mismatch immediately.
+func (w *Watchtower) onSubmission(e *Watch, l *types.Log) {
+	ev, err := hybrid.DecodeResultSubmitted(l)
+	if err != nil {
+		return
+	}
+	w.metrics.add(&w.metrics.submissionsSeen, 1)
+	period := e.sess.Split.Policy.ChallengePeriod
+	e.mu.Lock()
+	e.window = &Window{
+		Contract:  ev.Contract,
+		Submitter: ev.Submitter,
+		Result:    ev.Result,
+		OpenedAt:  ev.At,
+		Deadline:  ev.At + period,
+	}
+	e.mu.Unlock()
+
+	expected, err := e.Expected()
+	if err != nil || ev.Result == expected {
+		return
+	}
+	// The submission lies about the off-chain outcome: file the dispute
+	// now, synchronously, while the window is provably still open. The
+	// dispute deploys the verified instance from the signed copy and has
+	// the miners recompute and enforce the true result.
+	w.metrics.add(&w.metrics.disputesRaised, 1)
+	e.mu.Lock()
+	e.disputed = true
+	e.disputedAt = w.chain.Now()
+	e.deadline = ev.At + period
+	e.mu.Unlock()
+	_, _, err = e.sess.Dispute(e.honest)
+	if err != nil {
+		return
+	}
+	settled, err := e.sess.IsSettled()
+	if err != nil || !settled {
+		return
+	}
+	w.metrics.add(&w.metrics.disputesWon, 1)
+	e.mu.Lock()
+	e.disputeWon = true
+	e.settled = true
+	e.window = nil
+	e.mu.Unlock()
+}

@@ -103,7 +103,8 @@ func (sc *SignedCopy) Complete(n int) bool {
 // off-chain channel.
 func (sc *SignedCopy) Encode() []byte {
 	items := []*rlp.Item{rlp.Bytes(sc.Bytecode)}
-	for _, sig := range sc.Sigs {
+	for i := range sc.Sigs {
+		sig := &sc.Sigs[i]
 		items = append(items, rlp.List(
 			rlp.Uint(uint64(sig.V)),
 			rlp.Bytes(sig.R[:]),

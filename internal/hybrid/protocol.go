@@ -38,10 +38,18 @@ func NewSession(split *SplitResult, parties []*Participant) (*Session, error) {
 	for i, p := range parties {
 		addrs[i] = p.Addr
 	}
+	// The topic is derived from the contract name AND the participant set,
+	// so concurrent sessions of the same contract (a hub running thousands
+	// of instances) do not share a channel. Every participant derives the
+	// same topic independently.
+	tag := ""
+	for _, a := range addrs {
+		tag += "/" + a.Hex()
+	}
 	return &Session{
 		Split:   split,
 		Parties: parties,
-		topic:   whisper.TopicFromString("hybrid/signed-copy/" + split.Name),
+		topic:   whisper.TopicFromString("hybrid/signed-copy/" + split.Name + tag),
 		symKey:  whisper.SharedTopicKey("hybrid/"+split.Name, addrs),
 	}, nil
 }
@@ -122,7 +130,9 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 				}
 				plain, err := whisper.Decrypt(s.symKey, env.Payload)
 				if err != nil {
-					return fmt.Errorf("hybrid: decrypt signature share: %w", err)
+					// Not for this session (topics are 4 bytes, so unrelated
+					// sessions can collide on one): ignore and keep waiting.
+					continue
 				}
 				item, err := rlp.Decode(plain)
 				if err != nil || len(item.Items) != 4 {

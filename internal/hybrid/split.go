@@ -40,6 +40,12 @@ type Policy struct {
 	// ChallengePeriod is the submit/challenge window in seconds (default
 	// 3600).
 	ChallengePeriod uint64
+	// LifecycleEvents, when true, makes the generated on-chain contract
+	// emit ResultSubmitted/ResultFinalized/DisputeOpened/DisputeResolved
+	// events so off-chain monitors (the hub's watchtower) can track
+	// challenge windows push-style. Costs extra deploy bytes and LOG gas,
+	// so the paper-faithful experiments leave it off.
+	LifecycleEvents bool
 }
 
 func (p *Policy) withDefaults() Policy {
@@ -396,6 +402,22 @@ func buildOnChainSource(whole *lang.Contract, pol Policy, n int, heavy, dropped 
     uint submittedAt;
     bool settled;
 `
+	// Optional lifecycle events for push-style off-chain monitoring (the
+	// hub watchtower). Emitting costs deploy bytes and LOG gas, so the
+	// paper-faithful experiments run without them.
+	emitSubmitted, emitFinalized, emitOpened, emitResolved := "", "", "", ""
+	if pol.LifecycleEvents {
+		extraVars += `
+    event ResultSubmitted(address submitter, uint result, uint at);
+    event ResultFinalized(uint result);
+    event DisputeOpened(address by, address instance);
+    event DisputeResolved(uint result);
+`
+		emitSubmitted = "\n        emit ResultSubmitted(msg.sender, result, block.timestamp);"
+		emitFinalized = "\n        emit ResultFinalized(submittedResult);"
+		emitOpened = "\n        emit DisputeOpened(msg.sender, a);"
+		emitResolved = "\n        emit DisputeResolved(result);"
+	}
 	var b strings.Builder
 	// Extra function source (parsed below as part of the full contract).
 	fmt.Fprintf(&b, `
@@ -412,7 +434,7 @@ func buildOnChainSource(whole *lang.Contract, pol Policy, n int, heavy, dropped 
         require(!settled);
         submittedResult = result;
         hasSubmission = true;
-        submittedAt = block.timestamp;
+        submittedAt = block.timestamp;%s
     }
 
     function finalizeResult() public {
@@ -420,27 +442,28 @@ func buildOnChainSource(whole *lang.Contract, pol Policy, n int, heavy, dropped 
         require(!settled);
         require(block.timestamp >= submittedAt + %d);
         settled = true;
-        %s(submittedResult);
+        %s(submittedResult);%s
     }
 
     function enforceDisputeResolution(uint result) public {
         require(msg.sender == deployedAddr);
         require(!settled);
         settled = true;
-        %s(result);
+        %s(result);%s
     }
 
     function deployVerifiedInstance(bytes memory bytecode%s) public {
         require(isParticipant(msg.sender));
         require(!settled);
         bytes32 h = keccak256(bytecode);
-`, pol.ChallengePeriod, pol.Settle, pol.Settle, sigParams(n))
+`, emitSubmitted, pol.ChallengePeriod, pol.Settle, emitFinalized, pol.Settle, emitResolved, sigParams(n))
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(&b, "        require(ecrecover(h, v%d, r%d, s%d) == %s[%d]);\n", i, i, i, pol.ParticipantsVar, i)
 	}
 	fmt.Fprintf(&b, `        address a = create(bytecode);
-        deployedAddr = a;
-    }
+        deployedAddr = a;%s
+    }`, emitOpened)
+	fmt.Fprintf(&b, `
 
     function verifiedInstance() public view returns (address) {
         return deployedAddr;

@@ -70,94 +70,191 @@ func infinity() *jacobian {
 
 func (p *jacobian) isInfinity() bool { return p.z.Sign() == 0 }
 
-func mod(v *big.Int) *big.Int { return v.Mod(v, P) }
+var (
+	// pC is 2^32 + 977, so P = 2^256 - pC: a pseudo-Mersenne prime.
+	pC = new(big.Int).SetUint64(1<<32 + 977)
+	// mask256 selects the low 256 bits.
+	mask256 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+)
 
-// double returns 2p using the a=0 doubling formulas.
-func (p *jacobian) double() *jacobian {
-	if p.isInfinity() || p.y.Sign() == 0 {
-		return infinity()
+// reduce brings v modulo P in place, using scratch for the high limbs.
+// P is pseudo-Mersenne (2^256 - pC), so instead of a hardware-division Mod
+// we fold the high limbs down with hi*2^256 ≡ hi*pC (mod P) until 256 bits
+// remain, then subtract P at most a few times. Field reduction dominates
+// every curve operation, and this turns each one from a bignum division
+// into a short multiply-add. scratch must not alias v.
+func reduce(v, scratch *big.Int) *big.Int {
+	neg := v.Sign() < 0
+	if neg {
+		v.Neg(v)
 	}
-	a := mod(new(big.Int).Mul(p.x, p.x))         // X^2
-	b := mod(new(big.Int).Mul(p.y, p.y))         // Y^2
-	c := mod(new(big.Int).Mul(b, b))             // B^2
-	t := new(big.Int).Add(p.x, b)                // X + B
-	t.Mul(t, t)                                  // (X+B)^2
-	t.Sub(t, a)                                  //
-	t.Sub(t, c)                                  //
-	d := mod(t.Lsh(t, 1))                        // 2((X+B)^2 - A - C)
-	e := mod(new(big.Int).Mul(big.NewInt(3), a)) // 3A
-	f := mod(new(big.Int).Mul(e, e))             // E^2
-
-	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
-	mod(x3)
-	y3 := new(big.Int).Sub(d, x3)
-	y3.Mul(e, mod(y3))
-	y3.Sub(y3, new(big.Int).Lsh(c, 3))
-	mod(y3)
-	z3 := mod(new(big.Int).Lsh(new(big.Int).Mul(p.y, p.z), 1))
-	return &jacobian{x3, y3, z3}
+	for v.BitLen() > 256 {
+		hi := scratch.Rsh(v, 256)
+		v.And(v, mask256)
+		hi.Mul(hi, pC)
+		v.Add(v, hi)
+	}
+	for v.Cmp(P) >= 0 {
+		v.Sub(v, P)
+	}
+	if neg && v.Sign() != 0 {
+		v.Sub(P, v)
+	}
+	return v
 }
 
-// add returns p + q (general Jacobian addition).
-func (p *jacobian) add(q *jacobian) *jacobian {
-	if p.isInfinity() {
-		return q
+// mod reduces v modulo P in place.
+func mod(v *big.Int) *big.Int { return reduce(v, new(big.Int)) }
+
+// curveOps owns the scratch temporaries of the hot point operations, so a
+// whole scalar multiplication ladder runs without per-step allocations
+// (the dominant cost of the pure-big.Int implementation).
+type curveOps struct {
+	a, b, c, e, f, h, i, j, r, v, t1, t2, t3, hi big.Int
+}
+
+// mod reduces v modulo P in place, reusing the context's scratch high limb
+// to stay allocation-free.
+func (o *curveOps) mod(v *big.Int) *big.Int { return reduce(v, &o.hi) }
+
+// double sets p = 2p using the a=0 doubling formulas.
+func (o *curveOps) double(p *jacobian) {
+	if p.isInfinity() || p.y.Sign() == 0 {
+		p.z.SetInt64(0)
+		return
 	}
+	a := o.mod(o.a.Mul(p.x, p.x)) // X^2
+	b := o.mod(o.b.Mul(p.y, p.y)) // Y^2
+	c := o.mod(o.c.Mul(b, b))     // B^2
+	t := o.t1.Add(p.x, b)         // X + B
+	t.Mul(t, t)                   // (X+B)^2
+	t.Sub(t, a)
+	t.Sub(t, c)
+	d := o.mod(t.Lsh(t, 1)) // 2((X+B)^2 - A - C)
+	e := o.e.Lsh(a, 1)
+	e.Add(e, a)
+	o.mod(e)                  // 3A
+	f := o.mod(o.f.Mul(e, e)) // E^2
+
+	x3 := o.t2.Lsh(d, 1)
+	x3.Sub(f, x3)
+	o.mod(x3)
+	y3 := o.t3.Sub(d, x3)
+	o.mod(y3)
+	y3.Mul(e, y3)
+	c.Lsh(c, 3)
+	y3.Sub(y3, c)
+	o.mod(y3)
+	z3 := p.z.Mul(p.y, p.z)
+	z3.Lsh(z3, 1)
+	o.mod(z3)
+	p.x.Set(x3)
+	p.y.Set(y3)
+}
+
+// add sets p = p + q (general Jacobian addition). q is not modified; p and
+// q must not alias.
+func (o *curveOps) add(p, q *jacobian) {
 	if q.isInfinity() {
-		return p
+		return
 	}
-	z1z1 := mod(new(big.Int).Mul(p.z, p.z))
-	z2z2 := mod(new(big.Int).Mul(q.z, q.z))
-	u1 := mod(new(big.Int).Mul(p.x, z2z2))
-	u2 := mod(new(big.Int).Mul(q.x, z1z1))
-	s1 := mod(new(big.Int).Mul(new(big.Int).Mul(p.y, q.z), z2z2))
-	s2 := mod(new(big.Int).Mul(new(big.Int).Mul(q.y, p.z), z1z1))
+	if p.isInfinity() {
+		p.x.Set(q.x)
+		p.y.Set(q.y)
+		p.z.Set(q.z)
+		return
+	}
+	z1z1 := o.mod(o.a.Mul(p.z, p.z))
+	z2z2 := o.mod(o.b.Mul(q.z, q.z))
+	u1 := o.mod(o.c.Mul(p.x, z2z2))
+	u2 := o.mod(o.t1.Mul(q.x, z1z1))
+	s1 := o.e.Mul(p.y, q.z)
+	s1.Mul(s1, z2z2)
+	o.mod(s1)
+	s2 := o.f.Mul(q.y, p.z)
+	s2.Mul(s2, z1z1)
+	o.mod(s2)
 	if u1.Cmp(u2) == 0 {
 		if s1.Cmp(s2) != 0 {
-			return infinity()
+			p.z.SetInt64(0)
+			return
 		}
-		return p.double()
+		o.double(p)
+		return
 	}
-	h := new(big.Int).Sub(u2, u1)
-	mod(h)
-	i := new(big.Int).Lsh(h, 1)
+	h := o.h.Sub(u2, u1)
+	o.mod(h)
+	i := o.i.Lsh(h, 1)
 	i.Mul(i, i)
-	mod(i)
-	j := mod(new(big.Int).Mul(h, i))
-	r := new(big.Int).Sub(s2, s1)
-	mod(r)
+	o.mod(i)
+	j := o.mod(o.j.Mul(h, i))
+	r := o.r.Sub(s2, s1)
+	o.mod(r)
 	r.Lsh(r, 1)
-	mod(r)
-	v := mod(new(big.Int).Mul(u1, i))
+	o.mod(r)
+	v := o.mod(o.v.Mul(u1, i))
 
-	x3 := new(big.Int).Mul(r, r)
+	x3 := o.t1.Mul(r, r)
 	x3.Sub(x3, j)
-	x3.Sub(x3, new(big.Int).Lsh(v, 1))
-	mod(x3)
+	x3.Sub(x3, o.t2.Lsh(v, 1))
+	o.mod(x3)
 
-	y3 := new(big.Int).Sub(v, x3)
-	y3.Mul(r, mod(y3))
-	t := new(big.Int).Mul(s1, j)
+	y3 := o.t2.Sub(v, x3)
+	o.mod(y3)
+	y3.Mul(r, y3)
+	t := o.t3.Mul(s1, j)
 	t.Lsh(t, 1)
 	y3.Sub(y3, t)
-	mod(y3)
+	o.mod(y3)
 
-	z3 := new(big.Int).Add(p.z, q.z)
+	z3 := p.z.Add(p.z, q.z)
 	z3.Mul(z3, z3)
 	z3.Sub(z3, z1z1)
 	z3.Sub(z3, z2z2)
-	z3.Mul(mod(z3), h)
-	mod(z3)
-	return &jacobian{x3, y3, z3}
+	o.mod(z3)
+	z3.Mul(z3, h)
+	o.mod(z3)
+	p.x.Set(x3)
+	p.y.Set(y3)
 }
 
 // scalarMult returns k*p using MSB-first double-and-add.
 func (p *jacobian) scalarMult(k *big.Int) *jacobian {
+	var o curveOps
 	acc := infinity()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		acc = acc.double()
+		o.double(acc)
 		if k.Bit(i) == 1 {
-			acc = acc.add(p)
+			o.add(acc, p)
+		}
+	}
+	return acc
+}
+
+// scalarMultPair returns k1*p1 + k2*p2 with one shared ladder (Shamir's
+// trick): both scalars walk the same doubling chain, halving the doubles
+// of two separate multiplications. This is the shape of every ECDSA
+// verification and recovery (u1*G + u2*Q).
+func scalarMultPair(k1 *big.Int, p1 *jacobian, k2 *big.Int, p2 *jacobian) *jacobian {
+	var o curveOps
+	both := infinity()
+	o.add(both, p1)
+	o.add(both, p2)
+	acc := infinity()
+	n := k1.BitLen()
+	if m := k2.BitLen(); m > n {
+		n = m
+	}
+	for i := n - 1; i >= 0; i-- {
+		o.double(acc)
+		b1, b2 := k1.Bit(i), k2.Bit(i)
+		switch {
+		case b1 == 1 && b2 == 1:
+			o.add(acc, both)
+		case b1 == 1:
+			o.add(acc, p1)
+		case b2 == 1:
+			o.add(acc, p2)
 		}
 	}
 	return acc
@@ -382,9 +479,7 @@ func Verify(pub *PublicKey, hash []byte, r, s *big.Int) bool {
 	u1.Mod(u1, N)
 	u2 := new(big.Int).Mul(r, w)
 	u2.Mod(u2, N)
-	p1 := newJacobian(Gx, Gy).scalarMult(u1)
-	p2 := newJacobian(pub.X, pub.Y).scalarMult(u2)
-	sum := p1.add(p2)
+	sum := scalarMultPair(u1, newJacobian(Gx, Gy), u2, newJacobian(pub.X, pub.Y))
 	x, _ := sum.affine()
 	if x == nil {
 		return false
@@ -438,9 +533,7 @@ func RecoverPubkey(hash []byte, r, s *big.Int, v byte) (*PublicKey, error) {
 	u2 := new(big.Int).Mul(s, rinv)
 	u2.Mod(u2, N)
 
-	p1 := newJacobian(Gx, Gy).scalarMult(u1)
-	p2 := newJacobian(x, y).scalarMult(u2)
-	qx, qy := p1.add(p2).affine()
+	qx, qy := scalarMultPair(u1, newJacobian(Gx, Gy), u2, newJacobian(x, y)).affine()
 	if qx == nil {
 		return nil, errors.New("secp256k1: recovered point at infinity")
 	}

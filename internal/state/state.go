@@ -95,6 +95,11 @@ type StateDB struct {
 
 	root types.Hash // root as of the last Commit
 
+	// dirties are accounts mutated since the last Commit. Commit flushes
+	// only these: rewriting every cached object would make each block
+	// commit O(all accounts ever touched) — quadratic over a long chain.
+	dirties map[types.Address]struct{}
+
 	journal []journalEntry
 	refund  uint64
 	logs    []*types.Log
@@ -114,6 +119,7 @@ func New() *StateDB {
 		root:    trie.EmptyRoot,
 		codes:   make(map[types.Hash][]byte),
 		objects: make(map[types.Address]*stateObject),
+		dirties: make(map[types.Address]struct{}),
 	}
 }
 
@@ -164,6 +170,7 @@ func (s *StateDB) getOrCreateObject(addr types.Address) *stateObject {
 
 func (s *StateDB) appendJournal(addr types.Address, revert func(*StateDB)) {
 	a := addr
+	s.dirties[addr] = struct{}{}
 	s.journal = append(s.journal, journalEntry{revert: revert, dirty: &a})
 }
 
@@ -424,14 +431,16 @@ func (s *StateDB) Finalise() {
 	s.refund = 0
 }
 
-// Commit finalises all in-memory objects into the trie and returns the new
-// state root.
+// Commit finalises the accounts mutated since the last Commit into the
+// trie and returns the new state root. Clean cached objects are skipped.
 func (s *StateDB) Commit() types.Hash {
 	s.Finalise()
 	// Deterministic iteration order for reproducible tries.
-	addrs := make([]types.Address, 0, len(s.objects))
-	for addr := range s.objects {
-		addrs = append(addrs, addr)
+	addrs := make([]types.Address, 0, len(s.dirties))
+	for addr := range s.dirties {
+		if _, ok := s.objects[addr]; ok {
+			addrs = append(addrs, addr)
+		}
 	}
 	sort.Slice(addrs, func(i, j int) bool {
 		return string(addrs[i].Bytes()) < string(addrs[j].Bytes())
@@ -473,6 +482,7 @@ func (s *StateDB) Commit() types.Hash {
 		}
 		s.tr.Update(addr.Bytes(), obj.account.EncodeRLP())
 	}
+	s.dirties = make(map[types.Address]struct{})
 	s.root = s.tr.Hash()
 	return s.root
 }
@@ -488,9 +498,30 @@ func trimLeftZeros(b []byte) []byte {
 	return b[i:]
 }
 
-// Copy returns a deep copy of the state (used by the off-chain sandbox to
-// fork execution without touching the canonical state). The trie node store
-// is shared: it is content-addressed and append-only, so sharing is safe.
+// Fork returns a view of the last committed state that loads accounts
+// lazily from the trie, for eth_call-style speculative execution. Unlike
+// Copy it is O(1): nothing is copied up front. The code store is shared —
+// it is content-addressed and append-only, so entries a fork adds are
+// harmless. The caller must ensure the canonical state is not mutated
+// concurrently (Chain.Call holds the chain lock).
+func (s *StateDB) Fork() *StateDB {
+	tr, err := trie.NewSecureFromRoot(s.db, s.root)
+	if err != nil {
+		panic("state: fork from unknown root: " + err.Error())
+	}
+	return &StateDB{
+		db:      s.db,
+		tr:      tr,
+		root:    s.root,
+		codes:   s.codes,
+		objects: make(map[types.Address]*stateObject),
+		dirties: make(map[types.Address]struct{}),
+	}
+}
+
+// Copy returns a deep copy of the state, including uncommitted mutations.
+// The trie node store is shared: it is content-addressed and append-only,
+// so sharing is safe.
 func (s *StateDB) Copy() *StateDB {
 	tr, err := trie.NewSecureFromRoot(s.db, s.root)
 	if err != nil {
@@ -502,7 +533,11 @@ func (s *StateDB) Copy() *StateDB {
 		root:    s.root,
 		codes:   make(map[types.Hash][]byte, len(s.codes)),
 		objects: make(map[types.Address]*stateObject, len(s.objects)),
+		dirties: make(map[types.Address]struct{}, len(s.dirties)),
 		refund:  s.refund,
+	}
+	for addr := range s.dirties {
+		cp.dirties[addr] = struct{}{}
 	}
 	for h, code := range s.codes {
 		cp.codes[h] = code

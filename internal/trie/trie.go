@@ -443,14 +443,25 @@ func (t *Trie) encodeRef(n node) *rlp.Item {
 }
 
 // Hash computes the root commitment, persisting hashed nodes to the
-// database.
+// database, and collapses the in-memory tree to its root hash. Without
+// the collapse, every node ever expanded by an Update would be re-encoded
+// and re-keccak'd by every later Hash call, making a long-lived trie's
+// commits O(trie size) instead of O(touched paths): subsequent operations
+// re-resolve just the paths they walk from the node store.
 func (t *Trie) Hash() types.Hash {
 	if t.root == nil {
 		return EmptyRoot
 	}
+	// Already collapsed and unchanged since: the stored hash IS the root.
+	// Re-encoding the 32-byte reference would hash the reference itself
+	// and return a bogus root.
+	if h, ok := t.root.(hashNode); ok {
+		return types.BytesToHash(h)
+	}
 	enc := rlp.Encode(t.encodeNode(t.root))
 	h := types.Hash(keccak.Sum256(enc))
 	t.db.put(h, enc)
+	t.root = hashNode(h.Bytes())
 	return h
 }
 

@@ -337,3 +337,32 @@ func BenchmarkTrieGet(b *testing.B) {
 		tr.Get([]byte(fmt.Sprintf("key%04d", i%1000)))
 	}
 }
+
+// Hash must be idempotent: a second Hash on an unchanged (collapsed) trie
+// returns the same root, and the trie stays fully usable afterwards.
+func TestHashIdempotentAfterCollapse(t *testing.T) {
+	tr := New(nil)
+	for j := 0; j < 50; j++ {
+		tr.Update([]byte(fmt.Sprintf("key%04d", j)), []byte(fmt.Sprintf("value%d", j)))
+	}
+	h1 := tr.Hash()
+	h2 := tr.Hash()
+	if h1 != h2 {
+		t.Fatalf("Hash not idempotent: %s vs %s", h1.Hex(), h2.Hex())
+	}
+	// Reads and writes still work through the collapsed root.
+	if got := tr.Get([]byte("key0007")); string(got) != "value7" {
+		t.Fatalf("get after collapse = %q", got)
+	}
+	tr.Update([]byte("key0007"), []byte("rewritten"))
+	h3 := tr.Hash()
+	if h3 == h1 {
+		t.Fatal("root unchanged after update")
+	}
+	if tr.Hash() != h3 {
+		t.Fatal("Hash not idempotent after re-update")
+	}
+	if got := tr.Get([]byte("key0007")); string(got) != "rewritten" {
+		t.Fatalf("get after second collapse = %q", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/rlp"
@@ -141,6 +142,15 @@ type Transaction struct {
 	V byte
 	R *big.Int
 	S *big.Int
+
+	// sender caches the recovered sending address, keyed by the sig hash
+	// it was recovered for: recovery costs two scalar multiplications and
+	// validation needs it several times per transaction, while re-hashing
+	// keeps tampered payloads detectable. Guarded by senderMu.
+	senderMu   sync.Mutex
+	senderFor  Hash
+	senderSet  bool
+	senderAddr Address
 }
 
 // NewTransaction builds an unsigned call transaction.
@@ -224,10 +234,15 @@ func (tx *Transaction) Sign(key *secp256k1.PrivateKey) error {
 	tx.V = sig.V + 27
 	tx.R = sig.R
 	tx.S = sig.S
+	tx.senderMu.Lock()
+	tx.senderSet = false
+	tx.senderMu.Unlock()
 	return nil
 }
 
-// Sender recovers the sending address from the signature.
+// Sender recovers the sending address from the signature. The recovery is
+// cached: repeated calls (validation, execution, pool scans) pay the
+// elliptic-curve cost once.
 func (tx *Transaction) Sender() (Address, error) {
 	if tx.R == nil || tx.S == nil {
 		return Address{}, errors.New("types: transaction is unsigned")
@@ -236,11 +251,19 @@ func (tx *Transaction) Sender() (Address, error) {
 		return Address{}, fmt.Errorf("types: invalid signature v=%d", tx.V)
 	}
 	h := tx.SigHash()
+	tx.senderMu.Lock()
+	defer tx.senderMu.Unlock()
+	if tx.senderSet && tx.senderFor == h {
+		return tx.senderAddr, nil
+	}
 	addr, err := secp256k1.RecoverAddress(h[:], tx.R, tx.S, tx.V-27)
 	if err != nil {
 		return Address{}, err
 	}
-	return Address(addr), nil
+	tx.senderAddr = Address(addr)
+	tx.senderFor = h
+	tx.senderSet = true
+	return tx.senderAddr, nil
 }
 
 // Cost returns value + gas*gasPrice, the maximum the sender can be charged.

@@ -15,6 +15,7 @@ import (
 	"onoffchain/internal/experiments"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/store"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -171,56 +172,86 @@ func BenchmarkDisputeLifecycle(b *testing.B) {
 // all four stages (split/generate, deploy/sign, submit/challenge,
 // dispute/resolve) on ONE dev chain by the internal/hub orchestrator. One
 // session in ten is adversarial, so the watchtower's dispute path is part
-// of the measured workload. Reports sessions/sec and per-stage latency.
+// of the measured workload. The wal=on variants run the same fleet with
+// the durable session store attached (every lifecycle transition written
+// ahead to disk); compare sessions/sec against wal=off when touching the
+// store or journal — measured overhead is a few percent, and anything
+// approaching the issue's 20% acceptance bound is a regression. Nothing
+// enforces this automatically (CI does not run benchmarks); it is a
+// manual gate. Reports sessions/sec and per-stage latency.
 func BenchmarkHubThroughput(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
-		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
-				if err != nil {
-					b.Fatal(err)
-				}
-				faucetAddr := types.Address(faucetKey.EthereumAddress())
-				c := chain.NewDefault(map[types.Address]*uint256.Int{
-					faucetAddr: new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
-				})
-				net := whisper.NewNetwork(c.Now)
-				h := hub.New(c, net, faucetKey, hub.Config{Workers: 8})
-				specs := make([]*hub.Spec, n)
-				for s := range specs {
-					specs[s] = hub.BettingSpec(4, 600, s%10 == 0)
-				}
-				b.StartTimer()
-
-				start := time.Now()
-				reports := h.Run(specs)
-				elapsed := time.Since(start)
-
-				b.StopTimer()
-				disputes := 0
-				for s, rep := range reports {
-					if rep.Err != nil {
-						b.Fatalf("session %d failed: %v", s, rep.Err)
-					}
-					if rep.Disputed {
-						disputes++
-					}
-				}
-				m := h.Metrics()
-				if int(m.SessionsCompleted) != n || int(m.DisputesWon) != disputes {
-					b.Fatalf("metrics inconsistent: completed=%d disputes=%d/%d", m.SessionsCompleted, m.DisputesWon, disputes)
-				}
-				b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
-				for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
-					if agg, ok := m.Stages[st]; ok {
-						b.ReportMetric(float64(agg.Avg.Microseconds())/1000, "ms/"+st.String())
-					}
-				}
-				b.ReportMetric(float64(m.DisputesWon), "disputes-won")
-				h.Stop()
-				b.StartTimer()
-			}
+		b.Run(fmt.Sprintf("sessions=%d/wal=off", n), func(b *testing.B) {
+			benchHubThroughput(b, n, false)
+		})
+		b.Run(fmt.Sprintf("sessions=%d/wal=on", n), func(b *testing.B) {
+			benchHubThroughput(b, n, true)
 		})
 	}
+}
+
+func benchHubThroughput(b *testing.B, n int, wal bool) {
+	for i := 0; i < b.N; i++ {
+		hubThroughputIteration(b, n, wal)
+	}
+}
+
+// hubThroughputIteration is one measured fleet run in its own function so
+// its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
+// the dev chain's subscription pump goroutines, the worker pool, or the
+// WAL's segment file open into the next measurement.
+func hubThroughputIteration(b *testing.B, n int, wal bool) {
+	b.StopTimer()
+	defer b.StartTimer()
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	faucetAddr := types.Address(faucetKey.EthereumAddress())
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		faucetAddr: new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
+	})
+	net := whisper.NewNetwork(c.Now)
+	cfg := hub.Config{Workers: 8}
+	if wal {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	h := hub.New(c, net, faucetKey, cfg)
+	defer h.Stop()
+	specs := make([]*hub.Spec, n)
+	for s := range specs {
+		specs[s] = hub.BettingSpec(4, 600, s%10 == 0)
+	}
+	b.StartTimer()
+
+	start := time.Now()
+	reports := h.Run(specs)
+	elapsed := time.Since(start)
+
+	b.StopTimer()
+	disputes := 0
+	for s, rep := range reports {
+		if rep.Err != nil {
+			b.Fatalf("session %d failed: %v", s, rep.Err)
+		}
+		if rep.Disputed {
+			disputes++
+		}
+	}
+	m := h.Metrics()
+	if int(m.SessionsCompleted) != n || int(m.DisputesWon) != disputes {
+		b.Fatalf("metrics inconsistent: completed=%d disputes=%d/%d", m.SessionsCompleted, m.DisputesWon, disputes)
+	}
+	b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
+	for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
+		if agg, ok := m.Stages[st]; ok {
+			b.ReportMetric(float64(agg.Avg.Microseconds())/1000, "ms/"+st.String())
+		}
+	}
+	b.ReportMetric(float64(m.DisputesWon), "disputes-won")
 }

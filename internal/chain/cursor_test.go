@@ -1,0 +1,47 @@
+package chain
+
+import "testing"
+
+func TestLogCursorResume(t *testing.T) {
+	alice := newAccount(140)
+	c := testChain(alice)
+	addr, nonce := deployLogger(t, c, alice, 0, 0x66)
+
+	cur := c.NewLogCursor(FilterQuery{Address: &addr}, 0)
+	if logs, _ := cur.Next(); len(logs) != 0 {
+		t.Fatalf("fresh chain: cursor found %d logs, want 0", len(logs))
+	}
+
+	nonce = callLogger(t, c, alice, nonce, addr)
+	nonce = callLogger(t, c, alice, nonce, addr)
+	logs, head := cur.Next()
+	if len(logs) != 2 {
+		t.Fatalf("cursor drained %d logs, want 2", len(logs))
+	}
+	if head != c.Height() {
+		t.Errorf("cursor head %d, want %d", head, c.Height())
+	}
+	if cur.Position() != head+1 {
+		t.Errorf("cursor position %d, want %d", cur.Position(), head+1)
+	}
+	// Draining again without new blocks yields nothing.
+	if logs, _ := cur.Next(); len(logs) != 0 {
+		t.Fatalf("idle cursor drained %d logs, want 0", len(logs))
+	}
+
+	// A restarted consumer resumes from a persisted position and sees
+	// exactly the logs it missed — no duplicates, no gaps.
+	persisted := cur.Position()
+	nonce = callLogger(t, c, alice, nonce, addr)
+	_ = callLogger(t, c, alice, nonce, addr)
+	resumed := c.NewLogCursor(FilterQuery{Address: &addr}, persisted)
+	logs, _ = resumed.Next()
+	if len(logs) != 2 {
+		t.Fatalf("resumed cursor drained %d logs, want 2", len(logs))
+	}
+	for _, l := range logs {
+		if l.BlockNumber < persisted {
+			t.Errorf("resumed cursor replayed block %d before its position %d", l.BlockNumber, persisted)
+		}
+	}
+}

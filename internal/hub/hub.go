@@ -4,8 +4,10 @@
 // deploy/sign, submit/challenge, dispute/resolve) at the same time, on one
 // chain, with an always-on watchtower that monitors chain events and
 // auto-disputes fraudulent result submissions within their challenge
-// windows. See DESIGN.md for the lifecycle diagram and the safety
-// argument for the caught-up barrier.
+// windows. With a Config.Store attached, every lifecycle transition is
+// written ahead to a WAL (internal/store) so a crashed hub can be rebuilt
+// with Recover — see DESIGN.md for the lifecycle diagram, the caught-up
+// barrier safety argument, and the durability/recovery invariants.
 package hub
 
 import (
@@ -14,23 +16,32 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/store"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
 )
+
+// ErrCrashed marks a session abandoned by a simulated crash (Kill or a
+// StageHook returning false): the worker stopped dead, in-memory state is
+// gone, and only the WAL knows the session existed.
+var ErrCrashed = errors.New("hub: crashed")
 
 // Spec declares one scenario a session should run. A Spec is immutable
 // configuration: the same *Spec may be submitted any number of times, and
 // every submission gets fresh participant keys and a fresh contract
 // instance.
 type Spec struct {
-	// Scenario labels the spec in reports.
+	// Scenario labels the spec in reports and is the WAL's key back into
+	// the SpecRegistry during recovery: two specs with the same Scenario
+	// name must be interchangeable.
 	Scenario string
 	// Source is the whole-contract Solo source; Contract names the
 	// contract within it.
@@ -59,12 +70,14 @@ type Spec struct {
 
 // Report is the terminal record of one session run.
 type Report struct {
+	ID          uint64
 	Scenario    string
-	Stage       Stage // terminal stage
+	Stage       Stage // terminal stage (or last stage reached at a crash)
 	Err         error
 	Result      uint64 // unanimous off-chain outcome
 	Submitted   uint64 // what was actually pushed on-chain
 	Disputed    bool
+	Recovered   bool // the session was resumed from the WAL by Recover
 	OnChainAddr types.Address
 	Latency     map[Stage]time.Duration
 	// Session exposes the finished session for inspection (balances,
@@ -77,7 +90,9 @@ type Report struct {
 
 // Ticket is a handle on an in-flight session.
 type Ticket struct {
+	ID     uint64
 	Spec   *Spec
+	run    func(shard *hybrid.Participant) *Report // non-nil: resume job
 	done   chan struct{}
 	report *Report
 }
@@ -97,6 +112,20 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the submission queue (default 4 * Workers).
 	QueueDepth int
+	// Store, when set, makes the hub durable: every lifecycle transition
+	// is logged to the WAL before it is acted on, and hub.Recover can
+	// rebuild the session table from it after a crash. The caller owns
+	// the store (and closes it); the hub only appends.
+	Store *store.Store
+	// CompactEvery triggers WAL snapshot compaction after that many
+	// terminal sessions (default 512).
+	CompactEvery int
+	// StageHook, when set, is called every time a session completes a
+	// lifecycle stage. Returning false simulates the process dying at
+	// exactly that point: the worker abandons the session with no further
+	// WAL writes and no further chain transactions. The crash-injection
+	// harness is built on this hook (typically combined with Kill).
+	StageHook func(sid uint64, s Stage) bool
 }
 
 // Hub owns a worker pool that runs sessions end-to-end, a watchtower
@@ -112,6 +141,10 @@ type Hub struct {
 
 	tower   *Watchtower
 	metrics *metrics
+	journal *journal
+
+	sid     atomic.Uint64 // session ID allocator
+	crashed atomic.Bool   // Kill() was called: simulate process death
 
 	splitMu sync.Mutex
 	splits  map[types.Hash]*hybrid.SplitResult
@@ -129,6 +162,14 @@ type Hub struct {
 // New creates a hub. faucetKey's account must hold enough balance to fund
 // every participant of every submitted session.
 func New(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, cfg Config) *Hub {
+	return newHub(c, net, faucetKey, cfg, 0, 0, false)
+}
+
+// newHub is the shared constructor; Recover passes non-zero floors so
+// fresh session IDs and participant keys never collide with the ones the
+// crashed generation minted, and holdCursor so the tower cannot durably
+// advance the block cursor before the recovery replay has caught up.
+func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, cfg Config, sidFloor, keySeqFloor uint64, holdCursor bool) *Hub {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -141,18 +182,22 @@ func New(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, 
 		net:     net,
 		faucet:  hybrid.NewParticipant(faucetKey, c, nil),
 		cfg:     cfg,
-		tower:   NewWatchtower(c, m),
 		metrics: m,
+		journal: newJournal(cfg.Store, cfg.CompactEvery, holdCursor),
+		keySeq:  keySeqFloor,
 		splits:  make(map[types.Hash]*hybrid.SplitResult),
 		jobs:    make(chan *Ticket, cfg.QueueDepth),
 	}
+	h.sid.Store(sidFloor)
+	h.tower = NewWatchtower(c, m)
+	h.tower.journal = h.journal
 	// One faucet shard per worker: funding fresh participant keys is on
 	// every session's critical path, and a single faucet account would
 	// serialize it (nonces are strictly ordered per sender). Shards are
 	// topped up from the root faucet in rare, large refills.
 	h.shards = make([]*hybrid.Participant, cfg.Workers)
 	for i := range h.shards {
-		key, err := h.newKey()
+		key, _, err := h.newKey()
 		if err != nil {
 			panic(fmt.Sprintf("hub: shard key: %v", err))
 		}
@@ -171,11 +216,31 @@ func (h *Hub) Watchtower() *Watchtower { return h.tower }
 // Metrics returns a consistent snapshot of the hub's counters.
 func (h *Hub) Metrics() Snapshot { return h.metrics.snapshot() }
 
+// LiveSessions counts sessions the durable mirror considers in flight
+// (accepted but not yet terminal).
+func (h *Hub) LiveSessions() int { return h.journal.live() }
+
 // Submit enqueues a session for the worker pool. It blocks only when the
-// queue is full (backpressure).
+// queue is full (backpressure). The acceptance is logged to the WAL
+// before the ticket enters the queue, so a crash cannot silently lose a
+// queued session.
 func (h *Hub) Submit(spec *Spec) *Ticket {
-	t := &Ticket{Spec: spec, done: make(chan struct{})}
+	t := &Ticket{ID: h.sid.Add(1), Spec: spec, done: make(chan struct{})}
+	if h.crashed.Load() {
+		t.report = h.crashReport(t, StagePending)
+		close(t.done)
+		return t
+	}
 	h.metrics.add(&h.metrics.sessionsStarted, 1)
+	if err := h.journal.log(&store.Record{Kind: store.KindAccepted, SID: t.ID, Str: spec.Scenario}); err != nil {
+		// The WAL cannot record the acceptance, so the hub must not
+		// accept: a queued-but-unlogged session would be silently lost by
+		// the next recovery. Fail loudly with the real cause instead.
+		t.report = &Report{ID: t.ID, Scenario: spec.Scenario, Stage: StageFailed, Err: fmt.Errorf("hub: wal: %w", err)}
+		h.metrics.add(&h.metrics.sessionsFailed, 1)
+		close(t.done)
+		return t
+	}
 	h.jobs <- t
 	return t
 }
@@ -203,14 +268,38 @@ func (h *Hub) Stop() {
 	})
 }
 
+// Kill simulates the process dying right now: the watchtower stops
+// examining blocks, every worker abandons its session at the next
+// lifecycle checkpoint, and nothing further is written to the WAL. The
+// chain (an external system in reality) keeps running. Call Stop
+// afterwards to reclaim the goroutines; then hand the store to Recover.
+func (h *Hub) Kill() {
+	h.crashed.Store(true)
+	h.tower.halt()
+}
+
+// Crashed reports whether Kill was called.
+func (h *Hub) Crashed() bool { return h.crashed.Load() }
+
 func (h *Hub) worker(shard *hybrid.Participant) {
 	defer h.wg.Done()
 	for t := range h.jobs {
-		t.report = h.runSession(t.Spec, shard)
-		if t.report.Stage == StageFailed {
-			h.metrics.add(&h.metrics.sessionsFailed, 1)
+		switch {
+		case h.crashed.Load():
+			t.report = h.crashReport(t, StagePending)
+		case t.run != nil:
+			t.report = t.run(shard)
+		default:
+			t.report = h.runSession(t, shard)
+		}
+		if t.report.Err == nil || errors.Is(t.report.Err, ErrCrashed) {
+			// Crashed sessions count as neither completed nor failed: the
+			// WAL still carries them and Recover settles the ledger.
+			if t.report.Err == nil {
+				h.metrics.add(&h.metrics.sessionsCompleted, 1)
+			}
 		} else {
-			h.metrics.add(&h.metrics.sessionsCompleted, 1)
+			h.metrics.add(&h.metrics.sessionsFailed, 1)
 		}
 		close(t.done)
 	}
@@ -238,15 +327,17 @@ func (h *Hub) split(spec *Spec) (*hybrid.SplitResult, error) {
 }
 
 // newKey mints a fresh deterministic secp256k1 key, distinct across all
-// sessions of this hub.
-func (h *Hub) newKey() (*secp256k1.PrivateKey, error) {
+// sessions of this hub AND all sessions of any crashed generation it was
+// recovered from (Recover floors the sequence above the WAL's high mark).
+func (h *Hub) newKey() (*secp256k1.PrivateKey, uint64, error) {
 	h.keyMu.Lock()
 	h.keySeq++
 	seq := h.keySeq
 	h.keyMu.Unlock()
 	scalar := new(big.Int).SetUint64(seq)
 	scalar.Add(scalar, new(big.Int).Lsh(big.NewInt(0x4855_42), 64)) // "HUB" base
-	return secp256k1.PrivateKeyFromScalar(scalar)
+	key, err := secp256k1.PrivateKeyFromScalar(scalar)
+	return key, seq, err
 }
 
 // fund transfers the spec's funding to each address from the worker's own
@@ -282,44 +373,142 @@ func (h *Hub) fund(shard *hybrid.Participant, addrs []types.Address, amount *uin
 
 var defaultFunding = new(uint256.Int).Mul(uint256.NewInt(5), uint256.NewInt(1e18))
 
-// runSession drives one session through the full lifecycle state machine.
-func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
-	rep := &Report{Scenario: spec.Scenario, Stage: StagePending, Latency: make(map[Stage]time.Duration)}
-	fail := func(err error) *Report {
-		rep.Stage = StageFailed
-		rep.Err = err
-		return rep
+// crashReport closes out a session the simulated crash tore away from its
+// worker. Only the in-memory ticket learns about it — the WAL stays
+// exactly as it was at the crash point, which is the whole point.
+func (h *Hub) crashReport(t *Ticket, at Stage) *Report {
+	rep := &Report{ID: t.ID, Stage: at, Err: ErrCrashed}
+	if t.Spec != nil {
+		rep.Scenario = t.Spec.Scenario
 	}
-	mark := func(s Stage, began time.Time) {
-		d := time.Since(began)
-		rep.Stage = s
-		rep.Latency[s] = d
-		h.metrics.recordStage(s, d)
+	return rep
+}
+
+// lifecycle carries one running session's bookkeeping through the stage
+// helpers.
+type lifecycle struct {
+	t     *Ticket
+	rep   *Report
+	began time.Time
+}
+
+// checkpoint is the write-ahead gate in front of a stage. It returns
+// ErrCrashed when the hub is simulating process death (the worker must
+// abandon the session on the spot, writing nothing), the journal's
+// append error when durability is lost (the session must FAIL with the
+// real cause — a hub that cannot write its WAL must not pretend its
+// sessions merely crashed), or nil to proceed.
+func (h *Hub) checkpoint(lc *lifecycle, s Stage) error {
+	if h.crashed.Load() {
+		return ErrCrashed
+	}
+	if err := h.journal.log(&store.Record{Kind: store.KindStage, SID: lc.t.ID, U1: uint64(s)}); err != nil {
+		return fmt.Errorf("hub: wal: %w", err)
+	}
+	lc.began = time.Now()
+	return nil
+}
+
+// advance marks a stage as completed: records latency, validates the
+// transition against the lifecycle DAG, and runs the crash-injection
+// hook. Returning false means the process "died" here.
+func (h *Hub) advance(lc *lifecycle, s Stage) bool {
+	d := time.Since(lc.began)
+	if !ValidTransition(lc.rep.Stage, s) {
+		h.metrics.add(&h.metrics.illegalTransitions, 1)
+	}
+	lc.rep.Stage = s
+	lc.rep.Latency[s] = d
+	h.metrics.recordStage(s, d)
+	if h.cfg.StageHook != nil && !h.cfg.StageHook(lc.t.ID, s) {
+		return false
+	}
+	return !h.crashed.Load()
+}
+
+// terminal writes the session's terminal record. The crash hook has
+// already run in advance() for the terminal stage, so a hook-induced
+// crash "at" a terminal stage dies between reaching the stage and writing
+// this record — the interesting case, where the WAL is behind the chain
+// and recovery must classify the session from chain state.
+func (h *Hub) terminal(lc *lifecycle, s Stage) {
+	h.journal.log(&store.Record{Kind: store.KindTerminal, SID: lc.t.ID, U1: uint64(s)})
+}
+
+// failSession is the single failure path: record the cause, close the
+// session out in the WAL, return the report.
+func (h *Hub) failSession(lc *lifecycle, err error) *Report {
+	lc.rep.Stage = StageFailed
+	lc.rep.Err = err
+	h.terminal(lc, StageFailed)
+	return lc.rep
+}
+
+// gate runs the write-ahead checkpoint for the stage about to start and
+// translates failures: a simulated crash abandons the session at its
+// CURRENT stage (lc.rep.Stage), WAL loss fails it with the real cause.
+// A nil return means proceed.
+func (h *Hub) gate(lc *lifecycle, next Stage) *Report {
+	err := h.checkpoint(lc, next)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCrashed) {
+		return h.crashReport(lc.t, lc.rep.Stage)
+	}
+	return h.failSession(lc, err)
+}
+
+// runSession drives one session through the full lifecycle state machine.
+func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
+	spec := t.Spec
+	rep := &Report{ID: t.ID, Scenario: spec.Scenario, Stage: StagePending, Latency: make(map[Stage]time.Duration)}
+	lc := &lifecycle{t: t, rep: rep}
+	fail := func(err error) *Report { return h.failSession(lc, err) }
+	if h.cfg.StageHook != nil && !h.cfg.StageHook(t.ID, StagePending) {
+		return h.crashReport(t, StagePending)
 	}
 
 	// Stage 1: split/generate (cached per scenario).
-	began := time.Now()
+	if rep := h.gate(lc, StageSplit); rep != nil {
+		return rep
+	}
 	split, err := h.split(spec)
 	if err != nil {
 		return fail(err)
 	}
-	mark(StageSplit, began)
+	if !h.advance(lc, StageSplit) {
+		return h.crashReport(t, StageSplit)
+	}
 
-	// Fresh identities, funded by the faucet.
-	began = time.Now()
+	// Fresh identities, funded by the faucet. Their scalars go to the WAL
+	// before any of them touches the chain: recovery must be able to act
+	// for these parties (file disputes, finalize) or they are lost.
 	parties := make([]*hybrid.Participant, split.Participants)
 	addrs := make([]types.Address, split.Participants)
+	scalars := make([][]byte, split.Participants)
+	var maxSeq uint64
 	for i := range parties {
-		key, err := h.newKey()
+		key, seq, err := h.newKey()
 		if err != nil {
 			return fail(err)
 		}
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
 		addrs[i] = parties[i].Addr
+		scalars[i] = key.D.FillBytes(make([]byte, 32))
+		maxSeq = seq
 	}
+	h.journal.log(&store.Record{
+		Kind: store.KindParties, SID: t.ID,
+		U1: split.Policy.ChallengePeriod, U2: 0 /* honest index */, U3: maxSeq,
+		Blobs: scalars,
+	})
 	funding := spec.Funding
 	if funding == nil {
 		funding = defaultFunding
+	}
+	if rep := h.gate(lc, StageDeployed); rep != nil {
+		return rep
 	}
 	if err := h.fund(shard, addrs, funding); err != nil {
 		return fail(err)
@@ -340,32 +529,64 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 		return fail(fmt.Errorf("hub: deploy: %w", err))
 	}
 	rep.OnChainAddr = sess.OnChainAddr
-	mark(StageDeployed, began)
+	h.journal.log(&store.Record{Kind: store.KindDeployed, SID: t.ID, U1: h.chain.Height(), Blob: sess.OnChainAddr[:]})
+	if !h.advance(lc, StageDeployed) {
+		return h.crashReport(t, StageDeployed)
+	}
 
 	// Stage 2b: sign and exchange the off-chain copy.
-	began = time.Now()
+	if rep := h.gate(lc, StageSigned); rep != nil {
+		return rep
+	}
 	if err := sess.SignAndExchange(ctorArgs...); err != nil {
 		return fail(fmt.Errorf("hub: sign/exchange: %w", err))
 	}
-	mark(StageSigned, began)
+	h.journal.log(&store.Record{Kind: store.KindSigned, SID: t.ID, Blob: sess.Copy.Encode()})
+	if !h.advance(lc, StageSigned) {
+		return h.crashReport(t, StageSigned)
+	}
+
+	return h.runFromSigned(lc, sess, nil, false)
+}
+
+// runFromSigned continues a session that holds a verified signed copy —
+// either fresh from SignAndExchange (watch nil: the session still needs
+// guarding) or rebuilt from the WAL by Recover (watch already armed;
+// setupDone reflects the WAL's setup bracket).
+func (h *Hub) runFromSigned(lc *lifecycle, sess *hybrid.Session, watch *Watch, setupDone bool) *Report {
+	t, rep, spec := lc.t, lc.rep, lc.t.Spec
+	fail := func(err error) *Report { return h.failSession(lc, err) }
 
 	// Hand the session to the watchtower BEFORE any submission can land,
 	// so no challenge window ever opens unobserved.
-	watch, err := h.tower.Guard(sess, 0)
-	if err != nil {
-		return fail(err)
+	if watch == nil {
+		var err error
+		watch, err = h.tower.guard(sess, 0, t.ID)
+		if err != nil {
+			return fail(err)
+		}
 	}
 	rep.Watch = watch
 
-	// Scenario setup (deposits etc.).
-	if spec.Setup != nil {
+	// Scenario setup (deposits etc.), bracketed in the WAL: a crash
+	// between the two records leaves on-chain deposit state indeterminate
+	// and recovery abandons the session rather than re-running setup. The
+	// opening bracket MUST be durable before any deposit lands — if it is
+	// not, a later recovery would re-run setup and double-deposit.
+	if spec.Setup != nil && !setupDone {
+		if err := h.journal.log(&store.Record{Kind: store.KindSetupStart, SID: t.ID}); err != nil {
+			return fail(fmt.Errorf("hub: setup bracket: %w", err))
+		}
 		if err := spec.Setup(sess); err != nil {
 			return fail(fmt.Errorf("hub: setup: %w", err))
 		}
+		h.journal.log(&store.Record{Kind: store.KindSetupDone, SID: t.ID})
 	}
 
 	// Stage 3a: private unanimous execution.
-	began = time.Now()
+	if rep := h.gate(lc, StageExecuted); rep != nil {
+		return rep
+	}
 	outcome, err := sess.ExecuteOffChainAll()
 	if err != nil {
 		return fail(fmt.Errorf("hub: off-chain execution: %w", err))
@@ -376,13 +597,16 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 	if _, err := watch.Expected(); err != nil {
 		return fail(err)
 	}
-	mark(StageExecuted, began)
+	if !h.advance(lc, StageExecuted) {
+		return h.crashReport(t, StageExecuted)
+	}
 
-	// Stage 3b: submit, opening the challenge window.
-	began = time.Now()
+	// Stage 3b: submit, opening the challenge window. Recovered sessions
+	// always submit honestly: the adversarial representative died with
+	// the previous generation.
 	submitIdx, submitted := 0, outcome.Result
-	if spec.Adversarial {
-		submitIdx = len(parties) - 1
+	if spec.Adversarial && !rep.Recovered {
+		submitIdx = len(sess.Parties) - 1
 		if submitted == 0 {
 			submitted = 1
 		} else {
@@ -390,6 +614,14 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 		}
 	}
 	rep.Submitted = submitted
+	if rep := h.gate(lc, StageSubmitted); rep != nil {
+		return rep
+	}
+	// The one irreversible action of the lifecycle: the intent record must
+	// be durable BEFORE the result transaction exists.
+	if err := h.journal.log(&store.Record{Kind: store.KindSubmitted, SID: t.ID, U1: submitted}); err != nil {
+		return fail(fmt.Errorf("hub: wal: %w", err))
+	}
 	r, err := sess.SubmitResult(submitIdx, submitted)
 	if err != nil {
 		return fail(fmt.Errorf("hub: submit: %w", err))
@@ -397,14 +629,29 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 	if !r.Succeeded() {
 		return fail(errors.New("hub: submitResult reverted"))
 	}
-	mark(StageSubmitted, began)
+	if !h.advance(lc, StageSubmitted) {
+		return h.crashReport(t, StageSubmitted)
+	}
+
+	return h.awaitSettlement(lc, sess, watch)
+}
+
+// awaitSettlement is the tail of the lifecycle: barrier on the tower,
+// then either acknowledge the dispute the tower filed or finalize the
+// honest submission past its challenge window.
+func (h *Hub) awaitSettlement(lc *lifecycle, sess *hybrid.Session, watch *Watch) *Report {
+	t, rep := lc.t, lc.rep
+	fail := func(err error) *Report { return h.failSession(lc, err) }
 
 	// Barrier: wait for the tower to have examined every block up to the
 	// submission. After this returns, a fraudulent submission has already
 	// been disputed and enforced, so advancing the clock past the window
 	// can no longer freeze a lie into the contract.
-	began = time.Now()
+	lc.began = time.Now()
 	h.tower.WaitCaughtUp(h.chain.Height())
+	if h.crashed.Load() {
+		return h.crashReport(t, StageSubmitted)
+	}
 	settled, err := sess.IsSettled()
 	if err != nil {
 		return fail(err)
@@ -416,12 +663,20 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 		if raised && !won {
 			return fail(errors.New("hub: dispute filed but not enforced"))
 		}
-		mark(StageDisputed, began)
-		mark(StageResolved, began)
+		if !h.advance(lc, StageDisputed) {
+			return h.crashReport(t, StageDisputed)
+		}
+		if !h.advance(lc, StageResolved) {
+			return h.crashReport(t, StageResolved)
+		}
+		h.terminal(lc, StageResolved)
 		return rep
 	}
 
 	// Honest path: advance past the challenge window and finalize.
+	if h.crashed.Load() {
+		return h.crashReport(t, StageSubmitted)
+	}
 	h.advancePast(sess)
 	fr, err := sess.FinalizeResult(0)
 	if err != nil {
@@ -432,12 +687,21 @@ func (h *Hub) runSession(spec *Spec, shard *hybrid.Participant) *Report {
 		// the finalize transaction (only possible if someone re-submitted).
 		if s, _ := sess.IsSettled(); s {
 			rep.Disputed = true
-			mark(StageResolved, began)
+			if !h.advance(lc, StageDisputed) {
+				return h.crashReport(t, StageDisputed)
+			}
+			if !h.advance(lc, StageResolved) {
+				return h.crashReport(t, StageResolved)
+			}
+			h.terminal(lc, StageResolved)
 			return rep
 		}
 		return fail(errors.New("hub: finalizeResult reverted"))
 	}
-	mark(StageSettled, began)
+	if !h.advance(lc, StageSettled) {
+		return h.crashReport(t, StageSettled)
+	}
+	h.terminal(lc, StageSettled)
 	return rep
 }
 

@@ -12,7 +12,7 @@ import (
 )
 
 // newHub builds a dev chain with a rich faucet and a hub on top of it.
-func newHub(tb testing.TB, workers int) (*Hub, *chain.Chain) {
+func newTestHub(tb testing.TB, workers int) (*Hub, *chain.Chain) {
 	tb.Helper()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
 	if err != nil {
@@ -48,7 +48,7 @@ func requireWinnerPaid(t *testing.T, rep *Report) {
 }
 
 func TestHubHonestLifecycle(t *testing.T) {
-	h, _ := newHub(t, 2)
+	h, _ := newTestHub(t, 2)
 	rep := h.Submit(BettingSpec(16, 600, false)).Report()
 	if rep.Err != nil {
 		t.Fatalf("session failed: %v", rep.Err)
@@ -83,7 +83,7 @@ func TestHubHonestLifecycle(t *testing.T) {
 // mismatch from chain events and files the dispute inside the challenge
 // window; the dispute machinery recomputes and enforces the TRUE result.
 func TestWatchtowerAutoDispute(t *testing.T) {
-	h, _ := newHub(t, 2)
+	h, _ := newTestHub(t, 2)
 	rep := h.Submit(BettingSpec(16, 600, true)).Report()
 	if rep.Err != nil {
 		t.Fatalf("session failed: %v", rep.Err)
@@ -117,7 +117,7 @@ func TestWatchtowerAutoDispute(t *testing.T) {
 // betting and auction — through the pool concurrently and checks every
 // session terminates in the right state with the right payout.
 func TestHubConcurrentMixed(t *testing.T) {
-	h, _ := newHub(t, 8)
+	h, _ := newTestHub(t, 8)
 	var specs []*Spec
 	for i := 0; i < 10; i++ {
 		specs = append(specs,
@@ -165,7 +165,7 @@ func TestHubManySessions(t *testing.T) {
 	if testing.Short() {
 		n = 24
 	}
-	h, _ := newHub(t, 8)
+	h, _ := newTestHub(t, 8)
 	specs := make([]*Spec, n)
 	for i := range specs {
 		specs[i] = BettingSpec(4, 600, i%10 == 0)

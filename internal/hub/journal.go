@@ -1,0 +1,302 @@
+package hub
+
+import (
+	"sync"
+
+	"onoffchain/internal/store"
+	"onoffchain/internal/types"
+)
+
+// sessionState is the durable view of one session: exactly what can be
+// folded back out of the WAL. The hub keeps an in-memory mirror of it for
+// every live session (so compaction can synthesize snapshots without
+// re-reading the log), and hub.Recover folds crashed WALs into the same
+// struct — one fold function, one meaning.
+type sessionState struct {
+	ID       uint64
+	Scenario string
+	// Stage is the latest write-ahead intent: the stage the session was
+	// executing (not necessarily finished) when the record was written.
+	Stage         Stage
+	Terminal      bool
+	TerminalStage Stage
+
+	ChallengePeriod uint64
+	Honest          int
+	KeySeq          uint64 // highest key sequence minted for this session
+	Scalars         [][]byte
+
+	Addr        types.Address
+	DeployBlock uint64
+	CopyEnc     []byte
+
+	SetupStarted bool
+	SetupDone    bool
+
+	Submitted    uint64
+	SubmittedSet bool
+	Disputed     bool
+
+	HasWindow                                    bool
+	WindowResult, WindowOpenedAt, WindowDeadline uint64
+	WindowSubmitter                              types.Address
+}
+
+// journal owns the WAL and its in-memory mirror. Every mutation goes
+// through log(), which applies the record to the mirror and appends it to
+// the store (when one is configured) — so mirror state and durable state
+// can never diverge. Terminal records evict the session from the mirror
+// and, every compactEvery terminals, trigger snapshot compaction.
+type journal struct {
+	mu           sync.Mutex
+	st           *store.Store // nil: in-memory hub, no durability
+	sessions     map[uint64]*sessionState
+	cursor       uint64
+	keySeq       uint64 // highest party-key sequence ever minted
+	sidHigh      uint64 // highest session ID ever issued
+	terminals    int
+	compactEvery int
+	appendErr    error // sticky: first WAL failure poisons the journal
+	// holdCursor drops KindCursor records while Recover's chain-event
+	// replay is still pending: the live tower must not durably advance
+	// the cursor past blocks of the outage range it has not re-examined,
+	// or a second crash mid-recovery would skip them forever.
+	holdCursor bool
+}
+
+func newJournal(st *store.Store, compactEvery int, holdCursor bool) *journal {
+	if compactEvery <= 0 {
+		compactEvery = 512
+	}
+	return &journal{st: st, sessions: make(map[uint64]*sessionState), compactEvery: compactEvery, holdCursor: holdCursor}
+}
+
+// log applies one record to the mirror and makes it durable. An append
+// failure is sticky: a hub that can no longer write its WAL must stop
+// claiming durability, so every later log (and checkpoint) fails too.
+func (j *journal) log(rec *store.Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.appendErr != nil {
+		return j.appendErr
+	}
+	if rec.Kind == store.KindCursor && j.holdCursor {
+		return nil
+	}
+	// Durable first, mirror second: a failed append must not leave the
+	// mirror describing state the WAL never recorded.
+	if j.st != nil {
+		if err := j.st.Append(rec); err != nil {
+			j.appendErr = err
+			return err
+		}
+	}
+	j.applyLocked(rec)
+	if j.st == nil {
+		return nil
+	}
+	if rec.Kind == store.KindTerminal {
+		j.terminals++
+		if j.terminals >= j.compactEvery {
+			j.terminals = 0
+			if err := j.st.Compact(j.stateRecordsLocked()); err != nil {
+				j.appendErr = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyLocked is THE fold function: it gives a record its meaning. Both
+// the live mirror and crash recovery go through it.
+func (j *journal) applyLocked(rec *store.Record) {
+	if rec.Kind == store.KindCursor {
+		if rec.U1 > j.cursor {
+			j.cursor = rec.U1
+		}
+		return
+	}
+	if rec.Kind == store.KindKeySeq {
+		if rec.U1 > j.keySeq {
+			j.keySeq = rec.U1
+		}
+		if rec.U2 > j.sidHigh {
+			j.sidHigh = rec.U2
+		}
+		return
+	}
+	if rec.SID > j.sidHigh {
+		j.sidHigh = rec.SID // survives the session's later eviction
+	}
+	ss := j.sessions[rec.SID]
+	if ss == nil {
+		ss = &sessionState{ID: rec.SID, Honest: -1}
+		j.sessions[rec.SID] = ss
+	}
+	switch rec.Kind {
+	case store.KindAccepted:
+		ss.Scenario = rec.Str
+	case store.KindParties:
+		ss.ChallengePeriod = rec.U1
+		ss.Honest = int(rec.U2)
+		ss.KeySeq = rec.U3
+		ss.Scalars = rec.Blobs
+		if rec.U3 > j.keySeq {
+			j.keySeq = rec.U3 // survives the session's later eviction
+		}
+	case store.KindStage:
+		ss.Stage = Stage(rec.U1)
+	case store.KindDeployed:
+		ss.Addr = types.BytesToAddress(rec.Blob)
+		ss.DeployBlock = rec.U1
+	case store.KindSigned:
+		ss.CopyEnc = rec.Blob
+	case store.KindSetupStart:
+		ss.SetupStarted = true
+	case store.KindSetupDone:
+		ss.SetupDone = true
+	case store.KindSubmitted:
+		ss.Submitted = rec.U1
+		ss.SubmittedSet = true
+	case store.KindDisputed:
+		ss.Disputed = true
+	case store.KindWindow:
+		ss.HasWindow = true
+		ss.WindowResult, ss.WindowOpenedAt, ss.WindowDeadline = rec.U1, rec.U2, rec.U3
+		ss.WindowSubmitter = types.BytesToAddress(rec.Blob)
+	case store.KindTerminal:
+		ss.Terminal = true
+		ss.TerminalStage = Stage(rec.U1)
+		delete(j.sessions, rec.SID)
+	}
+}
+
+// stateRecordsLocked synthesizes the minimal record stream that re-folds
+// to the current mirror: the snapshot content for Compact.
+func (j *journal) stateRecordsLocked() []*store.Record {
+	var out []*store.Record
+	for _, ss := range j.sessions {
+		out = append(out, encodeSessionState(ss)...)
+	}
+	out = append(out,
+		&store.Record{Kind: store.KindCursor, U1: j.cursor},
+		&store.Record{Kind: store.KindKeySeq, U1: j.keySeq, U2: j.sidHigh})
+	return out
+}
+
+// encodeSessionState is the inverse of applyLocked for one session.
+func encodeSessionState(ss *sessionState) []*store.Record {
+	recs := []*store.Record{
+		{Kind: store.KindAccepted, SID: ss.ID, Str: ss.Scenario},
+	}
+	if ss.Scalars != nil {
+		recs = append(recs, &store.Record{
+			Kind: store.KindParties, SID: ss.ID,
+			U1: ss.ChallengePeriod, U2: uint64(ss.Honest), U3: ss.KeySeq,
+			Blobs: ss.Scalars,
+		})
+	}
+	if !ss.Addr.IsZero() {
+		recs = append(recs, &store.Record{Kind: store.KindDeployed, SID: ss.ID, U1: ss.DeployBlock, Blob: ss.Addr[:]})
+	}
+	if ss.CopyEnc != nil {
+		recs = append(recs, &store.Record{Kind: store.KindSigned, SID: ss.ID, Blob: ss.CopyEnc})
+	}
+	if ss.SetupStarted {
+		recs = append(recs, &store.Record{Kind: store.KindSetupStart, SID: ss.ID})
+	}
+	if ss.SetupDone {
+		recs = append(recs, &store.Record{Kind: store.KindSetupDone, SID: ss.ID})
+	}
+	if ss.SubmittedSet {
+		recs = append(recs, &store.Record{Kind: store.KindSubmitted, SID: ss.ID, U1: ss.Submitted})
+	}
+	if ss.Disputed {
+		recs = append(recs, &store.Record{Kind: store.KindDisputed, SID: ss.ID})
+	}
+	if ss.HasWindow {
+		recs = append(recs, &store.Record{
+			Kind: store.KindWindow, SID: ss.ID,
+			U1: ss.WindowResult, U2: ss.WindowOpenedAt, U3: ss.WindowDeadline,
+			Blob: ss.WindowSubmitter[:],
+		})
+	}
+	recs = append(recs, &store.Record{Kind: store.KindStage, SID: ss.ID, U1: uint64(ss.Stage)})
+	return recs
+}
+
+// foldRecords replays a WAL record stream into per-session state. Used by
+// hub.Recover; terminal sessions are folded and then remembered separately
+// so "no session lost" is checkable. keySeq is the high mark over EVERY
+// generation's party keys — terminal sessions included — so recovery can
+// floor its key allocator above all of them.
+func foldRecords(recs []*store.Record) (live map[uint64]*sessionState, terminal map[uint64]Stage, cursor, keySeq, sidHigh uint64) {
+	j := newJournal(nil, 0, false)
+	terminal = make(map[uint64]Stage)
+	for _, rec := range recs {
+		if rec.Kind == store.KindTerminal {
+			terminal[rec.SID] = Stage(rec.U1)
+		}
+		j.applyLocked(rec)
+	}
+	return j.sessions, terminal, j.cursor, j.keySeq, j.sidHigh
+}
+
+// live returns the number of live (non-terminal) sessions in the mirror.
+func (j *journal) live() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sessions)
+}
+
+// seed installs a recovered session state into the mirror (Recover calls
+// it before re-arming the watchtower, so compaction snapshots keep
+// carrying sessions that were recovered but not yet terminal).
+func (j *journal) seed(ss *sessionState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cp := *ss
+	j.sessions[ss.ID] = &cp
+	if ss.KeySeq > j.keySeq {
+		j.keySeq = ss.KeySeq
+	}
+}
+
+// seedCursor raises the mirror's durable block cursor (Recover installs
+// the folded cursor so a compaction snapshot never regresses it to 0).
+func (j *journal) seedCursor(v uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if v > j.cursor {
+		j.cursor = v
+	}
+}
+
+// seedKeySeq raises the durable key-sequence high mark. Recover calls it
+// with the (padded) allocator floor so a post-recovery compaction can
+// never snapshot a mark below keys any generation ever minted.
+func (j *journal) seedKeySeq(v uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if v > j.keySeq {
+		j.keySeq = v
+	}
+}
+
+// seedSIDHigh raises the durable session-ID high mark likewise.
+func (j *journal) seedSIDHigh(v uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if v > j.sidHigh {
+		j.sidHigh = v
+	}
+}
+
+// releaseCursor ends the recovery cursor hold; Recover calls it after the
+// chain-event replay has covered the outage range.
+func (j *journal) releaseCursor() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.holdCursor = false
+}

@@ -18,6 +18,10 @@ type metrics struct {
 	disputesWon       uint64
 	submissionsSeen   uint64 // submissions the watchtower examined
 
+	sessionsRecovered  uint64 // sessions resumed from the WAL by Recover
+	sessionsAbandoned  uint64 // sessions Recover could not safely resume
+	illegalTransitions uint64 // lifecycle moves outside ValidTransition
+
 	stages map[Stage]*stageAgg
 }
 
@@ -70,7 +74,13 @@ type Snapshot struct {
 	DisputesRaised  uint64
 	DisputesWon     uint64
 	SubmissionsSeen uint64
-	Stages          map[Stage]StageStats
+	// SessionsRecovered / SessionsAbandoned count hub.Recover outcomes.
+	SessionsRecovered uint64
+	SessionsAbandoned uint64
+	// IllegalTransitions counts lifecycle moves outside ValidTransition;
+	// it must be zero in a correct hub.
+	IllegalTransitions uint64
+	Stages             map[Stage]StageStats
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -78,14 +88,17 @@ func (m *metrics) snapshot() Snapshot {
 	defer m.mu.Unlock()
 	elapsed := time.Since(m.startedAt)
 	snap := Snapshot{
-		Elapsed:           elapsed,
-		SessionsStarted:   m.sessionsStarted,
-		SessionsCompleted: m.sessionsCompleted,
-		SessionsFailed:    m.sessionsFailed,
-		DisputesRaised:    m.disputesRaised,
-		DisputesWon:       m.disputesWon,
-		SubmissionsSeen:   m.submissionsSeen,
-		Stages:            make(map[Stage]StageStats, len(m.stages)),
+		Elapsed:            elapsed,
+		SessionsStarted:    m.sessionsStarted,
+		SessionsCompleted:  m.sessionsCompleted,
+		SessionsFailed:     m.sessionsFailed,
+		DisputesRaised:     m.disputesRaised,
+		DisputesWon:        m.disputesWon,
+		SubmissionsSeen:    m.submissionsSeen,
+		SessionsRecovered:  m.sessionsRecovered,
+		SessionsAbandoned:  m.sessionsAbandoned,
+		IllegalTransitions: m.illegalTransitions,
+		Stages:             make(map[Stage]StageStats, len(m.stages)),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		snap.SessionsPerSec = float64(m.sessionsCompleted) / sec

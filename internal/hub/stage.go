@@ -66,3 +66,35 @@ func (s Stage) String() string {
 func (s Stage) Terminal() bool {
 	return s == StageSettled || s == StageResolved || s == StageFailed
 }
+
+// validNext encodes the lifecycle DAG drawn above: the only legal
+// successors of each stage. StageFailed is reachable from every
+// non-terminal stage and is handled in ValidTransition directly.
+var validNext = map[Stage][]Stage{
+	StagePending:   {StageSplit},
+	StageSplit:     {StageDeployed},
+	StageDeployed:  {StageSigned},
+	StageSigned:    {StageExecuted},
+	StageExecuted:  {StageSubmitted},
+	StageSubmitted: {StageSettled, StageDisputed},
+	StageDisputed:  {StageResolved},
+}
+
+// ValidTransition reports whether a session may move from stage `from`
+// directly to stage `to`. The hub checks every transition it takes
+// against this relation and counts violations in Metrics (the lifecycle
+// property test asserts the count stays zero).
+func ValidTransition(from, to Stage) bool {
+	if from.Terminal() {
+		return false // terminal means terminal
+	}
+	if to == StageFailed {
+		return true
+	}
+	for _, n := range validNext[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}

@@ -6,6 +6,7 @@ import (
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/store"
 	"onoffchain/internal/types"
 )
 
@@ -16,10 +17,15 @@ import (
 // disagrees with its own sandboxed execution of the signed off-chain
 // bytecode — automatically files a dispute on behalf of the honest
 // participant, inside the challenge window.
+//
+// With a durable hub, the tower journals every window it opens and a
+// block cursor after each block it finishes, so a restarted tower knows
+// exactly which windows it was guarding and which blocks it never saw.
 type Watchtower struct {
 	chain   *chain.Chain
 	sub     *chain.BlockSubscription
 	metrics *metrics
+	journal *journal // set by the hub; nil for a standalone tower
 	wg      sync.WaitGroup
 
 	mu        sync.Mutex
@@ -27,12 +33,14 @@ type Watchtower struct {
 	entries   map[types.Address]*Watch
 	processed uint64 // highest block number fully processed
 	stopped   bool
+	halted    bool // simulated crash: the tower is "dead"
 }
 
 // Watch is the watchtower's record of one guarded session.
 type Watch struct {
 	sess   *hybrid.Session
-	honest int // party index the tower files disputes as
+	honest int    // party index the tower files disputes as
+	id     uint64 // hub session ID (0 for sessions guarded standalone)
 
 	expectOnce sync.Once
 	expected   uint64
@@ -79,13 +87,17 @@ func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 // Must be called after DeployOnChain and SignAndExchange (the tower needs
 // the address and the signed copy) and before any result is submitted.
 func (w *Watchtower) Guard(sess *hybrid.Session, honest int) (*Watch, error) {
+	return w.guard(sess, honest, 0)
+}
+
+func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64) (*Watch, error) {
 	if sess.OnChainAddr.IsZero() || sess.Copy == nil {
 		return nil, fmt.Errorf("hub: session not ready to guard (deploy and sign first)")
 	}
 	if !sess.Split.Policy.LifecycleEvents {
 		return nil, fmt.Errorf("hub: session's split policy has LifecycleEvents off; the watchtower cannot see its challenge windows")
 	}
-	e := &Watch{sess: sess, honest: honest}
+	e := &Watch{sess: sess, honest: honest, id: sid}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.stopped {
@@ -127,7 +139,7 @@ func (e *Watch) DisputeTiming() (at, deadline uint64) {
 	return e.disputedAt, e.deadline
 }
 
-// Window returns the currently open challenge window, or nil.
+// OpenWindow returns the currently open challenge window, or nil.
 func (e *Watch) OpenWindow() *Window {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -142,10 +154,12 @@ func (e *Watch) OpenWindow() *Window {
 // to and including height h. Session owners MUST call this before
 // finalizing: it guarantees any fraudulent submission mined at or before h
 // has already been disputed, so advancing time past the window is safe.
+// Returns immediately if the tower is stopped or crash-halted — callers
+// on the crashed path re-check Hub.Crashed before acting.
 func (w *Watchtower) WaitCaughtUp(h uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.processed < h && !w.stopped {
+	for w.processed < h && !w.stopped && !w.halted {
 		w.cond.Wait()
 	}
 }
@@ -177,10 +191,42 @@ func (w *Watchtower) Stop() {
 	w.mu.Unlock()
 }
 
+// halt simulates the tower dying mid-flight (Hub.Kill): block delivery
+// keeps draining but nothing is examined, journaled, or disputed, and
+// barrier waiters are released so their workers can observe the crash.
+func (w *Watchtower) halt() {
+	w.mu.Lock()
+	w.halted = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
 func (w *Watchtower) loop() {
 	defer w.wg.Done()
 	for b := range w.sub.Blocks() {
+		w.mu.Lock()
+		dead := w.halted
+		w.mu.Unlock()
+		if dead {
+			continue // the "process" is gone; drain and ignore
+		}
 		w.processBlock(b)
+		// The block is fully examined: durably advance the cursor, THEN
+		// publish the progress. Recovery replays from cursor+1, so a crash
+		// between examining and journaling re-examines the block — safe,
+		// because every handler is idempotent. Re-check the crash flag
+		// first: if Kill landed mid-processBlock, examine() refused to
+		// journal or dispute, so advancing the cursor would durably skip
+		// events the "dead" tower never acted on.
+		w.mu.Lock()
+		dead = w.halted
+		w.mu.Unlock()
+		if dead {
+			continue
+		}
+		if w.journal != nil {
+			w.journal.log(&store.Record{Kind: store.KindCursor, U1: b.Number()})
+		}
 		w.mu.Lock()
 		if b.Number() > w.processed {
 			w.processed = b.Number()
@@ -193,33 +239,62 @@ func (w *Watchtower) loop() {
 func (w *Watchtower) processBlock(b *types.Block) {
 	for _, r := range b.Receipts {
 		for _, l := range r.Logs {
-			if len(l.Topics) == 0 {
-				continue
-			}
-			w.mu.Lock()
-			e := w.entries[l.Address]
-			w.mu.Unlock()
-			if e == nil {
-				continue
-			}
-			switch l.Topics[0] {
-			case hybrid.TopicResultSubmitted:
-				w.onSubmission(e, l)
-			case hybrid.TopicResultFinalized, hybrid.TopicDisputeResolved:
-				e.mu.Lock()
-				e.settled = true
-				e.window = nil
-				e.mu.Unlock()
-				// The contract is settled for good (both paths set the
-				// on-chain settled flag): drop the entry so a long-lived
-				// hub doesn't accumulate every session it ever guarded.
-				// Holders of the *Watch keep reading it safely.
-				w.mu.Lock()
-				delete(w.entries, l.Address)
-				w.mu.Unlock()
-			}
+			w.handleLog(l)
 		}
 	}
+}
+
+// replayLogs feeds historical logs (FilterLogs output) through the same
+// handlers as live blocks. Recovery uses it to re-examine everything
+// after the durable cursor; overlap with live delivery is harmless
+// because the handlers are idempotent.
+func (w *Watchtower) replayLogs(logs []*types.Log) {
+	for _, l := range logs {
+		w.handleLog(l)
+	}
+}
+
+// markProcessed raises the processed watermark (recovery calls it after a
+// replay so WaitCaughtUp barriers see the replayed height).
+func (w *Watchtower) markProcessed(h uint64) {
+	w.mu.Lock()
+	if h > w.processed {
+		w.processed = h
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *Watchtower) handleLog(l *types.Log) {
+	if len(l.Topics) == 0 {
+		return
+	}
+	w.mu.Lock()
+	e := w.entries[l.Address]
+	w.mu.Unlock()
+	if e == nil {
+		return
+	}
+	switch l.Topics[0] {
+	case hybrid.TopicResultSubmitted:
+		w.onSubmission(e, l)
+	case hybrid.TopicResultFinalized, hybrid.TopicDisputeResolved:
+		w.onSettled(e, l.Address)
+	}
+}
+
+func (w *Watchtower) onSettled(e *Watch, addr types.Address) {
+	e.mu.Lock()
+	e.settled = true
+	e.window = nil
+	e.mu.Unlock()
+	// The contract is settled for good (both paths set the on-chain
+	// settled flag): drop the entry so a long-lived hub doesn't
+	// accumulate every session it ever guarded. Holders of the *Watch
+	// keep reading it safely.
+	w.mu.Lock()
+	delete(w.entries, addr)
+	w.mu.Unlock()
 }
 
 // onSubmission is the tower's core duty: open/refresh the challenge
@@ -231,30 +306,93 @@ func (w *Watchtower) onSubmission(e *Watch, l *types.Log) {
 	}
 	w.metrics.add(&w.metrics.submissionsSeen, 1)
 	period := e.sess.Split.Policy.ChallengePeriod
-	e.mu.Lock()
-	e.window = &Window{
-		Contract:  ev.Contract,
-		Submitter: ev.Submitter,
-		Result:    ev.Result,
-		OpenedAt:  ev.At,
-		Deadline:  ev.At + period,
-	}
-	e.mu.Unlock()
+	w.examine(e, ev.Result, ev.At, ev.At+period, ev.Submitter)
+}
 
-	expected, err := e.Expected()
-	if err != nil || ev.Result == expected {
+// examine runs the tower's verdict on one observed submission. It is
+// shared by the live path (onSubmission) and recovery (re-examining the
+// WAL's restored windows), and is idempotent: a submission that is
+// already settled, or whose dispute another examination already claimed,
+// is left alone — that is what makes replay-after-restart unable to
+// double-dispute.
+func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submitter types.Address) {
+	// Honor Kill at sub-block granularity too: a "dead" tower must not
+	// journal windows or file disputes for a block it was mid-way
+	// through. (A dispute transaction already sent when Kill lands is a
+	// tx-in-flight-at-crash — unavoidable, and recovery handles it via
+	// the chain's settled flag.)
+	w.mu.Lock()
+	dead := w.halted
+	w.mu.Unlock()
+	if dead {
 		return
 	}
+	e.mu.Lock()
+	if e.settled {
+		e.mu.Unlock()
+		return
+	}
+	e.window = &Window{
+		Contract:  e.sess.OnChainAddr,
+		Submitter: submitter,
+		Result:    result,
+		OpenedAt:  openedAt,
+		Deadline:  deadline,
+	}
+	alreadyDisputed := e.disputed
+	e.mu.Unlock()
+	if w.journal != nil && e.id != 0 {
+		w.journal.log(&store.Record{
+			Kind: store.KindWindow, SID: e.id,
+			U1: result, U2: openedAt, U3: deadline,
+			Blob: submitter[:],
+		})
+	}
+	if alreadyDisputed {
+		return
+	}
+
+	expected, err := e.Expected()
+	if err != nil || result == expected {
+		return
+	}
+	// The chain, not the WAL, decides whether a dispute is still needed: a
+	// dispute that landed has settled the contract, so a restarted tower
+	// re-examining the same lie stops here instead of double-disputing.
+	// On a query error, fall through and file anyway — a dispute against
+	// an already-settled contract merely reverts, while skipping one lets
+	// a lie finalize, and nothing would ever re-examine it.
+	if settled, err := e.sess.IsSettled(); err == nil && settled {
+		w.onSettled(e, e.sess.OnChainAddr)
+		return
+	}
+	// Claim the dispute under the lock so concurrent examinations (live
+	// delivery racing a recovery replay) file at most once. Re-check the
+	// crash flag at the last moment — after this point the dispute
+	// transaction is as good as sent.
+	w.mu.Lock()
+	dead = w.halted
+	w.mu.Unlock()
+	if dead {
+		return
+	}
+	e.mu.Lock()
+	if e.disputed {
+		e.mu.Unlock()
+		return
+	}
+	e.disputed = true
+	e.disputedAt = w.chain.Now()
+	e.deadline = deadline
+	e.mu.Unlock()
 	// The submission lies about the off-chain outcome: file the dispute
 	// now, synchronously, while the window is provably still open. The
 	// dispute deploys the verified instance from the signed copy and has
 	// the miners recompute and enforce the true result.
 	w.metrics.add(&w.metrics.disputesRaised, 1)
-	e.mu.Lock()
-	e.disputed = true
-	e.disputedAt = w.chain.Now()
-	e.deadline = ev.At + period
-	e.mu.Unlock()
+	if w.journal != nil && e.id != 0 {
+		w.journal.log(&store.Record{Kind: store.KindDisputed, SID: e.id})
+	}
 	_, _, err = e.sess.Dispute(e.honest)
 	if err != nil {
 		return

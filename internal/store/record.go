@@ -1,0 +1,186 @@
+// Package store is the hub's durability layer: an append-only,
+// RLP-encoded write-ahead log with CRC-framed records, size-based segment
+// rotation, and snapshot compaction. The hub logs every session lifecycle
+// transition BEFORE acting on it; after a crash, hub.Recover replays the
+// log to rebuild the session table and re-arm the watchtower over every
+// challenge window that was open when the process died.
+//
+// The store itself is deliberately dumb: it persists and replays opaque
+// Records in order. What a record MEANS — how a stream of records folds
+// into session state — is the hub's business (see internal/hub/recovery.go),
+// which also keeps this package reusable for the multi-hub federation
+// work, where towers exchange exactly these window records.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"onoffchain/internal/rlp"
+)
+
+// Kind tags a WAL record. The zero value is invalid so an all-zeroes
+// frame can never decode as a meaningful record.
+type Kind uint8
+
+const (
+	// KindAccepted: a session was accepted into the hub (Str = scenario).
+	// Logged at Submit time, before any worker touches the session, so a
+	// crash can never silently lose a queued session.
+	KindAccepted Kind = iota + 1
+	// KindParties: the session's identity material — U1 = challenge
+	// period (seconds), U2 = honest party index, U3 = highest key
+	// sequence minted for this session, Blobs = the parties' 32-byte
+	// private scalars in participant order.
+	KindParties
+	// KindStage: write-ahead intent — the session is ABOUT to run the
+	// stage in U1. Logged before the stage's first side effect.
+	KindStage
+	// KindDeployed: the on-chain half is live. Blob = 20-byte contract
+	// address, U1 = deploy block number.
+	KindDeployed
+	// KindSigned: every participant holds the verified signed copy.
+	// Blob = hybrid.SignedCopy.Encode().
+	KindSigned
+	// KindSetupStart / KindSetupDone bracket the scenario's on-chain
+	// setup (deposits). A crash between the two leaves on-chain deposit
+	// state indeterminate, so recovery abandons such sessions instead of
+	// re-running setup blindly.
+	KindSetupStart
+	KindSetupDone
+	// KindSubmitted: intent to push the result in U1 on-chain. The chain
+	// is the source of truth for whether the transaction actually landed;
+	// recovery checks FilterLogs, never this record alone.
+	KindSubmitted
+	// KindDisputed: the watchtower is about to file a dispute for the
+	// session. Forensic only — recovery re-derives dispute necessity from
+	// the chain (a landed dispute settles the contract).
+	KindDisputed
+	// KindWindow: the watchtower observed an open challenge window.
+	// U1 = submitted result, U2 = opened-at (chain time), U3 = deadline.
+	KindWindow
+	// KindTerminal: the session reached the terminal stage in U1.
+	KindTerminal
+	// KindCursor: the watchtower has durably processed every block up to
+	// and including U1. Recovery replays chain events from U1+1.
+	KindCursor
+	// KindKeySeq: U1 is the highest participant-key sequence any session
+	// has ever minted; U2 is the highest session ID ever issued. Kept as
+	// its own record so compaction (which drops terminal sessions,
+	// KindParties records and all) cannot lose either high mark — a
+	// recovered hub must never re-mint a dead session's party keys nor
+	// reissue its session IDs.
+	KindKeySeq
+	kindMax
+)
+
+var kindNames = map[Kind]string{
+	KindAccepted:   "accepted",
+	KindParties:    "parties",
+	KindStage:      "stage",
+	KindDeployed:   "deployed",
+	KindSigned:     "signed",
+	KindSetupStart: "setup-start",
+	KindSetupDone:  "setup-done",
+	KindSubmitted:  "submitted",
+	KindDisputed:   "disputed",
+	KindWindow:     "window",
+	KindTerminal:   "terminal",
+	KindCursor:     "cursor",
+	KindKeySeq:     "key-seq",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one WAL entry. The field layout is a fixed superset of what
+// every kind needs; unused fields encode as empty RLP strings, which cost
+// one byte each and keep the decoder schema-free.
+type Record struct {
+	Kind       Kind
+	SID        uint64 // session ID (0 for hub-wide records like cursors)
+	U1, U2, U3 uint64
+	Blob       []byte
+	Str        string
+	Blobs      [][]byte
+}
+
+// Decode errors.
+var (
+	ErrBadRecord = errors.New("store: malformed record")
+)
+
+// Encode serializes the record with RLP.
+func (r *Record) Encode() []byte {
+	blobs := make([]*rlp.Item, len(r.Blobs))
+	for i, b := range r.Blobs {
+		blobs[i] = rlp.Bytes(b)
+	}
+	return rlp.EncodeList(
+		rlp.Uint(uint64(r.Kind)),
+		rlp.Uint(r.SID),
+		rlp.Uint(r.U1),
+		rlp.Uint(r.U2),
+		rlp.Uint(r.U3),
+		rlp.Bytes(r.Blob),
+		rlp.String(r.Str),
+		rlp.List(blobs...),
+	)
+}
+
+// DecodeRecord parses one RLP-encoded record, rejecting anything that is
+// not byte-exact re-encodable: unknown kinds, wrong arity, oversized
+// integers, or nested lists where byte strings belong. This is the surface
+// FuzzWALDecode hammers.
+func DecodeRecord(payload []byte) (*Record, error) {
+	item, err := rlp.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if item.Kind != rlp.KindList || len(item.Items) != 8 {
+		return nil, fmt.Errorf("%w: want 8-item list", ErrBadRecord)
+	}
+	nums := make([]uint64, 5)
+	for i := 0; i < 5; i++ {
+		v, err := item.Items[i].Uint64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: field %d: %v", ErrBadRecord, i, err)
+		}
+		nums[i] = v
+	}
+	// Range-check BEFORE converting: Kind is a uint8, so a raw value like
+	// 257 would otherwise alias to a valid kind.
+	if nums[0] == 0 || nums[0] >= uint64(kindMax) {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, nums[0])
+	}
+	kind := Kind(nums[0])
+	if item.Items[5].Kind != rlp.KindBytes || item.Items[6].Kind != rlp.KindBytes {
+		return nil, fmt.Errorf("%w: blob/str must be byte strings", ErrBadRecord)
+	}
+	rec := &Record{
+		Kind: kind,
+		SID:  nums[1],
+		U1:   nums[2],
+		U2:   nums[3],
+		U3:   nums[4],
+		Str:  string(item.Items[6].Bytes),
+	}
+	if len(item.Items[5].Bytes) > 0 {
+		rec.Blob = item.Items[5].Bytes
+	}
+	blobs := item.Items[7]
+	if blobs.Kind != rlp.KindList {
+		return nil, fmt.Errorf("%w: blobs must be a list", ErrBadRecord)
+	}
+	for i, b := range blobs.Items {
+		if b.Kind != rlp.KindBytes {
+			return nil, fmt.Errorf("%w: blobs[%d] must be a byte string", ErrBadRecord, i)
+		}
+		rec.Blobs = append(rec.Blobs, b.Bytes)
+	}
+	return rec, nil
+}

@@ -111,12 +111,34 @@ func (nd *Node) Address() types.Address { return nd.address }
 
 // Subscribe returns a channel of verified envelopes on the topic. The
 // buffer is generous; a full buffer drops (simulating lossy gossip).
+// Callers that outlive their interest in the topic must Unsubscribe the
+// returned channel, or the network hub accumulates dead subscriptions
+// forever — a real leak for a long-lived session orchestrator that mints
+// a fresh topic per session.
 func (nd *Node) Subscribe(topic Topic) <-chan *Envelope {
 	ch := make(chan *Envelope, 256)
 	nd.network.mu.Lock()
 	defer nd.network.mu.Unlock()
 	nd.network.subs[topic] = append(nd.network.subs[topic], &subscription{node: nd, ch: ch})
 	return ch
+}
+
+// Unsubscribe detaches a channel previously returned by Subscribe on the
+// topic. Safe to call more than once; unknown channels are ignored. The
+// channel is not closed (posts already delivered remain readable).
+func (nd *Node) Unsubscribe(topic Topic, ch <-chan *Envelope) {
+	nd.network.mu.Lock()
+	defer nd.network.mu.Unlock()
+	subs := nd.network.subs[topic]
+	for i, s := range subs {
+		if s.ch == ch {
+			nd.network.subs[topic] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(nd.network.subs[topic]) == 0 {
+		delete(nd.network.subs, topic)
+	}
 }
 
 // PostOptions tunes a message posting.

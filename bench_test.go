@@ -172,35 +172,65 @@ func BenchmarkDisputeLifecycle(b *testing.B) {
 // all four stages (split/generate, deploy/sign, submit/challenge,
 // dispute/resolve) on ONE dev chain by the internal/hub orchestrator. One
 // session in ten is adversarial, so the watchtower's dispute path is part
-// of the measured workload. The wal=on variants run the same fleet with
-// the durable session store attached (every lifecycle transition written
-// ahead to disk); compare sessions/sec against wal=off when touching the
-// store or journal — measured overhead is a few percent, and anything
-// approaching the issue's 20% acceptance bound is a regression. Nothing
-// enforces this automatically (CI does not run benchmarks); it is a
-// manual gate. Reports sessions/sec and per-stage latency.
+// of the measured workload.
+//
+// The mining axis compares the chain's two block-production policies over
+// the same fleet: mining=auto is the dev-chain block-per-transaction
+// policy, mining=batch pools many sessions' transactions and seals them
+// into shared blocks (chain.StartMining), with every receipt delivered
+// through the WaitReceipt pipeline. Compare sessions/sec and the blocks
+// metric between them: batch mining must collapse blocks-per-run by an
+// order of magnitude (each block amortizes its commit/header work across
+// many sessions), and its sessions/sec gain scales with how much of the
+// host's CPU the per-block overhead was costing — see DESIGN.md §6 for
+// the measured breakdown.
+//
+// The wal=on variants run the same fleet with the durable session store
+// attached (every lifecycle transition written ahead to disk); compare
+// sessions/sec against wal=off when touching the store or journal —
+// measured overhead is a few percent, and anything approaching the
+// issue's 20% acceptance bound is a regression. Nothing enforces this
+// automatically (CI does not run benchmarks); it is a manual gate.
+// Reports sessions/sec, blocks mined, and per-stage latency.
 func BenchmarkHubThroughput(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
-		b.Run(fmt.Sprintf("sessions=%d/wal=off", n), func(b *testing.B) {
-			benchHubThroughput(b, n, false)
-		})
-		b.Run(fmt.Sprintf("sessions=%d/wal=on", n), func(b *testing.B) {
-			benchHubThroughput(b, n, true)
-		})
+		for _, mining := range []string{"auto", "batch"} {
+			mining := mining
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/wal=off", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, false)
+			})
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/wal=on", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, true)
+			})
+		}
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, wal bool) {
+func benchHubThroughput(b *testing.B, n int, mining string, wal bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, wal)
+		hubThroughputIteration(b, n, mining, wal)
 	}
 }
+
+// Batch-mining parameters for the benchmark: the deadline is a few
+// multiples of the fleet's transaction inter-arrival time so each block
+// genuinely aggregates concurrent sessions, and the cap seals early under
+// bursts.
+const (
+	benchMineInterval = 60 * time.Millisecond
+	benchMineBatch    = 512
+	// benchWorkers sizes the hub's pool for both mining policies. Batch
+	// mining needs enough concurrent sessions to hide block latency (a
+	// worker parked on WaitReceipt costs nothing while others have CPU
+	// work); AutoMine is insensitive to pool size beyond the core count.
+	benchWorkers = 64
+)
 
 // hubThroughputIteration is one measured fleet run in its own function so
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
-// the dev chain's subscription pump goroutines, the worker pool, or the
-// WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, wal bool) {
+// the dev chain's subscription pump goroutines, the mining driver, the
+// worker pool, or the WAL's segment file open into the next measurement.
+func hubThroughputIteration(b *testing.B, n int, mining string, wal bool) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
@@ -208,11 +238,21 @@ func hubThroughputIteration(b *testing.B, n int, wal bool) {
 		b.Fatal(err)
 	}
 	faucetAddr := types.Address(faucetKey.EthereumAddress())
-	c := chain.NewDefault(map[types.Address]*uint256.Int{
+	ccfg := chain.DefaultConfig()
+	if mining == "batch" {
+		ccfg.AutoMine = false
+	}
+	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		faucetAddr: new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
 	})
+	if mining == "batch" {
+		if err := c.StartMining(benchMineInterval, benchMineBatch); err != nil {
+			b.Fatal(err)
+		}
+		defer c.StopMining()
+	}
 	net := whisper.NewNetwork(c.Now)
-	cfg := hub.Config{Workers: 8}
+	cfg := hub.Config{Workers: benchWorkers}
 	if wal {
 		st, err := store.Open(b.TempDir(), store.Options{})
 		if err != nil {
@@ -248,6 +288,7 @@ func hubThroughputIteration(b *testing.B, n int, wal bool) {
 		b.Fatalf("metrics inconsistent: completed=%d disputes=%d/%d", m.SessionsCompleted, m.DisputesWon, disputes)
 	}
 	b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
+	b.ReportMetric(float64(c.Height()), "blocks")
 	for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
 		if agg, ok := m.Stages[st]; ok {
 			b.ReportMetric(float64(agg.Avg.Microseconds())/1000, "ms/"+st.String())

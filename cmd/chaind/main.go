@@ -9,13 +9,16 @@
 //	GET  /nonce?addr=0x..             — account nonce
 //	GET  /code?addr=0x..              — contract code (hex)
 //	GET  /receipt?tx=0x..             — transaction receipt
-//	POST /send      {"rlp": "0x.."}   — submit a signed raw transaction
+//	POST /send      {"rlp": "0x..", "wait": bool} — submit a signed raw
+//	                transaction; wait=true blocks until the receipt (or a
+//	                dropped-at-execution error) resolves
 //	POST /call      {"from","to","data"} — read-only call
 //	POST /advance   {"seconds": n}    — advance the simulated clock
 //
 // Usage:
 //
 //	chaind -listen :8545 -fund 0xAddr1,0xAddr2
+//	chaind -mine batch -mine-interval 250ms -mine-batch 256   # batch-mined blocks
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/types"
@@ -82,7 +86,13 @@ func (s *server) nonce(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]uint64{"nonce": s.chain.NonceAt(addr)})
+	// "nonce" is the value the next transaction must carry — the PENDING
+	// nonce, which under -mine batch includes pooled transactions (the
+	// state nonce would reject a client pipelining into one block).
+	writeJSON(w, map[string]uint64{
+		"nonce": s.chain.PendingNonceAt(addr),
+		"state": s.chain.NonceAt(addr),
+	})
 }
 
 func (s *server) code(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +126,8 @@ func (s *server) receipt(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) send(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		RLP string `json:"rlp"`
+		RLP  string `json:"rlp"`
+		Wait bool   `json:"wait"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -137,7 +148,21 @@ func (s *server) send(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]string{"txHash": hash.Hex()})
+	resp := map[string]interface{}{"txHash": hash.Hex()}
+	if req.Wait {
+		// Block until the batch block carrying the transaction is mined
+		// (bounded by the client hanging up). A tx dropped at execution
+		// reports the reason instead of leaving the client polling forever.
+		rec, err := s.chain.WaitReceipt(r.Context(), hash)
+		if err != nil {
+			resp["error"] = err.Error()
+		} else {
+			resp["status"] = rec.Status
+			resp["gasUsed"] = rec.GasUsed
+			resp["contractAddress"] = rec.ContractAddress.Hex()
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) call(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +216,9 @@ func (s *server) advance(w http.ResponseWriter, r *http.Request) {
 func main() {
 	listen := flag.String("listen", ":8545", "HTTP listen address")
 	fund := flag.String("fund", "", "comma-separated addresses funded with 1000 ether at genesis")
+	mode := flag.String("mine", "auto", `mining policy: "auto" (a block per transaction) or "batch" (pooled transactions sealed by the background driver)`)
+	mineInterval := flag.Duration("mine-interval", 250*time.Millisecond, "batch mode: deadline for sealing a partial block")
+	mineBatch := flag.Int("mine-batch", 256, "batch mode: max transactions per block (a full pool seals immediately)")
 	flag.Parse()
 
 	alloc := map[types.Address]*uint256.Int{}
@@ -204,7 +232,22 @@ func main() {
 			alloc[addr] = grand.Clone()
 		}
 	}
-	srv := &server{chain: chain.NewDefault(alloc)}
+	ccfg := chain.DefaultConfig()
+	switch *mode {
+	case "auto":
+	case "batch":
+		ccfg.AutoMine = false
+	default:
+		log.Fatalf("unknown -mine mode %q (want auto or batch)", *mode)
+	}
+	c := chain.New(ccfg, alloc)
+	if *mode == "batch" {
+		if err := c.StartMining(*mineInterval, *mineBatch); err != nil {
+			log.Fatalf("start mining: %v", err)
+		}
+		defer c.StopMining()
+	}
+	srv := &server{chain: c}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", srv.status)

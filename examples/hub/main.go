@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hub"
@@ -116,6 +117,57 @@ func main() {
 	}
 
 	durabilityDemo(c, net, faucetKey)
+	batchMiningDemo(faucetKey)
+}
+
+// batchMiningDemo retires the AutoMine assumption live: the same fleet
+// machinery runs against a chain with AutoMine off, where a background
+// driver (chain.StartMining) seals many sessions' transactions into each
+// block and every receipt arrives through the WaitReceipt pipeline. Watch
+// the block count: a block-per-transaction chain would mint hundreds of
+// blocks for this fleet; the batch driver amortizes them by an order of
+// magnitude.
+func batchMiningDemo(faucetKey *secp256k1.PrivateKey) {
+	fmt.Println("\n--- batch mining: one block per many sessions, receipts via WaitReceipt ---")
+	ccfg := chain.DefaultConfig()
+	ccfg.AutoMine = false // batch policy: pool transactions, let the driver seal
+	c := chain.New(ccfg, map[types.Address]*uint256.Int{
+		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
+	})
+	if err := c.StartMining(25*time.Millisecond, 256); err != nil {
+		log.Fatal(err)
+	}
+	defer c.StopMining()
+	net := whisper.NewNetwork(c.Now)
+	h := hub.New(c, net, faucetKey, hub.Config{Workers: 16})
+	defer h.Stop()
+
+	n := 20
+	specs := make([]*hub.Spec, n)
+	for i := range specs {
+		specs[i] = hub.BettingSpec(16, 600, i%10 == 0)
+	}
+	reports := h.Run(specs)
+	txs := 0
+	for bn := uint64(1); bn <= c.Height(); bn++ {
+		if b, err := c.BlockByNumber(bn); err == nil {
+			txs += len(b.Transactions)
+		}
+	}
+	disputes := 0
+	for _, rep := range reports {
+		if rep.Err != nil {
+			log.Fatalf("batch session %d failed: %v", rep.ID, rep.Err)
+		}
+		if rep.Disputed {
+			disputes++
+		}
+	}
+	m := h.Metrics()
+	fmt.Printf("  %d sessions (%d disputed and enforced) at %.1f sessions/sec\n",
+		n, disputes, m.SessionsPerSec)
+	fmt.Printf("  %d transactions in %d blocks (%.1f txs/block) — AutoMine would have minted %d blocks\n",
+		txs, c.Height(), float64(txs)/float64(c.Height()), txs)
 }
 
 // durabilityDemo crashes a WAL-backed hub with a fraudulent submission's

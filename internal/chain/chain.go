@@ -7,6 +7,7 @@
 package chain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,12 @@ var (
 	ErrGasLimitExceeded   = errors.New("chain: exceeds block gas limit")
 	ErrUnknownTransaction = errors.New("chain: unknown transaction")
 	ErrUnknownBlock       = errors.New("chain: unknown block")
+	// ErrTxDropped resolves WaitReceipt for a transaction that passed
+	// admission but became invalid by the time its block executed it (for
+	// example its sender's balance was consumed by an earlier transaction
+	// in the same block). The wrapped cause is the execution-time
+	// validation failure.
+	ErrTxDropped = errors.New("chain: transaction dropped at execution")
 )
 
 // Config tunes chain behaviour.
@@ -37,7 +44,13 @@ type Config struct {
 	// BlockInterval is the simulated seconds between blocks.
 	BlockInterval uint64
 	// AutoMine, when true, mines a block after every accepted transaction
-	// (dev-chain behaviour). When false, transactions pool until MineBlock.
+	// (dev-chain behaviour): the degenerate mining policy of one
+	// transaction per block, applied synchronously inside SendTransaction.
+	// When false, transactions pool until MineBlock or until the
+	// background driver started with StartMining seals a batch block.
+	// Either way receipts are delivered through the same pipeline —
+	// clients observe them with WaitReceipt, never by assuming one is
+	// ready when SendTransaction returns.
 	AutoMine bool
 }
 
@@ -64,21 +77,46 @@ type Chain struct {
 	pending  []*types.Transaction
 	now      uint64 // current simulated time
 
+	// Receipt pipeline (see WaitReceipt): accepted-but-unmined hashes,
+	// execution-time drop errors, and the per-tx notification channels
+	// resolved when the transaction's block is mined.
+	pendingSet   map[types.Hash]struct{}
+	dropped      map[types.Hash]error
+	waiters      map[types.Hash][]chan receiptOutcome
+	pendingNonce map[types.Address]uint64 // next expected nonce per sender with pending txs
+
+	// Background mining driver (see StartMining).
+	mineKick chan struct{}
+	mineStop chan struct{}
+	mineDone chan struct{}
+	mineCap  int
+
 	// Push subscriptions (see subscription.go).
 	subID     uint64
 	logSubs   map[uint64]*LogSubscription
 	blockSubs map[uint64]*BlockSubscription
 }
 
+// receiptOutcome is what a WaitReceipt waiter learns at mine time: the
+// receipt, or the reason the transaction was dropped.
+type receiptOutcome struct {
+	receipt *types.Receipt
+	err     error
+}
+
 // New creates a chain with the given genesis balance allocation.
 func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 	c := &Chain{
-		config:   config,
-		state:    state.New(),
-		byHash:   make(map[types.Hash]*types.Block),
-		receipts: make(map[types.Hash]*types.Receipt),
-		txs:      make(map[types.Hash]*types.Transaction),
-		now:      1_500_000_000, // arbitrary epoch start
+		config:       config,
+		state:        state.New(),
+		byHash:       make(map[types.Hash]*types.Block),
+		receipts:     make(map[types.Hash]*types.Receipt),
+		txs:          make(map[types.Hash]*types.Transaction),
+		pendingSet:   make(map[types.Hash]struct{}),
+		dropped:      make(map[types.Hash]error),
+		waiters:      make(map[types.Hash][]chan receiptOutcome),
+		pendingNonce: make(map[types.Address]uint64),
+		now:          1_500_000_000, // arbitrary epoch start
 	}
 	for addr, balance := range alloc {
 		c.state.SetBalance(addr, balance)
@@ -163,6 +201,20 @@ func (c *Chain) NonceAt(addr types.Address) uint64 {
 	return c.state.GetNonce(addr)
 }
 
+// PendingNonceAt returns the nonce addr's next transaction must carry:
+// the state nonce plus any transactions already pooled for the next block
+// (eth_getTransactionCount with "pending"). Under AutoMine this equals
+// NonceAt; under batch mining it is the only correct nonce source for a
+// sender with in-flight transactions.
+func (c *Chain) PendingNonceAt(addr types.Address) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.pendingNonce[addr]; ok {
+		return n
+	}
+	return c.state.GetNonce(addr)
+}
+
 // CodeAt returns the contract code at addr.
 func (c *Chain) CodeAt(addr types.Address) []byte {
 	c.mu.Lock()
@@ -188,14 +240,17 @@ func (c *Chain) Receipt(txHash types.Hash) (*types.Receipt, error) {
 	return r, nil
 }
 
-// SendTransaction validates and accepts a signed transaction. With AutoMine
-// it is executed immediately in a fresh block and the receipt is available
-// on return.
+// SendTransaction validates and accepts a signed transaction into the
+// pending pool and returns its hash. When the transaction executes (the
+// next block under AutoMine, a later batch block otherwise) its outcome is
+// published through WaitReceipt — use that, not Receipt-after-send, to
+// observe it.
 func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 	// Recover (and cache) the sender before taking the chain lock, so the
 	// elliptic-curve work of concurrent submitters runs in parallel
 	// instead of serializing inside the mining critical section.
-	if _, err := tx.Sender(); err != nil {
+	sender, err := tx.Sender()
+	if err != nil {
 		return types.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
 	}
 	c.mu.Lock()
@@ -204,13 +259,92 @@ func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 		return types.Hash{}, err
 	}
 	c.pending = append(c.pending, tx)
+	c.pendingSet[tx.Hash()] = struct{}{}
+	// Re-accepting a hash that was previously dropped at execution (the
+	// sender retried the identical transaction once conditions changed)
+	// supersedes the old drop verdict — without this, WaitReceipt would
+	// report the stale drop for a transaction that is live in the pool.
+	delete(c.dropped, tx.Hash())
+	c.pendingNonce[sender] = tx.Nonce + 1
 	if c.config.AutoMine {
 		c.mineLocked()
+	} else if c.mineKick != nil && len(c.pending) >= c.mineCap {
+		// Cap-driven mining: the pool is full enough for a block; wake the
+		// driver instead of waiting out its interval.
+		select {
+		case c.mineKick <- struct{}{}:
+		default:
+		}
 	}
 	return tx.Hash(), nil
 }
 
-// MineBlock executes all pending transactions into one block.
+// WaitReceipt blocks until txHash's transaction executes and returns its
+// receipt — the asynchronous counterpart of the old "receipt is ready when
+// SendTransaction returns" AutoMine contract, and the only receipt API
+// that is correct under every mining policy. A transaction that was
+// invalidated at execution time (dropped from its block) resolves with an
+// ErrTxDropped error instead of hanging; a hash the chain never accepted
+// resolves immediately with ErrUnknownTransaction; ctx cancellation
+// returns ctx.Err().
+func (c *Chain) WaitReceipt(ctx context.Context, txHash types.Hash) (*types.Receipt, error) {
+	c.mu.Lock()
+	if r, ok := c.receipts[txHash]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	if err, ok := c.dropped[txHash]; ok {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, ok := c.pendingSet[txHash]; !ok {
+		c.mu.Unlock()
+		return nil, ErrUnknownTransaction
+	}
+	ch := make(chan receiptOutcome, 1) // buffered: mine-time resolution never blocks on a gone waiter
+	c.waiters[txHash] = append(c.waiters[txHash], ch)
+	c.mu.Unlock()
+
+	select {
+	case out := <-ch:
+		return out.receipt, out.err
+	case <-ctx.Done():
+		// Withdraw the waiter so an abandoned wait does not accumulate; the
+		// resolution may have raced us, in which case the entry is gone
+		// already and the buffered send succeeded harmlessly.
+		c.mu.Lock()
+		ws := c.waiters[txHash]
+		for i, w := range ws {
+			if w == ch {
+				c.waiters[txHash] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(c.waiters[txHash]) == 0 {
+			delete(c.waiters, txHash)
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// resolveWaitersLocked delivers a transaction's outcome to every waiter
+// registered for it. Called from mineLocked with c.mu held.
+func (c *Chain) resolveWaitersLocked(txHash types.Hash, out receiptOutcome) {
+	ws, ok := c.waiters[txHash]
+	if !ok {
+		return
+	}
+	delete(c.waiters, txHash)
+	for _, w := range ws {
+		w <- out // buffered(1), registered exactly once: never blocks
+	}
+}
+
+// MineBlock executes pending transactions into one block — all of them,
+// unless a StartMining driver is active, in which case its
+// maxTxsPerBlock cap applies and an over-full pool needs repeated calls
+// (or the driver's own re-kick) to drain.
 func (c *Chain) MineBlock() *types.Block {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -222,19 +356,18 @@ func (c *Chain) validateTx(tx *types.Transaction) error {
 	if err != nil {
 		return fmt.Errorf("chain: invalid signature: %w", err)
 	}
-	nonce := c.state.GetNonce(sender)
-	pendingExtra := uint64(0)
-	for _, p := range c.pending {
-		if s, _ := p.Sender(); s == sender {
-			pendingExtra++
-		}
+	// The pending-nonce map replaces a per-sender scan of the whole pool:
+	// admission stays O(1) even when batch mining holds hundreds of
+	// transactions pending.
+	expect, ok := c.pendingNonce[sender]
+	if !ok {
+		expect = c.state.GetNonce(sender)
 	}
-	expect := nonce + pendingExtra
 	if tx.Nonce < expect {
-		return fmt.Errorf("%w: have %d, state %d", ErrNonceTooLow, tx.Nonce, expect)
+		return fmt.Errorf("%w: have %d, want %d", ErrNonceTooLow, tx.Nonce, expect)
 	}
 	if tx.Nonce > expect {
-		return fmt.Errorf("%w: have %d, state %d", ErrNonceTooHigh, tx.Nonce, expect)
+		return fmt.Errorf("%w: have %d, want %d", ErrNonceTooHigh, tx.Nonce, expect)
 	}
 	if tx.Gas > c.config.GasLimit {
 		return ErrGasLimitExceeded
@@ -253,26 +386,54 @@ func (c *Chain) mineLocked() *types.Block {
 	c.now += c.config.BlockInterval
 	number := parent.Number() + 1
 
+	// Under a cap-driven mining policy, seal at most mineCap transactions
+	// per block and leave the rest pooled for the next one.
+	batch := c.pending
+	if c.mineCap > 0 && len(batch) > c.mineCap {
+		batch = batch[:c.mineCap]
+	}
+
 	var (
 		receipts   []*types.Receipt
 		included   []*types.Transaction
 		cumulative uint64
 	)
-	for _, tx := range c.pending {
+	for _, tx := range batch {
+		hash := tx.Hash()
+		delete(c.pendingSet, hash)
 		receipt, err := c.applyTransaction(tx, number, uint(len(included)))
 		if err != nil {
 			// Invalid at execution time (e.g. balance consumed by an
-			// earlier pending tx): drop it.
+			// earlier transaction in the same block): drop it, and resolve
+			// any receipt waiter with the distinct dropped error so nobody
+			// blocks forever on a transaction that will never mine. Both
+			// errors stay unwrappable: errors.Is sees ErrTxDropped AND the
+			// execution-time cause. The drop ledger is retained for the
+			// chain's lifetime so late waiters fail fast — same unbounded-
+			// by-design footprint as the receipts and txs maps.
+			dropErr := fmt.Errorf("%w: %w", ErrTxDropped, err)
+			c.dropped[hash] = dropErr
+			c.resolveWaitersLocked(hash, receiptOutcome{err: dropErr})
 			continue
 		}
 		cumulative += receipt.GasUsed
 		receipt.CumulativeGasUsed = cumulative
 		receipts = append(receipts, receipt)
 		included = append(included, tx)
-		c.receipts[tx.Hash()] = receipt
-		c.txs[tx.Hash()] = tx
+		c.receipts[hash] = receipt
+		c.txs[hash] = tx
+		c.resolveWaitersLocked(hash, receiptOutcome{receipt: receipt})
 	}
-	c.pending = nil
+	leftover := c.pending[len(batch):]
+	c.pending = append([]*types.Transaction(nil), leftover...)
+	// Rebuild the admission nonce map from what is still pooled: senders
+	// fully drained fall back to state nonces (which now reflect this
+	// block), senders with queued transactions keep their reservations.
+	clear(c.pendingNonce)
+	for _, tx := range c.pending {
+		s, _ := tx.Sender()
+		c.pendingNonce[s] = tx.Nonce + 1
+	}
 
 	root := c.state.Commit()
 	header := &types.Header{

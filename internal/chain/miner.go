@@ -1,0 +1,120 @@
+package chain
+
+import (
+	"errors"
+	"time"
+)
+
+// Background mining driver: the batch counterpart of AutoMine. Both are
+// policies over the same mineLocked mechanism — AutoMine seals a block
+// synchronously inside SendTransaction (one transaction per block), the
+// driver seals blocks of up to maxTxsPerBlock pooled transactions either
+// when the pool reaches the cap (SendTransaction kicks it) or when the
+// interval elapses with work pending. Receipts reach clients through
+// WaitReceipt in both worlds, so callers never need to know which policy
+// is running.
+
+// Driver errors.
+var (
+	ErrAutoMineDriver = errors.New("chain: StartMining on an AutoMine chain (AutoMine is already the synchronous mining policy)")
+	ErrMiningStarted  = errors.New("chain: mining driver already started")
+)
+
+// StartMining launches the background block producer. A block is sealed
+// whenever maxTxsPerBlock transactions are pending (cap-driven, no
+// latency) or the interval expires with at least one pending transaction
+// (deadline-driven, bounds latency for partial batches). interval <= 0
+// disables the ticker, leaving the cap as the only trigger. Empty blocks
+// are never produced; MineBlock remains available for manual sealing.
+// StopMining must be called to release the driver goroutine.
+func (c *Chain) StartMining(interval time.Duration, maxTxsPerBlock int) error {
+	if maxTxsPerBlock <= 0 {
+		return errors.New("chain: StartMining needs a positive maxTxsPerBlock")
+	}
+	c.mu.Lock()
+	if c.config.AutoMine {
+		c.mu.Unlock()
+		return ErrAutoMineDriver
+	}
+	if c.mineStop != nil {
+		c.mu.Unlock()
+		return ErrMiningStarted
+	}
+	kick := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.mineKick, c.mineStop, c.mineDone = kick, stop, done
+	c.mineCap = maxTxsPerBlock
+	if len(c.pending) > 0 {
+		kick <- struct{}{} // cover txs pooled before the driver existed
+	}
+	c.mu.Unlock()
+	go c.mineLoop(interval, kick, stop, done)
+	return nil
+}
+
+// StopMining halts the background driver and waits for it to exit. A
+// seal the driver had already been kicked into may still complete (still
+// cap-sized: the cap stays in force until the loop has drained);
+// transactions pending after that stay pooled (resolve them with
+// MineBlock or a fresh StartMining), and their WaitReceipt callers keep
+// blocking until then — which is why owners of a wait should carry a
+// context. Stop receipt consumers (the hub) before stopping the driver.
+func (c *Chain) StopMining() {
+	c.mu.Lock()
+	stop, done, kick := c.mineStop, c.mineDone, c.mineKick
+	c.mineStop, c.mineDone = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	// Only now is no mineLoop iteration in flight: clearing the cap (and
+	// the kick channel SendTransaction signals) earlier would let a final
+	// racing seal mine an UNcapped block of everything pending. Guard on
+	// the kick channel's identity — a new driver may have been started the
+	// moment mineStop went nil, and its cap/kick must not be clobbered.
+	c.mu.Lock()
+	if c.mineKick == kick {
+		c.mineKick = nil
+		c.mineCap = 0
+	}
+	c.mu.Unlock()
+}
+
+// mineLoop is the driver goroutine: one sealed block per trigger, so a
+// steady trickle of transactions amortizes into interval-sized batches
+// instead of degenerating back to a block per transaction. When a sealed
+// block leaves a still-full pool behind (more than a cap's worth arrived
+// in one interval), the loop re-kicks itself instead of waiting out the
+// next tick.
+func (c *Chain) mineLoop(interval time.Duration, kick, stop chan struct{}, done chan struct{}) {
+	defer close(done)
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-kick:
+		case <-tick:
+		}
+		c.mu.Lock()
+		if len(c.pending) > 0 {
+			c.mineLocked()
+		}
+		again := c.mineCap > 0 && len(c.pending) >= c.mineCap
+		c.mu.Unlock()
+		if again {
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}

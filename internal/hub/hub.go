@@ -11,6 +11,7 @@
 package hub
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -131,13 +132,23 @@ type Config struct {
 // Hub owns a worker pool that runs sessions end-to-end, a watchtower
 // guarding every session it runs, a faucet that funds fresh per-session
 // participant keys, and a split cache so identical scenarios compile once.
-// The chain must be in AutoMine mode: the hub's flow control assumes a
-// transaction's receipt is available when SendTransaction returns.
+// The hub is mining-policy agnostic: every transaction it (or a session
+// party) submits is observed through chain.WaitReceipt, so the chain may
+// AutoMine a block per transaction or batch many sessions' transactions
+// into shared blocks via chain.StartMining — workers simply block until
+// their receipt resolves, under a per-generation context that Kill
+// cancels.
 type Hub struct {
 	chain  *chain.Chain
 	net    *whisper.Network
 	faucet *hybrid.Participant
 	cfg    Config
+
+	// ctx bounds every receipt wait of this hub generation; cancel fires
+	// on Kill so workers parked in WaitReceipt observe the crash instead
+	// of waiting for a block a dead deployment may never see.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	tower   *Watchtower
 	metrics *metrics
@@ -177,17 +188,21 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
 	m := newMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
 	h := &Hub{
 		chain:   c,
 		net:     net,
 		faucet:  hybrid.NewParticipant(faucetKey, c, nil),
 		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
 		metrics: m,
 		journal: newJournal(cfg.Store, cfg.CompactEvery, holdCursor),
 		keySeq:  keySeqFloor,
 		splits:  make(map[types.Hash]*hybrid.SplitResult),
 		jobs:    make(chan *Ticket, cfg.QueueDepth),
 	}
+	h.faucet.Ctx = ctx
 	h.sid.Store(sidFloor)
 	h.tower = NewWatchtower(c, m)
 	h.tower.journal = h.journal
@@ -202,6 +217,7 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 			panic(fmt.Sprintf("hub: shard key: %v", err))
 		}
 		h.shards[i] = hybrid.NewParticipant(key, c, nil)
+		h.shards[i].Ctx = ctx
 	}
 	h.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -258,23 +274,30 @@ func (h *Hub) Run(specs []*Spec) []*Report {
 	return reports
 }
 
-// Stop drains the queue, stops the workers and the watchtower. The hub
-// must not be used afterwards.
+// Stop drains the queue, stops the workers and the watchtower, then
+// releases the generation context. The hub must not be used afterwards.
+// On a batch-mined chain, stop the hub BEFORE chain.StopMining: workers
+// drain by waiting out their in-flight receipts, which need the driver
+// alive.
 func (h *Hub) Stop() {
 	h.stopOnce.Do(func() {
 		close(h.jobs)
 		h.wg.Wait()
 		h.tower.Stop()
+		h.cancel()
 	})
 }
 
 // Kill simulates the process dying right now: the watchtower stops
 // examining blocks, every worker abandons its session at the next
-// lifecycle checkpoint, and nothing further is written to the WAL. The
-// chain (an external system in reality) keeps running. Call Stop
-// afterwards to reclaim the goroutines; then hand the store to Recover.
+// lifecycle checkpoint — including workers parked inside a receipt wait
+// on a batch-mined chain, whose contexts are canceled here — and nothing
+// further is written to the WAL. The chain (an external system in
+// reality) keeps running. Call Stop afterwards to reclaim the
+// goroutines; then hand the store to Recover.
 func (h *Hub) Kill() {
 	h.crashed.Store(true)
+	h.cancel()
 	h.tower.halt()
 }
 
@@ -342,15 +365,22 @@ func (h *Hub) newKey() (*secp256k1.PrivateKey, uint64, error) {
 
 // fund transfers the spec's funding to each address from the worker's own
 // faucet shard (no cross-worker contention), refilling the shard from the
-// root faucet when it runs low.
+// root faucet when it runs low. Every transfer goes out asynchronously
+// first and is awaited afterwards: the root-faucet mutex covers only
+// nonce allocation (not a block round-trip), and one batch-mined block
+// can carry the refills and funding transfers of many sessions at once.
 func (h *Hub) fund(shard *hybrid.Participant, addrs []types.Address, amount *uint256.Int) error {
 	need := new(uint256.Int).Mul(amount, uint256.NewInt(uint64(len(addrs))))
 	need.Add(need, eth(1)) // gas headroom
 	if shard.Chain.BalanceAt(shard.Addr).Lt(need) {
 		refill := new(uint256.Int).Mul(need, uint256.NewInt(64))
 		h.faucetMu.Lock()
-		r, err := h.faucet.SendTx(&shard.Addr, refill, 21_000, nil)
+		hash, err := h.faucet.SendTxAsync(&shard.Addr, refill, 21_000, nil)
 		h.faucetMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("hub: refill shard: %w", err)
+		}
+		r, err := h.faucet.WaitReceipt(hash)
 		if err != nil {
 			return fmt.Errorf("hub: refill shard: %w", err)
 		}
@@ -358,14 +388,22 @@ func (h *Hub) fund(shard *hybrid.Participant, addrs []types.Address, amount *uin
 			return fmt.Errorf("hub: shard refill reverted (root faucet empty?)")
 		}
 	}
-	for _, a := range addrs {
+	hashes := make([]types.Hash, len(addrs))
+	for i, a := range addrs {
 		a := a
-		r, err := shard.SendTx(&a, amount, 21_000, nil)
+		hash, err := shard.SendTxAsync(&a, amount, 21_000, nil)
 		if err != nil {
 			return fmt.Errorf("hub: fund %s: %w", a.Hex(), err)
 		}
+		hashes[i] = hash
+	}
+	for i, hash := range hashes {
+		r, err := shard.WaitReceipt(hash)
+		if err != nil {
+			return fmt.Errorf("hub: fund %s: %w", addrs[i].Hex(), err)
+		}
 		if !r.Succeeded() {
-			return fmt.Errorf("hub: funding transfer to %s reverted", a.Hex())
+			return fmt.Errorf("hub: funding transfer to %s reverted", addrs[i].Hex())
 		}
 	}
 	return nil
@@ -436,8 +474,15 @@ func (h *Hub) terminal(lc *lifecycle, s Stage) {
 }
 
 // failSession is the single failure path: record the cause, close the
-// session out in the WAL, return the report.
+// session out in the WAL, return the report. A hub that is simulating
+// process death reclassifies the failure as the crash it is — an error
+// surfaced by Kill (most often a canceled receipt wait on a batch-mined
+// chain) must abandon the session exactly where it stood, with no
+// terminal record: a dead process writes nothing.
 func (h *Hub) failSession(lc *lifecycle, err error) *Report {
+	if h.crashed.Load() {
+		return h.crashReport(lc.t, lc.rep.Stage)
+	}
 	lc.rep.Stage = StageFailed
 	lc.rep.Err = err
 	h.terminal(lc, StageFailed)
@@ -494,6 +539,7 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 			return fail(err)
 		}
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
+		parties[i].Ctx = h.ctx
 		addrs[i] = parties[i].Addr
 		scalars[i] = key.D.FillBytes(make([]byte, 32))
 		maxSeq = seq

@@ -43,9 +43,10 @@ type sessionState struct {
 }
 
 // journal owns the WAL and its in-memory mirror. Every mutation goes
-// through log(), which applies the record to the mirror and appends it to
-// the store (when one is configured) — so mirror state and durable state
-// can never diverge. Terminal records evict the session from the mirror
+// through log(), which reserves the record's WAL position and applies it
+// to the mirror under one lock — so mirror order and durable order are
+// identical even though durability itself is awaited outside the lock
+// (group commit). Terminal records evict the session from the mirror
 // and, every compactEvery terminals, trigger snapshot compaction.
 type journal struct {
 	mu           sync.Mutex
@@ -74,33 +75,60 @@ func newJournal(st *store.Store, compactEvery int, holdCursor bool) *journal {
 // log applies one record to the mirror and makes it durable. An append
 // failure is sticky: a hub that can no longer write its WAL must stop
 // claiming durability, so every later log (and checkpoint) fails too.
+//
+// The record's WAL position is reserved (AppendAsync) and the mirror
+// updated under j.mu, so mirror order and durable order can never
+// diverge; the wait for durability happens OUTSIDE the lock, which is
+// what lets many workers' records coalesce into one group commit at the
+// store. The mirror may therefore briefly lead the WAL by records whose
+// flush is still in flight — and a compaction triggered by another
+// worker in that window snapshots them as if flushed. That direction of
+// divergence is the safe one: it is write-ahead intent, which recovery
+// is built to over-trust (the chain outranks the WAL for every on-chain
+// fact, and an intent without a matching chain event is simply redone or
+// closed out). What must never happen is the WAL UNDER-claiming versus
+// actions taken, and it cannot: the caller does not act (and no
+// terminal-triggered compaction runs) until its own wait returns, queue
+// order means a successful later flush implies every earlier reservation
+// flushed, and a failed flush is sticky at BOTH layers — this journal
+// stops logging and the store refuses further appends and compactions.
 func (j *journal) log(rec *store.Record) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.appendErr != nil {
+		j.mu.Unlock()
 		return j.appendErr
 	}
 	if rec.Kind == store.KindCursor && j.holdCursor {
+		j.mu.Unlock()
 		return nil
 	}
-	// Durable first, mirror second: a failed append must not leave the
-	// mirror describing state the WAL never recorded.
+	var wait func() error
 	if j.st != nil {
-		if err := j.st.Append(rec); err != nil {
-			j.appendErr = err
-			return err
-		}
+		wait = j.st.AppendAsync(rec)
 	}
 	j.applyLocked(rec)
-	if j.st == nil {
+	j.mu.Unlock()
+	if wait == nil {
 		return nil
 	}
+	if err := wait(); err != nil {
+		j.mu.Lock()
+		if j.appendErr == nil {
+			j.appendErr = err
+		}
+		j.mu.Unlock()
+		return err
+	}
 	if rec.Kind == store.KindTerminal {
+		j.mu.Lock()
+		defer j.mu.Unlock()
 		j.terminals++
 		if j.terminals >= j.compactEvery {
 			j.terminals = 0
 			if err := j.st.Compact(j.stateRecordsLocked()); err != nil {
-				j.appendErr = err
+				if j.appendErr == nil {
+					j.appendErr = err
+				}
 				return err
 			}
 		}

@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
 )
@@ -119,6 +121,12 @@ func (r *RecoverReport) Resumed() []*Ticket {
 // signed copy existed cannot be resumed (the off-chain handshake state
 // is gone with the process) and are closed out as failed — the paper's
 // protocol has nothing at stake on-chain before deploy/sign completes.
+//
+// On a chain with AutoMine off, block production must already be running
+// (chain.StartMining, or something calling MineBlock) before Recover is
+// called: recovery itself transacts — abandoned-session sweeps, and any
+// dispute the replay files — and those transactions only resolve when
+// blocks are sealed.
 func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, cfg Config, registry SpecRegistry) (*Hub, *RecoverReport, error) {
 	recs, err := st.Replay()
 	if err != nil {
@@ -303,10 +311,19 @@ func sortedSessions(live map[uint64]*sessionState) []*sessionState {
 // sweepAbandoned returns an abandoned session's remaining party balances
 // to the faucet (the WAL holds the party scalars, so the funds are not
 // actually stranded). Best effort: unreachable or dust balances are left
-// behind. Returns the number of accounts swept.
+// behind, and the receipt waits are time-bounded — sweeping runs INSIDE
+// Recover, before the caller holds a hub it could Kill, so an unbounded
+// wait on a chain whose block production is down would wedge recovery
+// itself (the funds stay sweepable by the next recovery; a torn dispute
+// would not be, which is why disputes get no such cap). The sweeps are
+// independent senders, so they are all submitted before any is awaited —
+// one batch block can carry a whole session's sweep. Returns the number
+// of accounts swept.
 func (h *Hub) sweepAbandoned(ss *sessionState) int {
 	gasCost := uint256.NewInt(21_000) // transfer gas at gas price 1
-	swept := 0
+	ctx, cancel := context.WithTimeout(h.ctx, 10*time.Second)
+	defer cancel()
+	var hashes []types.Hash
 	for _, sc := range ss.Scalars {
 		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
 		if err != nil {
@@ -318,7 +335,13 @@ func (h *Hub) sweepAbandoned(ss *sessionState) int {
 			continue
 		}
 		value := new(uint256.Int).Sub(bal, gasCost)
-		if r, err := p.SendTx(&h.faucet.Addr, value, 21_000, nil); err == nil && r.Succeeded() {
+		if hash, err := p.SendTxAsync(&h.faucet.Addr, value, 21_000, nil); err == nil {
+			hashes = append(hashes, hash)
+		}
+	}
+	swept := 0
+	for _, hash := range hashes {
+		if r, err := h.chain.WaitReceipt(ctx, hash); err == nil && r.Succeeded() {
 			swept++
 		}
 	}
@@ -343,6 +366,7 @@ func (h *Hub) rebuildSession(ss *sessionState, spec *Spec) (*hybrid.Session, err
 			return nil, fmt.Errorf("party %d scalar: %v", i, err)
 		}
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
+		parties[i].Ctx = h.ctx
 	}
 	sess, err := hybrid.NewSession(split, parties)
 	if err != nil {
@@ -382,6 +406,12 @@ func (h *Hub) resumeSession(t *Ticket, ss *sessionState, sess *hybrid.Session, w
 	}
 	if settled {
 		// Settled during the outage or by the recovery replay's dispute.
+		// Close the restored watch from chain truth: the settle event can
+		// predate the durable cursor (the dying tower examined its block
+		// and advanced the cursor before the crash), in which case neither
+		// the replay nor live delivery will ever close the window — left
+		// alone it would sit "open" in the tower forever.
+		h.tower.onSettled(watch, sess.OnChainAddr)
 		raised, won := watch.Disputed()
 		rep.Disputed = raised
 		final := StageSettled

@@ -14,23 +14,17 @@ import (
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/types"
-	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
 )
 
 // durableWorld builds the chain + whisper + faucet fixture shared by the
-// recovery tests. The chain deliberately outlives any hub: in reality it
-// is an external system that keeps running while the hub is down.
+// recovery tests, on the AutoMine policy. The chain deliberately outlives
+// any hub: in reality it is an external system that keeps running while
+// the hub is down. The suites that sweep mining policies use miningWorld
+// directly.
 func durableWorld(tb testing.TB) (*chain.Chain, *whisper.Network, *secp256k1.PrivateKey) {
 	tb.Helper()
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
-	if err != nil {
-		tb.Fatal(err)
-	}
-	c := chain.NewDefault(map[types.Address]*uint256.Int{
-		types.Address(faucetKey.EthereumAddress()): new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
-	})
-	return c, whisper.NewNetwork(c.Now), faucetKey
+	return miningWorld(tb, "auto")
 }
 
 func testRegistry() SpecRegistry {
@@ -73,23 +67,27 @@ func countEvents(c *chain.Chain) *chainEventCounts {
 // TestCrashRecoveryAtEveryStage is the crash-injection harness: a durable
 // hub running a 10%-fraudulent fleet is killed the moment a session
 // completes the target lifecycle stage — parameterized over all seven
-// stages a live session passes through — and a second hub is recovered
-// from the WAL. Afterwards, every session must be accounted for, every
-// submission that landed on-chain must have settled exactly once, every
-// fraudulent submission must have been caught by a dispute, and no
-// contract may ever see more than one dispute.
+// stages a live session passes through AND over both mining policies
+// (under batch mining, blocks carry several sessions' transactions and a
+// kill can land while workers are parked inside receipt waits) — and a
+// second hub is recovered from the WAL. Afterwards, every session must be
+// accounted for, every submission that landed on-chain must have settled
+// exactly once, every fraudulent submission must have been caught by a
+// dispute, and no contract may ever see more than one dispute.
 func TestCrashRecoveryAtEveryStage(t *testing.T) {
 	stages := []Stage{StagePending, StageSplit, StageDeployed, StageSigned, StageExecuted, StageSubmitted, StageSettled}
-	for _, target := range stages {
-		target := target
-		t.Run(target.String(), func(t *testing.T) {
-			crashRecoverRun(t, target)
-		})
+	for _, mode := range miningModes(t) {
+		for _, target := range stages {
+			mode, target := mode, target
+			t.Run("mining="+mode+"/"+target.String(), func(t *testing.T) {
+				crashRecoverRun(t, target, mode)
+			})
+		}
 	}
 }
 
-func crashRecoverRun(t *testing.T, target Stage) {
-	c, net, faucetKey := durableWorld(t)
+func crashRecoverRun(t *testing.T, target Stage, mode string) {
+	c, net, faucetKey := miningWorld(t, mode)
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -215,30 +213,51 @@ func crashRecoverRun(t *testing.T, target Stage) {
 	}
 
 	// Chain-truth assertions, across BOTH generations. Every submission
-	// that ever landed settles exactly once, and no contract is disputed
-	// twice — a crashed-and-recovered tower files at most one dispute.
+	// that ever landed settles (is ENFORCED) exactly once. DisputeOpened
+	// may appear twice for one contract, but only in the crash-mid-dispute
+	// shape: the dying tower's deployVerifiedInstance was in flight at the
+	// kill and landed post-mortem with no enforcement behind it, so the
+	// recovered tower MUST re-file (a disputed intent without an on-chain
+	// settlement means the dispute never landed — see DESIGN.md). A
+	// settled lie is vetoed by the chain's settled flag, so anything past
+	// two openings, or a second opening on a settled contract, is a real
+	// double dispute.
 	ec := countEvents(c)
 	for addr := range ec.submitted {
 		if got := ec.finalized[addr] + ec.resolved[addr]; got != 1 {
 			t.Errorf("contract %s settled %d times, want exactly 1", addr.Hex(), got)
 		}
-		if ec.opened[addr] > 1 {
-			t.Errorf("contract %s was disputed %d times (double dispute)", addr.Hex(), ec.opened[addr])
+		switch opened := ec.opened[addr]; {
+		case opened > 2:
+			t.Errorf("contract %s was disputed %d times (double dispute)", addr.Hex(), opened)
+		case opened == 2:
+			// (The settled veto makes a re-file impossible once ANY dispute
+			// on this contract was enforced, so resolved==1/finalized==0 is
+			// the complete per-contract invariant — no counter attribution
+			// needed, which matters once a fleet has several adversaries.)
+			if ec.resolved[addr] != 1 || ec.finalized[addr] != 0 {
+				t.Errorf("contract %s: re-filed dispute (opened=2) but resolved=%d finalized=%d — only a crash-torn unenforced dispute may be re-filed",
+					addr.Hex(), ec.resolved[addr], ec.finalized[addr])
+			}
 		}
 	}
 
 	// The fraudulent 10% are still caught: every adversarial session that
 	// managed a (fraudulent) submission before the crash was resolved by
-	// dispute, never finalized. Adversarial sessions that died earlier
-	// were resumed as honest submitters and finalize cleanly.
+	// dispute, never finalized — and no honest session was ever disputed.
+	// Adversarial sessions that died earlier were resumed as honest
+	// submitters and finalize cleanly.
 	frauds := 0
 	for _, s := range rec.Sessions {
-		if !advByID[s.ID] {
-			continue
-		}
 		addr := addrOf(t, reports, rec, s.ID)
 		if addr.IsZero() || ec.submitted[addr] == 0 {
 			continue // died before anything landed on-chain
+		}
+		if !advByID[s.ID] {
+			if ec.opened[addr] != 0 {
+				t.Errorf("honest contract %s was disputed", addr.Hex())
+			}
+			continue
 		}
 		if s.Outcome == RecoveryTerminal && s.Stage == StageFailed {
 			continue // abandoned before submission was possible
@@ -246,8 +265,9 @@ func crashRecoverRun(t *testing.T, target Stage) {
 		// An adversarial session's FIRST submission is the lie (resumed
 		// sessions submit honestly, but only after dying pre-submission,
 		// in which case the first submission is already honest). If a
-		// dispute was opened, the lie landed; it must have been resolved.
-		if ec.opened[addr] == 1 {
+		// dispute was opened — possibly re-filed after a crash tore the
+		// first one — the lie landed; it must have been resolved.
+		if ec.opened[addr] >= 1 {
 			frauds++
 			if ec.resolved[addr] != 1 || ec.finalized[addr] != 0 {
 				t.Errorf("fraudulent contract %s: resolved=%d finalized=%d, want dispute-resolution only",
@@ -255,9 +275,21 @@ func crashRecoverRun(t *testing.T, target Stage) {
 			}
 		}
 	}
-	if m1.DisputesWon+m2.DisputesWon != uint64(frauds) {
-		t.Errorf("disputes won across generations = %d+%d, want %d (one per caught fraud)",
+	// Each caught fraud is one enforced dispute, but not necessarily one
+	// COUNTED dispute win: under batch mining the dying tower's dispute
+	// transactions can be in flight at the crash and land post-mortem —
+	// enforced by the chain with no living tower to credit. The chain
+	// assertions above are the exact ones; the counters must simply never
+	// exceed the frauds the chain knows about.
+	if m1.DisputesWon+m2.DisputesWon > uint64(frauds) {
+		t.Errorf("disputes won across generations = %d+%d, more than the %d caught frauds",
 			m1.DisputesWon, m2.DisputesWon, frauds)
+		for _, s := range rec.Sessions {
+			addr := addrOf(t, reports, rec, s.ID)
+			t.Logf("  session %d adv=%v outcome=%s stage=%s addr=%s submitted=%d opened=%d resolved=%d finalized=%d",
+				s.ID, advByID[s.ID], s.Outcome, s.Stage, addr.Hex(),
+				ec.submitted[addr], ec.opened[addr], ec.resolved[addr], ec.finalized[addr])
+		}
 	}
 	t.Logf("crash at %s: %d crashed, %d resumed, %d abandoned, %d frauds caught (%d pre-crash, %d post-recovery)",
 		target, crashed, m2.SessionsRecovered, m2.SessionsAbandoned, frauds, m1.DisputesWon, m2.DisputesWon)
@@ -295,9 +327,20 @@ func addrOf(t *testing.T, gen1 []*Report, rec *RecoverReport, id uint64) types.A
 // crashes don't stop it) pushes a lie on-chain while no tower is alive,
 // and the recovered hub must catch it purely from the FilterLogs replay
 // after its durable cursor — the window is still open because nobody
-// could finalize during the outage.
+// could finalize during the outage. Runs under both mining policies: in
+// batch mode the fraud lands in a driver-sealed block nobody was waiting
+// on, the exact shape a real outage produces.
 func TestFraudWhileHubDown(t *testing.T) {
-	c, net, faucetKey := durableWorld(t)
+	for _, mode := range miningModes(t) {
+		mode := mode
+		t.Run("mining="+mode, func(t *testing.T) {
+			fraudWhileHubDownRun(t, mode)
+		})
+	}
+}
+
+func fraudWhileHubDownRun(t *testing.T, mode string) {
+	c, net, faucetKey := miningWorld(t, mode)
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
 		t.Fatal(err)

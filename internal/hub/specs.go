@@ -29,11 +29,22 @@ func addrSeed(a types.Address) uint64 {
 	return x
 }
 
-// depositAll has every participant deposit value into the contract.
+// depositAll has every participant deposit value into the contract. The
+// deposits are independent transactions from distinct senders, so they
+// are all submitted before any is awaited — under batch mining the whole
+// participant set deposits in one shared block.
 func depositAll(value *uint256.Int) func(sess *hybrid.Session) error {
 	return func(sess *hybrid.Session) error {
+		hashes := make([]types.Hash, len(sess.Parties))
 		for i, p := range sess.Parties {
-			r, err := p.Invoke(sess.Split.OnChain, sess.OnChainAddr, value, 300_000, "deposit")
+			hash, err := p.InvokeAsync(sess.Split.OnChain, sess.OnChainAddr, value, 300_000, "deposit")
+			if err != nil {
+				return fmt.Errorf("participant %d deposit: %w", i, err)
+			}
+			hashes[i] = hash
+		}
+		for i, p := range sess.Parties {
+			r, err := p.WaitReceipt(hashes[i])
 			if err != nil {
 				return fmt.Errorf("participant %d deposit: %w", i, err)
 			}

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 
 	"onoffchain/internal/chain"
@@ -18,6 +19,11 @@ type Participant struct {
 	Addr  types.Address
 	Chain *chain.Chain
 	Node  *whisper.Node
+	// Ctx bounds every receipt wait this participant performs (nil means
+	// context.Background()). The hub points it at a per-generation context
+	// so workers blocked on a batch-mined receipt wake up when the hub
+	// dies instead of waiting for a block that may never come.
+	Ctx context.Context
 }
 
 // NewParticipant wires a key to the chain and the off-chain network.
@@ -36,10 +42,18 @@ func NewParticipant(key *secp256k1.PrivateKey, c *chain.Chain, net *whisper.Netw
 // defaultGasPrice keeps fee arithmetic simple in experiments.
 var defaultGasPrice = uint256.NewInt(1)
 
-// SendTx signs and submits a transaction, returning its receipt (the dev
-// chain auto-mines).
-func (p *Participant) SendTx(to *types.Address, value *uint256.Int, gas uint64, data []byte) (*types.Receipt, error) {
-	nonce := p.Chain.NonceAt(p.Addr)
+func (p *Participant) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// SendTxAsync signs and submits a transaction without waiting for it to
+// mine, returning its hash. The nonce comes from the pending pool, so a
+// participant may pipeline several transactions into one batch block.
+func (p *Participant) SendTxAsync(to *types.Address, value *uint256.Int, gas uint64, data []byte) (types.Hash, error) {
+	nonce := p.Chain.PendingNonceAt(p.Addr)
 	var tx *types.Transaction
 	if to == nil {
 		tx = types.NewContractCreation(nonce, value, gas, defaultGasPrice, data)
@@ -47,13 +61,29 @@ func (p *Participant) SendTx(to *types.Address, value *uint256.Int, gas uint64, 
 		tx = types.NewTransaction(nonce, *to, value, gas, defaultGasPrice, data)
 	}
 	if err := tx.Sign(p.Key); err != nil {
-		return nil, err
+		return types.Hash{}, err
 	}
-	hash, err := p.Chain.SendTransaction(tx)
+	return p.Chain.SendTransaction(tx)
+}
+
+// submitAndWait is the one seam between this package and the chain's
+// receipt pipeline: submit, then block on WaitReceipt under the
+// participant's context. Every state-changing helper (SendTx, Deploy,
+// Invoke — and through them deposits, submissions, disputes, finalize,
+// faucet refills) funnels through here, so no call site ever assumes a
+// receipt is synchronously available after SendTransaction.
+func (p *Participant) submitAndWait(to *types.Address, value *uint256.Int, gas uint64, data []byte) (*types.Receipt, error) {
+	hash, err := p.SendTxAsync(to, value, gas, data)
 	if err != nil {
 		return nil, err
 	}
-	return p.Chain.Receipt(hash)
+	return p.Chain.WaitReceipt(p.ctx(), hash)
+}
+
+// SendTx signs and submits a transaction, then waits for its receipt
+// (immediately available under AutoMine, one batch block away otherwise).
+func (p *Participant) SendTx(to *types.Address, value *uint256.Int, gas uint64, data []byte) (*types.Receipt, error) {
+	return p.submitAndWait(to, value, gas, data)
 }
 
 // Deploy sends a contract-creation transaction and returns the new address
@@ -80,6 +110,28 @@ func (p *Participant) Invoke(cc *lang.CompiledContract, at types.Address, value 
 		return nil, err
 	}
 	return p.SendTx(&at, value, gas, data)
+}
+
+// InvokeAsync packs and submits a state-changing call without waiting for
+// it to mine. Callers that fan independent calls out across participants
+// (deposits, funding) submit them all and then WaitReceipt each, so one
+// batch-mined block carries the whole fan-out instead of a block per call.
+func (p *Participant) InvokeAsync(cc *lang.CompiledContract, at types.Address, value *uint256.Int, gas uint64, fn string, args ...interface{}) (types.Hash, error) {
+	m, err := cc.Method(fn)
+	if err != nil {
+		return types.Hash{}, err
+	}
+	data, err := m.Pack(args...)
+	if err != nil {
+		return types.Hash{}, err
+	}
+	return p.SendTxAsync(&at, value, gas, data)
+}
+
+// WaitReceipt resolves a previously submitted transaction under the
+// participant's context.
+func (p *Participant) WaitReceipt(hash types.Hash) (*types.Receipt, error) {
+	return p.Chain.WaitReceipt(p.ctx(), hash)
 }
 
 // Query performs a read-only call and decodes the single return value.

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -46,7 +47,7 @@ func ExecuteOffChain(bytecode []byte) (*OffChainOutcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: sandbox deploy: %w", err)
 	}
-	receipt, err := sandbox.Receipt(hash)
+	receipt, err := sandbox.WaitReceipt(context.Background(), hash)
 	if err != nil {
 		return nil, err
 	}

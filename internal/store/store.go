@@ -19,8 +19,10 @@ import (
 //	│ length u32 │ crc32c u32 │ RLP payload  │   (little-endian header)
 //	└────────────┴────────────┴──────────────┘
 //
-// Each Append is a single write(2) of the whole frame, so a crash leaves
-// at most one torn frame per process generation — always at the tail of
+// Appends are group-committed: concurrent callers' frames coalesce into
+// one buffered write(2) (and one fsync when Sync is on) per flush. A
+// flush is a single sequential write of whole frames, so a crash leaves
+// at most one torn region per process generation — always at the tail of
 // the segment that was active when that generation died (reopening starts
 // a fresh segment, so several crash generations can each leave one torn
 // tail). Replay tolerates exactly that: a frame that runs past a
@@ -64,7 +66,7 @@ type Options struct {
 }
 
 // Store is an append-only WAL with snapshot compaction. Safe for
-// concurrent use.
+// concurrent use; concurrent Appends are group-committed (see Append).
 type Store struct {
 	dir  string
 	opts Options
@@ -74,6 +76,19 @@ type Store struct {
 	idx    uint64 // active segment index
 	size   int64
 	closed bool
+	failed error // sticky: the first write/sync/rotate failure breaks the store
+
+	// Group-commit queue (see AppendAsync): pending frames and whether a
+	// leader is currently draining them.
+	qmu     sync.Mutex
+	queue   []*appendReq
+	writing bool
+}
+
+// appendReq is one queued frame awaiting group commit.
+type appendReq struct {
+	frame []byte
+	errc  chan error // buffered(1): the leader never blocks delivering
 }
 
 // Open creates or reopens a store rooted at dir. Existing segments and
@@ -163,13 +178,83 @@ func frameRecord(r *Record) ([]byte, error) {
 	return frame, nil
 }
 
-// Append frames and writes one record, rotating the segment afterwards if
-// it crossed the size threshold. The frame is written with a single write
-// call so a crash can only tear the tail.
+// Append frames and durably writes one record: enqueue, then wait for a
+// group commit to carry it. Concurrent Appends coalesce — one leader
+// drains the whole queue with a single write(2) (and a single fsync when
+// Sync is on), so N concurrent appenders cost one syscall batch instead
+// of N. A batch is still one sequential write, so a crash can only tear
+// the tail of the final frames, exactly like the single-record case.
 func (s *Store) Append(r *Record) error {
+	return s.AppendAsync(r)()
+}
+
+// AppendAsync reserves the record's position in the WAL NOW — the write
+// order is the queue order — and returns a wait function that blocks
+// until the record (and everything queued before it) is durable. Callers
+// that serialize ordering under their own lock (the hub's journal) call
+// AppendAsync inside the lock and wait outside it, which is what lets
+// independent appenders coalesce at all. Every returned wait function
+// MUST be called: a queued frame is only guaranteed to be written once
+// its waiter (or a later one) has pumped the queue.
+func (s *Store) AppendAsync(r *Record) func() error {
 	frame, err := frameRecord(r)
 	if err != nil {
-		return err
+		return func() error { return err }
+	}
+	req := &appendReq{frame: frame, errc: make(chan error, 1)}
+	s.qmu.Lock()
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
+	return func() error { return s.awaitAppend(req) }
+}
+
+// awaitAppend blocks until req's frame is durably written, becoming the
+// group-commit leader if no other appender is already writing.
+func (s *Store) awaitAppend(req *appendReq) error {
+	for {
+		select {
+		case err := <-req.errc:
+			return err
+		default:
+		}
+		s.qmu.Lock()
+		if s.writing {
+			// A leader is draining the queue; it will write our frame (it
+			// only steps down with the queue empty).
+			s.qmu.Unlock()
+			return <-req.errc
+		}
+		s.writing = true
+		for len(s.queue) > 0 {
+			batch := s.queue
+			s.queue = nil
+			s.qmu.Unlock()
+			err := s.writeBatch(batch)
+			for _, q := range batch {
+				q.errc <- err
+			}
+			s.qmu.Lock()
+		}
+		s.writing = false
+		s.qmu.Unlock()
+		// Our frame was in a batch we just wrote (or an earlier leader's);
+		// the loop re-reads errc.
+	}
+}
+
+// writeBatch commits one group of frames: a single write(2) of the
+// concatenation, one fsync when Sync is on, then a rotation check. Any
+// failure is sticky — a WAL that failed a write holds unknown state, so
+// every later append and compaction refuses with the original error
+// rather than risk persisting a stream with a hole in it.
+func (s *Store) writeBatch(batch []*appendReq) error {
+	total := 0
+	for _, q := range batch {
+		total += len(q.frame)
+	}
+	buf := make([]byte, 0, total)
+	for _, q := range batch {
+		buf = append(buf, q.frame...)
 	}
 
 	s.mu.Lock()
@@ -177,17 +262,26 @@ func (s *Store) Append(r *Record) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if _, err := s.f.Write(frame); err != nil {
-		return fmt.Errorf("store: append: %w", err)
+	if s.failed != nil {
+		return s.failed
 	}
-	s.size += int64(len(frame))
+	fail := func(err error) error {
+		s.failed = err
+		return err
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return fail(fmt.Errorf("store: append: %w", err))
+	}
+	s.size += int64(len(buf))
 	if s.opts.Sync {
 		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("store: sync: %w", err)
+			return fail(fmt.Errorf("store: sync: %w", err))
 		}
 	}
 	if s.size >= s.opts.SegmentSize {
-		return s.rotateLocked()
+		if err := s.rotateLocked(); err != nil {
+			return fail(err)
+		}
 	}
 	return nil
 }
@@ -312,6 +406,11 @@ func (s *Store) Compact(state []*Record) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.failed != nil {
+		// A failed group write may have torn the durable stream mid-batch;
+		// compacting from in-memory state would paper over the hole.
+		return s.failed
 	}
 	sealed := s.idx
 	if err := s.rotateLocked(); err != nil {

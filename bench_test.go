@@ -13,6 +13,7 @@ import (
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/experiments"
+	"onoffchain/internal/federation"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
@@ -191,24 +192,35 @@ func BenchmarkDisputeLifecycle(b *testing.B) {
 // measured overhead is a few percent, and anything approaching the
 // issue's 20% acceptance bound is a regression. Nothing enforces this
 // automatically (CI does not run benchmarks); it is a manual gate.
+//
+// The towers axis federates the guard duty (internal/federation): the
+// hub's watchtower becomes one of three members, with two standalone
+// towers adopting every session's guard state over gossip and sharing
+// dispute duty by rendezvous assignment. Compare sessions/sec against
+// towers=1 when touching the federation or the dispute pipeline — the
+// acceptance bound is 10% (the honest 90% of windows ride the owner's
+// vouch and cost the fleet only gossip; disputes pay one election delay).
 // Reports sessions/sec, blocks mined, and per-stage latency.
 func BenchmarkHubThroughput(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
-			b.Run(fmt.Sprintf("sessions=%d/mining=%s/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false)
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, false, 1)
 			})
-			b.Run(fmt.Sprintf("sessions=%d/mining=%s/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, true)
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, true, 1)
+			})
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, false, 3)
 			})
 		}
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining string, wal bool) {
+func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, wal)
+		hubThroughputIteration(b, n, mining, wal, towers)
 	}
 }
 
@@ -230,7 +242,7 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining string, wal bool) {
+func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
@@ -263,6 +275,43 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool) {
 	}
 	h := hub.New(c, net, faucetKey, cfg)
 	defer h.Stop()
+	var fedTowers []*federation.Tower
+	if towers > 1 {
+		keys := make([]*secp256k1.PrivateKey, towers)
+		members := make([]types.Address, towers)
+		for i := range keys {
+			k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x70_3E_00 + i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys[i] = k
+			members[i] = types.Address(k.EthereumAddress())
+		}
+		registry := hub.NewSpecRegistry(hub.BettingSpec(4, 600, false), hub.BettingSpec(4, 600, true))
+		mk := func(k *secp256k1.PrivateKey) federation.Config {
+			return federation.Config{Chain: c, Net: net, Key: k, Members: members, Registry: registry,
+				Logf: func(string, ...interface{}) {}}
+		}
+		ht, err := federation.AttachHub(h, mk(keys[0]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fedTowers = append(fedTowers, ht)
+		for i := 1; i < towers; i++ {
+			st, err := federation.Join(mk(keys[i]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fedTowers = append(fedTowers, st)
+		}
+		// Stop the hub (draining sessions) before the guard towers.
+		defer func() {
+			h.Stop()
+			for _, ft := range fedTowers {
+				ft.Stop()
+			}
+		}()
+	}
 	specs := make([]*hub.Spec, n)
 	for s := range specs {
 		specs[s] = hub.BettingSpec(4, 600, s%10 == 0)
@@ -284,8 +333,25 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool) {
 		}
 	}
 	m := h.Metrics()
-	if int(m.SessionsCompleted) != n || int(m.DisputesWon) != disputes {
-		b.Fatalf("metrics inconsistent: completed=%d disputes=%d/%d", m.SessionsCompleted, m.DisputesWon, disputes)
+	if int(m.SessionsCompleted) != n {
+		b.Fatalf("metrics inconsistent: completed=%d of %d", m.SessionsCompleted, n)
+	}
+	if towers > 1 {
+		// Federated: disputes may be filed by any member. Enforcement is
+		// exactly-once per lie (chain-guaranteed), so fleet-wide wins must
+		// equal the disputed sessions; filings can exceed them only by
+		// races the settled veto absorbed (reverted, never enforced).
+		filed, won := uint64(0), uint64(0)
+		for _, ft := range fedTowers {
+			fm := ft.Metrics()
+			filed += fm.DisputesFiled
+			won += fm.DisputesWon
+		}
+		if int(won) != disputes || filed < won {
+			b.Fatalf("fleet filed %d / won %d disputes for %d disputed sessions", filed, won, disputes)
+		}
+	} else if int(m.DisputesWon) != disputes {
+		b.Fatalf("metrics inconsistent: disputes=%d/%d", m.DisputesWon, disputes)
 	}
 	b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
 	b.ReportMetric(float64(c.Height()), "blocks")

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/big"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"onoffchain/internal/chain"
+	"onoffchain/internal/federation"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/secp256k1"
@@ -37,6 +39,9 @@ func eth(n uint64) *uint256.Int {
 }
 
 func main() {
+	towers := flag.Int("towers", 3, "federation size for the tower-federation act (1 disables it)")
+	flag.Parse()
+
 	// World: a dev chain with a rich faucet, a whisper network, a hub.
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
 	if err != nil {
@@ -118,6 +123,102 @@ func main() {
 
 	durabilityDemo(c, net, faucetKey)
 	batchMiningDemo(faucetKey)
+	if *towers > 1 {
+		federationDemo(faucetKey, *towers)
+	}
+}
+
+// federationDemo is the liveness headline of internal/federation: N
+// towers share guard duty; the hub — the member that OWNS the fraudulent
+// session — is killed the instant the lie lands on-chain, and a standalone
+// backup tower escalates and disputes it before the window closes.
+func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
+	fmt.Printf("\n--- tower federation: %d towers, primary killed mid-window, backup disputes ---\n", towers)
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
+	})
+	net := whisper.NewNetwork(c.Now)
+
+	keys := make([]*secp256k1.PrivateKey, towers)
+	members := make([]types.Address, towers)
+	for i := range keys {
+		k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x70_3E_00 + i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys[i] = k
+		members[i] = types.Address(k.EthereumAddress())
+	}
+	spec := hub.BettingSpec(64, 600, true)
+	registry := hub.NewSpecRegistry(spec)
+
+	// The hub is federation member 0; the lie's window must survive its
+	// death, so kill it the moment the fraudulent submission completes.
+	var h *hub.Hub
+	h = hub.New(c, net, faucetKey, hub.Config{Workers: 2, StageHook: func(sid uint64, s hub.Stage) bool {
+		if s == hub.StageSubmitted {
+			h.Kill()
+		}
+		return !h.Crashed()
+	}})
+	quiet := func(string, ...interface{}) {}
+	mk := func(k *secp256k1.PrivateKey) federation.Config {
+		return federation.Config{
+			Chain: c, Net: net, Key: k, Members: members, Registry: registry,
+			HeartbeatEvery: 50 * time.Millisecond, EscalateAfter: 300 * time.Millisecond,
+			Logf: quiet,
+		}
+	}
+	hubTower, err := federation.AttachHub(h, mk(keys[0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	backups := make([]*federation.Tower, 0, towers-1)
+	for i := 1; i < towers; i++ {
+		bt, err := federation.Join(mk(keys[i]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		backups = append(backups, bt)
+		defer bt.Stop()
+	}
+
+	rep := h.Submit(spec).Report()
+	h.Stop()
+	hubTower.Kill()
+	hubTower.Stop()
+	fmt.Printf("  hub (member 0) KILLED at stage %s: the lie is on-chain, its owner is dead\n", rep.Stage)
+
+	logs := c.FilterLogs(chain.FilterQuery{Topic: &hybrid.TopicResultSubmitted})
+	if len(logs) != 1 {
+		log.Fatalf("expected exactly one submission, got %d", len(logs))
+	}
+	contract := logs[0].Address
+	ev, err := hybrid.DecodeResultSubmitted(logs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  window open on %s until t=%d; backups guard it from gossiped state\n", contract.Hex()[:10], ev.At+600)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.FilterLogs(chain.FilterQuery{Address: &contract, Topic: &hybrid.TopicDisputeResolved})) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, bt := range backups {
+		m := bt.Metrics()
+		if m.DisputesWon > 0 {
+			fmt.Printf("  backup tower %d (%s) escalated and ENFORCED the dispute at chain time %d — %ds before the deadline\n",
+				i+1, bt.Self().Hex()[:10], c.Now(), ev.At+600-c.Now())
+		}
+	}
+	if len(c.FilterLogs(chain.FilterQuery{Address: &contract, Topic: &hybrid.TopicDisputeResolved})) == 0 {
+		log.Fatal("no backup disputed the lie")
+	}
+	fmt.Printf("  exactly-once: %d DisputeOpened event(s) on the contract\n",
+		len(c.FilterLogs(chain.FilterQuery{Address: &contract, Topic: &hybrid.TopicDisputeOpened})))
 }
 
 // batchMiningDemo retires the AutoMine assumption live: the same fleet

@@ -1,0 +1,64 @@
+package federation
+
+import (
+	"bytes"
+	"sort"
+
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/types"
+)
+
+// Guard assignment: rendezvous (highest-random-weight) hashing of the
+// contract address over the member set. Every member computes the same
+// ranking independently, with no coordination and no reshuffling storm
+// when membership changes — removing one member only reassigns the
+// contracts it was ranked first for.
+//
+// The ranking serves two distinct purposes, deliberately fed by two
+// different member sets:
+//
+//   - The PRIMARY for a window — who files a dispute with zero delay — is
+//     the top-ranked member of the LIVE set (per the local tower's
+//     heartbeat view). That is what makes a crashed member's guard duty
+//     move instantly in everyone else's eyes.
+//   - The ESCALATION SLOT — how long a tower waits before filing itself —
+//     is the tower's rank in the FULL configured set, regardless of
+//     liveness. Slots are partition-independent: two towers whose gossip
+//     is severed may both believe they are the live primary, but their
+//     full-set slots still differ, so their filings stay time-staggered
+//     and the second one hits the chain's settled veto instead of
+//     double-filing. Liveness views may be wrong exactly when it matters;
+//     slots cannot be.
+func rendezvousRank(members []types.Address, contract types.Address) []types.Address {
+	type scored struct {
+		m     types.Address
+		score []byte
+	}
+	ranked := make([]scored, len(members))
+	for i, m := range members {
+		ranked[i] = scored{m: m, score: keccak.Sum256Bytes(contract[:], m[:])}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if c := bytes.Compare(ranked[i].score, ranked[j].score); c != 0 {
+			return c > 0 // highest score first
+		}
+		return bytes.Compare(ranked[i].m[:], ranked[j].m[:]) < 0
+	})
+	out := make([]types.Address, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.m
+	}
+	return out
+}
+
+// slotOf returns self's escalation slot for the contract: its index in
+// the full-member rendezvous ranking (0 = would-be primary were everyone
+// alive). Returns len(members) if self is not a configured member.
+func slotOf(members []types.Address, contract, self types.Address) int {
+	for i, m := range rendezvousRank(members, contract) {
+		if m == self {
+			return i
+		}
+	}
+	return len(members)
+}

@@ -1,0 +1,96 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+
+	"onoffchain/internal/types"
+)
+
+func addrN(n byte) types.Address {
+	return types.BytesToAddress([]byte{0xF0, n})
+}
+
+func TestRendezvousRankDeterministicAndComplete(t *testing.T) {
+	members := []types.Address{addrN(1), addrN(2), addrN(3)}
+	contract := types.BytesToAddress([]byte{0xC0, 0x01})
+
+	r1 := rendezvousRank(members, contract)
+	if len(r1) != len(members) {
+		t.Fatalf("ranking has %d members, want %d", len(r1), len(members))
+	}
+	// Permutation of the input must not change the ranking.
+	shuffled := []types.Address{addrN(3), addrN(1), addrN(2)}
+	r2 := rendezvousRank(shuffled, contract)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ranking depends on input order: %v vs %v", r1, r2)
+		}
+	}
+	// Every member appears exactly once.
+	seen := map[types.Address]int{}
+	for _, m := range r1 {
+		seen[m]++
+	}
+	for _, m := range members {
+		if seen[m] != 1 {
+			t.Errorf("member %s appears %d times", m.Hex(), seen[m])
+		}
+	}
+	// Slots agree with the ranking.
+	for i, m := range r1 {
+		if got := slotOf(members, contract, m); got != i {
+			t.Errorf("slotOf(%s) = %d, want %d", m.Hex(), got, i)
+		}
+	}
+	if got := slotOf(members, contract, addrN(99)); got != len(members) {
+		t.Errorf("slot of a non-member = %d, want %d", got, len(members))
+	}
+}
+
+// TestRendezvousSpreadsPrimaries: over many contracts, every member is
+// primary for a reasonable share (the whole point of hashing assignment —
+// no single tower carries all guard duty).
+func TestRendezvousSpreadsPrimaries(t *testing.T) {
+	members := []types.Address{addrN(1), addrN(2), addrN(3)}
+	counts := map[types.Address]int{}
+	rng := rand.New(rand.NewSource(42))
+	const contracts = 600
+	for i := 0; i < contracts; i++ {
+		var c types.Address
+		rng.Read(c[:])
+		counts[rendezvousRank(members, c)[0]]++
+	}
+	for _, m := range members {
+		if counts[m] < contracts/6 {
+			t.Errorf("member %s is primary for only %d/%d contracts — assignment is skewed", m.Hex(), counts[m], contracts)
+		}
+	}
+}
+
+// TestRendezvousStableUnderMembershipChange: removing one member must
+// only reassign the contracts it was ranked first for.
+func TestRendezvousStableUnderMembershipChange(t *testing.T) {
+	members := []types.Address{addrN(1), addrN(2), addrN(3)}
+	without3 := []types.Address{addrN(1), addrN(2)}
+	rng := rand.New(rand.NewSource(7))
+	moved, kept := 0, 0
+	for i := 0; i < 400; i++ {
+		var c types.Address
+		rng.Read(c[:])
+		before := rendezvousRank(members, c)[0]
+		after := rendezvousRank(without3, c)[0]
+		if before == addrN(3) {
+			moved++
+			continue // had to move somewhere
+		}
+		if before != after {
+			t.Fatalf("contract %s moved primary %s -> %s although its primary stayed in the set",
+				c.Hex(), before.Hex(), after.Hex())
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate sample: moved=%d kept=%d", moved, kept)
+	}
+}

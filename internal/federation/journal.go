@@ -1,0 +1,159 @@
+package federation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"onoffchain/internal/hub"
+	"onoffchain/internal/store"
+	"onoffchain/internal/types"
+)
+
+// journal is the tower's durable state: federation membership, the guard
+// states it shares duty for, the challenge windows it has observed (local
+// or gossiped), dispute intents, and a chain cursor — enough for a
+// restarted member to re-arm every guard and replay the chain events it
+// slept through via chain.LogCursor. It reuses the hub's WAL store
+// (internal/store) with the federation record kinds; the store is this
+// tower's own, never shared with a hub WAL.
+type journal struct {
+	st   *store.Store // nil: in-memory tower, no durability
+	logf func(string, ...interface{})
+	mu   sync.Mutex
+	err  error // sticky: first append failure stops durability claims
+}
+
+// log appends one record; failures are sticky and surfaced once. Unlike
+// the hub's WAL (where lost durability must fail sessions), a federation
+// tower keeps guarding from memory when its disk dies — protecting open
+// windows NOW outranks surviving a restart. Serialized: callers come
+// from the tower's event loop, dispute workers, and all three federation
+// loops at once.
+func (j *journal) log(rec *store.Record) {
+	if j.st == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.st.Append(rec); err != nil {
+		j.err = err
+		j.logf("federation: journal lost durability (guarding continues in memory): %v", err)
+	}
+}
+
+// guardRecord encodes a guard export. Layout documented on KindFedGuard:
+// Blobs[0] = contract, Blobs[1] = signed copy, Blobs[2:] = party scalars.
+func guardRecord(g *hub.GuardExport) *store.Record {
+	blobs := make([][]byte, 0, len(g.Scalars)+2)
+	blobs = append(blobs, g.Contract[:], g.CopyEnc)
+	blobs = append(blobs, g.Scalars...)
+	return &store.Record{
+		Kind: store.KindFedGuard, SID: g.SID,
+		U1: g.ChallengePeriod, U2: uint64(g.Honest),
+		Str: g.Scenario, Blobs: blobs,
+	}
+}
+
+func decodeGuardRecord(rec *store.Record) (*hub.GuardExport, error) {
+	if len(rec.Blobs) < 3 || len(rec.Blobs[0]) != 20 {
+		return nil, fmt.Errorf("federation: malformed guard record")
+	}
+	return &hub.GuardExport{
+		SID: rec.SID, Scenario: rec.Str,
+		Contract:        types.BytesToAddress(rec.Blobs[0]),
+		ChallengePeriod: rec.U1, Honest: int(rec.U2),
+		CopyEnc: rec.Blobs[1], Scalars: rec.Blobs[2:],
+	}, nil
+}
+
+// windowRecord encodes an observed challenge window; hint, when non-nil,
+// is the owner's verdict (Blobs[1], 8 bytes big-endian).
+func windowRecord(w hub.Window, hint *uint64) *store.Record {
+	blobs := [][]byte{w.Submitter[:]}
+	if hint != nil {
+		h := make([]byte, 8)
+		binary.BigEndian.PutUint64(h, *hint)
+		blobs = append(blobs, h)
+	}
+	return &store.Record{
+		Kind: store.KindFedWindow,
+		U1:   w.Result, U2: w.OpenedAt, U3: w.Deadline,
+		Blob: w.Contract[:], Blobs: blobs,
+	}
+}
+
+func decodeWindowRecord(rec *store.Record) (w hub.Window, hint *uint64, err error) {
+	if len(rec.Blob) != 20 || len(rec.Blobs) < 1 || len(rec.Blobs[0]) != 20 {
+		return w, nil, fmt.Errorf("federation: malformed window record")
+	}
+	w = hub.Window{
+		Contract:  types.BytesToAddress(rec.Blob),
+		Submitter: types.BytesToAddress(rec.Blobs[0]),
+		Result:    rec.U1, OpenedAt: rec.U2, Deadline: rec.U3,
+	}
+	if len(rec.Blobs) > 1 && len(rec.Blobs[1]) == 8 {
+		v := binary.BigEndian.Uint64(rec.Blobs[1])
+		hint = &v
+	}
+	return w, hint, nil
+}
+
+// foldState is what a federation store replays to: the latest guard and
+// window per contract (minus closed ones), the configured membership it
+// saw, and the durable chain cursor.
+type foldState struct {
+	members []types.Address
+	guards  map[types.Address]*hub.GuardExport
+	windows map[types.Address]*store.Record // raw, decoded lazily at re-arm
+	closed  map[types.Address]bool
+	cursor  uint64
+}
+
+// foldFederation replays a federation store's record stream. Malformed
+// records are skipped (the store's CRC framing already rejects torn
+// frames; a skipped guard merely means the tower re-adopts it from
+// gossip).
+func foldFederation(recs []*store.Record) *foldState {
+	fs := &foldState{
+		guards:  make(map[types.Address]*hub.GuardExport),
+		windows: make(map[types.Address]*store.Record),
+		closed:  make(map[types.Address]bool),
+	}
+	seen := make(map[types.Address]bool)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case store.KindFedMember:
+			if len(rec.Blob) == 20 {
+				m := types.BytesToAddress(rec.Blob)
+				if !seen[m] {
+					seen[m] = true
+					fs.members = append(fs.members, m)
+				}
+			}
+		case store.KindFedGuard:
+			if g, err := decodeGuardRecord(rec); err == nil {
+				fs.guards[g.Contract] = g
+			}
+		case store.KindFedWindow:
+			if len(rec.Blob) == 20 {
+				fs.windows[types.BytesToAddress(rec.Blob)] = rec
+			}
+		case store.KindFedClosed:
+			if len(rec.Blob) == 20 {
+				c := types.BytesToAddress(rec.Blob)
+				fs.closed[c] = true
+				delete(fs.guards, c)
+				delete(fs.windows, c)
+			}
+		case store.KindCursor:
+			if rec.U1 > fs.cursor {
+				fs.cursor = rec.U1
+			}
+		}
+	}
+	return fs
+}

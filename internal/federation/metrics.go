@@ -1,0 +1,64 @@
+package federation
+
+import "sync"
+
+// metrics is the tower's mutex-guarded counter set; Snapshot publishes a
+// consistent copy.
+type metrics struct {
+	mu sync.Mutex
+
+	heartbeatsSent uint64
+	heartbeatsSeen uint64
+	guardsExported uint64 // own sessions gossiped to the fleet
+	guardsAdopted  uint64 // peers' sessions taken under guard
+	windowsMirror  uint64 // remote window records observed
+	vouchesHonored uint64 // windows stood down on the owner's verdict hint
+	intentsSeen    uint64 // peers' dispute intents received
+	escalations    uint64 // backup filings after the staggered wait
+	disputesFiled  uint64 // disputes this tower claimed and filed
+	disputesWon    uint64 // ... that the chain enforced
+	dropWarnings   uint64 // gossip-loss warnings logged
+}
+
+func (m *metrics) add(field *uint64, delta uint64) {
+	m.mu.Lock()
+	*field += delta
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of one federation tower's counters.
+type Snapshot struct {
+	HeartbeatsSent uint64
+	HeartbeatsSeen uint64
+	GuardsExported uint64
+	GuardsAdopted  uint64
+	WindowsMirror  uint64
+	VouchesHonored uint64
+	IntentsSeen    uint64
+	Escalations    uint64
+	DisputesFiled  uint64
+	DisputesWon    uint64
+	DropWarnings   uint64
+	// LiveMembers is the heartbeat view at snapshot time (self included).
+	LiveMembers int
+	// Guards counts contracts currently under this tower's guard.
+	Guards int
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		HeartbeatsSent: m.heartbeatsSent,
+		HeartbeatsSeen: m.heartbeatsSeen,
+		GuardsExported: m.guardsExported,
+		GuardsAdopted:  m.guardsAdopted,
+		WindowsMirror:  m.windowsMirror,
+		VouchesHonored: m.vouchesHonored,
+		IntentsSeen:    m.intentsSeen,
+		Escalations:    m.escalations,
+		DisputesFiled:  m.disputesFiled,
+		DisputesWon:    m.disputesWon,
+		DropWarnings:   m.dropWarnings,
+	}
+}

@@ -127,6 +127,20 @@ type Config struct {
 	// WAL writes and no further chain transactions. The crash-injection
 	// harness is built on this hook (typically combined with Kill).
 	StageHook func(sid uint64, s Stage) bool
+	// DisputeWorkers bounds the watchtower's concurrent verify-and-file
+	// dispute workers (default 4). Dispute transactions are dispatched off
+	// the tower's event loop, so one dispute's ~2-block-interval receipt
+	// wait under batch mining no longer stalls examination of every other
+	// session's blocks.
+	DisputeWorkers int
+	// Observer, when set, mirrors the watchtower's guard events (windows
+	// opened/closed, dispute intents) to an external listener — the seam
+	// internal/federation attaches to. See TowerObserver.
+	Observer TowerObserver
+	// DisputeGate, when set, arbitrates dispute filing (see DisputeGate):
+	// the federation uses it to defer to a window's assigned primary
+	// tower and escalate on staggered timeouts.
+	DisputeGate DisputeGate
 }
 
 // Hub owns a worker pool that runs sessions end-to-end, a watchtower
@@ -206,6 +220,9 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 	h.sid.Store(sidFloor)
 	h.tower = NewWatchtower(c, m)
 	h.tower.journal = h.journal
+	h.tower.SetDisputeWorkers(cfg.DisputeWorkers)
+	h.tower.SetObserver(cfg.Observer)
+	h.tower.SetDisputeGate(cfg.DisputeGate)
 	// One faucet shard per worker: funding fresh participant keys is on
 	// every session's critical path, and a single faucet account would
 	// serialize it (nonces are strictly ordered per sender). Shards are
@@ -229,8 +246,52 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 // Watchtower exposes the hub's tower (for tests and monitoring).
 func (h *Hub) Watchtower() *Watchtower { return h.tower }
 
-// Metrics returns a consistent snapshot of the hub's counters.
-func (h *Hub) Metrics() Snapshot { return h.metrics.snapshot() }
+// Metrics returns a consistent snapshot of the hub's counters, including
+// the whisper network's envelope-loss counter: gossip (signed-copy
+// exchanges, federation heartbeats) silently dropped under backpressure
+// was previously invisible, which made lost heartbeats undiagnosable.
+func (h *Hub) Metrics() Snapshot {
+	snap := h.metrics.snapshot()
+	if h.net != nil {
+		snap.WhisperDrops = h.net.Drops()
+	}
+	return snap
+}
+
+// GuardExport is the durable identity of one guarded session — exactly
+// what a federated backup tower needs to share guard duty: rebuild the
+// session from the registry spec and the party scalars, re-verify the
+// signed copy, and (if it comes to that) dispute as the honest party.
+type GuardExport struct {
+	SID             uint64
+	Scenario        string
+	Contract        types.Address
+	ChallengePeriod uint64
+	Honest          int
+	Scalars         [][]byte
+	CopyEnc         []byte
+}
+
+// ExportGuard returns the guard state of a live session from the durable
+// mirror (available whether or not a WAL store is attached). It returns
+// false until the session's identity records are complete — party
+// scalars, deployed address, and signed copy — i.e. exactly when the
+// session becomes guardable.
+func (h *Hub) ExportGuard(sid uint64) (*GuardExport, bool) {
+	ss, ok := h.journal.session(sid)
+	if !ok || ss.Scalars == nil || ss.Addr.IsZero() || ss.CopyEnc == nil {
+		return nil, false
+	}
+	honest := ss.Honest
+	if honest < 0 {
+		honest = 0
+	}
+	return &GuardExport{
+		SID: ss.ID, Scenario: ss.Scenario, Contract: ss.Addr,
+		ChallengePeriod: ss.ChallengePeriod, Honest: honest,
+		Scalars: ss.Scalars, CopyEnc: ss.CopyEnc,
+	}, true
+}
 
 // LiveSessions counts sessions the durable mirror considers in flight
 // (accepted but not yet terminal).
@@ -607,7 +668,7 @@ func (h *Hub) runFromSigned(lc *lifecycle, sess *hybrid.Session, watch *Watch, s
 	// so no challenge window ever opens unobserved.
 	if watch == nil {
 		var err error
-		watch, err = h.tower.guard(sess, 0, t.ID)
+		watch, err = h.tower.guard(sess, 0, t.ID, spec.Scenario)
 		if err != nil {
 			return fail(err)
 		}
@@ -703,10 +764,18 @@ func (h *Hub) awaitSettlement(lc *lifecycle, sess *hybrid.Session, watch *Watch)
 		return fail(err)
 	}
 	if settled {
-		// The tower intervened (or another party settled first).
+		// The tower intervened — ours, or a federated peer whose dispute
+		// we observed as a DisputeResolved settlement. The tower's view can
+		// trail the chain by a block (the resolve event lands after the
+		// barrier height), so chain logs are the authority on HOW the
+		// contract settled.
 		raised, won := watch.Disputed()
-		rep.Disputed = raised
-		if raised && !won {
+		byDispute := watch.SettledByDispute()
+		if !byDispute {
+			byDispute = len(h.chain.FilterLogs(chain.FilterQuery{Address: &sess.OnChainAddr, Topic: &hybrid.TopicDisputeResolved})) > 0
+		}
+		rep.Disputed = raised || byDispute
+		if raised && !won && !byDispute {
 			return fail(errors.New("hub: dispute filed but not enforced"))
 		}
 		if !h.advance(lc, StageDisputed) {

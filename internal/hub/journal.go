@@ -139,6 +139,12 @@ func (j *journal) log(rec *store.Record) error {
 // applyLocked is THE fold function: it gives a record its meaning. Both
 // the live mirror and crash recovery go through it.
 func (j *journal) applyLocked(rec *store.Record) {
+	if rec.Kind >= store.KindFedMember {
+		// Federation records belong to internal/federation's own journal;
+		// a hub WAL never carries them, but a fold must not misread one as
+		// a session record if the stores are ever mixed.
+		return
+	}
 	if rec.Kind == store.KindCursor {
 		if rec.U1 > j.cursor {
 			j.cursor = rec.U1
@@ -276,6 +282,19 @@ func (j *journal) live() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.sessions)
+}
+
+// session returns a copy of one live session's mirror state (the backing
+// slices are shared — callers treat them as immutable, which they are:
+// the fold only ever replaces them wholesale).
+func (j *journal) session(sid uint64) (sessionState, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ss := j.sessions[sid]
+	if ss == nil {
+		return sessionState{}, false
+	}
+	return *ss, true
 }
 
 // seed installs a recovered session state into the mirror (Recover calls

@@ -16,6 +16,7 @@ type metrics struct {
 	sessionsFailed    uint64
 	disputesRaised    uint64
 	disputesWon       uint64
+	disputesDeferred  uint64 // gate deferrals (another tower is primary)
 	submissionsSeen   uint64 // submissions the watchtower examined
 
 	sessionsRecovered  uint64 // sessions resumed from the WAL by Recover
@@ -70,10 +71,17 @@ type Snapshot struct {
 	SessionsCompleted uint64
 	SessionsFailed    uint64
 	// SessionsPerSec is completed sessions divided by elapsed wall time.
-	SessionsPerSec  float64
-	DisputesRaised  uint64
-	DisputesWon     uint64
-	SubmissionsSeen uint64
+	SessionsPerSec float64
+	DisputesRaised uint64
+	DisputesWon    uint64
+	// DisputesDeferred counts dispute-gate deferrals: windows this tower
+	// left to a federated peer (at least for one arbitration round).
+	DisputesDeferred uint64
+	SubmissionsSeen  uint64
+	// WhisperDrops is the whisper network's envelope-loss counter (expiry
+	// + backpressure) at snapshot time; growth means gossip — federation
+	// heartbeats included — is being dropped. Filled by Hub.Metrics.
+	WhisperDrops int
 	// SessionsRecovered / SessionsAbandoned count hub.Recover outcomes.
 	SessionsRecovered uint64
 	SessionsAbandoned uint64
@@ -94,6 +102,7 @@ func (m *metrics) snapshot() Snapshot {
 		SessionsFailed:     m.sessionsFailed,
 		DisputesRaised:     m.disputesRaised,
 		DisputesWon:        m.disputesWon,
+		DisputesDeferred:   m.disputesDeferred,
 		SubmissionsSeen:    m.submissionsSeen,
 		SessionsRecovered:  m.sessionsRecovered,
 		SessionsAbandoned:  m.sessionsAbandoned,

@@ -1,0 +1,150 @@
+package hub
+
+import (
+	"math/big"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/whisper"
+)
+
+// TestDisputeGateHoldsBarrier pins the async pipeline's safety seam: a
+// window whose dispute decision is deferred by the gate keeps the
+// caught-up barrier held (nobody may advance the clock past an undecided
+// window), and releasing the gate lets the dispute file and the barrier
+// fall.
+func TestDisputeGateHoldsBarrier(t *testing.T) {
+	c, net, faucetKey := miningWorld(t, "auto")
+	var release atomic.Bool
+	var deferred atomic.Int64
+	gate := func(e *Watch, w Window) (GateDecision, time.Duration) {
+		if e.SID() != 0 {
+			if exp, ok := e.ExpectedCached(); ok && exp == w.Result {
+				return GateStandDown, 0 // honest windows don't hold the barrier
+			}
+		}
+		if release.Load() {
+			return GateFile, 0
+		}
+		deferred.Add(1)
+		return GateDefer, 5 * time.Millisecond
+	}
+	h := New(c, net, faucetKey, Config{Workers: 2, DisputeGate: gate})
+	defer h.Stop()
+
+	tk := h.Submit(BettingSpec(4, 600, true))
+	// The adversarial window opens, the gate defers, the pipeline holds
+	// the barrier: the session cannot terminate.
+	waitFor(t, 10*time.Second, "the gate to start deferring", func() bool { return deferred.Load() > 0 })
+	if h.tower.PendingDisputes() == 0 {
+		t.Fatal("deferred window is not pending — the barrier would not hold")
+	}
+	select {
+	case <-tk.Done():
+		t.Fatal("session terminated while its dispute decision was deferred")
+	case <-time.After(100 * time.Millisecond):
+	}
+	release.Store(true)
+	rep := tk.Report()
+	if rep.Err != nil || rep.Stage != StageResolved || !rep.Disputed {
+		t.Fatalf("after gate release: stage=%s disputed=%v err=%v, want a resolved dispute", rep.Stage, rep.Disputed, rep.Err)
+	}
+	waitFor(t, 5*time.Second, "the pipeline to drain", func() bool { return h.tower.PendingDisputes() == 0 })
+	m := h.Metrics()
+	if m.DisputesDeferred == 0 {
+		t.Error("gate deferrals not counted in metrics")
+	}
+	if m.DisputesRaised != 1 || m.DisputesWon != 1 {
+		t.Errorf("disputes raised/won = %d/%d, want 1/1", m.DisputesRaised, m.DisputesWon)
+	}
+}
+
+func waitFor(tb testing.TB, d time.Duration, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+// TestExportGuard pins the federation's guard-state seam on the hub's
+// durable mirror.
+func TestExportGuard(t *testing.T) {
+	h, _ := newTestHub(t, 2)
+	rep := h.Submit(BettingSpec(4, 600, false)).Report()
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	// Terminal session: evicted from the mirror, no export.
+	if _, ok := h.ExportGuard(rep.ID); ok {
+		t.Error("terminal session still exports guard state")
+	}
+	if _, ok := h.ExportGuard(999); ok {
+		t.Error("unknown session exports guard state")
+	}
+	// A live session exports complete guard state the moment it is
+	// guardable; capture it mid-flight via the stage hook.
+	got := make(chan *GuardExport, 1)
+	c, net, faucetKey := miningWorld(t, "auto")
+	var h2 *Hub
+	h2 = New(c, net, faucetKey, Config{Workers: 1, StageHook: func(sid uint64, s Stage) bool {
+		if s == StageSigned {
+			if g, ok := h2.ExportGuard(sid); ok {
+				select {
+				case got <- g:
+				default:
+				}
+			}
+		}
+		return true
+	}})
+	defer h2.Stop()
+	rep2 := h2.Submit(BettingSpec(4, 600, false)).Report()
+	if rep2.Err != nil {
+		t.Fatal(rep2.Err)
+	}
+	select {
+	case g := <-got:
+		if g.Scenario != "betting" || g.Contract != rep2.OnChainAddr || len(g.Scalars) != 2 || len(g.CopyEnc) == 0 || g.ChallengePeriod != 600 {
+			t.Errorf("incomplete guard export: %+v", g)
+		}
+	default:
+		t.Error("no guard export captured at the signed stage")
+	}
+}
+
+// TestWhisperDropsInHubMetrics: envelope loss on the hub's whisper
+// network surfaces in the hub's metrics snapshot.
+func TestWhisperDropsInHubMetrics(t *testing.T) {
+	c, net, faucetKey := miningWorld(t, "auto")
+	h := New(c, net, faucetKey, Config{Workers: 1})
+	defer h.Stop()
+	if d := h.Metrics().WhisperDrops; d != 0 {
+		t.Fatalf("fresh hub reports %d whisper drops", d)
+	}
+	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xBEEF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := net.NewNode(key)
+	topic := whisper.TopicFromString("stuck-subscriber")
+	stuckKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xBEF0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net.NewNode(stuckKey).Subscribe(topic) // never drained
+	for i := 0; i < 300; i++ {
+		if _, err := nd.Post(topic, []byte{byte(i)}, whisper.PostOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := h.Metrics().WhisperDrops; d == 0 {
+		t.Error("whisper drops not surfaced in hub metrics")
+	}
+}

@@ -227,7 +227,7 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 				honest = 0
 			}
 			var watch *Watch
-			if watch, err = h.tower.guard(sess, honest, ss.ID); err == nil {
+			if watch, err = h.tower.guard(sess, honest, ss.ID, ss.Scenario); err == nil {
 				if ss.HasWindow {
 					watch.mu.Lock()
 					watch.window = &Window{
@@ -264,13 +264,13 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 	// here on are handled twice at most — idempotently.
 	for _, r := range resumables {
 		if w := r.watch.OpenWindow(); w != nil {
-			h.tower.examine(r.watch, w.Result, w.OpenedAt, w.Deadline, w.Submitter)
+			h.tower.RestoreWindow(r.watch, *w)
 		}
 	}
 	cur := c.NewLogCursor(chain.FilterQuery{}, cursor+1)
 	logs, head := cur.Next()
-	h.tower.replayLogs(logs)
-	h.tower.markProcessed(head)
+	h.tower.ReplayLogs(logs)
+	h.tower.MarkProcessed(head)
 	// The outage range is covered: release the cursor hold, then journal
 	// the replayed head. (Order is safe — any cursor the live loop logs
 	// in between is for a block it fully examined, and the fold takes the
@@ -400,6 +400,14 @@ func (h *Hub) resumeSession(t *Ticket, ss *sessionState, sess *hybrid.Session, w
 	lc := &lifecycle{t: t, rep: rep, began: time.Now()}
 	fail := func(err error) *Report { return h.failSession(lc, err) }
 
+	// Let the dispute pipeline finish deliberating over the recovery
+	// replay's windows before reading chain state: filing is asynchronous
+	// now, so "the replay has already disputed it" is only true past the
+	// caught-up barrier.
+	h.tower.WaitCaughtUp(h.chain.Height())
+	if h.crashed.Load() {
+		return h.crashReport(t, rep.Stage)
+	}
 	settled, err := sess.IsSettled()
 	if err != nil {
 		return fail(err)
@@ -411,16 +419,17 @@ func (h *Hub) resumeSession(t *Ticket, ss *sessionState, sess *hybrid.Session, w
 		// and advanced the cursor before the crash), in which case neither
 		// the replay nor live delivery will ever close the window — left
 		// alone it would sit "open" in the tower forever.
-		h.tower.onSettled(watch, sess.OnChainAddr)
+		byDispute := len(h.chain.FilterLogs(chain.FilterQuery{Address: &sess.OnChainAddr, Topic: &hybrid.TopicDisputeResolved})) > 0
+		h.tower.onSettled(watch, sess.OnChainAddr, byDispute)
 		raised, won := watch.Disputed()
 		rep.Disputed = raised
 		final := StageSettled
 		if raised {
-			if !won {
+			if !won && !byDispute {
 				return fail(fmt.Errorf("hub: recovered dispute filed but not enforced"))
 			}
 			final = StageResolved
-		} else if len(h.chain.FilterLogs(chain.FilterQuery{Address: &sess.OnChainAddr, Topic: &hybrid.TopicDisputeResolved})) > 0 {
+		} else if byDispute {
 			// The dead generation's tower (or a party) won the dispute
 			// before the crash; report the truth the chain remembers.
 			rep.Disputed = true

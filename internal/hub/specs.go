@@ -29,15 +29,16 @@ func addrSeed(a types.Address) uint64 {
 	return x
 }
 
-// depositAll has every participant deposit value into the contract. The
-// deposits are independent transactions from distinct senders, so they
-// are all submitted before any is awaited — under batch mining the whole
-// participant set deposits in one shared block.
-func depositAll(value *uint256.Int) func(sess *hybrid.Session) error {
+// depositAll has every participant pay value into the contract through
+// the named payable function. The deposits are independent transactions
+// from distinct senders, so they are all submitted before any is awaited
+// — under batch mining the whole participant set deposits in one shared
+// block.
+func depositAll(fn string, value *uint256.Int) func(sess *hybrid.Session) error {
 	return func(sess *hybrid.Session) error {
 		hashes := make([]types.Hash, len(sess.Parties))
 		for i, p := range sess.Parties {
-			hash, err := p.InvokeAsync(sess.Split.OnChain, sess.OnChainAddr, value, 300_000, "deposit")
+			hash, err := p.InvokeAsync(sess.Split.OnChain, sess.OnChainAddr, value, 300_000, fn)
 			if err != nil {
 				return fmt.Errorf("participant %d deposit: %w", i, err)
 			}
@@ -79,7 +80,66 @@ func BettingSpec(revealRounds, challengePeriod uint64, adversarial bool) *Spec {
 				addrSeed(addrs[0]), addrSeed(addrs[1]), revealRounds,
 			}
 		},
-		Setup:       depositAll(eth(1)),
+		Setup:       depositAll("deposit", eth(1)),
+		Adversarial: adversarial,
+	}
+}
+
+// PoolSpec is the n-party pool scenario (hybrid.MultiPartySource run
+// hub-style): every participant stakes a deposit, a private draw picks
+// the winner off-chain, and the n-of-n signed copy scales the dispute
+// machinery's signature verification with the participant count.
+func PoolSpec(n int, challengePeriod uint64, adversarial bool) *Spec {
+	scenario := fmt.Sprintf("pool/%d", n)
+	if adversarial {
+		scenario += "/adversarial"
+	}
+	pol := hybrid.MultiPartyPolicy(challengePeriod)
+	pol.LifecycleEvents = true
+	return &Spec{
+		Scenario: scenario,
+		Source:   hybrid.MultiPartySource(n),
+		Contract: "Pool",
+		Policy:   pol,
+		CtorArgs: func(addrs []types.Address, now uint64) []interface{} {
+			args := make([]interface{}, 0, len(addrs)+1)
+			for _, a := range addrs {
+				args = append(args, a)
+			}
+			return append(args, addrSeed(addrs[0]))
+		},
+		Setup:       depositAll("deposit", eth(1)),
+		DeployGas:   8_000_000, // n-of-n ecrecover grows the on-chain half
+		Adversarial: adversarial,
+	}
+}
+
+// LotterySpec is the n-party lottery: tickets bought on-chain, the winner
+// drawn off-chain from two private salts with drawRounds of keccak
+// mixing (the off-chain workload knob, like the betting reveal).
+func LotterySpec(n int, drawRounds, challengePeriod uint64, adversarial bool) *Spec {
+	scenario := fmt.Sprintf("lottery/%d", n)
+	if adversarial {
+		scenario += "/adversarial"
+	}
+	pol := hybrid.LotteryPolicy(challengePeriod)
+	pol.LifecycleEvents = true
+	return &Spec{
+		Scenario: scenario,
+		Source:   hybrid.LotterySource(n),
+		Contract: "Lottery",
+		Policy:   pol,
+		CtorArgs: func(addrs []types.Address, now uint64) []interface{} {
+			args := make([]interface{}, 0, len(addrs)+4)
+			for _, a := range addrs {
+				args = append(args, a)
+			}
+			return append(args,
+				addrSeed(addrs[0]), addrSeed(addrs[len(addrs)-1]),
+				drawRounds, now+deadlineMargin)
+		},
+		Setup:       depositAll("buyTicket", eth(1)),
+		DeployGas:   8_000_000,
 		Adversarial: adversarial,
 	}
 }
@@ -105,7 +165,7 @@ func AuctionSpec(challengePeriod uint64, adversarial bool) *Spec {
 				uint64(7), uint64(3), now + deadlineMargin,
 			}
 		},
-		Setup:       depositAll(eth(1)),
+		Setup:       depositAll("deposit", eth(1)),
 		Adversarial: adversarial,
 	}
 }

@@ -1,0 +1,63 @@
+package hub
+
+import (
+	"testing"
+
+	"onoffchain/internal/uint256"
+)
+
+// TestHubPoolAndLotterySpecs runs the two n-party scenarios — the pool
+// over MultiPartySource and the lottery — through the full hub lifecycle,
+// honest and adversarial, and checks the pot lands with the drawn winner.
+func TestHubPoolAndLotterySpecs(t *testing.T) {
+	h, _ := newTestHub(t, 4)
+	specs := []*Spec{
+		PoolSpec(3, 600, false),
+		PoolSpec(3, 600, true),
+		LotterySpec(3, 8, 600, false),
+		LotterySpec(3, 8, 600, true),
+		PoolSpec(4, 600, false),
+	}
+	reports := h.Run(specs)
+	for i, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("session %d (%s) failed: %v", i, specs[i].Scenario, rep.Err)
+		}
+		want := StageSettled
+		if specs[i].Adversarial {
+			want = StageResolved
+		}
+		if rep.Stage != want {
+			t.Errorf("session %d (%s): stage %s, want %s", i, rep.Scenario, rep.Stage, want)
+		}
+		if specs[i].Adversarial && !rep.Disputed {
+			t.Errorf("session %d (%s): adversarial submission not disputed", i, rep.Scenario)
+		}
+		// The drawn winner took the whole pot: funded 5 ether, staked 1,
+		// won n stakes back. Everyone else is below the funding line.
+		sess := rep.Session
+		if int(rep.Result) >= len(sess.Parties) {
+			t.Fatalf("session %d: winner index %d out of range", i, rep.Result)
+		}
+		for pi, p := range sess.Parties {
+			bal := p.Chain.BalanceAt(p.Addr)
+			if uint64(pi) == rep.Result {
+				if bal.Lt(eth(5)) {
+					t.Errorf("session %d (%s): winner %d balance %s, want > 5 ether", i, rep.Scenario, pi, bal)
+				}
+			} else if !bal.Lt(eth(5)) {
+				t.Errorf("session %d (%s): loser %d balance %s, want < 5 ether", i, rep.Scenario, pi, bal)
+			}
+		}
+		if pot := sess.OnChainBalance(); !pot.Eq(uint256.NewInt(0)) {
+			t.Errorf("session %d (%s): contract still holds %s wei", i, rep.Scenario, pot)
+		}
+	}
+	m := h.Metrics()
+	if int(m.SessionsCompleted) != len(specs) {
+		t.Errorf("completed %d of %d", m.SessionsCompleted, len(specs))
+	}
+	if m.DisputesRaised != 2 || m.DisputesWon != 2 {
+		t.Errorf("disputes raised/won = %d/%d, want 2/2", m.DisputesRaised, m.DisputesWon)
+	}
+}

@@ -3,6 +3,7 @@ package hub
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -15,8 +16,18 @@ import (
 // them for the lifecycle events the generated on-chain contracts emit,
 // tracks every open challenge window, and — when a submitted result
 // disagrees with its own sandboxed execution of the signed off-chain
-// bytecode — automatically files a dispute on behalf of the honest
-// participant, inside the challenge window.
+// bytecode — files a dispute on behalf of the honest participant, inside
+// the challenge window.
+//
+// Dispute filing is asynchronous: the event loop never transacts. Every
+// open window is handed to the dispute pipeline — a pacer goroutine per
+// undecided window that consults the dispute gate (federation arbitration;
+// absent a gate the answer is always "file now") and a bounded worker set
+// that verifies and files. The caught-up barrier counts undecided windows:
+// WaitCaughtUp(h) returns only when every block ≤ h is examined AND every
+// dispute decision for the windows they opened has been reached, which is
+// what keeps the dispute-before-barrier safety argument intact — nobody
+// can advance the clock past a window whose verdict is still pending.
 //
 // With a durable hub, the tower journals every window it opens and a
 // block cursor after each block it finishes, so a restarted tower knows
@@ -28,31 +39,92 @@ type Watchtower struct {
 	journal *journal // set by the hub; nil for a standalone tower
 	wg      sync.WaitGroup
 
+	// observer mirrors guard events to the federation layer; gate
+	// arbitrates dispute filing. Both are set before any session is
+	// guarded and never changed after.
+	observer TowerObserver
+	gate     DisputeGate
+
+	sem     chan struct{} // bounded dispute worker slots
+	pacerWG sync.WaitGroup
+	stopCh  chan struct{} // closed by Stop: pacers wind down undecided
+	haltCh  chan struct{} // closed by halt: the "process" is dead
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	entries   map[types.Address]*Watch
 	processed uint64 // highest block number fully processed
+	pending   int    // windows whose dispute decision is still open
 	stopped   bool
 	halted    bool // simulated crash: the tower is "dead"
 }
 
+// TowerObserver mirrors the tower's guard state to an external listener —
+// the federation layer — without handing it ownership of sessions.
+// Callbacks run outside the tower's locks, on the event loop and dispute
+// pipeline goroutines; implementations must be concurrency-safe and must
+// not block for long (they stall block examination).
+type TowerObserver interface {
+	// Guarded: the tower took a session's contract under guard.
+	Guarded(e *Watch, contract types.Address)
+	// WindowOpened: a submission opened (or refreshed) a challenge window.
+	WindowOpened(e *Watch, w Window)
+	// WindowClosed: the contract settled — by dispute resolution when
+	// byDispute, by unchallenged finalization otherwise.
+	WindowClosed(contract types.Address, byDispute bool)
+	// DisputeClaimed: this tower claimed the dispute and is about to file
+	// (the intent exists before the transaction does).
+	DisputeClaimed(e *Watch, contract types.Address)
+	// DisputeFiled: the dispute transactions completed; enforced reports
+	// whether the chain settled to the tower's verdict.
+	DisputeFiled(e *Watch, contract types.Address, enforced bool)
+	// BlockProcessed: the tower fully examined block n.
+	BlockProcessed(n uint64)
+}
+
+// GateDecision is a dispute gate's verdict for one open window.
+type GateDecision int
+
+const (
+	// GateFile: verify the submission now and file on a mismatch.
+	GateFile GateDecision = iota
+	// GateDefer: another guard is responsible right now; ask again after
+	// the returned delay. The window stays pending (the caught-up barrier
+	// stays held) until a later decision files or the contract settles.
+	GateDefer
+	// GateStandDown: this tower is permanently not responsible for the
+	// window (e.g. its owner vouched for the submission); release it.
+	GateStandDown
+)
+
+// DisputeGate arbitrates whether THIS tower should act on an open window
+// right now. A nil gate means always GateFile — the single-tower hub's
+// behavior. The federation installs a gate that defers to the window's
+// assigned primary and escalates on staggered timeouts.
+type DisputeGate func(e *Watch, w Window) (GateDecision, time.Duration)
+
 // Watch is the watchtower's record of one guarded session.
 type Watch struct {
-	sess   *hybrid.Session
-	honest int    // party index the tower files disputes as
-	id     uint64 // hub session ID (0 for sessions guarded standalone)
+	sess     *hybrid.Session
+	honest   int    // party index the tower files disputes as
+	id       uint64 // hub session ID (0 for sessions guarded standalone)
+	scenario string // spec label, for federated guard-state export
 
 	expectOnce sync.Once
 	expected   uint64
 	expectErr  error
+	expectSet  bool
 
-	mu         sync.Mutex
-	window     *Window
-	disputed   bool
-	disputeWon bool
-	disputedAt uint64 // chain time when the tower filed the dispute
-	deadline   uint64 // window deadline at dispute time
-	settled    bool
+	mu               sync.Mutex
+	window           *Window
+	pending          bool // a dispute pipeline job is driving this watch
+	disputed         bool
+	disputeWon       bool
+	disputedAt       uint64 // chain time when the tower filed the dispute
+	deadline         uint64 // window deadline at dispute time
+	settled          bool
+	settledByDispute bool
+	settledCh        chan struct{} // closed when the contract settles
 }
 
 // Window is an open challenge window: a submission awaiting finalization.
@@ -65,7 +137,9 @@ type Window struct {
 }
 
 // NewWatchtower starts a tower on the chain. Stop() must be called to
-// release the subscription and its goroutines.
+// release the subscription and its goroutines. The second parameter is
+// the hub's internal metrics sink; external callers (the federation's
+// standalone towers) pass nil.
 func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 	if m == nil {
 		m = newMetrics()
@@ -75,6 +149,9 @@ func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 		sub:     c.SubscribeBlocks(),
 		metrics: m,
 		entries: make(map[types.Address]*Watch),
+		sem:     make(chan struct{}, 4),
+		stopCh:  make(chan struct{}),
+		haltCh:  make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.wg.Add(1)
@@ -82,35 +159,79 @@ func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 	return w
 }
 
-// Guard registers a session whose on-chain contract the tower should
-// monitor. honest is the party index the tower uses to file disputes.
-// Must be called after DeployOnChain and SignAndExchange (the tower needs
-// the address and the signed copy) and before any result is submitted.
-func (w *Watchtower) Guard(sess *hybrid.Session, honest int) (*Watch, error) {
-	return w.guard(sess, honest, 0)
+// SetObserver installs the federation mirror. Must be called before any
+// session is guarded.
+func (w *Watchtower) SetObserver(obs TowerObserver) { w.observer = obs }
+
+// SetDisputeGate installs the filing arbiter. Must be called before any
+// session is guarded.
+func (w *Watchtower) SetDisputeGate(g DisputeGate) { w.gate = g }
+
+// SetDisputeWorkers bounds the concurrent verify-and-file worker set
+// (default 4). Must be called before any session is guarded.
+func (w *Watchtower) SetDisputeWorkers(n int) {
+	if n > 0 {
+		w.sem = make(chan struct{}, n)
+	}
 }
 
-func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64) (*Watch, error) {
+// Metrics exposes the tower's counter snapshot (standalone towers have
+// their own metrics; a hub-owned tower shares the hub's).
+func (w *Watchtower) Metrics() Snapshot { return w.metrics.snapshot() }
+
+// Guard registers a session whose on-chain contract the tower should
+// monitor. honest is the party index the tower uses to file disputes;
+// scenario labels the session's spec (federated towers gossip it so peers
+// can rebuild the guard from their SpecRegistry — pass "" when unused).
+// Must be called after DeployOnChain and SignAndExchange (the tower needs
+// the address and the signed copy) and before any result is submitted.
+func (w *Watchtower) Guard(sess *hybrid.Session, honest int, scenario string) (*Watch, error) {
+	return w.guard(sess, honest, 0, scenario)
+}
+
+func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenario string) (*Watch, error) {
 	if sess.OnChainAddr.IsZero() || sess.Copy == nil {
 		return nil, fmt.Errorf("hub: session not ready to guard (deploy and sign first)")
 	}
 	if !sess.Split.Policy.LifecycleEvents {
 		return nil, fmt.Errorf("hub: session's split policy has LifecycleEvents off; the watchtower cannot see its challenge windows")
 	}
-	e := &Watch{sess: sess, honest: honest, id: sid}
+	e := &Watch{sess: sess, honest: honest, id: sid, scenario: scenario, settledCh: make(chan struct{})}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.stopped {
+		w.mu.Unlock()
 		return nil, fmt.Errorf("hub: watchtower stopped")
 	}
 	w.entries[sess.OnChainAddr] = e
+	w.mu.Unlock()
+	if w.observer != nil {
+		w.observer.Guarded(e, sess.OnChainAddr)
+	}
 	return e, nil
 }
+
+// SID returns the hub session ID the watch guards (0 for sessions guarded
+// standalone — e.g. a contract a federation tower mirrors for a peer).
+func (e *Watch) SID() uint64 { return e.id }
+
+// Contract returns the guarded on-chain address.
+func (e *Watch) Contract() types.Address { return e.sess.OnChainAddr }
+
+// Scenario returns the spec label the session was guarded under.
+func (e *Watch) Scenario() string { return e.scenario }
+
+// Honest returns the party index the tower disputes as.
+func (e *Watch) Honest() int { return e.honest }
+
+// Session exposes the guarded session. Federated towers read it to export
+// guard state (party scalars, signed copy) to their peers; treat it as
+// read-only.
+func (e *Watch) Session() *hybrid.Session { return e.sess }
 
 // Expected returns the tower's own verdict on the session outcome,
 // computed once by privately executing the signed bytecode in a sandbox.
 // It is exported on the Watch so the owning worker can pre-compute it in
-// parallel instead of serializing inside the tower's event loop.
+// parallel instead of serializing inside the dispute pipeline.
 func (e *Watch) Expected() (uint64, error) {
 	e.expectOnce.Do(func() {
 		out, err := hybrid.ExecuteOffChain(e.sess.Copy.Bytecode)
@@ -119,8 +240,36 @@ func (e *Watch) Expected() (uint64, error) {
 			return
 		}
 		e.expected = out.Result
+		e.mu.Lock()
+		e.expectSet = true
+		e.mu.Unlock()
 	})
 	return e.expected, e.expectErr
+}
+
+// ExpectedCached returns the verdict only if it has already been computed
+// — it never runs the sandbox. The federation's gate uses it to vouch for
+// the hub's own sessions without charging backups a re-execution.
+func (e *Watch) ExpectedCached() (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.expected, e.expectSet
+}
+
+// SeedExpected installs a verdict obtained out-of-band (the session
+// owner's gossiped hint) so a later Expected() never runs the sandbox.
+// No-op once a verdict exists. Seeding an untrusted value is SAFE for
+// enforcement: a dispute's resolution makes the miners recompute the
+// result from the signed bytecode, so a dispute filed on a wrong hint
+// merely settles the contract to the same (true) outcome and costs gas —
+// it can never enforce a lie.
+func (e *Watch) SeedExpected(v uint64) {
+	e.expectOnce.Do(func() {
+		e.expected = v
+		e.mu.Lock()
+		e.expectSet = true
+		e.mu.Unlock()
+	})
 }
 
 // Disputed reports whether the tower filed a dispute, and whether the
@@ -129,6 +278,15 @@ func (e *Watch) Disputed() (raised, won bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.disputed, e.disputeWon
+}
+
+// SettledByDispute reports whether the contract's settlement the tower
+// observed came from a dispute resolution (possibly filed by a peer
+// tower) rather than an unchallenged finalization.
+func (e *Watch) SettledByDispute() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.settled && e.settledByDispute
 }
 
 // DisputeTiming returns the chain time the dispute was filed at and the
@@ -151,17 +309,27 @@ func (e *Watch) OpenWindow() *Window {
 }
 
 // WaitCaughtUp blocks until the tower has fully processed every block up
-// to and including height h. Session owners MUST call this before
-// finalizing: it guarantees any fraudulent submission mined at or before h
-// has already been disputed, so advancing time past the window is safe.
-// Returns immediately if the tower is stopped or crash-halted — callers
-// on the crashed path re-check Hub.Crashed before acting.
+// to and including height h AND reached a dispute decision for every
+// window it has ever opened — filed-and-enforced, verified clean, stood
+// down, or settled by someone else. Session owners MUST call this before
+// finalizing or advancing the clock: it guarantees any fraudulent
+// submission mined at or before h has already been enforced, so moving
+// time past the window cannot freeze a lie into the contract. Returns
+// immediately if the tower is stopped or crash-halted — callers on the
+// crashed path re-check Hub.Crashed before acting.
 func (w *Watchtower) WaitCaughtUp(h uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.processed < h && !w.stopped && !w.halted {
+	for (w.processed < h || w.pending > 0) && !w.stopped && !w.halted {
 		w.cond.Wait()
 	}
+}
+
+// PendingDisputes counts windows whose dispute decision is still open.
+func (w *Watchtower) PendingDisputes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
 }
 
 // OpenWindows counts challenge windows the tower is currently tracking.
@@ -181,33 +349,66 @@ func (w *Watchtower) OpenWindows() int {
 	return n
 }
 
-// Stop unsubscribes and waits for the event loop to drain.
+// Stop unsubscribes, drains the event loop, winds down undecided dispute
+// pacers (a deferred window is abandoned — durable state lets a restart
+// re-arm it) and waits for in-flight dispute filings to complete.
 func (w *Watchtower) Stop() {
 	w.sub.Unsubscribe()
 	w.wg.Wait()
 	w.mu.Lock()
+	alreadyStopped := w.stopped
 	w.stopped = true
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	if !alreadyStopped {
+		close(w.stopCh)
+	}
+	w.pacerWG.Wait()
 }
+
+// Watches returns the towers's current guard set. The federation uses it
+// to back-fill its mirror when attaching to a hub that already guards
+// sessions (a recovered hub federates after Recover re-armed its tower).
+func (w *Watchtower) Watches() []*Watch {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*Watch, 0, len(w.entries))
+	for _, e := range w.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Halt simulates the tower process dying right now (the crash-harness
+// seam for standalone towers; Hub.Kill calls the same machinery): block
+// delivery keeps draining but nothing is examined, journaled, or
+// disputed, and barrier waiters are released.
+func (w *Watchtower) Halt() { w.halt() }
 
 // halt simulates the tower dying mid-flight (Hub.Kill): block delivery
 // keeps draining but nothing is examined, journaled, or disputed, and
 // barrier waiters are released so their workers can observe the crash.
 func (w *Watchtower) halt() {
 	w.mu.Lock()
+	alreadyHalted := w.halted
 	w.halted = true
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	if !alreadyHalted {
+		close(w.haltCh)
+	}
+}
+
+func (w *Watchtower) isHalted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.halted
 }
 
 func (w *Watchtower) loop() {
 	defer w.wg.Done()
 	for b := range w.sub.Blocks() {
-		w.mu.Lock()
-		dead := w.halted
-		w.mu.Unlock()
-		if dead {
+		if w.isHalted() {
 			continue // the "process" is gone; drain and ignore
 		}
 		w.processBlock(b)
@@ -218,14 +419,14 @@ func (w *Watchtower) loop() {
 		// first: if Kill landed mid-processBlock, examine() refused to
 		// journal or dispute, so advancing the cursor would durably skip
 		// events the "dead" tower never acted on.
-		w.mu.Lock()
-		dead = w.halted
-		w.mu.Unlock()
-		if dead {
+		if w.isHalted() {
 			continue
 		}
 		if w.journal != nil {
 			w.journal.log(&store.Record{Kind: store.KindCursor, U1: b.Number()})
+		}
+		if w.observer != nil {
+			w.observer.BlockProcessed(b.Number())
 		}
 		w.mu.Lock()
 		if b.Number() > w.processed {
@@ -244,25 +445,33 @@ func (w *Watchtower) processBlock(b *types.Block) {
 	}
 }
 
-// replayLogs feeds historical logs (FilterLogs output) through the same
-// handlers as live blocks. Recovery uses it to re-examine everything
-// after the durable cursor; overlap with live delivery is harmless
-// because the handlers are idempotent.
-func (w *Watchtower) replayLogs(logs []*types.Log) {
+// ReplayLogs feeds historical logs (FilterLogs / LogCursor output)
+// through the same handlers as live blocks. Recovery — the hub's and a
+// federation tower's — uses it to re-examine everything after the durable
+// cursor; overlap with live delivery is harmless because the handlers are
+// idempotent.
+func (w *Watchtower) ReplayLogs(logs []*types.Log) {
 	for _, l := range logs {
 		w.handleLog(l)
 	}
 }
 
-// markProcessed raises the processed watermark (recovery calls it after a
+// MarkProcessed raises the processed watermark (recovery calls it after a
 // replay so WaitCaughtUp barriers see the replayed height).
-func (w *Watchtower) markProcessed(h uint64) {
+func (w *Watchtower) MarkProcessed(h uint64) {
 	w.mu.Lock()
 	if h > w.processed {
 		w.processed = h
 	}
 	w.cond.Broadcast()
 	w.mu.Unlock()
+}
+
+// RestoreWindow re-arms a window from durable state (the WAL's or a
+// federation journal's window record) and re-examines it through the
+// dispute pipeline, exactly as if the submission had just been observed.
+func (w *Watchtower) RestoreWindow(e *Watch, win Window) {
+	w.examine(e, win.Result, win.OpenedAt, win.Deadline, win.Submitter)
 }
 
 func (w *Watchtower) handleLog(l *types.Log) {
@@ -278,16 +487,26 @@ func (w *Watchtower) handleLog(l *types.Log) {
 	switch l.Topics[0] {
 	case hybrid.TopicResultSubmitted:
 		w.onSubmission(e, l)
-	case hybrid.TopicResultFinalized, hybrid.TopicDisputeResolved:
-		w.onSettled(e, l.Address)
+	case hybrid.TopicResultFinalized:
+		w.onSettled(e, l.Address, false)
+	case hybrid.TopicDisputeResolved:
+		w.onSettled(e, l.Address, true)
 	}
 }
 
-func (w *Watchtower) onSettled(e *Watch, addr types.Address) {
+func (w *Watchtower) onSettled(e *Watch, addr types.Address, byDispute bool) {
 	e.mu.Lock()
+	first := !e.settled
 	e.settled = true
+	if byDispute {
+		e.settledByDispute = true
+	}
 	e.window = nil
+	ch := e.settledCh
 	e.mu.Unlock()
+	if first && ch != nil {
+		close(ch) // wake the dispute pacer, if one is deferring
+	}
 	// The contract is settled for good (both paths set the on-chain
 	// settled flag): drop the entry so a long-lived hub doesn't
 	// accumulate every session it ever guarded. Holders of the *Watch
@@ -295,10 +514,13 @@ func (w *Watchtower) onSettled(e *Watch, addr types.Address) {
 	w.mu.Lock()
 	delete(w.entries, addr)
 	w.mu.Unlock()
+	if first && w.observer != nil {
+		w.observer.WindowClosed(addr, byDispute)
+	}
 }
 
-// onSubmission is the tower's core duty: open/refresh the challenge
-// window, recompute the true result, and dispute a mismatch immediately.
+// onSubmission opens/refreshes the challenge window and hands it to the
+// dispute pipeline.
 func (w *Watchtower) onSubmission(e *Watch, l *types.Log) {
 	ev, err := hybrid.DecodeResultSubmitted(l)
 	if err != nil {
@@ -309,11 +531,11 @@ func (w *Watchtower) onSubmission(e *Watch, l *types.Log) {
 	w.examine(e, ev.Result, ev.At, ev.At+period, ev.Submitter)
 }
 
-// examine runs the tower's verdict on one observed submission. It is
-// shared by the live path (onSubmission) and recovery (re-examining the
-// WAL's restored windows), and is idempotent: a submission that is
-// already settled, or whose dispute another examination already claimed,
-// is left alone — that is what makes replay-after-restart unable to
+// examine records one observed submission and ensures a dispute pipeline
+// job is driving the window. It is shared by the live path (onSubmission)
+// and recovery (RestoreWindow), and is idempotent: a submission that is
+// already settled, already disputed, or already being driven by a pending
+// job is left alone — that is what makes replay-after-restart unable to
 // double-dispute.
 func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submitter types.Address) {
 	// Honor Kill at sub-block granularity too: a "dead" tower must not
@@ -321,10 +543,7 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 	// through. (A dispute transaction already sent when Kill lands is a
 	// tx-in-flight-at-crash — unavoidable, and recovery handles it via
 	// the chain's settled flag.)
-	w.mu.Lock()
-	dead := w.halted
-	w.mu.Unlock()
-	if dead {
+	if w.isHalted() {
 		return
 	}
 	e.mu.Lock()
@@ -339,7 +558,11 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 		OpenedAt:  openedAt,
 		Deadline:  deadline,
 	}
-	alreadyDisputed := e.disputed
+	win := *e.window
+	driven := e.disputed || e.pending
+	if !driven {
+		e.pending = true
+	}
 	e.mu.Unlock()
 	if w.journal != nil && e.id != 0 {
 		w.journal.log(&store.Record{
@@ -348,32 +571,124 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 			Blob: submitter[:],
 		})
 	}
-	if alreadyDisputed {
+	if w.observer != nil {
+		w.observer.WindowOpened(e, win)
+	}
+	if driven {
 		return
 	}
-
-	expected, err := e.Expected()
-	if err != nil || result == expected {
+	w.mu.Lock()
+	if w.stopped {
+		// Too late to drive a pipeline job; undo the claim.
+		w.mu.Unlock()
+		e.mu.Lock()
+		e.pending = false
+		e.mu.Unlock()
 		return
+	}
+	w.pending++
+	w.mu.Unlock()
+	w.pacerWG.Add(1)
+	go w.driveDispute(e)
+}
+
+// releaseJob marks the watch's pipeline job decided and releases barrier
+// waiters.
+func (w *Watchtower) releaseJob(e *Watch) {
+	e.mu.Lock()
+	e.pending = false
+	e.mu.Unlock()
+	w.mu.Lock()
+	w.pending--
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// driveDispute is the pacer for one open window: it consults the gate
+// until a final decision is reached, then funnels the expensive
+// verify-and-file step through the bounded worker set. The job ends when
+// the window settles, the gate stands down, or a filing completes.
+func (w *Watchtower) driveDispute(e *Watch) {
+	defer w.pacerWG.Done()
+	defer w.releaseJob(e)
+	for {
+		select {
+		case <-w.haltCh:
+			return // dead process files nothing
+		case <-w.stopCh:
+			return // graceful shutdown abandons undecided windows
+		default:
+		}
+		win := e.OpenWindow()
+		if win == nil {
+			return // settled (or re-guarded) while we deliberated
+		}
+		decision, retry := GateFile, time.Duration(0)
+		if w.gate != nil {
+			decision, retry = w.gate(e, *win)
+		}
+		switch decision {
+		case GateStandDown:
+			return
+		case GateDefer:
+			w.metrics.add(&w.metrics.disputesDeferred, 1)
+			if retry <= 0 {
+				retry = 10 * time.Millisecond
+			}
+			t := time.NewTimer(retry)
+			select {
+			case <-t.C:
+			case <-e.settledChRef():
+				t.Stop()
+			case <-w.haltCh:
+				t.Stop()
+				return
+			case <-w.stopCh:
+				t.Stop()
+				return
+			}
+			continue
+		case GateFile:
+			w.sem <- struct{}{}
+			w.fileDispute(e, *win)
+			<-w.sem
+			return
+		}
+	}
+}
+
+func (e *Watch) settledChRef() chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.settledCh
+}
+
+// fileDispute is the decision point: verify the submission in the tower's
+// own sandbox, veto against chain truth, claim, and file. Runs on a
+// bounded worker slot.
+func (w *Watchtower) fileDispute(e *Watch, win Window) {
+	expected, err := e.Expected()
+	if err != nil || win.Result == expected {
+		return // cannot verify, or verified clean: nothing to file
 	}
 	// The chain, not the WAL, decides whether a dispute is still needed: a
-	// dispute that landed has settled the contract, so a restarted tower
-	// re-examining the same lie stops here instead of double-disputing.
-	// On a query error, fall through and file anyway — a dispute against
-	// an already-settled contract merely reverts, while skipping one lets
-	// a lie finalize, and nothing would ever re-examine it.
+	// dispute that landed has settled the contract, so a tower (restarted,
+	// or a federation backup escalating behind a primary's in-flight
+	// filing) re-examining the same lie stops here instead of
+	// double-disputing. On a query error, fall through and file anyway — a
+	// dispute against an already-settled contract merely reverts, while
+	// skipping one lets a lie finalize, and nothing would ever re-examine
+	// it.
 	if settled, err := e.sess.IsSettled(); err == nil && settled {
-		w.onSettled(e, e.sess.OnChainAddr)
+		byDispute := len(w.chain.FilterLogs(chain.FilterQuery{Address: &e.sess.OnChainAddr, Topic: &hybrid.TopicDisputeResolved})) > 0
+		w.onSettled(e, e.sess.OnChainAddr, byDispute)
 		return
 	}
 	// Claim the dispute under the lock so concurrent examinations (live
 	// delivery racing a recovery replay) file at most once. Re-check the
 	// crash flag at the last moment — after this point the dispute
 	// transaction is as good as sent.
-	w.mu.Lock()
-	dead = w.halted
-	w.mu.Unlock()
-	if dead {
+	if w.isHalted() {
 		return
 	}
 	e.mu.Lock()
@@ -383,28 +698,36 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 	}
 	e.disputed = true
 	e.disputedAt = w.chain.Now()
-	e.deadline = deadline
+	e.deadline = win.Deadline
 	e.mu.Unlock()
 	// The submission lies about the off-chain outcome: file the dispute
-	// now, synchronously, while the window is provably still open. The
-	// dispute deploys the verified instance from the signed copy and has
-	// the miners recompute and enforce the true result.
+	// now, while the window is provably still open. The dispute deploys
+	// the verified instance from the signed copy and has the miners
+	// recompute and enforce the true result.
 	w.metrics.add(&w.metrics.disputesRaised, 1)
 	if w.journal != nil && e.id != 0 {
 		w.journal.log(&store.Record{Kind: store.KindDisputed, SID: e.id})
 	}
+	if w.observer != nil {
+		w.observer.DisputeClaimed(e, e.sess.OnChainAddr)
+	}
 	_, _, err = e.sess.Dispute(e.honest)
 	if err != nil {
+		if w.observer != nil {
+			w.observer.DisputeFiled(e, e.sess.OnChainAddr, false)
+		}
 		return
 	}
 	settled, err := e.sess.IsSettled()
-	if err != nil || !settled {
-		return
+	enforced := err == nil && settled
+	if enforced {
+		w.metrics.add(&w.metrics.disputesWon, 1)
+		e.mu.Lock()
+		e.disputeWon = true
+		e.mu.Unlock()
+		w.onSettled(e, e.sess.OnChainAddr, true)
 	}
-	w.metrics.add(&w.metrics.disputesWon, 1)
-	e.mu.Lock()
-	e.disputeWon = true
-	e.settled = true
-	e.window = nil
-	e.mu.Unlock()
+	if w.observer != nil {
+		w.observer.DisputeFiled(e, e.sess.OnChainAddr, enforced)
+	}
 }

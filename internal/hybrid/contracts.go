@@ -254,3 +254,92 @@ func MultiPartyPolicy(challengePeriod uint64) Policy {
 		ChallengePeriod: challengePeriod,
 	}
 }
+
+// LotterySource generates an n-party lottery: every player stakes a
+// ticket, and the winner is drawn off-chain by an iterated keccak mix of
+// two private salts — the salts and the mixing depth stay off-chain, so
+// the draw rule itself is confidential (the pool's draw, by contrast,
+// exposes only a seed). rounds scales the off-chain work the same way the
+// betting scenario's reveal() does.
+func LotterySource(n int) string {
+	requireClause := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			requireClause += " || "
+		}
+		requireClause += fmt.Sprintf("msg.sender == players[%d]", i)
+	}
+	ctorParams := ""
+	ctorBody := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			ctorParams += ", "
+		}
+		ctorParams += fmt.Sprintf("address p%d", i)
+		ctorBody += fmt.Sprintf("        players[%d] = p%d;\n", i, i)
+	}
+	return fmt.Sprintf(`
+contract Lottery {
+    address[%d] players;
+    mapping(address => uint) tickets;
+    uint saltA;
+    uint saltB;
+    uint drawRounds;
+    uint closeAt;
+
+    modifier playerOnly {
+        require(%s);
+        _;
+    }
+
+    constructor(%s, uint sa, uint sb, uint rounds, uint closing) {
+%s        saltA = sa;
+        saltB = sb;
+        drawRounds = rounds;
+        closeAt = closing;
+    }
+
+    function buyTicket() public payable playerOnly {
+        require(block.timestamp < closeAt);
+        require(msg.value == 1 ether);
+        tickets[msg.sender] = tickets[msg.sender] + msg.value;
+    }
+
+    function draw() internal returns (uint) {
+        uint x = saltA;
+        uint i = 0;
+        while (i < drawRounds) {
+            x = uint(keccak256(x, saltB, i));
+            i = i + 1;
+        }
+        return x %% %d;
+    }
+
+    function settle(uint winnerIdx) internal {
+        uint pot = 0;
+        uint i = 0;
+        while (i < %d) {
+            pot = pot + tickets[players[i]];
+            tickets[players[i]] = 0;
+            i = i + 1;
+        }
+        players[winnerIdx].transfer(pot);
+    }
+
+    function ticketOf(address who) public view returns (uint) {
+        return tickets[who];
+    }
+}
+`, n, requireClause, ctorParams, ctorBody, n, n)
+}
+
+// LotteryPolicy splits the lottery with draw() off-chain.
+func LotteryPolicy(challengePeriod uint64) Policy {
+	return Policy{
+		Heavy:           []string{"draw"},
+		Result:          "draw",
+		Settle:          "settle",
+		ParticipantsVar: "players",
+		ChallengePeriod: challengePeriod,
+	}
+}

@@ -71,6 +71,33 @@ const (
 	// recovered hub must never re-mint a dead session's party keys nor
 	// reissue its session IDs.
 	KindKeySeq
+
+	// Federation kinds: the durable state of one internal/federation tower
+	// (a separate store from any hub's WAL; hub recovery ignores these).
+
+	// KindFedMember: a federation member identity was configured or
+	// observed. Blob = 20-byte member address.
+	KindFedMember
+	// KindFedGuard: guard state for one contract this tower shares duty
+	// for — enough to rebuild the session and dispute as the honest party.
+	// SID = owning hub's session ID (0 if unknown), U1 = challenge period,
+	// U2 = honest party index, Str = scenario (SpecRegistry key),
+	// Blobs[0] = 20-byte contract address, Blobs[1] = signed-copy
+	// encoding, Blobs[2:] = the parties' 32-byte private scalars.
+	KindFedGuard
+	// KindFedWindow: a challenge window observed (locally or via gossip).
+	// U1 = submitted result, U2 = opened-at, U3 = deadline,
+	// Blob = 20-byte contract address, Blobs[0] = submitter,
+	// Blobs[1] (optional, 8 bytes big-endian) = the owner's verdict hint.
+	KindFedWindow
+	// KindFedIntent: a member declared intent to dispute the contract in
+	// Blob; U1 = wall-clock milliseconds at declaration, Blobs[0] = the
+	// declaring member address. Forensic + dedup grace on restart.
+	KindFedIntent
+	// KindFedClosed: the contract in Blob settled (U1 = 1 when settled by
+	// dispute resolution); its guard state is dead and a restarted member
+	// must not re-arm it.
+	KindFedClosed
 	kindMax
 )
 
@@ -88,6 +115,11 @@ var kindNames = map[Kind]string{
 	KindTerminal:   "terminal",
 	KindCursor:     "cursor",
 	KindKeySeq:     "key-seq",
+	KindFedMember:  "fed-member",
+	KindFedGuard:   "fed-guard",
+	KindFedWindow:  "fed-window",
+	KindFedIntent:  "fed-intent",
+	KindFedClosed:  "fed-closed",
 }
 
 func (k Kind) String() string {

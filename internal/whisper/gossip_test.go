@@ -1,0 +1,170 @@
+package whisper
+
+import (
+	"bytes"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"onoffchain/internal/rlp"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+)
+
+func TestGossipRoundTrip(t *testing.T) {
+	in := &Gossip{
+		Kind: 3, Seq: 42, Time: 1_700_000_000_123,
+		Addr: types.BytesToAddress([]byte{0xAA, 0xBB}),
+		U1:   1, U2: 600, U3: 1200,
+		Blob:  []byte{0xC0, 0xFF, 0xEE},
+		Str:   "betting/adversarial",
+		Blobs: [][]byte{make([]byte, 32), {0x01}},
+	}
+	out, err := DecodeGossip(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	// Minimal record: every optional field empty.
+	min := &Gossip{Kind: 1}
+	out, err = DecodeGossip(min.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(min, out) {
+		t.Fatalf("minimal round trip mismatch: %+v", out)
+	}
+}
+
+func TestGossipDecodeRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"not-a-list":   rlp.Encode(rlp.Bytes([]byte{1})),
+		"wrong-arity":  rlp.EncodeList(rlp.Uint(1), rlp.Uint(2)),
+		"zero-kind":    (&Gossip{Kind: 0}).Encode(),
+		"garbage":      {0xff, 0x01, 0x02},
+		"nested-blob":  rlp.EncodeList(rlp.Uint(1), rlp.Uint(0), rlp.Uint(0), rlp.Bytes(make([]byte, 20)), rlp.Uint(0), rlp.Uint(0), rlp.Uint(0), rlp.List(), rlp.String(""), rlp.List()),
+		"short-addr":   rlp.EncodeList(rlp.Uint(1), rlp.Uint(0), rlp.Uint(0), rlp.Bytes(make([]byte, 19)), rlp.Uint(0), rlp.Uint(0), rlp.Uint(0), rlp.Bytes(nil), rlp.String(""), rlp.List()),
+		"nested-blobs": rlp.EncodeList(rlp.Uint(1), rlp.Uint(0), rlp.Uint(0), rlp.Bytes(make([]byte, 20)), rlp.Uint(0), rlp.Uint(0), rlp.Uint(0), rlp.Bytes(nil), rlp.String(""), rlp.List(rlp.List())),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeGossip(payload); err == nil {
+			t.Errorf("%s: decode accepted a malformed payload", name)
+		}
+	}
+}
+
+// FuzzGossipRoundTrip: any payload the decoder accepts must re-encode to
+// the exact bytes it came from (canonical codec), and every structured
+// record must survive a round trip.
+func FuzzGossipRoundTrip(f *testing.F) {
+	f.Add((&Gossip{Kind: 1, Str: "hb"}).Encode())
+	f.Add((&Gossip{Kind: 4, Seq: 9, Addr: types.BytesToAddress([]byte{1}), Blobs: [][]byte{{2}}}).Encode())
+	f.Add([]byte{0xc0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		g, err := DecodeGossip(payload)
+		if err != nil {
+			return
+		}
+		re := g.Encode()
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", payload, re)
+		}
+		g2, err := DecodeGossip(re)
+		if err != nil || !reflect.DeepEqual(g, g2) {
+			t.Fatalf("re-decode mismatch: %v", err)
+		}
+	})
+}
+
+func TestPresence(t *testing.T) {
+	now := uint64(1000)
+	p := NewPresence(50, func() uint64 { return now })
+	a := types.BytesToAddress([]byte{1})
+	b := types.BytesToAddress([]byte{2})
+	if p.Alive(a) {
+		t.Fatal("unmarked member alive")
+	}
+	p.Mark(a)
+	p.Mark(b)
+	if !p.Alive(a) || !p.Alive(b) {
+		t.Fatal("marked members not alive")
+	}
+	now = 1050
+	if !p.Alive(a) {
+		t.Fatal("member dead at exactly ttl")
+	}
+	now = 1051
+	if p.Alive(a) {
+		t.Fatal("member alive past ttl")
+	}
+	p.Mark(b)
+	if got := p.Filter([]types.Address{a, b}); len(got) != 1 || got[0] != b {
+		t.Fatalf("Filter = %v, want [b]", got)
+	}
+	if at, ok := p.LastSeen(b); !ok || at != 1051 {
+		t.Fatalf("LastSeen(b) = %d,%v", at, ok)
+	}
+	p.Forget(b)
+	if p.Alive(b) {
+		t.Fatal("forgotten member still alive")
+	}
+}
+
+// TestDropCounters pins the loss accounting: backpressure on a full
+// subscriber buffer and TTL expiry both surface through Drops, and a link
+// filter withholds without counting a loss.
+func TestDropCounters(t *testing.T) {
+	clock := uint64(0)
+	n := NewNetwork(func() uint64 { return clock })
+	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xD0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := n.NewNode(key)
+	key2, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xD1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := n.NewNode(key2)
+	topic := TopicFromString("drops")
+	receiver.Subscribe(topic)
+
+	// Fill the buffer (256) and push one more: exactly one backpressure drop.
+	for i := 0; i < 257; i++ {
+		if _, err := sender.Post(topic, []byte{byte(i)}, PostOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if exp, bp := n.DropStats(); exp != 0 || bp != 1 {
+		t.Fatalf("DropStats = %d,%d, want 0,1", exp, bp)
+	}
+	// An envelope that expires between stamping and delivery (the clock
+	// jumps past the TTL while the post is in flight).
+	step := uint64(100)
+	post := func() uint64 { clock += step; return clock }
+	n2 := NewNetwork(post)
+	s2 := n2.NewNode(key)
+	if _, err := s2.Post(topic, []byte("late"), PostOptions{TTL: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if exp, _ := n2.DropStats(); exp != 1 {
+		t.Fatalf("expired drops = %d, want 1", exp)
+	}
+	if n.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", n.Drops())
+	}
+
+	// Partitioned delivery is withheld, not dropped.
+	_, bpBefore := n.DropStats()
+	n.SetLinkFilter(func(from, to types.Address) bool { return false })
+	if _, err := sender.Post(topic, []byte("cut"), PostOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, bp := n.DropStats(); bp != bpBefore {
+		t.Fatalf("partitioned delivery counted as backpressure drop")
+	}
+	n.SetLinkFilter(nil)
+}

@@ -67,10 +67,16 @@ func (e *Envelope) Verify() bool {
 // Network is an in-process message hub connecting nodes, standing in for
 // the Whisper DHT/gossip overlay.
 type Network struct {
-	mu    sync.Mutex
-	subs  map[Topic][]*subscription
-	now   func() uint64
-	drops int // expired envelopes dropped
+	mu           sync.Mutex
+	subs         map[Topic][]*subscription
+	now          func() uint64
+	drops        int // expired envelopes dropped
+	backpressure int // envelopes dropped on a full subscriber buffer
+	partitioned  int // envelopes withheld by the link filter
+	// linkFilter, when set, decides whether an envelope from one node may
+	// reach another (tests use it to simulate network partitions). nil
+	// means full connectivity.
+	linkFilter func(from, to types.Address) bool
 }
 
 type subscription struct {
@@ -87,11 +93,35 @@ func NewNetwork(clock func() uint64) *Network {
 	return &Network{subs: make(map[Topic][]*subscription), now: clock}
 }
 
-// Drops reports how many envelopes expired before delivery.
+// Drops reports how many envelopes were lost before delivery, for any
+// reason: TTL expiry or a full subscriber buffer. A consumer that cares
+// about gossip health (the federation's heartbeat loop) should watch this
+// counter grow; DropStats breaks it down.
 func (n *Network) Drops() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.drops
+	return n.drops + n.backpressure
+}
+
+// DropStats breaks the loss counter down: envelopes dropped because they
+// expired before posting, and envelopes dropped because a subscriber's
+// buffer was full (backpressure — the subscriber is not draining).
+// Envelopes withheld by a link filter (simulated partitions) are counted
+// separately and are NOT losses.
+func (n *Network) DropStats() (expired, backpressure int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.drops, n.backpressure
+}
+
+// SetLinkFilter installs (or, with nil, removes) a delivery predicate:
+// an envelope from `from` reaches a subscriber node `to` only when the
+// filter allows it. Tests use this to simulate gossip partitions; filtered
+// deliveries are tallied but do not count as drops.
+func (n *Network) SetLinkFilter(f func(from, to types.Address) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFilter = f
 }
 
 // Node is a network participant bound to a secp256k1 identity.
@@ -147,6 +177,14 @@ type PostOptions struct {
 	TTL uint64
 	// Key enables AES-GCM encryption with a 32-byte shared symmetric key.
 	Key []byte
+	// Unsigned skips the sender signature. Only sensible together with
+	// Key: AES-GCM under a shared group key already authenticates the
+	// envelope as coming from SOME key holder, and for traffic where that
+	// suffices (a replica fleet talking to itself at heartbeat rates) the
+	// per-envelope secp256k1 signature is pure overhead. Envelope.Verify
+	// reports false for such envelopes; receivers that need per-sender
+	// authenticity must not set this.
+	Unsigned bool
 }
 
 // Post signs and publishes payload on the topic, delivering to all current
@@ -168,11 +206,13 @@ func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, 
 	if opts.TTL > 0 {
 		env.Expiry = nd.network.now() + opts.TTL
 	}
-	sig, err := secp256k1.Sign(nd.key, env.signingHash())
-	if err != nil {
-		return nil, fmt.Errorf("whisper: sign envelope: %w", err)
+	if !opts.Unsigned {
+		sig, err := secp256k1.Sign(nd.key, env.signingHash())
+		if err != nil {
+			return nil, fmt.Errorf("whisper: sign envelope: %w", err)
+		}
+		env.SigV, env.SigR, env.SigS = sig.V, sig.R, sig.S
 	}
-	env.SigV, env.SigR, env.SigS = sig.V, sig.R, sig.S
 
 	nd.network.mu.Lock()
 	defer nd.network.mu.Unlock()
@@ -181,9 +221,14 @@ func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, 
 		return env, nil
 	}
 	for _, sub := range nd.network.subs[topic] {
+		if nd.network.linkFilter != nil && !nd.network.linkFilter(env.From, sub.node.address) {
+			nd.network.partitioned++
+			continue
+		}
 		select {
 		case sub.ch <- env:
 		default: // lossy delivery under backpressure
+			nd.network.backpressure++
 		}
 	}
 	return env, nil

@@ -7,7 +7,6 @@ package onoffchain
 
 import (
 	"fmt"
-	"math/big"
 	"testing"
 	"time"
 
@@ -206,21 +205,29 @@ func BenchmarkHubThroughput(b *testing.B) {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 1)
+				benchHubThroughput(b, n, mining, false, 1, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, true, 1)
+				benchHubThroughput(b, n, mining, true, 1, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 3)
+				benchHubThroughput(b, n, mining, false, 3, false)
+			})
+			// The signed-gossip leg: every fleet envelope (heartbeats,
+			// guard exports, window mirrors, intents) carries a secp256k1
+			// signature — the opt-in PR 4 had to drop on the big.Int
+			// curve. Ran at the full matrix to show heartbeat-rate
+			// signing no longer taxes hub throughput.
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off/gossip=signed", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, false, 3, true)
 			})
 		}
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int) {
+func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int, signGossip bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, wal, towers)
+		hubThroughputIteration(b, n, mining, wal, towers, signGossip)
 	}
 }
 
@@ -242,10 +249,10 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int) {
+func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int, signGossip bool) {
 	b.StopTimer()
 	defer b.StartTimer()
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -280,7 +287,7 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 		keys := make([]*secp256k1.PrivateKey, towers)
 		members := make([]types.Address, towers)
 		for i := range keys {
-			k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x70_3E_00 + i)))
+			k, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(0x70_3E_00 + i)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -290,7 +297,8 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 		registry := hub.NewSpecRegistry(hub.BettingSpec(4, 600, false), hub.BettingSpec(4, 600, true))
 		mk := func(k *secp256k1.PrivateKey) federation.Config {
 			return federation.Config{Chain: c, Net: net, Key: k, Members: members, Registry: registry,
-				Logf: func(string, ...interface{}) {}}
+				SignGossip: signGossip,
+				Logf:       func(string, ...interface{}) {}}
 		}
 		ht, err := federation.AttachHub(h, mk(keys[0]))
 		if err != nil {

@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -36,8 +35,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0x5e11e4))
-	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xb1dde4))
+	keyA, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x5e11e4))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xb1dde4))
 	c := chain.NewDefault(map[types.Address]*uint256.Int{
 		types.Address(keyA.EthereumAddress()): eth(20),
 		types.Address(keyB.EthereumAddress()): eth(20),

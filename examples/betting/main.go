@@ -8,7 +8,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -30,8 +29,8 @@ func run(dispute bool) {
 	fmt.Printf("\n========== %s ==========\n", title)
 
 	// World: Alice, Bob, a dev chain, and a whisper network.
-	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xA11CE))
-	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xB0B))
+	keyA, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xA11CE))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xB0B))
 	c := chain.NewDefault(map[types.Address]*uint256.Int{
 		types.Address(keyA.EthereumAddress()): eth(10),
 		types.Address(keyB.EthereumAddress()): eth(10),

@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/big"
 	"os"
 	"sort"
 	"sync"
@@ -43,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	// World: a dev chain with a rich faucet, a whisper network, a hub.
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,7 +141,7 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
 	keys := make([]*secp256k1.PrivateKey, towers)
 	members := make([]types.Address, towers)
 	for i := range keys {
-		k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x70_3E_00 + i)))
+		k, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(0x70_3E_00 + i)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -33,7 +32,7 @@ func main() {
 	alloc := map[types.Address]*uint256.Int{}
 	keys := make([]*secp256k1.PrivateKey, n)
 	for i := range keys {
-		keys[i], _ = secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x10C0 + i)))
+		keys[i], _ = secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(0x10C0 + i)))
 		alloc[types.Address(keys[i].EthereumAddress())] = eth(10)
 	}
 	c := chain.NewDefault(alloc)

@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -40,7 +39,7 @@ contract Greeter {
 
 func main() {
 	// A funded account on a fresh dev chain.
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0x1234))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x1234))
 	if err != nil {
 		log.Fatal(err)
 	}

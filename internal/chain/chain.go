@@ -92,9 +92,10 @@ type Chain struct {
 	mineCap  int
 
 	// Push subscriptions (see subscription.go).
-	subID     uint64
-	logSubs   map[uint64]*LogSubscription
-	blockSubs map[uint64]*BlockSubscription
+	subID        uint64
+	logSubs      map[uint64]*LogSubscription
+	blockSubs    map[uint64]*BlockSubscription
+	blockLogSubs map[uint64]*BlockLogSubscription
 }
 
 // receiptOutcome is what a WaitReceipt waiter learns at mine time: the
@@ -595,6 +596,16 @@ type FilterQuery struct {
 	ToBlock   uint64 // 0 means head
 	Address   *types.Address
 	Topic     *types.Hash // matched against topic[0] if set
+
+	// AddressIn, when set, restricts matches to addresses in the (mutable)
+	// set. Unlike Address it is a live filter: a subscriber may grow and
+	// shrink the set after subscribing, which is how a watchtower tracks a
+	// changing population of guarded contracts without re-subscribing —
+	// and without every other tower paying to receive its logs.
+	AddressIn *AddressSet
+	// Topics, when non-empty, matches topic[0] against any entry (an
+	// "any-of" selector, where Topic is exact-match).
+	Topics []types.Hash
 }
 
 // FilterLogs scans mined blocks for matching logs.

@@ -1,7 +1,6 @@
 package chain
 
 import (
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/secp256k1"
@@ -16,7 +15,7 @@ type account struct {
 }
 
 func newAccount(seed int64) account {
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(seed))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(seed)))
 	if err != nil {
 		panic(err)
 	}

@@ -3,6 +3,7 @@ package chain
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
@@ -269,5 +270,104 @@ func TestEmptyBlockKeepsStateRoot(t *testing.T) {
 		if b.Header.Root != root {
 			t.Fatalf("empty block %d changed state root: %s -> %s", b.Number(), root.Hex(), b.Header.Root.Hex())
 		}
+	}
+}
+
+// recvBatch reads one BlockLogs batch or fails the test.
+func recvBatch(t *testing.T, sub *BlockLogSubscription) *BlockLogs {
+	t.Helper()
+	select {
+	case b, ok := <-sub.BlockLogs():
+		if !ok {
+			t.Fatal("block-log channel closed")
+		}
+		return b
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a block-log batch")
+	}
+	return nil
+}
+
+// TestSubscribeBlockLogsAddressSet: the live AddressIn filter delivers
+// only the watched contracts' logs while still ticking every block
+// boundary — the per-tower filtering the watchtower rides on.
+func TestSubscribeBlockLogsAddressSet(t *testing.T) {
+	alice := newAccount(140)
+	c := testChain(alice)
+	addrA, nonce := deployLogger(t, c, alice, 0, 0xA1)
+	addrB, nonce := deployLogger(t, c, alice, nonce, 0xB2)
+
+	set := NewAddressSet()
+	set.Add(addrA)
+	sub := c.SubscribeBlockLogs(FilterQuery{AddressIn: set})
+	defer sub.Unsubscribe()
+
+	// A's log matches; B's block arrives as an empty boundary batch.
+	nonce = callLogger(t, c, alice, nonce, addrA)
+	b := recvBatch(t, sub)
+	if len(b.Logs) != 1 || b.Logs[0].Address != addrA {
+		t.Fatalf("batch 1: want A's log, got %+v", b.Logs)
+	}
+	if b.Number != c.Height() {
+		t.Fatalf("batch 1: number %d, head %d", b.Number, c.Height())
+	}
+	nonce = callLogger(t, c, alice, nonce, addrB)
+	if b = recvBatch(t, sub); len(b.Logs) != 0 {
+		t.Fatalf("batch 2: unwatched address delivered logs: %+v", b.Logs)
+	}
+
+	// Growing the set takes effect for the next mined block.
+	set.Add(addrB)
+	nonce = callLogger(t, c, alice, nonce, addrB)
+	if b = recvBatch(t, sub); len(b.Logs) != 1 || b.Logs[0].Address != addrB {
+		t.Fatalf("batch 3: want B's log after Add, got %+v", b.Logs)
+	}
+
+	// Shrinking mutes a previously watched contract.
+	set.Remove(addrA)
+	callLogger(t, c, alice, nonce, addrA)
+	if b = recvBatch(t, sub); len(b.Logs) != 0 {
+		t.Fatalf("batch 4: removed address still delivered: %+v", b.Logs)
+	}
+	if set.Len() != 1 || set.Contains(addrA) || !set.Contains(addrB) {
+		t.Fatal("set state after Add/Remove is wrong")
+	}
+}
+
+// TestSubscribeBlockLogsTopicsAnyOf: the Topics selector is an any-of
+// match on topic[0].
+func TestSubscribeBlockLogsTopicsAnyOf(t *testing.T) {
+	alice := newAccount(141)
+	c := testChain(alice)
+	addrA, nonce := deployLogger(t, c, alice, 0, 0x11)
+	addrB, nonce := deployLogger(t, c, alice, nonce, 0x22)
+	addrC, nonce := deployLogger(t, c, alice, nonce, 0x33)
+
+	t1 := types.BytesToHash([]byte{0x11})
+	t2 := types.BytesToHash([]byte{0x22})
+	sub := c.SubscribeBlockLogs(FilterQuery{Topics: []types.Hash{t1, t2}})
+	defer sub.Unsubscribe()
+
+	nonce = callLogger(t, c, alice, nonce, addrA)
+	if b := recvBatch(t, sub); len(b.Logs) != 1 || b.Logs[0].Topics[0] != t1 {
+		t.Fatalf("topic 0x11 not matched: %+v", b.Logs)
+	}
+	nonce = callLogger(t, c, alice, nonce, addrB)
+	if b := recvBatch(t, sub); len(b.Logs) != 1 || b.Logs[0].Topics[0] != t2 {
+		t.Fatalf("topic 0x22 not matched: %+v", b.Logs)
+	}
+	callLogger(t, c, alice, nonce, addrC)
+	if b := recvBatch(t, sub); len(b.Logs) != 0 {
+		t.Fatalf("topic 0x33 should not match: %+v", b.Logs)
+	}
+
+	// FilterLogs honors the same selectors (poll side).
+	if got := len(c.FilterLogs(FilterQuery{Topics: []types.Hash{t1, t2}})); got != 2 {
+		t.Fatalf("FilterLogs any-of matched %d logs, want 2", got)
+	}
+	set := NewAddressSet()
+	set.Add(addrC)
+	if got := len(c.FilterLogs(FilterQuery{AddressIn: set})); got != 1 {
+		t.Fatalf("FilterLogs AddressIn matched %d logs, want 1", got)
 	}
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/big"
 	"strings"
 
 	"onoffchain/internal/hybrid"
@@ -313,7 +312,7 @@ func runPoolDispute(n int) (uint64, error) {
 	parties := make([]*hybrid.Participant, n)
 	ctorArgs := make([]interface{}, 0, n+1)
 	for i := 0; i < n; i++ {
-		k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0xF00 + i)))
+		k, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(0xF00 + i)))
 		if err != nil {
 			return 0, err
 		}

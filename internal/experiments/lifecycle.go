@@ -9,7 +9,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/big"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
@@ -68,8 +67,8 @@ type env struct {
 }
 
 func newEnv() *env {
-	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xA11CE))
-	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xB0B))
+	keyA, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xA11CE))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xB0B))
 	c := chain.NewDefault(map[types.Address]*uint256.Int{
 		types.Address(keyA.EthereumAddress()): eth(1000),
 		types.Address(keyB.EthereumAddress()): eth(1000),

@@ -35,7 +35,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/big"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +112,17 @@ type Config struct {
 	// DisputeWorkers bounds the wrapped tower's verify-and-file workers
 	// (standalone towers only; a hub's tower is sized by hub.Config).
 	DisputeWorkers int
+	// SignGossip additionally signs every gossip envelope with the
+	// tower's secp256k1 key (whisper.PostOptions.Unsigned = false) and
+	// requires a valid per-sender signature on receive. The shared group
+	// key already authenticates traffic as coming from SOME member;
+	// per-envelope signatures bind each record to the member that claims
+	// to have sent it, so one leaked group key (or a misbehaving member)
+	// cannot impersonate the rest of the fleet. PR 4 shipped this off by
+	// necessity — per-envelope signing at heartbeat rates measurably
+	// taxed hub throughput on the big.Int curve — and the fixed-limb
+	// rewrite made it affordable: see DESIGN.md for the measured cost.
+	SignGossip bool
 	// Logf sinks diagnostics (default log.Printf).
 	Logf func(string, ...interface{})
 }
@@ -483,10 +493,10 @@ func (t *Tower) post(g *whisper.Gossip) {
 	if g.Time == 0 {
 		g.Time = wallMillis()
 	}
-	// Unsigned: the group key authenticates fleet traffic (see
-	// handleEnvelope); a per-envelope signature at heartbeat + regossip
-	// rates would cost more CPU than the disputes it protects.
-	if _, err := t.node.Post(t.topic, g.Encode(), whisper.PostOptions{Key: t.symKey, Unsigned: true}); err != nil {
+	// Default unsigned: the group key authenticates fleet traffic (see
+	// handleEnvelope). SignGossip opts into per-sender envelope
+	// signatures, affordable since the fixed-limb secp256k1 rewrite.
+	if _, err := t.node.Post(t.topic, g.Encode(), whisper.PostOptions{Key: t.symKey, Unsigned: !t.cfg.SignGossip}); err != nil {
 		t.cfg.Logf("federation: gossip post failed: %v", err)
 	}
 }
@@ -590,10 +600,17 @@ func (t *Tower) handleEnvelope(env *whisper.Envelope) {
 	// AES-GCM under the fleet's shared key is the authentication gate:
 	// only members hold the key, so a successful open proves the envelope
 	// is federation traffic (anything else — topic collisions, outsiders —
-	// fails here). The per-envelope ecrecover of Envelope.Verify is
-	// deliberately skipped: it authenticates the individual sender, which
-	// the replica trust model doesn't need, and at heartbeat rates its
-	// cost is what turns a receiver into a backlogged bottleneck.
+	// fails here). Without SignGossip the per-envelope ecrecover of
+	// Envelope.Verify is skipped: it authenticates the individual sender,
+	// which the replica trust model doesn't strictly need. With
+	// SignGossip every envelope must also carry a valid signature from
+	// the member it claims to be — a forged From (group-key holder
+	// impersonating a peer) is dropped here.
+	if t.cfg.SignGossip && !env.Verify() {
+		t.metrics.add(&t.metrics.sigRejected, 1)
+		t.cfg.Logf("federation: dropped gossip with missing/invalid sender signature claiming %s", env.From.Hex())
+		return
+	}
 	plain, err := whisper.Decrypt(t.symKey, env.Payload)
 	if err != nil {
 		return
@@ -729,7 +746,7 @@ func (t *Tower) rebuild(g *hub.GuardExport) (*hybrid.Session, error) {
 	}
 	parties := make([]*hybrid.Participant, len(g.Scalars))
 	for i, sc := range g.Scalars {
-		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
+		key, err := secp256k1.PrivateKeyFromBytes(sc)
 		if err != nil {
 			return nil, fmt.Errorf("party %d scalar: %v", i, err)
 		}
@@ -957,7 +974,7 @@ func (o *towerObserver) Guarded(e *hub.Watch, contract types.Address) {
 	sess := e.Session()
 	scalars := make([][]byte, len(sess.Parties))
 	for i, p := range sess.Parties {
-		scalars[i] = p.Key.D.FillBytes(make([]byte, 32))
+		scalars[i] = p.Key.Bytes()
 	}
 	export := &hub.GuardExport{
 		SID: e.SID(), Scenario: e.Scenario(), Contract: contract,

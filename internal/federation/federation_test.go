@@ -3,7 +3,6 @@ package federation
 import (
 	"errors"
 	"fmt"
-	"math/big"
 	"os"
 	"strings"
 	"sync"
@@ -37,7 +36,7 @@ func miningModes(tb testing.TB) []string {
 
 func fedWorld(tb testing.TB, mode string) (*chain.Chain, *whisper.Network, *secp256k1.PrivateKey) {
 	tb.Helper()
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -62,7 +61,7 @@ func memberKeys(tb testing.TB, n int) ([]*secp256k1.PrivateKey, []types.Address)
 	keys := make([]*secp256k1.PrivateKey, n)
 	addrs := make([]types.Address, n)
 	for i := range keys {
-		k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(int64(0x70_3E_00 + i)))
+		k, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(0x70_3E_00 + i)))
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -440,7 +439,7 @@ func TestFederationStandaloneRecovery(t *testing.T) {
 	}
 	parties := make([]*hybrid.Participant, len(g.Scalars))
 	for i, sc := range g.Scalars {
-		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
+		key, err := secp256k1.PrivateKeyFromBytes(sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -628,4 +627,52 @@ func TestFederationDropWarning(t *testing.T) {
 	if !found {
 		t.Fatalf("no drop warning logged; got %q", warnings)
 	}
+}
+
+// TestSignedGossip: with Config.SignGossip the fleet signs every envelope
+// and still functions (heartbeats authenticate per-sender), while a
+// member that skips the signing discipline — an impersonation stand-in,
+// since only per-envelope signatures bind gossip to the claimed sender —
+// is dropped and counted.
+func TestSignedGossip(t *testing.T) {
+	c, net, _ := fedWorld(t, "auto")
+	keys, members := memberKeys(t, 3)
+
+	mk := func(key *secp256k1.PrivateKey) Config {
+		cfg := fedConfig(c, net, key, members)
+		cfg.SignGossip = true
+		return cfg
+	}
+	s0, err := Join(mk(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Stop()
+	s1, err := Join(mk(keys[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Stop()
+
+	// Signed heartbeats flow and authenticate: both towers see each other.
+	waitUntil(t, 5*time.Second, "signed heartbeats exchanged", func() bool {
+		return s0.Metrics().HeartbeatsSeen > 0 && s1.Metrics().HeartbeatsSeen > 0
+	})
+	if s0.Metrics().SigRejected != 0 || s1.Metrics().SigRejected != 0 {
+		t.Fatalf("well-signed fleet rejected envelopes: %d/%d",
+			s0.Metrics().SigRejected, s1.Metrics().SigRejected)
+	}
+
+	// A third member posts UNSIGNED gossip under the (valid) group key:
+	// group-key possession alone must no longer pass.
+	rogue := net.NewNode(keys[2])
+	topic := whisper.TopicFromString("federation/guard")
+	symKey := whisper.SharedTopicKey("federation/guard", members)
+	g := &whisper.Gossip{Kind: 0 /* heartbeat */, Seq: 1, Time: 1}
+	if _, err := rogue.Post(topic, g.Encode(), whisper.PostOptions{Key: symKey, Unsigned: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, "unsigned envelope rejected", func() bool {
+		return s0.Metrics().SigRejected > 0 && s1.Metrics().SigRejected > 0
+	})
 }

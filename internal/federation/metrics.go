@@ -18,6 +18,7 @@ type metrics struct {
 	disputesFiled  uint64 // disputes this tower claimed and filed
 	disputesWon    uint64 // ... that the chain enforced
 	dropWarnings   uint64 // gossip-loss warnings logged
+	sigRejected    uint64 // signed-gossip mode: envelopes dropped for bad/missing sender signature
 }
 
 func (m *metrics) add(field *uint64, delta uint64) {
@@ -39,6 +40,9 @@ type Snapshot struct {
 	DisputesFiled  uint64
 	DisputesWon    uint64
 	DropWarnings   uint64
+	// SigRejected counts envelopes dropped by signed-gossip verification
+	// (always 0 when Config.SignGossip is off).
+	SigRejected uint64
 	// LiveMembers is the heartbeat view at snapshot time (self included).
 	LiveMembers int
 	// Guards counts contracts currently under this tower's guard.
@@ -60,5 +64,6 @@ func (m *metrics) snapshot() Snapshot {
 		DisputesFiled:  m.disputesFiled,
 		DisputesWon:    m.disputesWon,
 		DropWarnings:   m.dropWarnings,
+		SigRejected:    m.sigRejected,
 	}
 }

@@ -12,9 +12,9 @@ package hub
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/big"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -418,9 +418,10 @@ func (h *Hub) newKey() (*secp256k1.PrivateKey, uint64, error) {
 	h.keySeq++
 	seq := h.keySeq
 	h.keyMu.Unlock()
-	scalar := new(big.Int).SetUint64(seq)
-	scalar.Add(scalar, new(big.Int).Lsh(big.NewInt(0x4855_42), 64)) // "HUB" base
-	key, err := secp256k1.PrivateKeyFromScalar(scalar)
+	var d [32]byte // big-endian scalar: "HUB" base word, then the sequence
+	binary.BigEndian.PutUint64(d[16:24], 0x4855_42)
+	binary.BigEndian.PutUint64(d[24:32], seq)
+	key, err := secp256k1.PrivateKeyFromBytes(d[:])
 	return key, seq, err
 }
 
@@ -602,7 +603,7 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
 		parties[i].Ctx = h.ctx
 		addrs[i] = parties[i].Addr
-		scalars[i] = key.D.FillBytes(make([]byte, 32))
+		scalars[i] = key.Bytes()
 		maxSeq = seq
 	}
 	h.journal.log(&store.Record{

@@ -1,7 +1,6 @@
 package hub
 
 import (
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/chain"
@@ -14,7 +13,7 @@ import (
 // newHub builds a dev chain with a rich faucet and a hub on top of it.
 func newTestHub(tb testing.TB, workers int) (*Hub, *chain.Chain) {
 	tb.Helper()
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package hub
 
 import (
-	"math/big"
 	"os"
 	"testing"
 	"time"
@@ -47,7 +46,7 @@ const (
 // down — the chain is an external system that outlives any hub.
 func miningWorld(tb testing.TB, mode string) (*chain.Chain, *whisper.Network, *secp256k1.PrivateKey) {
 	tb.Helper()
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -74,7 +73,7 @@ func miningWorld(tb testing.TB, mode string) (*chain.Chain, *whisper.Network, *s
 // count must show real amortization — far fewer blocks than the
 // one-per-transaction policy would have minted.
 func TestHubBatchMining(t *testing.T) {
-	faucetKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xFA0CE7))
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package hub
 
 import (
-	"math/big"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -128,13 +127,13 @@ func TestWhisperDropsInHubMetrics(t *testing.T) {
 	if d := h.Metrics().WhisperDrops; d != 0 {
 		t.Fatalf("fresh hub reports %d whisper drops", d)
 	}
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xBEEF))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xBEEF))
 	if err != nil {
 		t.Fatal(err)
 	}
 	nd := net.NewNode(key)
 	topic := whisper.TopicFromString("stuck-subscriber")
-	stuckKey, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xBEF0))
+	stuckKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xBEF0))
 	if err != nil {
 		t.Fatal(err)
 	}

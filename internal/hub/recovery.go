@@ -3,7 +3,6 @@ package hub
 import (
 	"context"
 	"fmt"
-	"math/big"
 	"runtime"
 	"sort"
 	"time"
@@ -325,7 +324,7 @@ func (h *Hub) sweepAbandoned(ss *sessionState) int {
 	defer cancel()
 	var hashes []types.Hash
 	for _, sc := range ss.Scalars {
-		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
+		key, err := secp256k1.PrivateKeyFromBytes(sc)
 		if err != nil {
 			continue
 		}
@@ -361,7 +360,7 @@ func (h *Hub) rebuildSession(ss *sessionState, spec *Spec) (*hybrid.Session, err
 	}
 	parties := make([]*hybrid.Participant, len(ss.Scalars))
 	for i, sc := range ss.Scalars {
-		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
+		key, err := secp256k1.PrivateKeyFromBytes(sc)
 		if err != nil {
 			return nil, fmt.Errorf("party %d scalar: %v", i, err)
 		}

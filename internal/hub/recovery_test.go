@@ -2,7 +2,6 @@ package hub
 
 import (
 	"errors"
-	"math/big"
 	"os"
 	"reflect"
 	"strings"
@@ -376,7 +375,7 @@ func fraudWhileHubDownRun(t *testing.T, mode string) {
 	}
 	parties := make([]*hybrid.Participant, len(ss.Scalars))
 	for i, sc := range ss.Scalars {
-		key, err := secp256k1.PrivateKeyFromScalar(new(big.Int).SetBytes(sc))
+		key, err := secp256k1.PrivateKeyFromBytes(sc)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -34,7 +34,8 @@ import (
 // exactly which windows it was guarding and which blocks it never saw.
 type Watchtower struct {
 	chain   *chain.Chain
-	sub     *chain.BlockSubscription
+	sub     *chain.BlockLogSubscription
+	filter  *chain.AddressSet // guarded contracts; gates log delivery chain-side
 	metrics *metrics
 	journal *journal // set by the hub; nil for a standalone tower
 	wg      sync.WaitGroup
@@ -144,9 +145,20 @@ func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 	if m == nil {
 		m = newMetrics()
 	}
+	// The tower subscribes at the chain's filter layer: only logs of
+	// guarded contracts (a live, per-tower address set) with lifecycle
+	// topics cross the channel, so N towers sharing a chain do not each
+	// pay to receive — and scan — every other tower's traffic. Block
+	// boundaries still arrive for every block (empty batches) to drive
+	// the durable cursor and the caught-up barrier.
+	filter := chain.NewAddressSet()
 	w := &Watchtower{
-		chain:   c,
-		sub:     c.SubscribeBlocks(),
+		chain: c,
+		sub: c.SubscribeBlockLogs(chain.FilterQuery{
+			AddressIn: filter,
+			Topics:    towerTopics,
+		}),
+		filter:  filter,
 		metrics: m,
 		entries: make(map[types.Address]*Watch),
 		sem:     make(chan struct{}, 4),
@@ -204,6 +216,10 @@ func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenari
 	}
 	w.entries[sess.OnChainAddr] = e
 	w.mu.Unlock()
+	// Open the subscription filter for this contract BEFORE returning:
+	// Guard is called before any result can be submitted, so the filter
+	// is listening before the first event that matters can be mined.
+	w.filter.Add(sess.OnChainAddr)
 	if w.observer != nil {
 		w.observer.Guarded(e, sess.OnChainAddr)
 	}
@@ -407,11 +423,13 @@ func (w *Watchtower) isHalted() bool {
 
 func (w *Watchtower) loop() {
 	defer w.wg.Done()
-	for b := range w.sub.Blocks() {
+	for b := range w.sub.BlockLogs() {
 		if w.isHalted() {
 			continue // the "process" is gone; drain and ignore
 		}
-		w.processBlock(b)
+		for _, l := range b.Logs {
+			w.handleLog(l)
+		}
 		// The block is fully examined: durably advance the cursor, THEN
 		// publish the progress. Recovery replays from cursor+1, so a crash
 		// between examining and journaling re-examines the block — safe,
@@ -423,25 +441,17 @@ func (w *Watchtower) loop() {
 			continue
 		}
 		if w.journal != nil {
-			w.journal.log(&store.Record{Kind: store.KindCursor, U1: b.Number()})
+			w.journal.log(&store.Record{Kind: store.KindCursor, U1: b.Number})
 		}
 		if w.observer != nil {
-			w.observer.BlockProcessed(b.Number())
+			w.observer.BlockProcessed(b.Number)
 		}
 		w.mu.Lock()
-		if b.Number() > w.processed {
-			w.processed = b.Number()
+		if b.Number > w.processed {
+			w.processed = b.Number
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
-	}
-}
-
-func (w *Watchtower) processBlock(b *types.Block) {
-	for _, r := range b.Receipts {
-		for _, l := range r.Logs {
-			w.handleLog(l)
-		}
 	}
 }
 
@@ -472,6 +482,17 @@ func (w *Watchtower) MarkProcessed(h uint64) {
 // dispute pipeline, exactly as if the submission had just been observed.
 func (w *Watchtower) RestoreWindow(e *Watch, win Window) {
 	w.examine(e, win.Result, win.OpenedAt, win.Deadline, win.Submitter)
+}
+
+// towerTopics are the lifecycle topics the tower subscribes to at the
+// chain's filter layer AND dispatches in handleLog's switch — the two
+// must cover the same set, so extend them together: a topic handled but
+// not subscribed would only ever fire via ReplayLogs, a silent partial
+// failure on the live path.
+var towerTopics = []types.Hash{
+	hybrid.TopicResultSubmitted,
+	hybrid.TopicResultFinalized,
+	hybrid.TopicDisputeResolved,
 }
 
 func (w *Watchtower) handleLog(l *types.Log) {
@@ -514,6 +535,7 @@ func (w *Watchtower) onSettled(e *Watch, addr types.Address, byDispute bool) {
 	w.mu.Lock()
 	delete(w.entries, addr)
 	w.mu.Unlock()
+	w.filter.Remove(addr) // settled for good: stop receiving its logs
 	if first && w.observer != nil {
 		w.observer.WindowClosed(addr, byDispute)
 	}

@@ -3,7 +3,6 @@ package hybrid
 import (
 	"errors"
 	"fmt"
-	"math/big"
 
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/rlp"
@@ -52,8 +51,11 @@ func VerifySignature(bytecode []byte, sig SigTuple, signer types.Address) bool {
 		return false
 	}
 	h := HashBytecode(bytecode)
-	r := new(big.Int).SetBytes(sig.R[:])
-	s := new(big.Int).SetBytes(sig.S[:])
+	r, rOK := secp256k1.ScalarFromBytes(sig.R[:])
+	s, sOK := secp256k1.ScalarFromBytes(sig.S[:])
+	if !rOK || !sOK {
+		return false // component out of the scalar range: never a valid signature
+	}
 	addr, err := secp256k1.RecoverAddress(h.Bytes(), r, s, sig.V-27)
 	if err != nil {
 		return false

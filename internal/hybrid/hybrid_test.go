@@ -1,7 +1,6 @@
 package hybrid
 
 import (
-	"math/big"
 	"strings"
 	"testing"
 
@@ -26,8 +25,8 @@ type fixture struct {
 
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
-	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xA11CE))
-	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xB0B))
+	keyA, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xA11CE))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xB0B))
 	addrA := types.Address(keyA.EthereumAddress())
 	addrB := types.Address(keyB.EthereumAddress())
 	c := chain.NewDefault(map[types.Address]*uint256.Int{
@@ -138,8 +137,8 @@ func TestSplitPolicyValidation(t *testing.T) {
 }
 
 func TestSignedCopyRoundTripAndTamper(t *testing.T) {
-	keyA, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(1111))
-	keyB, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(2222))
+	keyA, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(1111))
+	keyB, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(2222))
 	addrA := types.Address(keyA.EthereumAddress())
 	addrB := types.Address(keyB.EthereumAddress())
 	bytecode := []byte{0x60, 0x80, 0x60, 0x40, 0x52, 0x00, 0xba, 0xb4, 0x00, 0x29}
@@ -309,7 +308,7 @@ func TestDisputeRejectsForgedCopy(t *testing.T) {
 	fx := newFixture(t)
 	sess := bettingSession(t, fx, 16)
 
-	eveKey, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xE5E))
+	eveKey, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xE5E))
 	forgedSig, err := SignBytecode(eveKey, sess.Copy.Bytecode)
 	if err != nil {
 		t.Fatal(err)
@@ -373,7 +372,7 @@ func TestEnforceGuardedByDeployedAddr(t *testing.T) {
 func TestParticipantOnlyGuards(t *testing.T) {
 	fx := newFixture(t)
 	sess := bettingSession(t, fx, 16)
-	eveKey, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xEEE))
+	eveKey, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xEEE))
 	eve := NewParticipant(eveKey, fx.chain, fx.net)
 	// Fund eve for gas.
 	if _, err := fx.alice.SendTx(&eve.Addr, eth(1), 21_000, nil); err != nil {

@@ -3,7 +3,6 @@ package hybrid
 import (
 	"context"
 	"fmt"
-	"math/big"
 
 	"onoffchain/internal/abi"
 	"onoffchain/internal/chain"
@@ -30,7 +29,7 @@ type OffChainOutcome struct {
 // resources saved (paper Fig. 1).
 func ExecuteOffChain(bytecode []byte) (*OffChainOutcome, error) {
 	// Ephemeral identity and chain; nothing escapes this function.
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0x0FFC4A1B))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x0FFC4A1B))
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,6 @@ package lang_test
 
 import (
 	"bytes"
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/chain"
@@ -24,7 +23,7 @@ type harness struct {
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xC0FFEE))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xC0FFEE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +468,7 @@ func TestCryptoBuiltins(t *testing.T) {
 	}
 
 	// ecrecover inside the EVM must agree with native recovery.
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xABCDEF))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xABCDEF))
 	msgHash := keccak.Sum256([]byte("signed copy"))
 	sig, _ := secp256k1.Sign(key, msgHash[:])
 	v, r, s := sig.VRS27()

@@ -1,0 +1,148 @@
+package secp256k1
+
+// Microbenchmarks for the signing stack, with Benchmark*Oracle twins
+// running the retained big.Int reference so before/after is measurable on
+// one host with one command:
+//
+//	go test -run xxx -bench . ./internal/secp256k1
+
+import (
+	"math/big"
+	"testing"
+
+	"onoffchain/internal/keccak"
+)
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	key, err := PrivateKeyFromScalar(ScalarFromUint64(123456789))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}
+
+func BenchmarkSign(b *testing.B) {
+	key := benchKey(b)
+	hash := keccak.Sum256([]byte("bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(key, hash[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	key := benchKey(b)
+	hash := keccak.Sum256([]byte("bench"))
+	sig, _ := Sign(key, hash[:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(&key.PublicKey, hash[:], sig.R, sig.S) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	key := benchKey(b)
+	hash := keccak.Sum256([]byte("bench"))
+	sig, _ := Sign(key, hash[:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarBaseMult(b *testing.B) {
+	k := ScalarFromUint64(0xDEADBEEFCAFE)
+	var x Scalar
+	x.Mul(&k, &k) // widen to a full-width scalar
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ScalarBaseMult(x); !ok {
+			b.Fatal("infinity")
+		}
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	var x, y FieldElement
+	x.SetUint64(0xDEADBEEF)
+	y.SetUint64(0xCAFEBABE)
+	x.Inverse(&x) // full-width operands
+	y.Inverse(&y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}
+
+func BenchmarkScalarInverse(b *testing.B) {
+	s := ScalarFromUint64(0xDEADBEEF)
+	var x Scalar
+	x.Inverse(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Inverse(&x)
+	}
+}
+
+// ---- big.Int oracle twins (the "before" column) -------------------------
+
+func BenchmarkSignOracle(b *testing.B) {
+	d := big.NewInt(123456789)
+	hash := keccak.Sum256([]byte("bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := oracleSign(d, hash[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverOracle(b *testing.B) {
+	d := big.NewInt(123456789)
+	hash := keccak.Sum256([]byte("bench"))
+	r, s, v, _ := oracleSign(d, hash[:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := oracleRecover(hash[:], r, s, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyOracle(b *testing.B) {
+	d := big.NewInt(123456789)
+	hash := keccak.Sum256([]byte("bench"))
+	r, s, _, _ := oracleSign(d, hash[:])
+	px, py := oracleScalarBaseMult(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !oracleVerify(px, py, hash[:], r, s) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkScalarBaseMultOracle(b *testing.B) {
+	k := new(big.Int).Mul(big.NewInt(0xDEADBEEFCAFE), big.NewInt(0xDEADBEEFCAFE))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleScalarBaseMult(k)
+	}
+}

@@ -1,0 +1,602 @@
+package secp256k1
+
+// Differential tests: every operation of the fixed-limb implementation is
+// checked against the retained big.Int oracle (oracle_test.go) on random
+// and adversarial inputs, plus fuzz targets so CI keeps hammering the
+// carry chains. This is the safety net that let the rewrite delete
+// math/big from the package proper.
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func randBytes32(rng *rand.Rand) [32]byte {
+	var b [32]byte
+	rng.Read(b[:])
+	return b
+}
+
+func feFromBig(v *big.Int) FieldElement {
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	var f FieldElement
+	f.SetBytes32(&buf)
+	return f
+}
+
+func TestFieldOpsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		ab, bb := randBytes32(rng), randBytes32(rng)
+		var a, b FieldElement
+		a.SetBytes32(&ab)
+		b.SetBytes32(&bb)
+		ba := new(big.Int).Mod(new(big.Int).SetBytes(ab[:]), oracleP)
+		bb2 := new(big.Int).Mod(new(big.Int).SetBytes(bb[:]), oracleP)
+		checkFieldOps(t, &a, &b, ba, bb2)
+	}
+	// Adversarial values around 0, 1, p-1 and limb boundaries.
+	specials := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(oracleP, big.NewInt(1)),
+		new(big.Int).Sub(oracleP, big.NewInt(2)),
+		new(big.Int).SetUint64(^uint64(0)),
+		new(big.Int).Lsh(big.NewInt(1), 64),
+		new(big.Int).Lsh(big.NewInt(1), 128),
+		new(big.Int).Lsh(big.NewInt(1), 192),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1)),
+	}
+	for _, x := range specials {
+		for _, y := range specials {
+			a := feFromBig(new(big.Int).Mod(x, oracleP))
+			b := feFromBig(new(big.Int).Mod(y, oracleP))
+			checkFieldOps(t, &a, &b, new(big.Int).Mod(x, oracleP), new(big.Int).Mod(y, oracleP))
+		}
+	}
+}
+
+func checkFieldOps(t *testing.T, a, b *FieldElement, ba, bb *big.Int) {
+	t.Helper()
+	var got FieldElement
+	got.Add(a, b)
+	want := new(big.Int).Add(ba, bb)
+	want.Mod(want, oracleP)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("add(%v, %v): got %v want %v", ba, bb, got.big(), want)
+	}
+	got.Sub(a, b)
+	want.Sub(ba, bb)
+	want.Mod(want, oracleP)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("sub(%v, %v): got %v want %v", ba, bb, got.big(), want)
+	}
+	got.Mul(a, b)
+	want.Mul(ba, bb)
+	want.Mod(want, oracleP)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("mul(%v, %v): got %v want %v", ba, bb, got.big(), want)
+	}
+	got.Square(a)
+	want.Mul(ba, ba)
+	want.Mod(want, oracleP)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("square(%v): got %v want %v", ba, got.big(), want)
+	}
+	got.Negate(a)
+	want.Neg(ba)
+	want.Mod(want, oracleP)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("negate(%v): got %v want %v", ba, got.big(), want)
+	}
+	for _, k := range []uint64{2, 3, 4, 8} {
+		got.MulInt(a, k)
+		want.Mul(ba, new(big.Int).SetUint64(k))
+		want.Mod(want, oracleP)
+		if got.big().Cmp(want) != 0 {
+			t.Fatalf("mulint(%v, %d): got %v want %v", ba, k, got.big(), want)
+		}
+	}
+	if ba.Sign() != 0 {
+		got.Inverse(a)
+		want.ModInverse(ba, oracleP)
+		if got.big().Cmp(want) != 0 {
+			t.Fatalf("inverse(%v): got %v want %v", ba, got.big(), want)
+		}
+	}
+	// Sqrt: the candidate exists iff ba is a quadratic residue.
+	var root FieldElement
+	ok := root.Sqrt(a)
+	wantRoot := new(big.Int).ModSqrt(ba, oracleP)
+	if ok != (wantRoot != nil) {
+		t.Fatalf("sqrt(%v): exists=%v, oracle %v", ba, ok, wantRoot != nil)
+	}
+	if ok {
+		var sq FieldElement
+		sq.Square(&root)
+		if !sq.Equal(a) {
+			t.Fatalf("sqrt(%v)^2 != input", ba)
+		}
+	}
+}
+
+func TestScalarOpsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		ab, bb := randBytes32(rng), randBytes32(rng)
+		var a, b Scalar
+		a.SetBytes32(&ab)
+		b.SetBytes32(&bb)
+		ba := new(big.Int).Mod(new(big.Int).SetBytes(ab[:]), oracleN)
+		bb2 := new(big.Int).Mod(new(big.Int).SetBytes(bb[:]), oracleN)
+		checkScalarOps(t, &a, &b, ba, bb2)
+	}
+	specials := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(oracleN, big.NewInt(1)),
+		new(big.Int).Sub(oracleN, big.NewInt(2)),
+		new(big.Int).Set(oracleHalfN),
+		new(big.Int).Add(oracleHalfN, big.NewInt(1)),
+		new(big.Int).SetUint64(^uint64(0)),
+		new(big.Int).Lsh(big.NewInt(1), 128),
+	}
+	for _, x := range specials {
+		for _, y := range specials {
+			a := scalarFromBig(t, new(big.Int).Mod(x, oracleN))
+			b := scalarFromBig(t, new(big.Int).Mod(y, oracleN))
+			checkScalarOps(t, &a, &b, new(big.Int).Mod(x, oracleN), new(big.Int).Mod(y, oracleN))
+		}
+	}
+}
+
+func checkScalarOps(t *testing.T, a, b *Scalar, ba, bb *big.Int) {
+	t.Helper()
+	var got Scalar
+	got.Add(a, b)
+	want := new(big.Int).Add(ba, bb)
+	want.Mod(want, oracleN)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("scalar add(%v, %v): got %v want %v", ba, bb, got.big(), want)
+	}
+	got.Mul(a, b)
+	want.Mul(ba, bb)
+	want.Mod(want, oracleN)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("scalar mul(%v, %v): got %v want %v", ba, bb, got.big(), want)
+	}
+	got.Negate(a)
+	want.Neg(ba)
+	want.Mod(want, oracleN)
+	if got.big().Cmp(want) != 0 {
+		t.Fatalf("scalar negate(%v): got %v want %v", ba, got.big(), want)
+	}
+	if ba.Sign() != 0 {
+		got.Inverse(a)
+		want.ModInverse(ba, oracleN)
+		if got.big().Cmp(want) != 0 {
+			t.Fatalf("scalar inverse(%v): got %v want %v", ba, got.big(), want)
+		}
+	}
+	if gotHigh, wantHigh := a.IsHigh(), ba.Cmp(oracleHalfN) > 0; gotHigh != wantHigh {
+		t.Fatalf("IsHigh(%v) = %v, oracle %v", ba, gotHigh, wantHigh)
+	}
+}
+
+// TestScalarReduceDifferential drives SetBytes32 (the mod-n boundary
+// reduction) across the overflow edge.
+func TestScalarReduceDifferential(t *testing.T) {
+	edges := []*big.Int{
+		new(big.Int).Sub(oracleN, big.NewInt(1)),
+		new(big.Int).Set(oracleN),
+		new(big.Int).Add(oracleN, big.NewInt(1)),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1)),
+	}
+	for _, e := range edges {
+		var buf [32]byte
+		e.FillBytes(buf[:])
+		var s Scalar
+		overflow := s.SetBytes32(&buf)
+		if want := e.Cmp(oracleN) >= 0; overflow != want {
+			t.Errorf("overflow(%v) = %v, want %v", e, overflow, want)
+		}
+		want := new(big.Int).Mod(e, oracleN)
+		if s.big().Cmp(want) != 0 {
+			t.Errorf("reduce(%v) = %v, want %v", e, s.big(), want)
+		}
+	}
+}
+
+func TestScalarBaseMultDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		kb := randBytes32(rng)
+		var k Scalar
+		k.SetBytes32(&kb)
+		bk := new(big.Int).Mod(new(big.Int).SetBytes(kb[:]), oracleN)
+		pub, ok := ScalarBaseMult(k)
+		wx, wy := oracleScalarBaseMult(bk)
+		if ok != (wx != nil) {
+			t.Fatalf("k=%v: infinity mismatch", bk)
+		}
+		if ok && (pub.X.big().Cmp(wx) != 0 || pub.Y.big().Cmp(wy) != 0) {
+			t.Fatalf("k=%v: base mult mismatch", bk)
+		}
+	}
+}
+
+func TestScalarMultDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// A few random points Q = d*G, then k*Q vs the oracle ladder.
+	for i := 0; i < 12; i++ {
+		db, kb := randBytes32(rng), randBytes32(rng)
+		var d, k Scalar
+		d.SetBytes32(&db)
+		k.SetBytes32(&kb)
+		if d.IsZero() || k.IsZero() {
+			continue
+		}
+		q, _ := ScalarBaseMult(d)
+		var p jacobianPoint
+		aq := affinePoint{x: q.X, y: q.Y}
+		scalarMult(&p, &k, &aq)
+		var got affinePoint
+		okGot := p.toAffine(&got)
+		wq := newOracleJacobian(q.X.big(), q.Y.big())
+		wp := wq.scalarMult(k.big())
+		wx, wy := wp.affine()
+		if okGot != (wx != nil) {
+			t.Fatalf("scalarMult infinity mismatch")
+		}
+		if okGot && (got.x.big().Cmp(wx) != 0 || got.y.big().Cmp(wy) != 0) {
+			t.Fatalf("scalarMult mismatch")
+		}
+	}
+}
+
+func TestDoubleScalarMultDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		db, ab, bb := randBytes32(rng), randBytes32(rng), randBytes32(rng)
+		var d, u1, u2 Scalar
+		d.SetBytes32(&db)
+		u1.SetBytes32(&ab)
+		u2.SetBytes32(&bb)
+		if d.IsZero() {
+			continue
+		}
+		q, _ := ScalarBaseMult(d)
+		aq := affinePoint{x: q.X, y: q.Y}
+		var p jacobianPoint
+		doubleScalarMult(&p, &u1, &u2, &aq)
+		var got affinePoint
+		okGot := p.toAffine(&got)
+		wsum := oracleScalarMultPair(
+			u1.big(), newOracleJacobian(oracleGx, oracleGy),
+			u2.big(), newOracleJacobian(q.X.big(), q.Y.big()))
+		wx, wy := wsum.affine()
+		if okGot != (wx != nil) {
+			t.Fatalf("doubleScalarMult infinity mismatch")
+		}
+		if okGot && (got.x.big().Cmp(wx) != 0 || got.y.big().Cmp(wy) != 0) {
+			t.Fatalf("doubleScalarMult mismatch")
+		}
+	}
+}
+
+// TestSignMatchesOracle: the rewrite must produce byte-identical
+// deterministic signatures (same RFC 6979 nonce, same low-S rule, same
+// recovery id) — anything else would change every signed transaction
+// fixture in the repository.
+func TestSignMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		kb := randBytes32(rng)
+		var d Scalar
+		if overflow := d.SetBytes32(&kb); overflow || d.IsZero() {
+			continue
+		}
+		key, err := PrivateKeyFromScalar(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash := randBytes32(rng)
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, os, ov, err := oracleSign(d.big(), hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.R.big().Cmp(or) != 0 || sig.S.big().Cmp(os) != 0 || sig.V != ov {
+			t.Fatalf("sign mismatch for key %x hash %x:\n got (%v, %v, %d)\nwant (%v, %v, %d)",
+				kb, hash, sig.R.big(), sig.S.big(), sig.V, or, os, ov)
+		}
+		// And recovery agrees on both implementations.
+		pub, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wx, wy, err := oracleRecover(hash[:], or, os, ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pub.X.big().Cmp(wx) != 0 || pub.Y.big().Cmp(wy) != 0 {
+			t.Fatalf("recover mismatch for key %x", kb)
+		}
+		if !oracleVerify(key.X.big(), key.Y.big(), hash[:], sig.R.big(), sig.S.big()) {
+			t.Fatal("oracle rejects new signature")
+		}
+		if !Verify(&key.PublicKey, hash[:], sig.R, sig.S) {
+			t.Fatal("new implementation rejects own signature")
+		}
+	}
+}
+
+// ---- Edge vectors -------------------------------------------------------
+
+// TestSignEdgeKeys: d = 1 and d = n-1 exercise the table edges of the
+// fixed-base ladder and the negation path of the nonce math.
+func TestSignEdgeKeys(t *testing.T) {
+	nm1 := ScalarFromUint64(1)
+	nm1.Negate(&nm1)
+	for _, d := range []Scalar{ScalarFromUint64(1), nm1} {
+		key, err := PrivateKeyFromScalar(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash := [32]byte{0x5a, 1: 0xa5, 31: 0x01}
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, os, ov, _ := oracleSign(d.big(), hash[:])
+		if sig.R.big().Cmp(or) != 0 || sig.S.big().Cmp(os) != 0 || sig.V != ov {
+			t.Fatalf("edge key %v: sign mismatch", d.big())
+		}
+		if !Verify(&key.PublicKey, hash[:], sig.R, sig.S) {
+			t.Fatalf("edge key %v: verify failed", d.big())
+		}
+		addr, err := RecoverAddress(hash[:], sig.R, sig.S, sig.V)
+		if err != nil || addr != key.EthereumAddress() {
+			t.Fatalf("edge key %v: recover failed (%v)", d.big(), err)
+		}
+	}
+}
+
+// TestScalarBaseMultEdges: k = 1 and k = n-1 must give G and -G.
+func TestScalarBaseMultEdges(t *testing.T) {
+	one, ok := ScalarBaseMult(ScalarFromUint64(1))
+	if !ok || !one.X.Equal(&genG.x) || !one.Y.Equal(&genG.y) {
+		t.Fatal("1*G != G")
+	}
+	nm1 := ScalarFromUint64(1)
+	nm1.Negate(&nm1)
+	neg, ok := ScalarBaseMult(nm1)
+	if !ok {
+		t.Fatal("(n-1)*G is infinity")
+	}
+	var negY FieldElement
+	negY.Negate(&genG.y)
+	if !neg.X.Equal(&genG.x) || !neg.Y.Equal(&negY) {
+		t.Fatal("(n-1)*G != -G")
+	}
+}
+
+// TestHighSNormalization constructs a signature whose raw s is high and
+// checks that Sign flips it (and the recovery id) exactly like the
+// oracle's homestead rule.
+func TestHighSNormalization(t *testing.T) {
+	// Hunt for a (key, hash) pair whose pre-normalization s is high: sign
+	// with the oracle and check that s == n - s_raw occurs; the paired
+	// recid flip is already covered by TestSignMatchesOracle, so here we
+	// verify the exported invariant on a large sample instead.
+	rng := rand.New(rand.NewSource(8))
+	flipped := 0
+	for i := 0; i < 64; i++ {
+		kb := randBytes32(rng)
+		var d Scalar
+		if overflow := d.SetBytes32(&kb); overflow || d.IsZero() {
+			continue
+		}
+		key, _ := PrivateKeyFromScalar(d)
+		hash := randBytes32(rng)
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.S.IsHigh() {
+			t.Fatalf("Sign produced high S")
+		}
+		// Reconstruct the unnormalized s' = n - s: either s or s' was the
+		// raw value; if s' verifies too, normalization genuinely chose.
+		var sHigh Scalar
+		sHigh.Negate(&sig.S)
+		if sHigh.IsHigh() {
+			flipped++
+			// The high-S twin must be REJECTED by recovery-based auth:
+			// flipping s flips the recovered key's parity, so the address
+			// must differ unless v is flipped too.
+			addrLow, err := RecoverAddress(hash[:], sig.R, sig.S, sig.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrHigh, err := RecoverAddress(hash[:], sig.R, sHigh, sig.V)
+			if err == nil && addrHigh == addrLow {
+				t.Fatal("high-S twin recovers the same address under the same v")
+			}
+			addrHighFlipped, err := RecoverAddress(hash[:], sig.R, sHigh, sig.V^1)
+			if err != nil || addrHighFlipped != addrLow {
+				t.Fatal("high-S twin with flipped v does not recover the signer")
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("sample contained no high-S twins — test is vacuous")
+	}
+}
+
+// TestRecoverXWrap exercises the v&2 path: an R point whose x coordinate
+// lies in [n, p) reduces to r = x - n, and recovery must add n back.
+// Valid wrapped points are astronomically rare in real signatures (the
+// gap p - n is ~2^129), so the vector is constructed directly: find a
+// small r with r + n on the curve, pick s, and check both implementations
+// recover the same key.
+func TestRecoverXWrap(t *testing.T) {
+	found := false
+	for rv := uint64(1); rv < 64 && !found; rv++ {
+		r := ScalarFromUint64(rv)
+		var x FieldElement
+		if !xPlusN(&x, &r) {
+			continue
+		}
+		var y2, y FieldElement
+		y2.Square(&x)
+		y2.Mul(&y2, &x)
+		y2.Add(&y2, &curveB)
+		if !y.Sqrt(&y2) {
+			continue
+		}
+		found = true
+		s := ScalarFromUint64(7)
+		hash := [32]byte{31: 9}
+		for v := byte(2); v <= 3; v++ {
+			pub, err := RecoverPubkey(hash[:], r, s, v)
+			wx, wy, werr := oracleRecover(hash[:], r.big(), s.big(), v)
+			if (err == nil) != (werr == nil) {
+				t.Fatalf("v=%d: error mismatch: %v vs %v", v, err, werr)
+			}
+			if err != nil {
+				continue
+			}
+			if pub.X.big().Cmp(wx) != 0 || pub.Y.big().Cmp(wy) != 0 {
+				t.Fatalf("v=%d: wrapped recovery mismatch", v)
+			}
+			// The recovered key, by ECDSA's recovery property, verifies
+			// the signature (r, s).
+			if !Verify(&pub, hash[:], r, s) {
+				t.Fatalf("v=%d: recovered key does not verify", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no wrapped x candidate under 64 — unexpected for secp256k1")
+	}
+	// And a wrapped candidate that falls off the field must be rejected:
+	// r close to n makes r + n >= p impossible here (n+n > p), covered by
+	// the carry branch of xPlusN.
+	nm1 := ScalarFromUint64(1)
+	nm1.Negate(&nm1)
+	if _, err := RecoverPubkey(make([]byte, 32), nm1, ScalarFromUint64(1), 2); err == nil {
+		t.Fatal("x = (n-1) + n >= p accepted")
+	}
+}
+
+// TestRecoverInfinity: s*R = z*G makes the recovered point infinity; the
+// implementation must error, not crash. Constructed via R = kG, z = s*k.
+func TestRecoverInfinity(t *testing.T) {
+	k := ScalarFromUint64(41)
+	s := ScalarFromUint64(13)
+	rq, _ := ScalarBaseMult(k)
+	rxb := rq.X.Bytes32()
+	var r Scalar
+	r.SetBytes32(&rxb)
+	var z Scalar
+	z.Mul(&s, &k)
+	// z is the "hash": recovery computes Q = r^-1 (s*R - z*G) = infinity.
+	zb := z.Bytes32()
+	v := byte(0)
+	if rq.Y.IsOdd() {
+		v = 1
+	}
+	_, err := RecoverPubkey(zb[:], r, s, v)
+	if err == nil {
+		t.Fatal("recovered a key from a point at infinity")
+	}
+	_, _, werr := oracleRecover(zb[:], r.big(), s.big(), v)
+	if werr == nil {
+		t.Fatal("oracle disagrees: accepted infinity")
+	}
+}
+
+// ---- Fuzz targets -------------------------------------------------------
+
+func fuzzPair(a, b []byte) (x, y [32]byte) {
+	copy(x[:], a)
+	copy(y[:], b)
+	return
+}
+
+// FuzzFieldDiff cross-checks field mul/add/sub/inv/sqrt against math/big
+// on arbitrary byte inputs.
+func FuzzFieldDiff(f *testing.F) {
+	f.Add([]byte{1}, []byte{2})
+	f.Add(make([]byte, 32), make([]byte, 32))
+	pm1 := new(big.Int).Sub(oracleP, big.NewInt(1)).Bytes()
+	f.Add(pm1, pm1)
+	f.Fuzz(func(t *testing.T, araw, braw []byte) {
+		ab, bb := fuzzPair(araw, braw)
+		var a, b FieldElement
+		a.SetBytes32(&ab)
+		b.SetBytes32(&bb)
+		ba := new(big.Int).Mod(new(big.Int).SetBytes(ab[:]), oracleP)
+		bb2 := new(big.Int).Mod(new(big.Int).SetBytes(bb[:]), oracleP)
+		checkFieldOps(t, &a, &b, ba, bb2)
+	})
+}
+
+// FuzzScalarDiff cross-checks scalar arithmetic against math/big.
+func FuzzScalarDiff(f *testing.F) {
+	f.Add([]byte{3}, []byte{5})
+	nm1 := new(big.Int).Sub(oracleN, big.NewInt(1)).Bytes()
+	f.Add(nm1, nm1)
+	f.Fuzz(func(t *testing.T, araw, braw []byte) {
+		ab, bb := fuzzPair(araw, braw)
+		var a, b Scalar
+		a.SetBytes32(&ab)
+		b.SetBytes32(&bb)
+		ba := new(big.Int).Mod(new(big.Int).SetBytes(ab[:]), oracleN)
+		bb2 := new(big.Int).Mod(new(big.Int).SetBytes(bb[:]), oracleN)
+		checkScalarOps(t, &a, &b, ba, bb2)
+	})
+}
+
+// FuzzSignRecoverDiff signs with both implementations and requires
+// byte-identical signatures plus agreeing recovery.
+func FuzzSignRecoverDiff(f *testing.F) {
+	f.Add([]byte{0xBE, 0xEF}, []byte{0xAA})
+	f.Fuzz(func(t *testing.T, keyRaw, hashRaw []byte) {
+		kb, hash := fuzzPair(keyRaw, hashRaw)
+		var d Scalar
+		if overflow := d.SetBytes32(&kb); overflow || d.IsZero() {
+			return
+		}
+		key, err := PrivateKeyFromScalar(d)
+		if err != nil {
+			return
+		}
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, os, ov, err := oracleSign(d.big(), hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.R.big().Cmp(or) != 0 || sig.S.big().Cmp(os) != 0 || sig.V != ov {
+			t.Fatalf("sign mismatch: got (%v,%v,%d) want (%v,%v,%d)",
+				sig.R.big(), sig.S.big(), sig.V, or, os, ov)
+		}
+		pub, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pub.Equal(&key.PublicKey) {
+			t.Fatal("recovered wrong key")
+		}
+		if !Verify(&key.PublicKey, hash[:], sig.R, sig.S) {
+			t.Fatal("verify rejected own signature")
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package secp256k1
+
+// The math/big implementation this package used before the fixed-limb
+// rewrite, retained verbatim (modulo renames) as a test-only reference
+// oracle. The differential tests and fuzz targets check every field,
+// scalar, and curve operation of the limb implementation against these
+// functions; the Benchmark*Oracle benchmarks document what the rewrite
+// replaced. None of this code is linked into non-test builds, which keeps
+// math/big out of the package proper.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+var (
+	oracleP, _  = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
+	oracleN, _  = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+	oracleGx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
+	oracleGy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
+	oracleB     = big.NewInt(7)
+
+	oracleHalfN = new(big.Int).Rsh(oracleN, 1)
+
+	oraclePC      = new(big.Int).SetUint64(1<<32 + 977)
+	oracleMask256 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+)
+
+type oracleJacobian struct {
+	x, y, z *big.Int
+}
+
+func newOracleJacobian(x, y *big.Int) *oracleJacobian {
+	return &oracleJacobian{new(big.Int).Set(x), new(big.Int).Set(y), big.NewInt(1)}
+}
+
+func oracleInfinity() *oracleJacobian {
+	return &oracleJacobian{new(big.Int), new(big.Int), new(big.Int)}
+}
+
+func (p *oracleJacobian) isInfinity() bool { return p.z.Sign() == 0 }
+
+func oracleReduce(v, scratch *big.Int) *big.Int {
+	neg := v.Sign() < 0
+	if neg {
+		v.Neg(v)
+	}
+	for v.BitLen() > 256 {
+		hi := scratch.Rsh(v, 256)
+		v.And(v, oracleMask256)
+		hi.Mul(hi, oraclePC)
+		v.Add(v, hi)
+	}
+	for v.Cmp(oracleP) >= 0 {
+		v.Sub(v, oracleP)
+	}
+	if neg && v.Sign() != 0 {
+		v.Sub(oracleP, v)
+	}
+	return v
+}
+
+func oracleMod(v *big.Int) *big.Int { return oracleReduce(v, new(big.Int)) }
+
+type oracleOps struct {
+	a, b, c, e, f, h, i, j, r, v, t1, t2, t3, hi big.Int
+}
+
+func (o *oracleOps) mod(v *big.Int) *big.Int { return oracleReduce(v, &o.hi) }
+
+func (o *oracleOps) double(p *oracleJacobian) {
+	if p.isInfinity() || p.y.Sign() == 0 {
+		p.z.SetInt64(0)
+		return
+	}
+	a := o.mod(o.a.Mul(p.x, p.x))
+	b := o.mod(o.b.Mul(p.y, p.y))
+	c := o.mod(o.c.Mul(b, b))
+	t := o.t1.Add(p.x, b)
+	t.Mul(t, t)
+	t.Sub(t, a)
+	t.Sub(t, c)
+	d := o.mod(t.Lsh(t, 1))
+	e := o.e.Lsh(a, 1)
+	e.Add(e, a)
+	o.mod(e)
+	f := o.mod(o.f.Mul(e, e))
+
+	x3 := o.t2.Lsh(d, 1)
+	x3.Sub(f, x3)
+	o.mod(x3)
+	y3 := o.t3.Sub(d, x3)
+	o.mod(y3)
+	y3.Mul(e, y3)
+	c.Lsh(c, 3)
+	y3.Sub(y3, c)
+	o.mod(y3)
+	z3 := p.z.Mul(p.y, p.z)
+	z3.Lsh(z3, 1)
+	o.mod(z3)
+	p.x.Set(x3)
+	p.y.Set(y3)
+}
+
+func (o *oracleOps) add(p, q *oracleJacobian) {
+	if q.isInfinity() {
+		return
+	}
+	if p.isInfinity() {
+		p.x.Set(q.x)
+		p.y.Set(q.y)
+		p.z.Set(q.z)
+		return
+	}
+	z1z1 := o.mod(o.a.Mul(p.z, p.z))
+	z2z2 := o.mod(o.b.Mul(q.z, q.z))
+	u1 := o.mod(o.c.Mul(p.x, z2z2))
+	u2 := o.mod(o.t1.Mul(q.x, z1z1))
+	s1 := o.e.Mul(p.y, q.z)
+	s1.Mul(s1, z2z2)
+	o.mod(s1)
+	s2 := o.f.Mul(q.y, p.z)
+	s2.Mul(s2, z1z1)
+	o.mod(s2)
+	if u1.Cmp(u2) == 0 {
+		if s1.Cmp(s2) != 0 {
+			p.z.SetInt64(0)
+			return
+		}
+		o.double(p)
+		return
+	}
+	h := o.h.Sub(u2, u1)
+	o.mod(h)
+	i := o.i.Lsh(h, 1)
+	i.Mul(i, i)
+	o.mod(i)
+	j := o.mod(o.j.Mul(h, i))
+	r := o.r.Sub(s2, s1)
+	o.mod(r)
+	r.Lsh(r, 1)
+	o.mod(r)
+	v := o.mod(o.v.Mul(u1, i))
+
+	x3 := o.t1.Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, o.t2.Lsh(v, 1))
+	o.mod(x3)
+
+	y3 := o.t2.Sub(v, x3)
+	o.mod(y3)
+	y3.Mul(r, y3)
+	t := o.t3.Mul(s1, j)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	o.mod(y3)
+
+	z3 := p.z.Add(p.z, q.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	o.mod(z3)
+	z3.Mul(z3, h)
+	o.mod(z3)
+	p.x.Set(x3)
+	p.y.Set(y3)
+}
+
+func (p *oracleJacobian) scalarMult(k *big.Int) *oracleJacobian {
+	var o oracleOps
+	acc := oracleInfinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		o.double(acc)
+		if k.Bit(i) == 1 {
+			o.add(acc, p)
+		}
+	}
+	return acc
+}
+
+func oracleScalarMultPair(k1 *big.Int, p1 *oracleJacobian, k2 *big.Int, p2 *oracleJacobian) *oracleJacobian {
+	var o oracleOps
+	both := oracleInfinity()
+	o.add(both, p1)
+	o.add(both, p2)
+	acc := oracleInfinity()
+	n := k1.BitLen()
+	if m := k2.BitLen(); m > n {
+		n = m
+	}
+	for i := n - 1; i >= 0; i-- {
+		o.double(acc)
+		b1, b2 := k1.Bit(i), k2.Bit(i)
+		switch {
+		case b1 == 1 && b2 == 1:
+			o.add(acc, both)
+		case b1 == 1:
+			o.add(acc, p1)
+		case b2 == 1:
+			o.add(acc, p2)
+		}
+	}
+	return acc
+}
+
+func (p *oracleJacobian) affine() (*big.Int, *big.Int) {
+	if p.isInfinity() {
+		return nil, nil
+	}
+	zinv := new(big.Int).ModInverse(p.z, oracleP)
+	zinv2 := oracleMod(new(big.Int).Mul(zinv, zinv))
+	x := oracleMod(new(big.Int).Mul(p.x, zinv2))
+	y := oracleMod(new(big.Int).Mul(new(big.Int).Mul(p.y, zinv2), zinv))
+	return x, y
+}
+
+func oracleIsOnCurve(x, y *big.Int) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	if x.Sign() < 0 || x.Cmp(oracleP) >= 0 || y.Sign() < 0 || y.Cmp(oracleP) >= 0 {
+		return false
+	}
+	lhs := oracleMod(new(big.Int).Mul(y, y))
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, oracleB)
+	oracleMod(rhs)
+	return lhs.Cmp(rhs) == 0
+}
+
+func oracleScalarBaseMult(k *big.Int) (*big.Int, *big.Int) {
+	return newOracleJacobian(oracleGx, oracleGy).scalarMult(new(big.Int).Mod(k, oracleN)).affine()
+}
+
+func oracleLeftPad32(b []byte) []byte {
+	if len(b) >= 32 {
+		return b[len(b)-32:]
+	}
+	out := make([]byte, 32)
+	copy(out[32-len(b):], b)
+	return out
+}
+
+func oracleRFC6979Nonce(priv *big.Int, hash []byte) *big.Int {
+	x := oracleLeftPad32(priv.Bytes())
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, oracleN)
+	h1 := oracleLeftPad32(z.Bytes())
+
+	V := make([]byte, 32)
+	K := make([]byte, 32)
+	for i := range V {
+		V[i] = 0x01
+	}
+	hm := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+	K = hm(K, V, []byte{0x00}, x, h1)
+	V = hm(K, V)
+	K = hm(K, V, []byte{0x01}, x, h1)
+	V = hm(K, V)
+	for {
+		V = hm(K, V)
+		k := new(big.Int).SetBytes(V)
+		if k.Sign() > 0 && k.Cmp(oracleN) < 0 {
+			return k
+		}
+		K = hm(K, V, []byte{0x00})
+		V = hm(K, V)
+	}
+}
+
+// oracleSign is the old big.Int Sign: deterministic RFC 6979 signature
+// with low-S normalization, returning (r, s, recid).
+func oracleSign(priv *big.Int, hash []byte) (*big.Int, *big.Int, byte, error) {
+	if len(hash) != 32 {
+		return nil, nil, 0, errors.New("oracle: hash must be 32 bytes")
+	}
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, oracleN)
+
+	extra := []byte(nil)
+	for attempt := 0; ; attempt++ {
+		k := oracleRFC6979Nonce(priv, hash)
+		if extra != nil {
+			k.Add(k, big.NewInt(int64(attempt)))
+			k.Mod(k, oracleN)
+			if k.Sign() == 0 {
+				continue
+			}
+		}
+		rp := newOracleJacobian(oracleGx, oracleGy).scalarMult(k)
+		rx, ry := rp.affine()
+		if rx == nil {
+			extra = []byte{1}
+			continue
+		}
+		r := new(big.Int).Mod(rx, oracleN)
+		if r.Sign() == 0 {
+			extra = []byte{1}
+			continue
+		}
+		recid := byte(ry.Bit(0))
+		if rx.Cmp(oracleN) >= 0 {
+			recid |= 2
+		}
+		kinv := new(big.Int).ModInverse(k, oracleN)
+		s := new(big.Int).Mul(r, priv)
+		s.Add(s, z)
+		s.Mul(s, kinv)
+		s.Mod(s, oracleN)
+		if s.Sign() == 0 {
+			extra = []byte{1}
+			continue
+		}
+		if s.Cmp(oracleHalfN) > 0 {
+			s.Sub(oracleN, s)
+			recid ^= 1
+		}
+		return r, s, recid, nil
+	}
+}
+
+// oracleVerify is the old big.Int Verify.
+func oracleVerify(pubX, pubY *big.Int, hash []byte, r, s *big.Int) bool {
+	if len(hash) != 32 || !oracleIsOnCurve(pubX, pubY) {
+		return false
+	}
+	if r.Sign() <= 0 || r.Cmp(oracleN) >= 0 || s.Sign() <= 0 || s.Cmp(oracleN) >= 0 {
+		return false
+	}
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, oracleN)
+	w := new(big.Int).ModInverse(s, oracleN)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, oracleN)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, oracleN)
+	sum := oracleScalarMultPair(u1, newOracleJacobian(oracleGx, oracleGy), u2, newOracleJacobian(pubX, pubY))
+	x, _ := sum.affine()
+	if x == nil {
+		return false
+	}
+	x.Mod(x, oracleN)
+	return x.Cmp(r) == 0
+}
+
+// oracleRecover is the old big.Int RecoverPubkey.
+func oracleRecover(hash []byte, r, s *big.Int, v byte) (*big.Int, *big.Int, error) {
+	if len(hash) != 32 {
+		return nil, nil, errors.New("oracle: hash must be 32 bytes")
+	}
+	if v > 3 {
+		return nil, nil, errors.New("oracle: invalid recovery id")
+	}
+	if r.Sign() <= 0 || r.Cmp(oracleN) >= 0 || s.Sign() <= 0 || s.Cmp(oracleN) >= 0 {
+		return nil, nil, errors.New("oracle: r/s out of range")
+	}
+	x := new(big.Int).Set(r)
+	if v&2 != 0 {
+		x.Add(x, oracleN)
+	}
+	if x.Cmp(oracleP) >= 0 {
+		return nil, nil, errors.New("oracle: invalid x candidate")
+	}
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, oracleB)
+	oracleMod(y2)
+	e := new(big.Int).Add(oracleP, big.NewInt(1))
+	e.Rsh(e, 2)
+	y := new(big.Int).Exp(y2, e, oracleP)
+	if oracleMod(new(big.Int).Mul(y, y)).Cmp(y2) != 0 {
+		return nil, nil, errors.New("oracle: x is not on the curve")
+	}
+	if y.Bit(0) != uint(v&1) {
+		y.Sub(oracleP, y)
+	}
+	z := new(big.Int).SetBytes(hash)
+	z.Mod(z, oracleN)
+	rinv := new(big.Int).ModInverse(r, oracleN)
+	u1 := new(big.Int).Mul(z, rinv)
+	u1.Mod(u1, oracleN)
+	u1.Sub(oracleN, u1)
+	u2 := new(big.Int).Mul(s, rinv)
+	u2.Mod(u2, oracleN)
+
+	qx, qy := oracleScalarMultPair(u1, newOracleJacobian(oracleGx, oracleGy), u2, newOracleJacobian(x, y)).affine()
+	if qx == nil {
+		return nil, nil, errors.New("oracle: recovered point at infinity")
+	}
+	if !oracleIsOnCurve(qx, qy) {
+		return nil, nil, errors.New("oracle: recovered point not on curve")
+	}
+	return qx, qy, nil
+}

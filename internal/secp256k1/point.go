@@ -1,0 +1,402 @@
+package secp256k1
+
+import "sync"
+
+// Jacobian projective point arithmetic (a = 0 short Weierstrass) over
+// FieldElement, plus the two multiplication strategies the ECDSA paths
+// need:
+//
+//   - scalarBaseMult: a fixed-base windowed table for G — 64 4-bit windows
+//     of precomputed affine multiples, so k*G is ~64 mixed additions and
+//     ZERO doublings.
+//   - doubleScalarMult: Shamir/wNAF interleaving for u1*G + u2*Q — one
+//     shared doubling chain, G digits served from a precomputed width-8
+//     wNAF table of affine odd multiples, Q digits from a runtime width-5
+//     table. This is the shape of every verification and recovery.
+//
+// The tables are built once, lazily, behind a sync.Once (~100KB, a few
+// milliseconds); every subsequent operation is allocation-free.
+
+// affinePoint is a point in affine coordinates. The zero value is only
+// used inside tables, never as a point at infinity.
+type affinePoint struct {
+	x, y FieldElement
+}
+
+// jacobianPoint is (X/Z^2, Y/Z^3); the point at infinity has Z == 0.
+type jacobianPoint struct {
+	x, y, z FieldElement
+}
+
+func (p *jacobianPoint) isInfinity() bool { return p.z.IsZero() }
+
+func (p *jacobianPoint) setInfinity() {
+	p.x = FieldElement{}
+	p.y = FieldElement{}
+	p.z = FieldElement{}
+}
+
+func (p *jacobianPoint) setAffine(a *affinePoint) {
+	p.x = a.x
+	p.y = a.y
+	p.z.SetUint64(1)
+}
+
+// double sets p = 2p in place (dbl-2009-l, a = 0).
+func (p *jacobianPoint) double() {
+	if p.isInfinity() || p.y.IsZero() {
+		p.setInfinity()
+		return
+	}
+	var a, b, c, d, e, f, t FieldElement
+	a.Square(&p.x)  // A = X^2
+	b.Square(&p.y)  // B = Y^2
+	c.Square(&b)    // C = B^2
+	t.Add(&p.x, &b) // X + B
+	t.Square(&t)    // (X+B)^2
+	t.Sub(&t, &a)
+	t.Sub(&t, &c)
+	d.MulInt(&t, 2) // D = 2((X+B)^2 - A - C)
+	e.MulInt(&a, 3) // E = 3A
+	f.Square(&e)    // F = E^2
+	var x3, y3, z3 FieldElement
+	x3.MulInt(&d, 2)
+	x3.Sub(&f, &x3) // X3 = F - 2D
+	y3.Sub(&d, &x3)
+	y3.Mul(&e, &y3)
+	c.MulInt(&c, 8)
+	y3.Sub(&y3, &c) // Y3 = E(D - X3) - 8C
+	z3.Mul(&p.y, &p.z)
+	z3.MulInt(&z3, 2) // Z3 = 2YZ
+	p.x = x3
+	p.y = y3
+	p.z = z3
+}
+
+// add sets p = p + q (general Jacobian addition, add-2007-bl). p and q may
+// not alias.
+func (p *jacobianPoint) add(q *jacobianPoint) {
+	if q.isInfinity() {
+		return
+	}
+	if p.isInfinity() {
+		*p = *q
+		return
+	}
+	var z1z1, z2z2, u1, u2, s1, s2 FieldElement
+	z1z1.Square(&p.z)
+	z2z2.Square(&q.z)
+	u1.Mul(&p.x, &z2z2)
+	u2.Mul(&q.x, &z1z1)
+	s1.Mul(&p.y, &q.z)
+	s1.Mul(&s1, &z2z2)
+	s2.Mul(&q.y, &p.z)
+	s2.Mul(&s2, &z1z1)
+	if u1.Equal(&u2) {
+		if !s1.Equal(&s2) {
+			p.setInfinity()
+			return
+		}
+		p.double()
+		return
+	}
+	var h, i, j, r, v FieldElement
+	h.Sub(&u2, &u1)
+	i.MulInt(&h, 2)
+	i.Square(&i)
+	j.Mul(&h, &i)
+	r.Sub(&s2, &s1)
+	r.MulInt(&r, 2)
+	v.Mul(&u1, &i)
+	var x3, y3, z3, t FieldElement
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	t.MulInt(&v, 2)
+	x3.Sub(&x3, &t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&r, &y3)
+	t.Mul(&s1, &j)
+	t.MulInt(&t, 2)
+	y3.Sub(&y3, &t)
+	z3.Add(&p.z, &q.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.Mul(&z3, &h)
+	p.x = x3
+	p.y = y3
+	p.z = z3
+}
+
+// addAffine sets p = p + q for an affine q (mixed addition, madd-2007-bl:
+// Z2 = 1 saves four field multiplications per addition, which is why the
+// precomputed tables are stored affine).
+func (p *jacobianPoint) addAffine(q *affinePoint) {
+	if p.isInfinity() {
+		p.setAffine(q)
+		return
+	}
+	var z1z1, u2, s2 FieldElement
+	z1z1.Square(&p.z)
+	u2.Mul(&q.x, &z1z1)
+	s2.Mul(&q.y, &p.z)
+	s2.Mul(&s2, &z1z1)
+	if u2.Equal(&p.x) {
+		if !s2.Equal(&p.y) {
+			p.setInfinity()
+			return
+		}
+		p.double()
+		return
+	}
+	var h, hh, i, j, r, v FieldElement
+	h.Sub(&u2, &p.x)
+	hh.Square(&h)
+	i.MulInt(&hh, 4)
+	j.Mul(&h, &i)
+	r.Sub(&s2, &p.y)
+	r.MulInt(&r, 2)
+	v.Mul(&p.x, &i)
+	var x3, y3, z3, t FieldElement
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	t.MulInt(&v, 2)
+	x3.Sub(&x3, &t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&r, &y3)
+	t.Mul(&p.y, &j)
+	t.MulInt(&t, 2)
+	y3.Sub(&y3, &t)
+	z3.Add(&p.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+	p.x = x3
+	p.y = y3
+	p.z = z3
+}
+
+// toAffine converts p to affine coordinates (one field inversion).
+// Returns false for the point at infinity.
+func (p *jacobianPoint) toAffine(out *affinePoint) bool {
+	if p.isInfinity() {
+		return false
+	}
+	var zinv, zinv2 FieldElement
+	zinv.Inverse(&p.z)
+	zinv2.Square(&zinv)
+	out.x.Mul(&p.x, &zinv2)
+	out.y.Mul(&p.y, &zinv2)
+	out.y.Mul(&out.y, &zinv)
+	return true
+}
+
+// Generator coordinates.
+var genG = affinePoint{
+	x: feFromHexConst(0x79BE667EF9DCBBAC, 0x55A06295CE870B07, 0x029BFCDB2DCE28D9, 0x59F2815B16F81798),
+	y: feFromHexConst(0x483ADA7726A3C465, 0x5DA4FBFC0E1108A8, 0xFD17B448A6855419, 0x9C47D08FFB10D4B8),
+}
+
+// feFromHexConst builds a field element from four big-endian 64-bit words
+// (most significant first) — a readable spelling for curve constants.
+func feFromHexConst(w3, w2, w1, w0 uint64) FieldElement {
+	return FieldElement{n: [4]uint64{w0, w1, w2, w3}}
+}
+
+// curveB is the constant 7 of y^2 = x^3 + 7.
+var curveB = FieldElement{n: [4]uint64{7, 0, 0, 0}}
+
+// isOnCurveFE reports whether (x, y) satisfies the curve equation.
+func isOnCurveFE(x, y *FieldElement) bool {
+	var lhs, rhs FieldElement
+	lhs.Square(y)
+	rhs.Square(x)
+	rhs.Mul(&rhs, x)
+	rhs.Add(&rhs, &curveB)
+	return lhs.Equal(&rhs)
+}
+
+const (
+	combWindows  = 64                    // 4-bit windows covering 256 bits
+	combTeeth    = 15                    // nonzero digits per window
+	gWnafWidth   = 8                     // wNAF width for the static G table
+	gWnafEntries = 1 << (gWnafWidth - 2) // odd multiples 1G, 3G, ..., 127G
+	qWnafWidth   = 5                     // wNAF width for runtime points
+	qWnafEntries = 1 << (qWnafWidth - 2) // odd multiples 1Q, 3Q, ..., 15Q
+)
+
+var (
+	tableOnce sync.Once
+	// combTable[w][d-1] = d * 16^w * G, affine.
+	combTable [combWindows][combTeeth]affinePoint
+	// gWnafTable[i] = (2i+1) * G, affine.
+	gWnafTable [gWnafEntries]affinePoint
+)
+
+// initTables builds both precomputed G tables: Jacobian accumulation
+// first, then one batched inversion normalizes every entry to affine
+// (Montgomery's trick: k points cost one inversion plus 3(k-1)
+// multiplications).
+func initTables() {
+	pts := make([]jacobianPoint, 0, combWindows*combTeeth+gWnafEntries)
+	// Comb: window w holds 1..15 times 16^w G.
+	var base jacobianPoint
+	base.setAffine(&genG)
+	for w := 0; w < combWindows; w++ {
+		cur := base
+		pts = append(pts, cur)
+		for d := 2; d <= combTeeth; d++ {
+			cur.add(&base)
+			pts = append(pts, cur)
+		}
+		if w < combWindows-1 {
+			base.double()
+			base.double()
+			base.double()
+			base.double()
+		}
+	}
+	// wNAF odd multiples: 1G, 3G, ..., (2^(w-1)-1)G.
+	var g2 jacobianPoint
+	g2.setAffine(&genG)
+	g2.double()
+	var odd jacobianPoint
+	odd.setAffine(&genG)
+	pts = append(pts, odd)
+	for i := 1; i < gWnafEntries; i++ {
+		odd.add(&g2)
+		pts = append(pts, odd)
+	}
+	flat := make([]affinePoint, len(pts))
+	batchToAffine(pts, flat)
+	idx := 0
+	for w := 0; w < combWindows; w++ {
+		for d := 0; d < combTeeth; d++ {
+			combTable[w][d] = flat[idx]
+			idx++
+		}
+	}
+	for i := 0; i < gWnafEntries; i++ {
+		gWnafTable[i] = flat[idx]
+		idx++
+	}
+}
+
+// batchToAffine converts points (none at infinity) to affine with a single
+// field inversion.
+func batchToAffine(pts []jacobianPoint, out []affinePoint) {
+	k := len(pts)
+	prefix := make([]FieldElement, k)
+	var acc FieldElement
+	acc.SetUint64(1)
+	for i := 0; i < k; i++ {
+		prefix[i] = acc
+		acc.Mul(&acc, &pts[i].z)
+	}
+	var inv FieldElement
+	inv.Inverse(&acc)
+	for i := k - 1; i >= 0; i-- {
+		var zinv, zinv2 FieldElement
+		zinv.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &pts[i].z)
+		zinv2.Square(&zinv)
+		out[i].x.Mul(&pts[i].x, &zinv2)
+		out[i].y.Mul(&pts[i].y, &zinv2)
+		out[i].y.Mul(&out[i].y, &zinv)
+	}
+}
+
+// scalarBaseMult sets p = k*G using the fixed-base comb table: one mixed
+// addition per nonzero 4-bit window of k, no doublings at all.
+func scalarBaseMult(p *jacobianPoint, k *Scalar) {
+	tableOnce.Do(initTables)
+	p.setInfinity()
+	for limb := 0; limb < 4; limb++ {
+		v := k.n[limb]
+		for nib := 0; nib < 16; nib++ {
+			d := (v >> uint(4*nib)) & 0xF
+			if d != 0 {
+				p.addAffine(&combTable[limb*16+nib][d-1])
+			}
+		}
+	}
+}
+
+// buildQTable fills tab with the odd multiples 1Q, 3Q, ..., 15Q for the
+// width-5 wNAF ladders (Jacobian; converting to affine would cost a
+// second inversion, more than the saved mixed-add muls).
+func buildQTable(tab *[qWnafEntries]jacobianPoint, q *affinePoint) {
+	tab[0].setAffine(q)
+	var q2 jacobianPoint
+	q2.setAffine(q)
+	q2.double()
+	for i := 1; i < qWnafEntries; i++ {
+		tab[i] = tab[i-1]
+		tab[i].add(&q2)
+	}
+}
+
+// addGDigit folds one signed wNAF digit of the static G table into p
+// (mixed addition; negative digits add the y-negated entry).
+func (p *jacobianPoint) addGDigit(d int8) {
+	if d > 0 {
+		p.addAffine(&gWnafTable[d>>1])
+	} else if d < 0 {
+		neg := gWnafTable[(-d)>>1]
+		neg.y.Negate(&neg.y)
+		p.addAffine(&neg)
+	}
+}
+
+// addQDigit folds one signed wNAF digit of a runtime Q table into p.
+func (p *jacobianPoint) addQDigit(tab *[qWnafEntries]jacobianPoint, d int8) {
+	if d > 0 {
+		p.add(&tab[d>>1])
+	} else if d < 0 {
+		neg := tab[(-d)>>1]
+		neg.y.Negate(&neg.y)
+		p.add(&neg)
+	}
+}
+
+// doubleScalarMult sets p = u1*G + u2*Q with one interleaved wNAF ladder:
+// a single doubling chain serves both scalars, G digits come from the
+// static width-8 table, Q digits from a small runtime width-5 table of
+// odd multiples.
+func doubleScalarMult(p *jacobianPoint, u1 *Scalar, u2 *Scalar, q *affinePoint) {
+	tableOnce.Do(initTables)
+	var qTab [qWnafEntries]jacobianPoint
+	buildQTable(&qTab, q)
+	var d1, d2 [257]int8
+	l1 := u1.wnaf(&d1, gWnafWidth)
+	l2 := u2.wnaf(&d2, qWnafWidth)
+	l := l1
+	if l2 > l {
+		l = l2
+	}
+	p.setInfinity()
+	for i := l - 1; i >= 0; i-- {
+		p.double()
+		if i < l1 {
+			p.addGDigit(d1[i])
+		}
+		if i < l2 {
+			p.addQDigit(&qTab, d2[i])
+		}
+	}
+}
+
+// scalarMult sets p = k*q for an arbitrary affine point via width-5 wNAF
+// (used by tests and key tooling; the hot paths use the two entry points
+// above).
+func scalarMult(p *jacobianPoint, k *Scalar, q *affinePoint) {
+	var qTab [qWnafEntries]jacobianPoint
+	buildQTable(&qTab, q)
+	var digits [257]int8
+	l := k.wnaf(&digits, qWnafWidth)
+	p.setInfinity()
+	for i := l - 1; i >= 0; i-- {
+		p.double()
+		p.addQDigit(&qTab, digits[i])
+	}
+}

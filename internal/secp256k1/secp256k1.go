@@ -2,295 +2,73 @@
 // operations Ethereum relies on: deterministic signing (RFC 6979),
 // verification, and public-key recovery (the on-chain ecrecover primitive).
 //
-// The implementation uses math/big field arithmetic with Jacobian
-// projective coordinates. It is NOT constant-time and therefore not
-// hardened against local side-channel attacks; it is intended for protocol
-// research, testing and simulation, which is exactly the role it plays in
-// this repository.
+// The arithmetic is built on fixed-width 4x64-bit limb types — FieldElement
+// (modulo the pseudo-Mersenne prime 2^256 - 2^32 - 977) and Scalar (modulo
+// the group order) — with a precomputed fixed-base table for G, width-8
+// wNAF tables for the verify/recover double multiplication, and Shamir
+// interleaving, so the sign/verify/recover paths never touch a bignum and
+// run allocation-free. The implementation is variable-time and therefore
+// not hardened against local side-channel attacks; it is intended for
+// protocol research, testing and simulation, which is exactly the role it
+// plays in this repository.
 package secp256k1
 
 import (
-	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
+	"math/bits"
 
 	"onoffchain/internal/keccak"
 )
 
-// Curve parameters (SEC 2, version 2.0).
-var (
-	// P is the field prime 2^256 - 2^32 - 977.
-	P, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
-	// N is the group order.
-	N, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
-	// Gx, Gy are the base point coordinates.
-	Gx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
-	Gy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
-	// B is the curve constant in y^2 = x^3 + B.
-	B = big.NewInt(7)
-
-	halfN = new(big.Int).Rsh(N, 1)
-)
-
 // PublicKey is a point on the curve in affine coordinates.
 type PublicKey struct {
-	X, Y *big.Int
+	X, Y FieldElement
 }
 
 // PrivateKey is a secp256k1 private scalar with its public point.
 type PrivateKey struct {
 	PublicKey
-	D *big.Int
+	D Scalar
 }
 
 // Signature is an ECDSA signature with the recovery id V in {0,1,2,3}.
 // Ethereum transports V as 27+recid (pre-EIP-155); helpers below convert.
+// R and S are value types: a Signature embeds no pointers and the zero
+// value is recognizably unsigned (R = S = 0 is never a valid signature).
 type Signature struct {
-	R, S *big.Int
+	R, S Scalar
 	V    byte
 }
 
-// jacobian is a point in Jacobian projective coordinates; the point at
-// infinity has Z == 0.
-type jacobian struct {
-	x, y, z *big.Int
-}
-
-func newJacobian(x, y *big.Int) *jacobian {
-	return &jacobian{new(big.Int).Set(x), new(big.Int).Set(y), big.NewInt(1)}
-}
-
-func infinity() *jacobian {
-	return &jacobian{new(big.Int), new(big.Int), new(big.Int)}
-}
-
-func (p *jacobian) isInfinity() bool { return p.z.Sign() == 0 }
-
-var (
-	// pC is 2^32 + 977, so P = 2^256 - pC: a pseudo-Mersenne prime.
-	pC = new(big.Int).SetUint64(1<<32 + 977)
-	// mask256 selects the low 256 bits.
-	mask256 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
-)
-
-// reduce brings v modulo P in place, using scratch for the high limbs.
-// P is pseudo-Mersenne (2^256 - pC), so instead of a hardware-division Mod
-// we fold the high limbs down with hi*2^256 ≡ hi*pC (mod P) until 256 bits
-// remain, then subtract P at most a few times. Field reduction dominates
-// every curve operation, and this turns each one from a bignum division
-// into a short multiply-add. scratch must not alias v.
-func reduce(v, scratch *big.Int) *big.Int {
-	neg := v.Sign() < 0
-	if neg {
-		v.Neg(v)
-	}
-	for v.BitLen() > 256 {
-		hi := scratch.Rsh(v, 256)
-		v.And(v, mask256)
-		hi.Mul(hi, pC)
-		v.Add(v, hi)
-	}
-	for v.Cmp(P) >= 0 {
-		v.Sub(v, P)
-	}
-	if neg && v.Sign() != 0 {
-		v.Sub(P, v)
-	}
-	return v
-}
-
-// mod reduces v modulo P in place.
-func mod(v *big.Int) *big.Int { return reduce(v, new(big.Int)) }
-
-// curveOps owns the scratch temporaries of the hot point operations, so a
-// whole scalar multiplication ladder runs without per-step allocations
-// (the dominant cost of the pure-big.Int implementation).
-type curveOps struct {
-	a, b, c, e, f, h, i, j, r, v, t1, t2, t3, hi big.Int
-}
-
-// mod reduces v modulo P in place, reusing the context's scratch high limb
-// to stay allocation-free.
-func (o *curveOps) mod(v *big.Int) *big.Int { return reduce(v, &o.hi) }
-
-// double sets p = 2p using the a=0 doubling formulas.
-func (o *curveOps) double(p *jacobian) {
-	if p.isInfinity() || p.y.Sign() == 0 {
-		p.z.SetInt64(0)
-		return
-	}
-	a := o.mod(o.a.Mul(p.x, p.x)) // X^2
-	b := o.mod(o.b.Mul(p.y, p.y)) // Y^2
-	c := o.mod(o.c.Mul(b, b))     // B^2
-	t := o.t1.Add(p.x, b)         // X + B
-	t.Mul(t, t)                   // (X+B)^2
-	t.Sub(t, a)
-	t.Sub(t, c)
-	d := o.mod(t.Lsh(t, 1)) // 2((X+B)^2 - A - C)
-	e := o.e.Lsh(a, 1)
-	e.Add(e, a)
-	o.mod(e)                  // 3A
-	f := o.mod(o.f.Mul(e, e)) // E^2
-
-	x3 := o.t2.Lsh(d, 1)
-	x3.Sub(f, x3)
-	o.mod(x3)
-	y3 := o.t3.Sub(d, x3)
-	o.mod(y3)
-	y3.Mul(e, y3)
-	c.Lsh(c, 3)
-	y3.Sub(y3, c)
-	o.mod(y3)
-	z3 := p.z.Mul(p.y, p.z)
-	z3.Lsh(z3, 1)
-	o.mod(z3)
-	p.x.Set(x3)
-	p.y.Set(y3)
-}
-
-// add sets p = p + q (general Jacobian addition). q is not modified; p and
-// q must not alias.
-func (o *curveOps) add(p, q *jacobian) {
-	if q.isInfinity() {
-		return
-	}
-	if p.isInfinity() {
-		p.x.Set(q.x)
-		p.y.Set(q.y)
-		p.z.Set(q.z)
-		return
-	}
-	z1z1 := o.mod(o.a.Mul(p.z, p.z))
-	z2z2 := o.mod(o.b.Mul(q.z, q.z))
-	u1 := o.mod(o.c.Mul(p.x, z2z2))
-	u2 := o.mod(o.t1.Mul(q.x, z1z1))
-	s1 := o.e.Mul(p.y, q.z)
-	s1.Mul(s1, z2z2)
-	o.mod(s1)
-	s2 := o.f.Mul(q.y, p.z)
-	s2.Mul(s2, z1z1)
-	o.mod(s2)
-	if u1.Cmp(u2) == 0 {
-		if s1.Cmp(s2) != 0 {
-			p.z.SetInt64(0)
-			return
-		}
-		o.double(p)
-		return
-	}
-	h := o.h.Sub(u2, u1)
-	o.mod(h)
-	i := o.i.Lsh(h, 1)
-	i.Mul(i, i)
-	o.mod(i)
-	j := o.mod(o.j.Mul(h, i))
-	r := o.r.Sub(s2, s1)
-	o.mod(r)
-	r.Lsh(r, 1)
-	o.mod(r)
-	v := o.mod(o.v.Mul(u1, i))
-
-	x3 := o.t1.Mul(r, r)
-	x3.Sub(x3, j)
-	x3.Sub(x3, o.t2.Lsh(v, 1))
-	o.mod(x3)
-
-	y3 := o.t2.Sub(v, x3)
-	o.mod(y3)
-	y3.Mul(r, y3)
-	t := o.t3.Mul(s1, j)
-	t.Lsh(t, 1)
-	y3.Sub(y3, t)
-	o.mod(y3)
-
-	z3 := p.z.Add(p.z, q.z)
-	z3.Mul(z3, z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, z2z2)
-	o.mod(z3)
-	z3.Mul(z3, h)
-	o.mod(z3)
-	p.x.Set(x3)
-	p.y.Set(y3)
-}
-
-// scalarMult returns k*p using MSB-first double-and-add.
-func (p *jacobian) scalarMult(k *big.Int) *jacobian {
-	var o curveOps
-	acc := infinity()
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		o.double(acc)
-		if k.Bit(i) == 1 {
-			o.add(acc, p)
-		}
-	}
-	return acc
-}
-
-// scalarMultPair returns k1*p1 + k2*p2 with one shared ladder (Shamir's
-// trick): both scalars walk the same doubling chain, halving the doubles
-// of two separate multiplications. This is the shape of every ECDSA
-// verification and recovery (u1*G + u2*Q).
-func scalarMultPair(k1 *big.Int, p1 *jacobian, k2 *big.Int, p2 *jacobian) *jacobian {
-	var o curveOps
-	both := infinity()
-	o.add(both, p1)
-	o.add(both, p2)
-	acc := infinity()
-	n := k1.BitLen()
-	if m := k2.BitLen(); m > n {
-		n = m
-	}
-	for i := n - 1; i >= 0; i-- {
-		o.double(acc)
-		b1, b2 := k1.Bit(i), k2.Bit(i)
-		switch {
-		case b1 == 1 && b2 == 1:
-			o.add(acc, both)
-		case b1 == 1:
-			o.add(acc, p1)
-		case b2 == 1:
-			o.add(acc, p2)
-		}
-	}
-	return acc
-}
-
-// affine converts to affine coordinates; returns (nil, nil) for infinity.
-func (p *jacobian) affine() (*big.Int, *big.Int) {
-	if p.isInfinity() {
-		return nil, nil
-	}
-	zinv := new(big.Int).ModInverse(p.z, P)
-	zinv2 := mod(new(big.Int).Mul(zinv, zinv))
-	x := mod(new(big.Int).Mul(p.x, zinv2))
-	y := mod(new(big.Int).Mul(new(big.Int).Mul(p.y, zinv2), zinv))
-	return x, y
-}
-
 // IsOnCurve reports whether (x, y) satisfies y^2 = x^3 + 7 (mod p).
-func IsOnCurve(x, y *big.Int) bool {
-	if x == nil || y == nil {
-		return false
-	}
-	if x.Sign() < 0 || x.Cmp(P) >= 0 || y.Sign() < 0 || y.Cmp(P) >= 0 {
-		return false
-	}
-	lhs := mod(new(big.Int).Mul(y, y))
-	rhs := new(big.Int).Mul(x, x)
-	rhs.Mul(rhs, x)
-	rhs.Add(rhs, B)
-	mod(rhs)
-	return lhs.Cmp(rhs) == 0
+func IsOnCurve(x, y FieldElement) bool {
+	return isOnCurveFE(&x, &y)
 }
 
-// ScalarBaseMult returns k*G in affine coordinates.
-func ScalarBaseMult(k *big.Int) (*big.Int, *big.Int) {
-	return newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(k, N)).affine()
+// IsOnCurve reports whether the public key is a valid curve point.
+func (pub *PublicKey) IsOnCurve() bool {
+	return isOnCurveFE(&pub.X, &pub.Y)
+}
+
+// Equal reports whether two public keys are the same point.
+func (pub *PublicKey) Equal(o *PublicKey) bool {
+	return pub.X.Equal(&o.X) && pub.Y.Equal(&o.Y)
+}
+
+// ScalarBaseMult returns k*G in affine coordinates; ok is false for the
+// point at infinity (k ≡ 0 mod n).
+func ScalarBaseMult(k Scalar) (pub PublicKey, ok bool) {
+	var p jacobianPoint
+	scalarBaseMult(&p, &k)
+	var a affinePoint
+	if !p.toAffine(&a) {
+		return PublicKey{}, false
+	}
+	return PublicKey{X: a.x, Y: a.y}, true
 }
 
 // GenerateKey creates a private key using entropy from rnd (crypto/rand if
@@ -300,47 +78,62 @@ func GenerateKey(rnd io.Reader) (*PrivateKey, error) {
 		rnd = rand.Reader
 	}
 	for {
-		buf := make([]byte, 32)
-		if _, err := io.ReadFull(rnd, buf); err != nil {
+		var buf [32]byte
+		if _, err := io.ReadFull(rnd, buf[:]); err != nil {
 			return nil, fmt.Errorf("secp256k1: entropy: %w", err)
 		}
-		d := new(big.Int).SetBytes(buf)
-		if d.Sign() == 0 || d.Cmp(N) >= 0 {
+		var d Scalar
+		if overflow := d.SetBytes32(&buf); overflow || d.IsZero() {
 			continue
 		}
 		return PrivateKeyFromScalar(d)
 	}
 }
 
-// PrivateKeyFromScalar builds a key pair from an existing scalar in [1, N).
-func PrivateKeyFromScalar(d *big.Int) (*PrivateKey, error) {
-	if d.Sign() <= 0 || d.Cmp(N) >= 0 {
+// PrivateKeyFromScalar builds a key pair from an existing scalar in [1, n).
+func PrivateKeyFromScalar(d Scalar) (*PrivateKey, error) {
+	if d.IsZero() {
 		return nil, errors.New("secp256k1: scalar out of range")
 	}
-	x, y := ScalarBaseMult(d)
-	return &PrivateKey{PublicKey: PublicKey{X: x, Y: y}, D: new(big.Int).Set(d)}, nil
+	pub, ok := ScalarBaseMult(d)
+	if !ok {
+		return nil, errors.New("secp256k1: scalar out of range")
+	}
+	return &PrivateKey{PublicKey: pub, D: d}, nil
 }
 
-// PrivateKeyFromBytes builds a key pair from a 32-byte big-endian scalar.
+// PrivateKeyFromBytes builds a key pair from a 32-byte big-endian scalar
+// in [1, n).
 func PrivateKeyFromBytes(b []byte) (*PrivateKey, error) {
 	if len(b) != 32 {
 		return nil, fmt.Errorf("secp256k1: private key must be 32 bytes, got %d", len(b))
 	}
-	return PrivateKeyFromScalar(new(big.Int).SetBytes(b))
+	d, ok := ScalarFromBytes(b)
+	if !ok || d.IsZero() {
+		return nil, errors.New("secp256k1: scalar out of range")
+	}
+	return PrivateKeyFromScalar(d)
 }
 
 // Bytes returns the 32-byte big-endian scalar.
 func (k *PrivateKey) Bytes() []byte {
-	return leftPad32(k.D.Bytes())
+	b := k.D.Bytes32()
+	return b[:]
 }
 
 // SerializeUncompressed returns the 65-byte 0x04-prefixed public key.
 func (pub *PublicKey) SerializeUncompressed() []byte {
 	out := make([]byte, 65)
-	out[0] = 0x04
-	copy(out[1:33], leftPad32(pub.X.Bytes()))
-	copy(out[33:65], leftPad32(pub.Y.Bytes()))
+	pub.serializeInto((*[65]byte)(out))
 	return out
+}
+
+func (pub *PublicKey) serializeInto(out *[65]byte) {
+	out[0] = 0x04
+	x := pub.X.Bytes32()
+	y := pub.Y.Bytes32()
+	copy(out[1:33], x[:])
+	copy(out[33:65], y[:])
 }
 
 // ParsePublicKey parses a 65-byte uncompressed public key.
@@ -348,205 +141,265 @@ func ParsePublicKey(b []byte) (*PublicKey, error) {
 	if len(b) != 65 || b[0] != 0x04 {
 		return nil, errors.New("secp256k1: invalid uncompressed public key")
 	}
-	x := new(big.Int).SetBytes(b[1:33])
-	y := new(big.Int).SetBytes(b[33:65])
-	if !IsOnCurve(x, y) {
+	var xb, yb [32]byte
+	copy(xb[:], b[1:33])
+	copy(yb[:], b[33:65])
+	var pub PublicKey
+	if ok := pub.X.SetBytes32(&xb); !ok {
 		return nil, errors.New("secp256k1: point not on curve")
 	}
-	return &PublicKey{X: x, Y: y}, nil
+	if ok := pub.Y.SetBytes32(&yb); !ok {
+		return nil, errors.New("secp256k1: point not on curve")
+	}
+	if !pub.IsOnCurve() {
+		return nil, errors.New("secp256k1: point not on curve")
+	}
+	return &pub, nil
 }
 
 // EthereumAddress returns the 20-byte Ethereum address of the public key:
 // the low 20 bytes of keccak256(X || Y).
 func (pub *PublicKey) EthereumAddress() [20]byte {
-	raw := pub.SerializeUncompressed()[1:] // drop the 0x04 prefix
-	h := keccak.Sum256(raw)
+	var raw [65]byte
+	pub.serializeInto(&raw)
+	h := keccak.Sum256(raw[1:]) // drop the 0x04 prefix
 	var addr [20]byte
 	copy(addr[:], h[12:])
 	return addr
 }
 
-func leftPad32(b []byte) []byte {
-	if len(b) >= 32 {
-		return b[len(b)-32:]
-	}
-	out := make([]byte, 32)
-	copy(out[32-len(b):], b)
-	return out
-}
-
 // rfc6979Nonce derives the deterministic nonce k for (priv, hash) per
 // RFC 6979 with HMAC-SHA256. Because both the hash and the curve order are
-// 256 bits, bits2int is the identity.
-func rfc6979Nonce(priv *big.Int, hash []byte) *big.Int {
-	x := leftPad32(priv.Bytes())
-	z := new(big.Int).SetBytes(hash)
-	z.Mod(z, N)
-	h1 := leftPad32(z.Bytes())
+// 256 bits, bits2int is the identity. The HMAC runs on fixed stack buffers
+// (key and message sizes are static here) so nonce derivation allocates
+// nothing.
+func rfc6979Nonce(priv *Scalar, hash []byte) Scalar {
+	x := priv.Bytes32()
+	var z Scalar
+	var h [32]byte
+	copy(h[:], hash)
+	z.SetBytes32(&h)
+	h1 := z.Bytes32()
 
-	V := make([]byte, 32)
-	K := make([]byte, 32)
+	var V, K [32]byte
 	for i := range V {
 		V[i] = 0x01
 	}
-	hm := func(key []byte, parts ...[]byte) []byte {
-		m := hmac.New(sha256.New, key)
-		for _, p := range parts {
-			m.Write(p)
-		}
-		return m.Sum(nil)
-	}
-	K = hm(K, V, []byte{0x00}, x, h1)
-	V = hm(K, V)
-	K = hm(K, V, []byte{0x01}, x, h1)
-	V = hm(K, V)
+	K = hmac256(&K, V[:], []byte{0x00}, x[:], h1[:])
+	V = hmac256(&K, V[:])
+	K = hmac256(&K, V[:], []byte{0x01}, x[:], h1[:])
+	V = hmac256(&K, V[:])
 	for {
-		V = hm(K, V)
-		k := new(big.Int).SetBytes(V)
-		if k.Sign() > 0 && k.Cmp(N) < 0 {
+		V = hmac256(&K, V[:])
+		var k Scalar
+		overflow := k.SetBytes32(&V)
+		if !overflow && !k.IsZero() {
 			return k
 		}
-		K = hm(K, V, []byte{0x00})
-		V = hm(K, V)
+		K = hmac256(&K, V[:], []byte{0x00})
+		V = hmac256(&K, V[:])
 	}
+}
+
+// hmac256 computes HMAC-SHA256 over the concatenated parts with a 32-byte
+// key, using the definition directly (H(K^opad || H(K^ipad || m))) on
+// fixed-size buffers: the parts here total at most 97 bytes, so the whole
+// derivation stays on the stack instead of allocating crypto/hmac states.
+func hmac256(key *[32]byte, parts ...[]byte) [32]byte {
+	var ipad [64 + 128]byte // block-sized key pad + message
+	var opad [64 + 32]byte
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > len(ipad)-64 {
+		panic("secp256k1: hmac256 message exceeds its fixed buffer")
+	}
+	for i := 0; i < 32; i++ {
+		ipad[i] = key[i] ^ 0x36
+		opad[i] = key[i] ^ 0x5c
+	}
+	for i := 32; i < 64; i++ {
+		ipad[i] = 0x36
+		opad[i] = 0x5c
+	}
+	n := 64
+	for _, p := range parts {
+		n += copy(ipad[n:], p)
+	}
+	inner := sha256.Sum256(ipad[:n])
+	copy(opad[64:], inner[:])
+	return sha256.Sum256(opad[:])
 }
 
 // Sign produces a deterministic (RFC 6979) ECDSA signature over a 32-byte
 // message hash, with the recovery id in V and S normalized to the lower
 // half of the group order (Ethereum's homestead rule).
-func Sign(priv *PrivateKey, hash []byte) (*Signature, error) {
+func Sign(priv *PrivateKey, hash []byte) (Signature, error) {
 	if len(hash) != 32 {
-		return nil, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
+		return Signature{}, fmt.Errorf("secp256k1: hash must be 32 bytes, got %d", len(hash))
 	}
-	z := new(big.Int).SetBytes(hash)
-	z.Mod(z, N)
+	var hb [32]byte
+	copy(hb[:], hash)
+	var z Scalar
+	z.SetBytes32(&hb)
 
-	extra := []byte(nil)
-	for attempt := 0; ; attempt++ {
-		k := rfc6979Nonce(priv.D, hash)
-		if extra != nil {
+	retry := false
+	for attempt := uint64(0); ; attempt++ {
+		k := rfc6979Nonce(&priv.D, hash)
+		if retry {
 			// Extremely unlikely retry path: perturb deterministically.
-			k.Add(k, big.NewInt(int64(attempt)))
-			k.Mod(k, N)
-			if k.Sign() == 0 {
+			var a Scalar
+			a.SetUint64(attempt)
+			k.Add(&k, &a)
+			if k.IsZero() {
 				continue
 			}
 		}
-		rp := newJacobian(Gx, Gy).scalarMult(k)
-		rx, ry := rp.affine()
-		if rx == nil {
-			extra = []byte{1}
+		var rp jacobianPoint
+		scalarBaseMult(&rp, &k)
+		var ra affinePoint
+		if !rp.toAffine(&ra) {
+			retry = true
 			continue
 		}
-		r := new(big.Int).Mod(rx, N)
-		if r.Sign() == 0 {
-			extra = []byte{1}
+		rxBytes := ra.x.Bytes32()
+		var r Scalar
+		wrapped := r.SetBytes32(&rxBytes) // r = x mod n
+		if r.IsZero() {
+			retry = true
 			continue
 		}
-		recid := byte(ry.Bit(0))
-		if rx.Cmp(N) >= 0 {
+		recid := byte(0)
+		if ra.y.IsOdd() {
+			recid = 1
+		}
+		if wrapped {
 			recid |= 2
 		}
-		kinv := new(big.Int).ModInverse(k, N)
-		s := new(big.Int).Mul(r, priv.D)
-		s.Add(s, z)
-		s.Mul(s, kinv)
-		s.Mod(s, N)
-		if s.Sign() == 0 {
-			extra = []byte{1}
+		var kinv, s Scalar
+		kinv.Inverse(&k)
+		s.Mul(&r, &priv.D)
+		s.Add(&s, &z)
+		s.Mul(&s, &kinv)
+		if s.IsZero() {
+			retry = true
 			continue
 		}
-		if s.Cmp(halfN) > 0 {
-			s.Sub(N, s)
+		if s.IsHigh() {
+			s.Negate(&s)
 			recid ^= 1
 		}
-		return &Signature{R: r, S: s, V: recid}, nil
+		return Signature{R: r, S: s, V: recid}, nil
 	}
 }
 
-// Verify checks an ECDSA signature over a 32-byte hash.
-func Verify(pub *PublicKey, hash []byte, r, s *big.Int) bool {
-	if len(hash) != 32 || !IsOnCurve(pub.X, pub.Y) {
+// Verify checks an ECDSA signature over a 32-byte hash. The Scalar type
+// already guarantees r, s < n; zero components are rejected here.
+func Verify(pub *PublicKey, hash []byte, r, s Scalar) bool {
+	if len(hash) != 32 || !pub.IsOnCurve() {
 		return false
 	}
-	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
+	if r.IsZero() || s.IsZero() {
 		return false
 	}
-	z := new(big.Int).SetBytes(hash)
-	z.Mod(z, N)
-	w := new(big.Int).ModInverse(s, N)
-	u1 := new(big.Int).Mul(z, w)
-	u1.Mod(u1, N)
-	u2 := new(big.Int).Mul(r, w)
-	u2.Mod(u2, N)
-	sum := scalarMultPair(u1, newJacobian(Gx, Gy), u2, newJacobian(pub.X, pub.Y))
-	x, _ := sum.affine()
-	if x == nil {
+	var hb [32]byte
+	copy(hb[:], hash)
+	var z Scalar
+	z.SetBytes32(&hb)
+	var w, u1, u2 Scalar
+	w.Inverse(&s)
+	u1.Mul(&z, &w)
+	u2.Mul(&r, &w)
+	q := affinePoint{x: pub.X, y: pub.Y}
+	var sum jacobianPoint
+	doubleScalarMult(&sum, &u1, &u2, &q)
+	var a affinePoint
+	if !sum.toAffine(&a) {
 		return false
 	}
-	x.Mod(x, N)
-	return x.Cmp(r) == 0
+	xb := a.x.Bytes32()
+	var xr Scalar
+	xr.SetBytes32(&xb)
+	return xr.Equal(&r)
 }
 
 // RecoverPubkey recovers the signing public key from a signature and the
-// 32-byte message hash. This mirrors the EVM ecrecover precompile: v is the
-// recovery id in {0,1,2,3}.
-func RecoverPubkey(hash []byte, r, s *big.Int, v byte) (*PublicKey, error) {
+// 32-byte message hash. This mirrors the EVM ecrecover precompile: v is
+// the recovery id in {0,1,2,3} (bit 1 selects an x-coordinate that
+// wrapped past n).
+func RecoverPubkey(hash []byte, r, s Scalar, v byte) (PublicKey, error) {
 	if len(hash) != 32 {
-		return nil, errors.New("secp256k1: hash must be 32 bytes")
+		return PublicKey{}, errors.New("secp256k1: hash must be 32 bytes")
 	}
 	if v > 3 {
-		return nil, fmt.Errorf("secp256k1: invalid recovery id %d", v)
+		return PublicKey{}, fmt.Errorf("secp256k1: invalid recovery id %d", v)
 	}
-	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
-		return nil, errors.New("secp256k1: r/s out of range")
+	if r.IsZero() || s.IsZero() {
+		return PublicKey{}, errors.New("secp256k1: r/s out of range")
 	}
-	// Candidate R point x-coordinate.
-	x := new(big.Int).Set(r)
-	if v&2 != 0 {
-		x.Add(x, N)
-	}
-	if x.Cmp(P) >= 0 {
-		return nil, errors.New("secp256k1: invalid x candidate")
+	// Candidate R point x-coordinate: r, or r+n when the signer's x
+	// exceeded the group order (possible because n < p).
+	var x FieldElement
+	if v&2 == 0 {
+		rb := r.Bytes32()
+		x.SetBytes32(&rb)
+	} else if !xPlusN(&x, &r) {
+		return PublicKey{}, errors.New("secp256k1: invalid x candidate")
 	}
 	// y^2 = x^3 + 7; sqrt via exponent (p+1)/4 (p ≡ 3 mod 4).
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	y2.Add(y2, B)
-	mod(y2)
-	e := new(big.Int).Add(P, big.NewInt(1))
-	e.Rsh(e, 2)
-	y := new(big.Int).Exp(y2, e, P)
-	if mod(new(big.Int).Mul(y, y)).Cmp(y2) != 0 {
-		return nil, errors.New("secp256k1: x is not on the curve")
+	var y2, y FieldElement
+	y2.Square(&x)
+	y2.Mul(&y2, &x)
+	y2.Add(&y2, &curveB)
+	if !y.Sqrt(&y2) {
+		return PublicKey{}, errors.New("secp256k1: x is not on the curve")
 	}
-	if y.Bit(0) != uint(v&1) {
-		y.Sub(P, y)
+	if y.IsOdd() != (v&1 == 1) {
+		y.Negate(&y)
 	}
 	// Q = r^-1 (s*R - z*G)
-	z := new(big.Int).SetBytes(hash)
-	z.Mod(z, N)
-	rinv := new(big.Int).ModInverse(r, N)
-	u1 := new(big.Int).Mul(z, rinv)
-	u1.Mod(u1, N)
-	u1.Sub(N, u1) // -z/r
-	u2 := new(big.Int).Mul(s, rinv)
-	u2.Mod(u2, N)
-
-	qx, qy := scalarMultPair(u1, newJacobian(Gx, Gy), u2, newJacobian(x, y)).affine()
-	if qx == nil {
-		return nil, errors.New("secp256k1: recovered point at infinity")
+	var hb [32]byte
+	copy(hb[:], hash)
+	var z, rinv, u1, u2 Scalar
+	z.SetBytes32(&hb)
+	rinv.Inverse(&r)
+	u1.Mul(&z, &rinv)
+	u1.Negate(&u1) // -z/r
+	u2.Mul(&s, &rinv)
+	rp := affinePoint{x: x, y: y}
+	var sum jacobianPoint
+	doubleScalarMult(&sum, &u1, &u2, &rp)
+	var a affinePoint
+	if !sum.toAffine(&a) {
+		return PublicKey{}, errors.New("secp256k1: recovered point at infinity")
 	}
-	pub := &PublicKey{X: qx, Y: qy}
-	if !IsOnCurve(pub.X, pub.Y) {
-		return nil, errors.New("secp256k1: recovered point not on curve")
+	pub := PublicKey{X: a.x, Y: a.y}
+	if !pub.IsOnCurve() {
+		return PublicKey{}, errors.New("secp256k1: recovered point not on curve")
 	}
 	return pub, nil
 }
 
-// RecoverAddress is a convenience wrapper returning the Ethereum address of
-// the recovered key, mirroring the EVM ecrecover output.
-func RecoverAddress(hash []byte, r, s *big.Int, v byte) ([20]byte, error) {
+// xPlusN sets x to the integer r + n as a field element; ok is false when
+// r + n is not a valid field element (>= p).
+func xPlusN(x *FieldElement, r *Scalar) bool {
+	var c uint64
+	var t [4]uint64
+	t[0], c = bits.Add64(r.n[0], scalarN[0], 0)
+	t[1], c = bits.Add64(r.n[1], scalarN[1], c)
+	t[2], c = bits.Add64(r.n[2], scalarN[2], c)
+	t[3], c = bits.Add64(r.n[3], scalarN[3], c)
+	if c != 0 {
+		return false // >= 2^256 > p
+	}
+	x.n = t
+	return !x.geP()
+}
+
+// RecoverAddress is a convenience wrapper returning the Ethereum address
+// of the recovered key, mirroring the EVM ecrecover output.
+func RecoverAddress(hash []byte, r, s Scalar, v byte) ([20]byte, error) {
 	pub, err := RecoverPubkey(hash, r, s, v)
 	if err != nil {
 		return [20]byte{}, err
@@ -558,7 +411,5 @@ func RecoverAddress(hash []byte, r, s *big.Int, v byte) ([20]byte, error) {
 // paper's JavaScript (ethereumjs-util ecsign) produces and the on-chain
 // ecrecover consumes.
 func (sig *Signature) VRS27() (v byte, r, s [32]byte) {
-	copy(r[:], leftPad32(sig.R.Bytes()))
-	copy(s[:], leftPad32(sig.S.Bytes()))
-	return sig.V + 27, r, s
+	return sig.V + 27, sig.R.Bytes32(), sig.S.Bytes32()
 }

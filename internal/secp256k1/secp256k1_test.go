@@ -11,22 +11,44 @@ import (
 	"onoffchain/internal/keccak"
 )
 
+func scalarFromBig(t testing.TB, v *big.Int) Scalar {
+	t.Helper()
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	var s Scalar
+	if overflow := s.SetBytes32(&buf); overflow {
+		t.Fatalf("scalar %v out of range", v)
+	}
+	return s
+}
+
+func (z *Scalar) big() *big.Int {
+	b := z.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
+func (z *FieldElement) big() *big.Int {
+	b := z.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
 func TestCurveParameters(t *testing.T) {
-	if !IsOnCurve(Gx, Gy) {
+	if !IsOnCurve(genG.x, genG.y) {
 		t.Fatal("generator is not on the curve")
 	}
-	// n*G must be the point at infinity.
-	inf := newJacobian(Gx, Gy).scalarMult(N)
-	if !inf.isInfinity() {
-		t.Fatal("N*G is not infinity")
-	}
 	// (n-1)*G == -G
-	x, y := ScalarBaseMult(new(big.Int).Sub(N, big.NewInt(1)))
-	if x.Cmp(Gx) != 0 {
+	nm1 := ScalarFromUint64(1)
+	nm1.Negate(&nm1)
+	pub, ok := ScalarBaseMult(nm1)
+	if !ok {
+		t.Fatal("(N-1)*G is infinity")
+	}
+	if !pub.X.Equal(&genG.x) {
 		t.Fatal("(N-1)*G x-coordinate mismatch")
 	}
-	negY := new(big.Int).Sub(P, Gy)
-	if y.Cmp(negY) != 0 {
+	var negY FieldElement
+	negY.Negate(&genG.y)
+	if !pub.Y.Equal(&negY) {
 		t.Fatal("(N-1)*G y-coordinate mismatch")
 	}
 }
@@ -39,17 +61,23 @@ func TestScalarMultDistributive(t *testing.T) {
 		a.Mul(a, big.NewInt(1<<62)) // widen beyond one limb
 		b.Add(b, big.NewInt(12345))
 		sum := new(big.Int).Add(a, b)
-		sum.Mod(sum, N)
-		lx, ly := ScalarBaseMult(sum)
-		pa := newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(a, N))
-		pb := newJacobian(Gx, Gy).scalarMult(new(big.Int).Mod(b, N))
-		var o curveOps
-		o.add(pa, pb)
-		rx, ry := pa.affine()
-		if lx == nil || rx == nil {
-			return lx == nil && rx == nil
+		sum.Mod(sum, oracleN)
+		var sa, sb, ss Scalar
+		sa = scalarFromBig(t, new(big.Int).Mod(a, oracleN))
+		sb = scalarFromBig(t, new(big.Int).Mod(b, oracleN))
+		ss = scalarFromBig(t, sum)
+		var pa, pb, ps jacobianPoint
+		scalarBaseMult(&pa, &sa)
+		scalarBaseMult(&pb, &sb)
+		scalarBaseMult(&ps, &ss)
+		pa.add(&pb)
+		var lhs, rhs affinePoint
+		okL := ps.toAffine(&lhs)
+		okR := pa.toAffine(&rhs)
+		if !okL || !okR {
+			return okL == okR
 		}
-		return lx.Cmp(rx) == 0 && ly.Cmp(ry) == 0
+		return lhs.x.Equal(&rhs.x) && lhs.y.Equal(&rhs.y)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -60,7 +88,7 @@ func TestScalarMultDistributive(t *testing.T) {
 // down the full pipeline: scalar mult, uncompressed serialization, keccak.
 func TestKnownEthereumAddresses(t *testing.T) {
 	cases := []struct {
-		key  int64
+		key  uint64
 		addr string
 	}{
 		{1, "7e5f4552091a69125d5dfcb7b8c2659029395bdf"},
@@ -68,7 +96,7 @@ func TestKnownEthereumAddresses(t *testing.T) {
 		{3, "6813eb9362372eef6200f3b1dbc3f819671cba69"},
 	}
 	for _, c := range cases {
-		k, err := PrivateKeyFromScalar(big.NewInt(c.key))
+		k, err := PrivateKeyFromScalar(ScalarFromUint64(c.key))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +132,7 @@ func TestSignVerifyRoundTrip(t *testing.T) {
 }
 
 func TestSignIsDeterministic(t *testing.T) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
+	key, _ := PrivateKeyFromScalar(ScalarFromUint64(123456789))
 	hash := keccak.Sum256([]byte("deterministic"))
 	s1, err := Sign(key, hash[:])
 	if err != nil {
@@ -114,7 +142,7 @@ func TestSignIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 || s1.V != s2.V {
+	if !s1.R.Equal(&s2.R) || !s1.S.Equal(&s2.S) || s1.V != s2.V {
 		t.Error("RFC6979 signatures differ between calls")
 	}
 }
@@ -128,7 +156,7 @@ func TestLowSNormalization(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sig.S.Cmp(halfN) > 0 {
+		if sig.S.IsHigh() {
 			t.Fatalf("signature %d has high S", i)
 		}
 	}
@@ -147,7 +175,7 @@ func TestRecoverMatchesSigner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if pub.X.Cmp(key.X) != 0 || pub.Y.Cmp(key.Y) != 0 {
+		if !pub.Equal(&key.PublicKey) {
 			t.Fatalf("recovered key %d differs from signer", i)
 		}
 		addr, err := RecoverAddress(hash[:], sig.R, sig.S, sig.V)
@@ -161,45 +189,58 @@ func TestRecoverMatchesSigner(t *testing.T) {
 }
 
 func TestRecoverWrongVGivesDifferentKey(t *testing.T) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(424242))
+	key, _ := PrivateKeyFromScalar(ScalarFromUint64(424242))
 	hash := keccak.Sum256([]byte("recid matters"))
 	sig, _ := Sign(key, hash[:])
 	pub, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V^1)
-	if err == nil && pub.X.Cmp(key.X) == 0 && pub.Y.Cmp(key.Y) == 0 {
+	if err == nil && pub.Equal(&key.PublicKey) {
 		t.Error("flipped recovery id still recovered the same key")
 	}
 }
 
 func TestRecoverRejectsGarbage(t *testing.T) {
 	hash := keccak.Sum256([]byte("x"))
-	if _, err := RecoverPubkey(hash[:], big.NewInt(0), big.NewInt(1), 0); err == nil {
+	one := ScalarFromUint64(1)
+	var zero Scalar
+	if _, err := RecoverPubkey(hash[:], zero, one, 0); err == nil {
 		t.Error("r=0 accepted")
 	}
-	if _, err := RecoverPubkey(hash[:], big.NewInt(1), big.NewInt(0), 0); err == nil {
+	if _, err := RecoverPubkey(hash[:], one, zero, 0); err == nil {
 		t.Error("s=0 accepted")
 	}
-	if _, err := RecoverPubkey(hash[:], N, big.NewInt(1), 0); err == nil {
-		t.Error("r=N accepted")
-	}
-	if _, err := RecoverPubkey(hash[:], big.NewInt(1), big.NewInt(1), 9); err == nil {
+	if _, err := RecoverPubkey(hash[:], one, one, 9); err == nil {
 		t.Error("v=9 accepted")
 	}
-	if _, err := RecoverPubkey(hash[:31], big.NewInt(1), big.NewInt(1), 0); err == nil {
+	if _, err := RecoverPubkey(hash[:31], one, one, 0); err == nil {
 		t.Error("short hash accepted")
+	}
+	// A raw 32-byte word >= n must be rejected at the boundary.
+	nb := scalarN
+	_ = nb
+	var nBytes [32]byte
+	putBE64(nBytes[0:8], scalarN[3])
+	putBE64(nBytes[8:16], scalarN[2])
+	putBE64(nBytes[16:24], scalarN[1])
+	putBE64(nBytes[24:32], scalarN[0])
+	if _, ok := ScalarFromBytes(nBytes[:]); ok {
+		t.Error("r=N accepted by ScalarFromBytes")
 	}
 }
 
-func TestVerifyRejectsOutOfRange(t *testing.T) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(5))
+func TestVerifyRejectsBadInputs(t *testing.T) {
+	key, _ := PrivateKeyFromScalar(ScalarFromUint64(5))
 	hash := keccak.Sum256([]byte("y"))
 	sig, _ := Sign(key, hash[:])
-	if Verify(&key.PublicKey, hash[:], new(big.Int), sig.S) {
+	var zero Scalar
+	if Verify(&key.PublicKey, hash[:], zero, sig.S) {
 		t.Error("r=0 verified")
 	}
-	if Verify(&key.PublicKey, hash[:], sig.R, N) {
-		t.Error("s=N verified")
+	if Verify(&key.PublicKey, hash[:], sig.R, zero) {
+		t.Error("s=0 verified")
 	}
-	offCurve := &PublicKey{X: big.NewInt(1), Y: big.NewInt(1)}
+	var one FieldElement
+	one.SetUint64(1)
+	offCurve := &PublicKey{X: one, Y: one}
 	if Verify(offCurve, hash[:], sig.R, sig.S) {
 		t.Error("off-curve key verified")
 	}
@@ -216,7 +257,7 @@ func TestPublicKeySerializeParseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pub.X.Cmp(key.X) != 0 || pub.Y.Cmp(key.Y) != 0 {
+	if !pub.Equal(&key.PublicKey) {
 		t.Error("round trip mismatch")
 	}
 	// Corrupt a byte: must fail the on-curve check.
@@ -227,19 +268,19 @@ func TestPublicKeySerializeParseRoundTrip(t *testing.T) {
 }
 
 func TestPrivateKeyFromScalarBounds(t *testing.T) {
-	if _, err := PrivateKeyFromScalar(new(big.Int)); err == nil {
+	var zero Scalar
+	if _, err := PrivateKeyFromScalar(zero); err == nil {
 		t.Error("zero scalar accepted")
 	}
-	if _, err := PrivateKeyFromScalar(N); err == nil {
-		t.Error("scalar N accepted")
-	}
-	if _, err := PrivateKeyFromScalar(new(big.Int).Sub(N, big.NewInt(1))); err != nil {
+	nm1 := ScalarFromUint64(1)
+	nm1.Negate(&nm1) // n-1
+	if _, err := PrivateKeyFromScalar(nm1); err != nil {
 		t.Error("scalar N-1 rejected")
 	}
 }
 
 func TestPrivateKeyBytesRoundTrip(t *testing.T) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(777))
+	key, _ := PrivateKeyFromScalar(ScalarFromUint64(777))
 	b := key.Bytes()
 	if len(b) != 32 {
 		t.Fatalf("key bytes length %d", len(b))
@@ -248,31 +289,52 @@ func TestPrivateKeyBytesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k2.D.Cmp(key.D) != 0 {
+	if !k2.D.Equal(&key.D) {
 		t.Error("bytes round trip mismatch")
 	}
 	if _, err := PrivateKeyFromBytes(b[:31]); err == nil {
 		t.Error("short key accepted")
 	}
+	var nBytes [32]byte
+	putBE64(nBytes[0:8], scalarN[3])
+	putBE64(nBytes[8:16], scalarN[2])
+	putBE64(nBytes[16:24], scalarN[1])
+	putBE64(nBytes[24:32], scalarN[0])
+	if _, err := PrivateKeyFromBytes(nBytes[:]); err == nil {
+		t.Error("key bytes = N accepted")
+	}
 }
 
 func TestVRS27(t *testing.T) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(31337))
+	key, _ := PrivateKeyFromScalar(ScalarFromUint64(31337))
 	hash := keccak.Sum256([]byte("vrs"))
 	sig, _ := Sign(key, hash[:])
 	v, r, s := sig.VRS27()
 	if v != sig.V+27 {
 		t.Errorf("v = %d, want %d", v, sig.V+27)
 	}
-	if !bytes.Equal(r[:], leftPad32(sig.R.Bytes())) || !bytes.Equal(s[:], leftPad32(sig.S.Bytes())) {
+	wantR := sig.R.Bytes32()
+	wantS := sig.S.Bytes32()
+	if !bytes.Equal(r[:], wantR[:]) || !bytes.Equal(s[:], wantS[:]) {
 		t.Error("r/s padding mismatch")
+	}
+}
+
+func TestScalarBytesMinimal(t *testing.T) {
+	var zero Scalar
+	if got := zero.Bytes(); len(got) != 0 {
+		t.Errorf("zero scalar Bytes() = %x, want empty", got)
+	}
+	s := ScalarFromUint64(0x1234)
+	if got := s.Bytes(); !bytes.Equal(got, []byte{0x12, 0x34}) {
+		t.Errorf("Bytes() = %x, want 1234", got)
 	}
 }
 
 // Cross-check sign → on-chain-style recover with the address equality the
 // paper's deployVerifiedInstance() performs.
 func TestPaperSignedCopyFlow(t *testing.T) {
-	alice, _ := PrivateKeyFromScalar(big.NewInt(0xA11CE))
+	alice, _ := PrivateKeyFromScalar(ScalarFromUint64(0xA11CE))
 	bytecode := []byte{0x60, 0x80, 0x60, 0x40, 0x52, 0x00, 0xfe, 0xba, 0xb4}
 	h := keccak.Sum256(bytecode)
 	sig, err := Sign(alice, h[:])
@@ -292,28 +354,5 @@ func TestPaperSignedCopyFlow(t *testing.T) {
 	got2, err := RecoverAddress(h2[:], sig.R, sig.S, sig.V)
 	if err == nil && got2 == alice.EthereumAddress() {
 		t.Error("tampered bytecode still passed the signature check")
-	}
-}
-
-func BenchmarkSign(b *testing.B) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
-	hash := keccak.Sum256([]byte("bench"))
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := Sign(key, hash[:]); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkRecover(b *testing.B) {
-	key, _ := PrivateKeyFromScalar(big.NewInt(123456789))
-	hash := keccak.Sum256([]byte("bench"))
-	sig, _ := Sign(key, hash[:])
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := RecoverPubkey(hash[:], sig.R, sig.S, sig.V); err != nil {
-			b.Fatal(err)
-		}
 	}
 }

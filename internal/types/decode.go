@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"onoffchain/internal/rlp"
+	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/uint256"
 )
 
@@ -46,14 +47,37 @@ func DecodeTransaction(data []byte) (*Transaction, error) {
 		return nil, errors.New("types: tx signature v malformed")
 	}
 	tx.V = byte(v)
-	r, err := item.Items[7].BigInt()
+	r, err := decodeSigScalar(item.Items[7])
 	if err != nil {
 		return nil, fmt.Errorf("types: tx signature r: %w", err)
 	}
-	s, err := item.Items[8].BigInt()
+	s, err := decodeSigScalar(item.Items[8])
 	if err != nil {
 		return nil, fmt.Errorf("types: tx signature s: %w", err)
 	}
 	tx.R, tx.S = r, s
 	return tx, nil
+}
+
+// decodeSigScalar parses a canonical minimal big-endian integer item into
+// a signature scalar. Values >= the group order are rejected here rather
+// than at recovery time: no valid signature carries them, and the Scalar
+// type cannot represent them.
+func decodeSigScalar(it *rlp.Item) (secp256k1.Scalar, error) {
+	if it.Kind != rlp.KindBytes {
+		return secp256k1.Scalar{}, errors.New("expected bytes, found list")
+	}
+	if len(it.Bytes) > 0 && it.Bytes[0] == 0 {
+		return secp256k1.Scalar{}, rlp.ErrCanonical
+	}
+	if len(it.Bytes) > 32 {
+		return secp256k1.Scalar{}, errors.New("longer than 32 bytes")
+	}
+	var buf [32]byte
+	copy(buf[32-len(it.Bytes):], it.Bytes)
+	s, ok := secp256k1.ScalarFromBytes(buf[:])
+	if !ok {
+		return secp256k1.Scalar{}, errors.New("exceeds the group order")
+	}
+	return s, nil
 }

@@ -2,7 +2,6 @@ package types
 
 import (
 	"bytes"
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/secp256k1"
@@ -10,7 +9,7 @@ import (
 )
 
 func TestDecodeTransactionRoundTrip(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(99))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(99))
 	to := BytesToAddress([]byte{7})
 	tx := NewTransaction(5, to, uint256.NewInt(123), 50_000, uint256.NewInt(2), []byte{0xde, 0xad})
 	if err := tx.Sign(key); err != nil {
@@ -37,7 +36,7 @@ func TestDecodeTransactionRoundTrip(t *testing.T) {
 }
 
 func TestDecodeTransactionCreation(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(98))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(98))
 	tx := NewContractCreation(0, nil, 100_000, uint256.NewInt(1), []byte{0x60, 0x00})
 	tx.Sign(key)
 	decoded, err := DecodeTransaction(tx.EncodeRLP())

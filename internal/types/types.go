@@ -138,10 +138,12 @@ type Transaction struct {
 	Value    *uint256.Int
 	Data     []byte
 
-	// Signature values; V is 27+recid.
+	// Signature values; V is 27+recid. R and S are scalar value types —
+	// an unsigned transaction has the zero scalars (never valid in a real
+	// signature).
 	V byte
-	R *big.Int
-	S *big.Int
+	R secp256k1.Scalar
+	S secp256k1.Scalar
 
 	// sender caches the recovered sending address, keyed by the sig hash
 	// it was recovered for: recovery costs two scalar multiplications and
@@ -213,8 +215,8 @@ func (tx *Transaction) EncodeRLP() []byte {
 	items := tx.sigFields()
 	items = append(items,
 		rlp.Uint(uint64(tx.V)),
-		rlp.BigInt(tx.R),
-		rlp.BigInt(tx.S),
+		rlp.Bytes(tx.R.Bytes()),
+		rlp.Bytes(tx.S.Bytes()),
 	)
 	return rlp.EncodeList(items...)
 }
@@ -244,7 +246,7 @@ func (tx *Transaction) Sign(key *secp256k1.PrivateKey) error {
 // cached: repeated calls (validation, execution, pool scans) pay the
 // elliptic-curve cost once.
 func (tx *Transaction) Sender() (Address, error) {
-	if tx.R == nil || tx.S == nil {
+	if tx.R.IsZero() || tx.S.IsZero() {
 		return Address{}, errors.New("types: transaction is unsigned")
 	}
 	if tx.V < 27 {

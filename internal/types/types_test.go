@@ -3,7 +3,6 @@ package types
 import (
 	"bytes"
 	"encoding/hex"
-	"math/big"
 	"testing"
 	"testing/quick"
 
@@ -78,7 +77,7 @@ func TestCreateAddressChangesWithNonce(t *testing.T) {
 }
 
 func TestTransactionSignSenderRoundTrip(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xBEEF))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xBEEF))
 	want := Address(key.EthereumAddress())
 
 	to := BytesToAddress([]byte{9})
@@ -103,7 +102,7 @@ func TestTransactionSenderRejectsUnsigned(t *testing.T) {
 }
 
 func TestTransactionTamperingChangesSender(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0xF00D))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xF00D))
 	tx := NewTransaction(0, BytesToAddress([]byte{1}), uint256.NewInt(5), 21000, uint256.NewInt(1), nil)
 	if err := tx.Sign(key); err != nil {
 		t.Fatal(err)
@@ -117,7 +116,7 @@ func TestTransactionTamperingChangesSender(t *testing.T) {
 }
 
 func TestTransactionHashStable(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(1234))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(1234))
 	tx := NewTransaction(1, BytesToAddress([]byte{2}), uint256.NewInt(7), 50000, uint256.NewInt(2), []byte{1, 2, 3})
 	if err := tx.Sign(key); err != nil {
 		t.Fatal(err)
@@ -213,7 +212,7 @@ func TestHeaderHashChangesWithFields(t *testing.T) {
 }
 
 func TestDeriveListHashes(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(55))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(55))
 	tx1 := NewTransaction(0, Address{}, nil, 21000, uint256.NewInt(1), nil)
 	tx1.Sign(key)
 	tx2 := NewTransaction(1, Address{}, nil, 21000, uint256.NewInt(1), nil)
@@ -242,7 +241,7 @@ func TestAddressHashPadding(t *testing.T) {
 }
 
 func TestTxEncodeRLPIsCanonical(t *testing.T) {
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(8))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(8))
 	tx := NewTransaction(2, BytesToAddress([]byte{3}), uint256.NewInt(9), 30000, uint256.NewInt(4), []byte{0xde, 0xad})
 	tx.Sign(key)
 	enc := hex.EncodeToString(tx.EncodeRLP())
@@ -250,5 +249,36 @@ func TestTxEncodeRLPIsCanonical(t *testing.T) {
 	enc2 := hex.EncodeToString(tx.EncodeRLP())
 	if enc != enc2 {
 		t.Error("encoding unstable")
+	}
+}
+
+// TestSignedTxGoldenEncoding pins the exact wire bytes of a signed
+// transaction (deterministic RFC 6979 signing makes this reproducible).
+// The fixture was generated by the pre-rewrite big.Int implementation;
+// the fixed-limb scalar types must keep every byte — WAL journals and
+// block bodies written by older builds replay through this encoding.
+func TestSignedTxGoldenEncoding(t *testing.T) {
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xBEEF))
+	to, _ := HexToAddress("0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0")
+	tx := NewTransaction(7, to, uint256.NewInt(12345), 21000, uint256.NewInt(1), []byte{1, 2, 3})
+	if err := tx.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "f8640701825208946ac7ea33f8831ea9dcc53393aaa88b25a785dbf0823039830102031ca012942ac6cd25fd43631f5ba46bcd2d5e67edb2e86e17df83929c2c6b5e2c9f71a062423de9889fe6fec510798d8af8c8e2df47b7c087db110edc97fb7b30e7a367"
+	if got := hex.EncodeToString(tx.EncodeRLP()); got != golden {
+		t.Fatalf("signed tx encoding changed:\n got %s\nwant %s", got, golden)
+	}
+	if tx.Hash().Hex() != "0x6ee34ccec454e2d684c11ba57ee6c38e2ede7548fd2ce8ca4de785fcd9e50038" {
+		t.Fatalf("tx hash changed: %s", tx.Hash().Hex())
+	}
+	// And the decode path round-trips the golden bytes.
+	raw, _ := hex.DecodeString(golden)
+	dec, err := DecodeTransaction(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := dec.Sender()
+	if err != nil || sender != Address(key.EthereumAddress()) {
+		t.Fatalf("golden decode sender: %v %v", sender, err)
 	}
 }

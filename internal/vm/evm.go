@@ -9,7 +9,6 @@ package vm
 
 import (
 	"crypto/sha256"
-	"math/big"
 
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/secp256k1"
@@ -329,10 +328,13 @@ func (ecrecoverPrecompile) run(input []byte) ([]byte, error) {
 	copy(in, input)
 	hash := in[0:32]
 	vWord := new(uint256.Int).SetBytes(in[32:64])
-	r := new(big.Int).SetBytes(in[64:96])
-	s := new(big.Int).SetBytes(in[96:128])
+	r, rOK := secp256k1.ScalarFromBytes(in[64:96])
+	s, sOK := secp256k1.ScalarFromBytes(in[96:128])
+	if !rOK || !sOK {
+		return nil, nil // r/s word out of range: empty return, gas consumed
+	}
 	if !vWord.IsUint64() {
-		return nil, nil // invalid: empty return, gas consumed
+		return nil, nil
 	}
 	v := vWord.Uint64()
 	if v != 27 && v != 28 {

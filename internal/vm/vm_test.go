@@ -3,7 +3,6 @@ package vm
 import (
 	"bytes"
 	"crypto/sha256"
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/keccak"
@@ -402,7 +401,7 @@ func TestSelfDestruct(t *testing.T) {
 func TestEcrecoverPrecompile(t *testing.T) {
 	evm, st := testEVM()
 	st.SetBalance(caller, uint256.NewInt(1))
-	key, _ := secp256k1.PrivateKeyFromScalar(big.NewInt(0x1234))
+	key, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x1234))
 	msgHash := keccak.Sum256([]byte("precompile test"))
 	sig, err := secp256k1.Sign(key, msgHash[:])
 	if err != nil {

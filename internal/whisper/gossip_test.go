@@ -2,7 +2,6 @@ package whisper
 
 import (
 	"bytes"
-	"math/big"
 	"reflect"
 	"testing"
 
@@ -119,12 +118,12 @@ func TestPresence(t *testing.T) {
 func TestDropCounters(t *testing.T) {
 	clock := uint64(0)
 	n := NewNetwork(func() uint64 { return clock })
-	key, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xD0))
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xD0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	sender := n.NewNode(key)
-	key2, err := secp256k1.PrivateKeyFromScalar(big.NewInt(0xD1))
+	key2, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xD1))
 	if err != nil {
 		t.Fatal(err)
 	}

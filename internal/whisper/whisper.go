@@ -13,7 +13,6 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
-	"math/big"
 	"sync"
 
 	"onoffchain/internal/keccak"
@@ -40,8 +39,8 @@ type Envelope struct {
 	Payload []byte
 	From    types.Address
 	SigV    byte
-	SigR    *big.Int
-	SigS    *big.Int
+	SigR    secp256k1.Scalar
+	SigS    secp256k1.Scalar
 }
 
 func (e *Envelope) signingHash() []byte {
@@ -54,8 +53,8 @@ func (e *Envelope) signingHash() []byte {
 
 // Verify checks the envelope signature against the claimed sender.
 func (e *Envelope) Verify() bool {
-	if e.SigR == nil || e.SigS == nil {
-		return false
+	if e.SigR.IsZero() || e.SigS.IsZero() {
+		return false // unsigned envelope (see PostOptions.Unsigned)
 	}
 	addr, err := secp256k1.RecoverAddress(e.signingHash(), e.SigR, e.SigS, e.SigV)
 	if err != nil {

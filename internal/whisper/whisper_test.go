@@ -2,7 +2,6 @@ package whisper
 
 import (
 	"bytes"
-	"math/big"
 	"testing"
 
 	"onoffchain/internal/secp256k1"
@@ -10,7 +9,7 @@ import (
 )
 
 func newKey(seed int64) *secp256k1.PrivateKey {
-	k, err := secp256k1.PrivateKeyFromScalar(big.NewInt(seed))
+	k, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(seed)))
 	if err != nil {
 		panic(err)
 	}

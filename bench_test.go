@@ -7,6 +7,8 @@ package onoffchain
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"onoffchain/internal/hub"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -205,13 +208,13 @@ func BenchmarkHubThroughput(b *testing.B) {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 1, false)
+				benchHubThroughput(b, n, mining, false, 1, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, true, 1, false)
+				benchHubThroughput(b, n, mining, true, 1, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 3, false)
+				benchHubThroughput(b, n, mining, false, 3, false, false)
 			})
 			// The signed-gossip leg: every fleet envelope (heartbeats,
 			// guard exports, window mirrors, intents) carries a secp256k1
@@ -219,16 +222,52 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// curve. Ran at the full matrix to show heartbeat-rate
 			// signing no longer taxes hub throughput.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off/gossip=signed", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 3, true)
+				benchHubThroughput(b, n, mining, false, 3, true, false)
+			})
+			// The telemetry leg: same fleet with a shared metrics registry
+			// and span tracer attached to every layer. Compare sessions/sec
+			// against the telemetry=off twin above — the acceptance bound is
+			// 5% (the hot path adds only atomic increments and one ring slot
+			// per lifecycle edge); see DESIGN.md §10.
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, false, 1, false, true)
 			})
 		}
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int, signGossip bool) {
+func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int, signGossip, telem bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, wal, towers, signGossip)
+		hubThroughputIteration(b, n, mining, wal, towers, signGossip, telem)
 	}
+}
+
+// BenchmarkHubThroughputProfile runs exactly ONE fleet configuration,
+// chosen by environment, so -cpuprofile/-memprofile captures a single
+// leg (the matrix legs above prefix-match each other under -bench, which
+// contaminates profiles). Used for the towers=3 AutoMine gap attribution
+// in DESIGN.md §7:
+//
+//	ONOFFCHAIN_PROFILE_TOWERS=3 go test -run xxx \
+//	  -bench HubThroughputProfile -benchtime 3x -cpuprofile t3.prof .
+func BenchmarkHubThroughputProfile(b *testing.B) {
+	atoi := func(key string, def int) int {
+		if v := os.Getenv(key); v != "" {
+			n := 0
+			if _, err := fmt.Sscanf(v, "%d", &n); err == nil {
+				return n
+			}
+		}
+		return def
+	}
+	n := atoi("ONOFFCHAIN_PROFILE_SESSIONS", 1000)
+	towers := atoi("ONOFFCHAIN_PROFILE_TOWERS", 3)
+	mining := os.Getenv("ONOFFCHAIN_PROFILE_MINING")
+	if mining == "" {
+		mining = "auto"
+	}
+	benchHubThroughput(b, n, mining, os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
+		os.Getenv("ONOFFCHAIN_PROFILE_GOSSIP") == "signed", os.Getenv("ONOFFCHAIN_PROFILE_TELEMETRY") == "on")
 }
 
 // Batch-mining parameters for the benchmark: the deadline is a few
@@ -249,15 +288,28 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int, signGossip bool) {
+func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int, signGossip, telem bool) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		b.Fatal(err)
 	}
+	// A BENCH.json destination forces the registry on even for telemetry=off
+	// legs: the per-stage quantiles in the record come from the registry's
+	// hub_stage_seconds histograms.
+	benchJSON := os.Getenv("ONOFFCHAIN_BENCH_JSON")
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if telem || benchJSON != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if telem {
+		tracer = telemetry.NewTracer(0)
+	}
 	faucetAddr := types.Address(faucetKey.EthereumAddress())
 	ccfg := chain.DefaultConfig()
+	ccfg.Telemetry = reg
 	if mining == "batch" {
 		ccfg.AutoMine = false
 	}
@@ -271,9 +323,9 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 		defer c.StopMining()
 	}
 	net := whisper.NewNetwork(c.Now)
-	cfg := hub.Config{Workers: benchWorkers}
+	cfg := hub.Config{Workers: benchWorkers, Telemetry: reg, Tracer: tracer}
 	if wal {
-		st, err := store.Open(b.TempDir(), store.Options{})
+		st, err := store.Open(b.TempDir(), store.Options{Telemetry: reg})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,6 +376,10 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 	for s := range specs {
 		specs[s] = hub.BettingSpec(4, 600, s%10 == 0)
 	}
+	var msBefore runtime.MemStats
+	if benchJSON != "" {
+		runtime.ReadMemStats(&msBefore)
+	}
 	b.StartTimer()
 
 	start := time.Now()
@@ -331,6 +387,12 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 	elapsed := time.Since(start)
 
 	b.StopTimer()
+	var allocsPerSession float64
+	if benchJSON != "" {
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		allocsPerSession = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n)
+	}
 	disputes := 0
 	for s, rep := range reports {
 		if rep.Err != nil {
@@ -369,4 +431,36 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 		}
 	}
 	b.ReportMetric(float64(m.DisputesWon), "disputes-won")
+
+	if benchJSON != "" {
+		quantiles := map[string]map[string]float64{}
+		for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
+			h := reg.Histogram("hub_stage_seconds", telemetry.DurationBuckets(), "stage", st.String())
+			if qm := telemetry.QuantileMap(h); qm != nil {
+				quantiles["stage_"+st.String()+"_seconds"] = qm
+			}
+		}
+		if qm := telemetry.QuantileMap(reg.Histogram("chain_mine_seconds", telemetry.DurationBuckets())); qm != nil {
+			quantiles["chain_mine_seconds"] = qm
+		}
+		rec := telemetry.BenchRecord{
+			Name:   b.Name(),
+			GitRev: telemetry.GitRev(),
+			When:   time.Now().UTC().Format(time.RFC3339),
+			Config: map[string]any{
+				"sessions": n, "mining": mining, "wal": wal,
+				"towers": towers, "gossip_signed": signGossip, "telemetry": telem,
+			},
+			Metrics: map[string]float64{
+				"sessions_per_sec":   float64(n) / elapsed.Seconds(),
+				"blocks":             float64(c.Height()),
+				"disputes_won":       float64(m.DisputesWon),
+				"allocs_per_session": allocsPerSession,
+			},
+			Quantiles: quantiles,
+		}
+		if err := telemetry.AppendBenchJSON(benchJSON, rec); err != nil {
+			b.Logf("BENCH.json append failed: %v", err)
+		}
+	}
 }

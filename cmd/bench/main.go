@@ -10,6 +10,7 @@
 //	bench -exp privacy
 //	bench -exp participants
 //	bench -exp deposit
+//	bench -exp all -json BENCH.json   # append machine-readable records
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"onoffchain/internal/experiments"
+	"onoffchain/internal/telemetry"
 )
 
 func parseRounds(s string) ([]uint64, error) {
@@ -38,11 +41,24 @@ func parseRounds(s string) ([]uint64, error) {
 func main() {
 	exp := flag.String("exp", "all", "experiment: table2|fig1|fig2|dispute-prob|privacy|participants|deposit|all")
 	roundsFlag := flag.String("rounds", "0,64,256,1024", "reveal-round sweep for table2/fig1")
+	jsonPath := flag.String("json", "", "append machine-readable result records to this BENCH.json file")
 	flag.Parse()
 
 	rounds, err := parseRounds(*roundsFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Each experiment prints its paper-style table and, under -json,
+	// contributes one record per row (config axes + scalar metrics) tagged
+	// with the git revision, so results accumulate across commits.
+	var recs []telemetry.BenchRecord
+	now := time.Now().UTC().Format(time.RFC3339)
+	record := func(name string, config map[string]any, metrics map[string]float64) {
+		recs = append(recs, telemetry.BenchRecord{
+			Name: "bench/" + name, GitRev: telemetry.GitRev(), When: now,
+			Config: config, Metrics: metrics,
+		})
 	}
 
 	run := func(name string, fn func() (string, error)) {
@@ -61,6 +77,13 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		for _, r := range rows {
+			record("table2", map[string]any{"rounds": r.RevealRounds}, map[string]float64{
+				"deploy_vi_gas":     float64(r.DeployVIGas),
+				"return_dr_gas":     float64(r.ReturnDRGas),
+				"offchain_bytecode": float64(r.OffChainBytecode),
+			})
+		}
 		return experiments.FormatTable2(rows), nil
 	})
 	run("fig1", func() (string, error) {
@@ -68,12 +91,24 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		for _, r := range rows {
+			record("fig1", map[string]any{"rounds": r.RevealRounds}, map[string]float64{
+				"monolith_gas":       float64(r.MonolithGas),
+				"hybrid_honest_gas":  float64(r.HybridHonestGas),
+				"hybrid_dispute_gas": float64(r.HybridDisputeGas),
+				"honest_savings_pct": r.HonestSavingsPct,
+			})
+		}
 		return experiments.FormatFig1(rows), nil
 	})
 	run("fig2", func() (string, error) {
 		rows, err := experiments.Fig2(64)
 		if err != nil {
 			return "", err
+		}
+		for _, r := range rows {
+			record("fig2", map[string]any{"stage": r.Stage, "path": r.Path, "on_chain": r.OnChain},
+				map[string]float64{"gas": float64(r.Gas)})
 		}
 		return experiments.FormatFig2(rows), nil
 	})
@@ -83,12 +118,25 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		for _, r := range rows {
+			record("dispute-prob", map[string]any{"p": r.P}, map[string]float64{
+				"expected_hybrid_gas": r.ExpectedHybrid,
+				"monolith_gas":        float64(r.MonolithGas),
+			})
+		}
 		return experiments.FormatDisputeProbability(rows), nil
 	})
 	run("privacy", func() (string, error) {
 		rows, err := experiments.PrivacyLeakage(64)
 		if err != nil {
 			return "", err
+		}
+		for _, r := range rows {
+			record("privacy", map[string]any{"model": r.Model}, map[string]float64{
+				"code_bytes":     float64(r.CodeBytes),
+				"calldata_bytes": float64(r.CalldataBytes),
+				"hidden_bytes":   float64(r.HiddenBytes),
+			})
 		}
 		return experiments.FormatPrivacyLeakage(rows), nil
 	})
@@ -97,6 +145,12 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		for _, r := range rows {
+			record("participants", map[string]any{"n": r.N}, map[string]float64{
+				"deploy_vi_gas": float64(r.DeployVIGas),
+				"per_sig_gas":   float64(r.PerSigGas),
+			})
+		}
 		return experiments.FormatParticipants(rows), nil
 	})
 	run("deposit", func() (string, error) {
@@ -104,6 +158,11 @@ func main() {
 			[]uint64{0, 100_000, 500_000, 1_000_000, 5_000_000})
 		if err != nil {
 			return "", err
+		}
+		for _, r := range rows {
+			record("deposit", map[string]any{"deposit_wei": r.DepositWei}, map[string]float64{
+				"resolver_gas_cost": float64(r.ResolverGasCost),
+			})
 		}
 		return experiments.FormatDepositCompensation(rows), nil
 	})
@@ -114,5 +173,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		if err := telemetry.AppendBenchJSON(*jsonPath, recs...); err != nil {
+			log.Fatalf("write %s: %v", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "appended %d records to %s\n", len(recs), *jsonPath)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"onoffchain/internal/chain"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 )
@@ -219,6 +220,7 @@ func main() {
 	mode := flag.String("mine", "auto", `mining policy: "auto" (a block per transaction) or "batch" (pooled transactions sealed by the background driver)`)
 	mineInterval := flag.Duration("mine-interval", 250*time.Millisecond, "batch mode: deadline for sealing a partial block")
 	mineBatch := flag.Int("mine-batch", 256, "batch mode: max transactions per block (a full pool seals immediately)")
+	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060) serving /metrics, /healthz, /debug/pprof/*")
 	flag.Parse()
 
 	alloc := map[types.Address]*uint256.Int{}
@@ -240,6 +242,13 @@ func main() {
 	default:
 		log.Fatalf("unknown -mine mode %q (want auto or batch)", *mode)
 	}
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.RegisterRuntimeMetrics()
+		reg.PublishExpvar("chaind")
+		ccfg.Telemetry = reg
+	}
 	c := chain.New(ccfg, alloc)
 	if *mode == "batch" {
 		if err := c.StartMining(*mineInterval, *mineBatch); err != nil {
@@ -258,6 +267,15 @@ func main() {
 	mux.HandleFunc("/send", srv.send)
 	mux.HandleFunc("/call", srv.call)
 	mux.HandleFunc("/advance", srv.advance)
+
+	if reg != nil {
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		defer tsrv.Close()
+		log.Printf("chaind: telemetry on http://%s/metrics", tsrv.Addr())
+	}
 
 	log.Printf("chaind: dev chain listening on %s (funded accounts: %d)", *listen, len(alloc))
 	log.Fatal(http.ListenAndServe(*listen, mux))

@@ -28,6 +28,7 @@ import (
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -37,20 +38,45 @@ func eth(n uint64) *uint256.Int {
 	return new(uint256.Int).Mul(uint256.NewInt(n), uint256.NewInt(1e18))
 }
 
+// obs bundles the opt-in observability handles threaded through every
+// act of the demo. Both fields are nil without -telemetry, and every
+// instrumented layer treats nil as a no-op.
+type obs struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+}
+
 func main() {
 	towers := flag.Int("towers", 3, "federation size for the tower-federation act (1 disables it)")
+	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060); serves /metrics, /healthz, /debug/trace/{sid}, /debug/pprof/* and keeps the process alive after the demos for scraping")
 	flag.Parse()
+
+	var o obs
+	if *telemetryAddr != "" {
+		o.reg = telemetry.NewRegistry()
+		o.tr = telemetry.NewTracer(0)
+		o.reg.RegisterRuntimeMetrics()
+		o.reg.PublishExpvar("hub")
+		tsrv, err := telemetry.Serve(*telemetryAddr, o.reg, o.tr)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: curl http://%s/metrics  (traces at /debug/trace/{sid})\n\n", tsrv.Addr())
+	}
 
 	// World: a dev chain with a rich faucet, a whisper network, a hub.
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	c := chain.NewDefault(map[types.Address]*uint256.Int{
+	ccfg := chain.DefaultConfig()
+	ccfg.Telemetry = o.reg
+	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
 	net := whisper.NewNetwork(c.Now)
-	h := hub.New(c, net, faucetKey, hub.Config{Workers: 4})
+	h := hub.New(c, net, faucetKey, hub.Config{Workers: 4, Telemetry: o.reg, Tracer: o.tr})
 
 	// Stream finalization and dispute events live over the push API.
 	finalized := c.SubscribeLogs(chain.FilterQuery{Topic: &hybrid.TopicResultFinalized})
@@ -120,10 +146,15 @@ func main() {
 		fmt.Printf("  %-10s %8s / %s\n", s, st.Avg.Round(1e4), st.Max.Round(1e4))
 	}
 
-	durabilityDemo(c, net, faucetKey)
-	batchMiningDemo(faucetKey)
+	durabilityDemo(c, net, faucetKey, o)
+	batchMiningDemo(faucetKey, o)
 	if *towers > 1 {
-		federationDemo(faucetKey, *towers)
+		federationDemo(faucetKey, *towers, o)
+	}
+
+	if *telemetryAddr != "" {
+		fmt.Printf("\ndemos done — telemetry still serving on %s (ctrl-c to exit)\n", *telemetryAddr)
+		select {}
 	}
 }
 
@@ -131,9 +162,11 @@ func main() {
 // towers share guard duty; the hub — the member that OWNS the fraudulent
 // session — is killed the instant the lie lands on-chain, and a standalone
 // backup tower escalates and disputes it before the window closes.
-func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
+func federationDemo(faucetKey *secp256k1.PrivateKey, towers int, o obs) {
 	fmt.Printf("\n--- tower federation: %d towers, primary killed mid-window, backup disputes ---\n", towers)
-	c := chain.NewDefault(map[types.Address]*uint256.Int{
+	ccfg := chain.DefaultConfig()
+	ccfg.Telemetry = o.reg
+	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
 	net := whisper.NewNetwork(c.Now)
@@ -154,7 +187,7 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
 	// The hub is federation member 0; the lie's window must survive its
 	// death, so kill it the moment the fraudulent submission completes.
 	var h *hub.Hub
-	h = hub.New(c, net, faucetKey, hub.Config{Workers: 2, StageHook: func(sid uint64, s hub.Stage) bool {
+	h = hub.New(c, net, faucetKey, hub.Config{Workers: 2, Telemetry: o.reg, Tracer: o.tr, StageHook: func(sid uint64, s hub.Stage) bool {
 		if s == hub.StageSubmitted {
 			h.Kill()
 		}
@@ -165,7 +198,7 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
 		return federation.Config{
 			Chain: c, Net: net, Key: k, Members: members, Registry: registry,
 			HeartbeatEvery: 50 * time.Millisecond, EscalateAfter: 300 * time.Millisecond,
-			Logf: quiet,
+			Logf: quiet, Telemetry: o.reg, Tracer: o.tr,
 		}
 	}
 	hubTower, err := federation.AttachHub(h, mk(keys[0]))
@@ -227,10 +260,11 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int) {
 // the block count: a block-per-transaction chain would mint hundreds of
 // blocks for this fleet; the batch driver amortizes them by an order of
 // magnitude.
-func batchMiningDemo(faucetKey *secp256k1.PrivateKey) {
+func batchMiningDemo(faucetKey *secp256k1.PrivateKey, o obs) {
 	fmt.Println("\n--- batch mining: one block per many sessions, receipts via WaitReceipt ---")
 	ccfg := chain.DefaultConfig()
 	ccfg.AutoMine = false // batch policy: pool transactions, let the driver seal
+	ccfg.Telemetry = o.reg
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
@@ -239,7 +273,7 @@ func batchMiningDemo(faucetKey *secp256k1.PrivateKey) {
 	}
 	defer c.StopMining()
 	net := whisper.NewNetwork(c.Now)
-	h := hub.New(c, net, faucetKey, hub.Config{Workers: 16})
+	h := hub.New(c, net, faucetKey, hub.Config{Workers: 16, Telemetry: o.reg, Tracer: o.tr})
 	defer h.Stop()
 
 	n := 20
@@ -274,14 +308,14 @@ func batchMiningDemo(faucetKey *secp256k1.PrivateKey) {
 // challenge window open, then recovers it and shows the lie still gets
 // caught — the ROADMAP's "restarted hub resumes guarding open challenge
 // windows" item, live.
-func durabilityDemo(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey) {
+func durabilityDemo(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, o obs) {
 	fmt.Println("\n--- durability: crash with an open fraudulent window, recover from the WAL ---")
 	dir, err := os.MkdirTemp("", "hub-wal-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	st, err := store.Open(dir, store.Options{})
+	st, err := store.Open(dir, store.Options{Telemetry: o.reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -291,8 +325,10 @@ func durabilityDemo(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.P
 	// no watchtower is left alive to guard it.
 	var dh *hub.Hub
 	dh = hub.New(c, net, faucetKey, hub.Config{
-		Workers: 2,
-		Store:   st,
+		Workers:   2,
+		Store:     st,
+		Telemetry: o.reg,
+		Tracer:    o.tr,
 		StageHook: func(sid uint64, s hub.Stage) bool {
 			if s == hub.StageSubmitted {
 				dh.Kill()
@@ -308,12 +344,12 @@ func durabilityDemo(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.P
 
 	// "Restart the process": reopen the WAL, recover, and let the tower
 	// replay the chain events it missed from its durable cursor.
-	st2, err := store.Open(dir, store.Options{})
+	st2, err := store.Open(dir, store.Options{Telemetry: o.reg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st2.Close()
-	h2, rec, err := hub.Recover(st2, c, net, faucetKey, hub.Config{Workers: 2}, hub.NewSpecRegistry(spec))
+	h2, rec, err := hub.Recover(st2, c, net, faucetKey, hub.Config{Workers: 2, Telemetry: o.reg, Tracer: o.tr}, hub.NewSpecRegistry(spec))
 	if err != nil {
 		log.Fatal(err)
 	}

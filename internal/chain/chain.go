@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"onoffchain/internal/state"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/vm"
@@ -52,6 +54,10 @@ type Config struct {
 	// clients observe them with WaitReceipt, never by assuming one is
 	// ready when SendTransaction returns.
 	AutoMine bool
+	// Telemetry, when set, publishes the chain's series (blocks mined,
+	// txs per block, pool depth, mine latency) into the registry. Nil
+	// disables exposition; the per-call cost is a nil check.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig mirrors a developer testnet.
@@ -96,6 +102,14 @@ type Chain struct {
 	logSubs      map[uint64]*LogSubscription
 	blockSubs    map[uint64]*BlockSubscription
 	blockLogSubs map[uint64]*BlockLogSubscription
+
+	// Telemetry series (nil handles are no-ops when Config.Telemetry is
+	// unset).
+	mBlocksMined *telemetry.Counter
+	mTxsAccepted *telemetry.Counter
+	mTxsDropped  *telemetry.Counter
+	hBlockTxs    *telemetry.Histogram
+	hMineSeconds *telemetry.Histogram
 }
 
 // receiptOutcome is what a WaitReceipt waiter learns at mine time: the
@@ -118,6 +132,23 @@ func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 		waiters:      make(map[types.Hash][]chan receiptOutcome),
 		pendingNonce: make(map[types.Address]uint64),
 		now:          1_500_000_000, // arbitrary epoch start
+	}
+	if reg := config.Telemetry; reg != nil {
+		c.mBlocksMined = reg.Counter("chain_blocks_mined_total")
+		c.mTxsAccepted = reg.Counter("chain_txs_accepted_total")
+		c.mTxsDropped = reg.Counter("chain_txs_dropped_total")
+		c.hBlockTxs = reg.Histogram("chain_block_txs", telemetry.SizeBuckets())
+		c.hMineSeconds = reg.Histogram("chain_mine_seconds", telemetry.DurationBuckets())
+		reg.GaugeFunc("chain_pool_depth", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.pending))
+		})
+		reg.GaugeFunc("chain_height", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.blocks[len(c.blocks)-1].Number())
+		})
 	}
 	for addr, balance := range alloc {
 		c.state.SetBalance(addr, balance)
@@ -267,6 +298,7 @@ func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 	// report the stale drop for a transaction that is live in the pool.
 	delete(c.dropped, tx.Hash())
 	c.pendingNonce[sender] = tx.Nonce + 1
+	c.mTxsAccepted.Inc()
 	if c.config.AutoMine {
 		c.mineLocked()
 	} else if c.mineKick != nil && len(c.pending) >= c.mineCap {
@@ -383,6 +415,7 @@ func (c *Chain) validateTx(tx *types.Transaction) error {
 }
 
 func (c *Chain) mineLocked() *types.Block {
+	mineStart := time.Now()
 	parent := c.blocks[len(c.blocks)-1]
 	c.now += c.config.BlockInterval
 	number := parent.Number() + 1
@@ -414,6 +447,7 @@ func (c *Chain) mineLocked() *types.Block {
 			// by-design footprint as the receipts and txs maps.
 			dropErr := fmt.Errorf("%w: %w", ErrTxDropped, err)
 			c.dropped[hash] = dropErr
+			c.mTxsDropped.Inc()
 			c.resolveWaitersLocked(hash, receiptOutcome{err: dropErr})
 			continue
 		}
@@ -452,6 +486,9 @@ func (c *Chain) mineLocked() *types.Block {
 	block := &types.Block{Header: header, Transactions: included, Receipts: receipts}
 	c.appendBlock(block)
 	c.notifySubs(block)
+	c.mBlocksMined.Inc()
+	c.hBlockTxs.Observe(float64(len(included)))
+	c.hMineSeconds.ObserveSince(mineStart)
 	return block
 }
 

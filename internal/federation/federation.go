@@ -44,6 +44,7 @@ import (
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/whisper"
 )
@@ -125,6 +126,15 @@ type Config struct {
 	SignGossip bool
 	// Logf sinks diagnostics (default log.Printf).
 	Logf func(string, ...interface{})
+	// Telemetry, when set, publishes the tower's federation_* series
+	// (labeled with the tower's address so a fleet can share one
+	// registry). Nil keeps a private registry: Metrics() still works,
+	// nothing is exported.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records federation-layer spans (guard adoptions,
+	// dispute intents, escalations) under the gossiped session IDs, so a
+	// session's cross-layer timeline shows fleet activity too.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -247,6 +257,7 @@ func Join(cfg Config) (*Tower, error) {
 	w.SetObserver((*towerObserver)(t))
 	w.SetDisputeGate(t.decide)
 	w.SetDisputeWorkers(t.cfg.DisputeWorkers)
+	w.SetTracer(t.cfg.Tracer)
 	t.tower = w
 	t.ownTower = true
 	t.start()
@@ -288,14 +299,15 @@ func newTower(c Config) (*Tower, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	self := types.Address(cfg.Key.EthereumAddress())
 	t := &Tower{
 		cfg:       cfg,
-		self:      types.Address(cfg.Key.EthereumAddress()),
+		self:      self,
 		node:      cfg.Net.NewNode(cfg.Key),
 		topic:     whisper.TopicFromString("federation/" + cfg.Label),
 		symKey:    whisper.SharedTopicKey("federation/"+cfg.Label, cfg.Members),
 		presence:  whisper.NewPresence(uint64(cfg.HeartbeatEvery.Milliseconds())*uint64(cfg.HeartbeatMisses), wallMillis),
-		metrics:   &metrics{},
+		metrics:   newMetrics(cfg.Telemetry, self.Hex()),
 		ctx:       ctx,
 		cancel:    cancel,
 		splits:    make(map[string]*hybrid.SplitResult),
@@ -309,7 +321,30 @@ func newTower(c Config) (*Tower, error) {
 		stopCh:    make(chan struct{}),
 	}
 	t.journal = &journal{st: cfg.Store, logf: cfg.Logf}
+	if reg := cfg.Telemetry; reg != nil {
+		label := self.Hex()
+		reg.GaugeFunc("federation_live_members", func() float64 {
+			return float64(len(t.AliveMembers()))
+		}, "tower", label)
+		reg.GaugeFunc("federation_guards", func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(len(t.guards))
+		}, "tower", label)
+		cfg.Net.RegisterMetrics(reg)
+	}
 	return t, nil
+}
+
+// sidOf returns the gossiped session ID guarding contract (0 if this
+// tower holds no guard for it), for span attribution.
+func (t *Tower) sidOf(contract types.Address) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if gi := t.guards[contract]; gi != nil && gi.export != nil {
+		return gi.export.SID
+	}
+	return 0
 }
 
 // start re-arms durable state, subscribes to gossip, and launches the
@@ -512,7 +547,7 @@ func (t *Tower) heartbeatLoop() {
 			return
 		case <-tick.C:
 			t.post(&whisper.Gossip{Kind: gossipHeartbeat})
-			t.metrics.add(&t.metrics.heartbeatsSent, 1)
+			t.metrics.heartbeatsSent.Inc()
 			// Re-gossip on a slower cadence than liveness: guard state is
 			// KBs per record and only needs to beat the escalation stagger,
 			// not the heartbeat TTL.
@@ -576,7 +611,7 @@ func (t *Tower) checkDrops() {
 	t.lastDrops = d
 	t.mu.Unlock()
 	if grew {
-		t.metrics.add(&t.metrics.dropWarnings, 1)
+		t.metrics.dropWarnings.Inc()
 		t.cfg.Logf("federation: whisper dropped %d envelope(s) since last check (%d total) — gossip is lossy, heartbeats/guards may be missing", delta, d)
 	}
 }
@@ -607,7 +642,7 @@ func (t *Tower) handleEnvelope(env *whisper.Envelope) {
 	// the member it claims to be — a forged From (group-key holder
 	// impersonating a peer) is dropped here.
 	if t.cfg.SignGossip && !env.Verify() {
-		t.metrics.add(&t.metrics.sigRejected, 1)
+		t.metrics.sigRejected.Inc()
 		t.cfg.Logf("federation: dropped gossip with missing/invalid sender signature claiming %s", env.From.Hex())
 		return
 	}
@@ -624,7 +659,7 @@ func (t *Tower) handleEnvelope(env *whisper.Envelope) {
 	t.presence.Mark(env.From)
 	switch g.Kind {
 	case gossipHeartbeat:
-		t.metrics.add(&t.metrics.heartbeatsSeen, 1)
+		t.metrics.heartbeatsSeen.Inc()
 	case gossipGuard:
 		t.handleGuardGossip(env.From, g)
 	case gossipWindow:
@@ -686,6 +721,7 @@ func (t *Tower) adopt(g *hub.GuardExport, fromBlock uint64, journalIt bool) erro
 		return nil
 	}
 	t.mu.Unlock()
+	adoptStart := time.Now()
 	sess, err := t.rebuild(g)
 	if err != nil {
 		return err
@@ -708,7 +744,8 @@ func (t *Tower) adopt(g *hub.GuardExport, fromBlock uint64, journalIt bool) erro
 	if journalIt {
 		t.journal.log(guardRecord(g))
 	}
-	t.metrics.add(&t.metrics.guardsAdopted, 1)
+	t.metrics.guardsAdopted.Inc()
+	t.cfg.Tracer.Record(g.SID, "federation", "adopt", adoptStart, time.Since(adoptStart), "tower="+t.self.Hex())
 	// The submission may already be on chain (the block raced the
 	// adoption queue): replay the contract's events since the gossip
 	// arrived through the same idempotent handlers as live delivery.
@@ -773,7 +810,7 @@ func (t *Tower) rebuild(g *hub.GuardExport) (*hybrid.Session, error) {
 }
 
 func (t *Tower) handleWindowGossip(from types.Address, g *whisper.Gossip) {
-	t.metrics.add(&t.metrics.windowsMirror, 1)
+	t.metrics.windowsMirror.Inc()
 	t.mu.Lock()
 	if _, ok := t.firstSeen[g.Addr]; !ok {
 		t.firstSeen[g.Addr] = time.Now()
@@ -815,7 +852,7 @@ func (t *Tower) handleWindowGossip(from types.Address, g *whisper.Gossip) {
 }
 
 func (t *Tower) handleIntentGossip(from types.Address, g *whisper.Gossip) {
-	t.metrics.add(&t.metrics.intentsSeen, 1)
+	t.metrics.intentsSeen.Inc()
 	t.mu.Lock()
 	if t.intents[g.Addr] == nil {
 		t.intents[g.Addr] = make(map[types.Address]*rivalIntent)
@@ -859,7 +896,7 @@ func (t *Tower) decide(e *hub.Watch, w hub.Window) (hub.GateDecision, time.Durat
 		// would mean the owner defrauding its own session. A fraudulent
 		// PARTICIPANT never benefits: the owner's verdict differs from the
 		// lie, so no vouch matches and every backup verifies for itself.
-		t.metrics.add(&t.metrics.vouchesHonored, 1)
+		t.metrics.vouchesHonored.Inc()
 		return hub.GateStandDown, 0
 	}
 
@@ -922,9 +959,11 @@ func (t *Tower) electFile(contract types.Address, mySlot int, now time.Time) (hu
 	t.mu.Unlock()
 	if !announced {
 		if mySlot > 0 {
-			t.metrics.add(&t.metrics.escalations, 1)
+			t.metrics.escalations.Inc()
+			t.cfg.Tracer.Event(t.sidOf(contract), "federation", "escalate", fmt.Sprintf("slot=%d tower=%s", mySlot, t.self.Hex()))
 		}
 		t.announceIntent(contract)
+		t.cfg.Tracer.Event(t.sidOf(contract), "federation", "intent_announced", "tower="+t.self.Hex())
 		return hub.GateDefer, t.cfg.ElectionDelay
 	}
 	if d := t.cfg.ElectionDelay - now.Sub(myAt); d > 0 {
@@ -988,7 +1027,7 @@ func (o *towerObserver) Guarded(e *hub.Watch, contract types.Address) {
 	t.mu.Unlock()
 	t.journal.log(guardRecord(export))
 	t.postGuard(export)
-	t.metrics.add(&t.metrics.guardsExported, 1)
+	t.metrics.guardsExported.Inc()
 }
 
 func (t *Tower) postGuard(export *hub.GuardExport) {
@@ -1063,12 +1102,12 @@ func (o *towerObserver) WindowClosed(contract types.Address, byDispute bool) {
 func (o *towerObserver) DisputeClaimed(e *hub.Watch, contract types.Address) {
 	t := o.t()
 	t.announceIntent(contract)
-	t.metrics.add(&t.metrics.disputesFiled, 1)
+	t.metrics.disputesFiled.Inc()
 }
 
 func (o *towerObserver) DisputeFiled(e *hub.Watch, contract types.Address, enforced bool) {
 	if enforced {
-		o.t().metrics.add(&o.t().metrics.disputesWon, 1)
+		o.t().metrics.disputesWon.Inc()
 	}
 }
 

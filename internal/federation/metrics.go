@@ -1,30 +1,48 @@
 package federation
 
-import "sync"
+import "onoffchain/internal/telemetry"
 
-// metrics is the tower's mutex-guarded counter set; Snapshot publishes a
-// consistent copy.
+// metrics is the tower's counter set, backed by a telemetry registry
+// under federation_* series names (labeled with the tower so a fleet
+// sharing one registry keeps distinct series). Without a configured
+// registry the tower keeps a private one — Snapshot always works, only
+// the exposition surface is opt-in.
 type metrics struct {
-	mu sync.Mutex
-
-	heartbeatsSent uint64
-	heartbeatsSeen uint64
-	guardsExported uint64 // own sessions gossiped to the fleet
-	guardsAdopted  uint64 // peers' sessions taken under guard
-	windowsMirror  uint64 // remote window records observed
-	vouchesHonored uint64 // windows stood down on the owner's verdict hint
-	intentsSeen    uint64 // peers' dispute intents received
-	escalations    uint64 // backup filings after the staggered wait
-	disputesFiled  uint64 // disputes this tower claimed and filed
-	disputesWon    uint64 // ... that the chain enforced
-	dropWarnings   uint64 // gossip-loss warnings logged
-	sigRejected    uint64 // signed-gossip mode: envelopes dropped for bad/missing sender signature
+	heartbeatsSent *telemetry.Counter
+	heartbeatsSeen *telemetry.Counter
+	guardsExported *telemetry.Counter // own sessions gossiped to the fleet
+	guardsAdopted  *telemetry.Counter // peers' sessions taken under guard
+	windowsMirror  *telemetry.Counter // remote window records observed
+	vouchesHonored *telemetry.Counter // windows stood down on the owner's verdict hint
+	intentsSeen    *telemetry.Counter // peers' dispute intents received
+	escalations    *telemetry.Counter // backup filings after the staggered wait
+	disputesFiled  *telemetry.Counter // disputes this tower claimed and filed
+	disputesWon    *telemetry.Counter // ... that the chain enforced
+	dropWarnings   *telemetry.Counter // gossip-loss warnings logged
+	sigRejected    *telemetry.Counter // signed-gossip mode: envelopes dropped for bad/missing sender signature
 }
 
-func (m *metrics) add(field *uint64, delta uint64) {
-	m.mu.Lock()
-	*field += delta
-	m.mu.Unlock()
+func newMetrics(reg *telemetry.Registry, tower string) *metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := func(name string) *telemetry.Counter {
+		return reg.Counter(name, "tower", tower)
+	}
+	return &metrics{
+		heartbeatsSent: c("federation_heartbeats_sent_total"),
+		heartbeatsSeen: c("federation_heartbeats_seen_total"),
+		guardsExported: c("federation_guards_exported_total"),
+		guardsAdopted:  c("federation_guards_adopted_total"),
+		windowsMirror:  c("federation_windows_mirrored_total"),
+		vouchesHonored: c("federation_vouches_honored_total"),
+		intentsSeen:    c("federation_intents_seen_total"),
+		escalations:    c("federation_escalations_total"),
+		disputesFiled:  c("federation_disputes_filed_total"),
+		disputesWon:    c("federation_disputes_won_total"),
+		dropWarnings:   c("federation_drop_warnings_total"),
+		sigRejected:    c("federation_sig_rejected_total"),
+	}
 }
 
 // Snapshot is a point-in-time copy of one federation tower's counters.
@@ -50,20 +68,18 @@ type Snapshot struct {
 }
 
 func (m *metrics) snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return Snapshot{
-		HeartbeatsSent: m.heartbeatsSent,
-		HeartbeatsSeen: m.heartbeatsSeen,
-		GuardsExported: m.guardsExported,
-		GuardsAdopted:  m.guardsAdopted,
-		WindowsMirror:  m.windowsMirror,
-		VouchesHonored: m.vouchesHonored,
-		IntentsSeen:    m.intentsSeen,
-		Escalations:    m.escalations,
-		DisputesFiled:  m.disputesFiled,
-		DisputesWon:    m.disputesWon,
-		DropWarnings:   m.dropWarnings,
-		SigRejected:    m.sigRejected,
+		HeartbeatsSent: m.heartbeatsSent.Value(),
+		HeartbeatsSeen: m.heartbeatsSeen.Value(),
+		GuardsExported: m.guardsExported.Value(),
+		GuardsAdopted:  m.guardsAdopted.Value(),
+		WindowsMirror:  m.windowsMirror.Value(),
+		VouchesHonored: m.vouchesHonored.Value(),
+		IntentsSeen:    m.intentsSeen.Value(),
+		Escalations:    m.escalations.Value(),
+		DisputesFiled:  m.disputesFiled.Value(),
+		DisputesWon:    m.disputesWon.Value(),
+		DropWarnings:   m.dropWarnings.Value(),
+		SigRejected:    m.sigRejected.Value(),
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -141,6 +142,16 @@ type Config struct {
 	// the federation uses it to defer to a window's assigned primary
 	// tower and escalate on staggered timeouts.
 	DisputeGate DisputeGate
+	// Telemetry, when set, is the registry the hub publishes its series
+	// into (hub_sessions_*, hub_stage_seconds, hub_queue_depth, ...), so
+	// one /metrics scrape covers every component sharing the registry.
+	// When nil the hub keeps a private registry: Metrics()/Snapshot keep
+	// working, nothing is exported, and no goroutine or listener starts.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records per-session lifecycle spans (hub stages,
+	// whisper exchange, chain submit→receipt, store appends, tower
+	// windows) into its ring. Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // Hub owns a worker pool that runs sessions end-to-end, a watchtower
@@ -166,6 +177,7 @@ type Hub struct {
 
 	tower   *Watchtower
 	metrics *metrics
+	tracer  *telemetry.Tracer
 	journal *journal
 
 	sid     atomic.Uint64 // session ID allocator
@@ -201,7 +213,7 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
-	m := newMetrics()
+	m := newMetrics(cfg.Telemetry)
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Hub{
 		chain:   c,
@@ -211,14 +223,22 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 		ctx:     ctx,
 		cancel:  cancel,
 		metrics: m,
+		tracer:  cfg.Tracer,
 		journal: newJournal(cfg.Store, cfg.CompactEvery, holdCursor),
 		keySeq:  keySeqFloor,
 		splits:  make(map[types.Hash]*hybrid.SplitResult),
 		jobs:    make(chan *Ticket, cfg.QueueDepth),
 	}
+	h.journal.tracer = cfg.Tracer
 	h.faucet.Ctx = ctx
 	h.sid.Store(sidFloor)
+	cfg.Telemetry.GaugeFunc("hub_queue_depth", func() float64 { return float64(len(h.jobs)) })
+	cfg.Telemetry.GaugeFunc("hub_live_sessions", func() float64 { return float64(h.journal.live()) })
+	if net != nil {
+		net.RegisterMetrics(cfg.Telemetry)
+	}
 	h.tower = NewWatchtower(c, m)
+	h.tower.tracer = cfg.Tracer
 	h.tower.journal = h.journal
 	h.tower.SetDisputeWorkers(cfg.DisputeWorkers)
 	h.tower.SetObserver(cfg.Observer)
@@ -308,13 +328,13 @@ func (h *Hub) Submit(spec *Spec) *Ticket {
 		close(t.done)
 		return t
 	}
-	h.metrics.add(&h.metrics.sessionsStarted, 1)
+	h.metrics.sessionsStarted.Inc()
 	if err := h.journal.log(&store.Record{Kind: store.KindAccepted, SID: t.ID, Str: spec.Scenario}); err != nil {
 		// The WAL cannot record the acceptance, so the hub must not
 		// accept: a queued-but-unlogged session would be silently lost by
 		// the next recovery. Fail loudly with the real cause instead.
 		t.report = &Report{ID: t.ID, Scenario: spec.Scenario, Stage: StageFailed, Err: fmt.Errorf("hub: wal: %w", err)}
-		h.metrics.add(&h.metrics.sessionsFailed, 1)
+		h.metrics.sessionsFailed.Inc()
 		close(t.done)
 		return t
 	}
@@ -380,10 +400,10 @@ func (h *Hub) worker(shard *hybrid.Participant) {
 			// Crashed sessions count as neither completed nor failed: the
 			// WAL still carries them and Recover settles the ledger.
 			if t.report.Err == nil {
-				h.metrics.add(&h.metrics.sessionsCompleted, 1)
+				h.metrics.sessionsCompleted.Inc()
 			}
 		} else {
-			h.metrics.add(&h.metrics.sessionsFailed, 1)
+			h.metrics.sessionsFailed.Inc()
 		}
 		close(t.done)
 	}
@@ -515,11 +535,12 @@ func (h *Hub) checkpoint(lc *lifecycle, s Stage) error {
 func (h *Hub) advance(lc *lifecycle, s Stage) bool {
 	d := time.Since(lc.began)
 	if !ValidTransition(lc.rep.Stage, s) {
-		h.metrics.add(&h.metrics.illegalTransitions, 1)
+		h.metrics.illegalTransitions.Inc()
 	}
 	lc.rep.Stage = s
 	lc.rep.Latency[s] = d
 	h.metrics.recordStage(s, d)
+	h.tracer.Record(lc.t.ID, "hub", "stage:"+s.String(), lc.began, d, "")
 	if h.cfg.StageHook != nil && !h.cfg.StageHook(lc.t.ID, s) {
 		return false
 	}
@@ -602,6 +623,12 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 		}
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
 		parties[i].Ctx = h.ctx
+		if h.tracer != nil {
+			sid := t.ID
+			parties[i].Trace = func(name string, start time.Time, dur time.Duration, attrs string) {
+				h.tracer.Record(sid, "chain", name, start, dur, attrs)
+			}
+		}
 		addrs[i] = parties[i].Addr
 		scalars[i] = key.Bytes()
 		maxSeq = seq
@@ -618,9 +645,11 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 	if rep := h.gate(lc, StageDeployed); rep != nil {
 		return rep
 	}
+	fundStart := time.Now()
 	if err := h.fund(shard, addrs, funding); err != nil {
 		return fail(err)
 	}
+	h.tracer.Record(t.ID, "chain", "fund", fundStart, time.Since(fundStart), "")
 	sess, err := hybrid.NewSession(split, parties)
 	if err != nil {
 		return fail(err)
@@ -646,9 +675,11 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 	if rep := h.gate(lc, StageSigned); rep != nil {
 		return rep
 	}
+	exchangeStart := time.Now()
 	if err := sess.SignAndExchange(ctorArgs...); err != nil {
 		return fail(fmt.Errorf("hub: sign/exchange: %w", err))
 	}
+	h.tracer.Record(t.ID, "whisper", "sign_exchange", exchangeStart, time.Since(exchangeStart), "")
 	h.journal.log(&store.Record{Kind: store.KindSigned, SID: t.ID, Blob: sess.Copy.Encode()})
 	if !h.advance(lc, StageSigned) {
 		return h.crashReport(t, StageSigned)

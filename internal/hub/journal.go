@@ -2,8 +2,10 @@ package hub
 
 import (
 	"sync"
+	"time"
 
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 )
 
@@ -63,6 +65,9 @@ type journal struct {
 	// the cursor past blocks of the outage range it has not re-examined,
 	// or a second crash mid-recovery would skip them forever.
 	holdCursor bool
+	// tracer, when set, records one store-layer span per durable append
+	// (reserve through group-commit completion) under the record's SID.
+	tracer *telemetry.Tracer
 }
 
 func newJournal(st *store.Store, compactEvery int, holdCursor bool) *journal {
@@ -103,13 +108,22 @@ func (j *journal) log(rec *store.Record) error {
 		return nil
 	}
 	var wait func() error
+	var appendStart time.Time
 	if j.st != nil {
+		if j.tracer != nil {
+			appendStart = time.Now()
+		}
 		wait = j.st.AppendAsync(rec)
 	}
 	j.applyLocked(rec)
 	j.mu.Unlock()
 	if wait == nil {
 		return nil
+	}
+	if j.tracer != nil && rec.SID != 0 {
+		defer func() {
+			j.tracer.Record(rec.SID, "store", "append:"+rec.Kind.String(), appendStart, time.Since(appendStart), "")
+		}()
 	}
 	if err := wait(); err != nil {
 		j.mu.Lock()

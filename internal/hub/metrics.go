@@ -3,58 +3,71 @@ package hub
 import (
 	"sync"
 	"time"
+
+	"onoffchain/internal/telemetry"
 )
 
-// metrics is the hub's shared, mutex-guarded counter set. Workers and the
-// watchtower record into it; Snapshot() publishes a consistent copy.
+// metrics is the hub's counter set, backed by a telemetry registry so the
+// same numbers appear in Snapshot() and on /metrics without ever being
+// tracked twice. When the hub isn't given a registry it creates a private
+// one: the counters always exist, only the exposition surface is opt-in.
 type metrics struct {
-	mu        sync.Mutex
 	startedAt time.Time
+	reg       *telemetry.Registry
 
-	sessionsStarted   uint64
-	sessionsCompleted uint64
-	sessionsFailed    uint64
-	disputesRaised    uint64
-	disputesWon       uint64
-	disputesDeferred  uint64 // gate deferrals (another tower is primary)
-	submissionsSeen   uint64 // submissions the watchtower examined
+	sessionsStarted   *telemetry.Counter
+	sessionsCompleted *telemetry.Counter
+	sessionsFailed    *telemetry.Counter
+	disputesRaised    *telemetry.Counter
+	disputesWon       *telemetry.Counter
+	disputesDeferred  *telemetry.Counter // gate deferrals (another tower is primary)
+	submissionsSeen   *telemetry.Counter // submissions the watchtower examined
 
-	sessionsRecovered  uint64 // sessions resumed from the WAL by Recover
-	sessionsAbandoned  uint64 // sessions Recover could not safely resume
-	illegalTransitions uint64 // lifecycle moves outside ValidTransition
+	sessionsRecovered  *telemetry.Counter // sessions resumed from the WAL by Recover
+	sessionsAbandoned  *telemetry.Counter // sessions Recover could not safely resume
+	illegalTransitions *telemetry.Counter // lifecycle moves outside ValidTransition
 
-	stages map[Stage]*stageAgg
+	stageMu sync.Mutex
+	stages  map[Stage]*telemetry.Histogram // hub_stage_seconds{stage=...}
 }
 
-type stageAgg struct {
-	count uint64
-	total time.Duration
-	max   time.Duration
+func newMetrics(reg *telemetry.Registry) *metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &metrics{
+		startedAt:          time.Now(),
+		reg:                reg,
+		sessionsStarted:    reg.Counter("hub_sessions_started_total"),
+		sessionsCompleted:  reg.Counter("hub_sessions_completed_total"),
+		sessionsFailed:     reg.Counter("hub_sessions_failed_total"),
+		disputesRaised:     reg.Counter("hub_disputes_raised_total"),
+		disputesWon:        reg.Counter("hub_disputes_won_total"),
+		disputesDeferred:   reg.Counter("hub_disputes_deferred_total"),
+		submissionsSeen:    reg.Counter("hub_submissions_seen_total"),
+		sessionsRecovered:  reg.Counter("hub_sessions_recovered_total"),
+		sessionsAbandoned:  reg.Counter("hub_sessions_abandoned_total"),
+		illegalTransitions: reg.Counter("hub_illegal_transitions_total"),
+		stages:             make(map[Stage]*telemetry.Histogram),
+	}
 }
 
-func newMetrics() *metrics {
-	return &metrics{startedAt: time.Now(), stages: make(map[Stage]*stageAgg)}
+// stageHistogram lazily creates the per-stage latency histogram. Stages
+// are a small fixed set, so the map stops growing after the first few
+// sessions.
+func (m *metrics) stageHistogram(s Stage) *telemetry.Histogram {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	h := m.stages[s]
+	if h == nil {
+		h = m.reg.Histogram("hub_stage_seconds", telemetry.DurationBuckets(), "stage", s.String())
+		m.stages[s] = h
+	}
+	return h
 }
 
 func (m *metrics) recordStage(s Stage, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	agg := m.stages[s]
-	if agg == nil {
-		agg = &stageAgg{}
-		m.stages[s] = agg
-	}
-	agg.count++
-	agg.total += d
-	if d > agg.max {
-		agg.max = d
-	}
-}
-
-func (m *metrics) add(field *uint64, delta uint64) {
-	m.mu.Lock()
-	*field += delta
-	m.mu.Unlock()
+	m.stageHistogram(s).Observe(d.Seconds())
 }
 
 // StageStats summarizes the observed latency of one lifecycle stage.
@@ -80,7 +93,9 @@ type Snapshot struct {
 	SubmissionsSeen  uint64
 	// WhisperDrops is the whisper network's envelope-loss counter (expiry
 	// + backpressure) at snapshot time; growth means gossip — federation
-	// heartbeats included — is being dropped. Filled by Hub.Metrics.
+	// heartbeats included — is being dropped. Both this field and the
+	// federation's drop warnings read the same whisper-owned telemetry
+	// counters, so the two views cannot disagree.
 	WhisperDrops int
 	// SessionsRecovered / SessionsAbandoned count hub.Recover outcomes.
 	SessionsRecovered uint64
@@ -92,32 +107,32 @@ type Snapshot struct {
 }
 
 func (m *metrics) snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	elapsed := time.Since(m.startedAt)
 	snap := Snapshot{
 		Elapsed:            elapsed,
-		SessionsStarted:    m.sessionsStarted,
-		SessionsCompleted:  m.sessionsCompleted,
-		SessionsFailed:     m.sessionsFailed,
-		DisputesRaised:     m.disputesRaised,
-		DisputesWon:        m.disputesWon,
-		DisputesDeferred:   m.disputesDeferred,
-		SubmissionsSeen:    m.submissionsSeen,
-		SessionsRecovered:  m.sessionsRecovered,
-		SessionsAbandoned:  m.sessionsAbandoned,
-		IllegalTransitions: m.illegalTransitions,
-		Stages:             make(map[Stage]StageStats, len(m.stages)),
+		SessionsStarted:    m.sessionsStarted.Value(),
+		SessionsCompleted:  m.sessionsCompleted.Value(),
+		SessionsFailed:     m.sessionsFailed.Value(),
+		DisputesRaised:     m.disputesRaised.Value(),
+		DisputesWon:        m.disputesWon.Value(),
+		DisputesDeferred:   m.disputesDeferred.Value(),
+		SubmissionsSeen:    m.submissionsSeen.Value(),
+		SessionsRecovered:  m.sessionsRecovered.Value(),
+		SessionsAbandoned:  m.sessionsAbandoned.Value(),
+		IllegalTransitions: m.illegalTransitions.Value(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
-		snap.SessionsPerSec = float64(m.sessionsCompleted) / sec
+		snap.SessionsPerSec = float64(snap.SessionsCompleted) / sec
 	}
-	for s, agg := range m.stages {
-		st := StageStats{Count: agg.count, Max: agg.max}
-		if agg.count > 0 {
-			st.Avg = agg.total / time.Duration(agg.count)
+	m.stageMu.Lock()
+	snap.Stages = make(map[Stage]StageStats, len(m.stages))
+	for s, h := range m.stages {
+		st := StageStats{Count: h.Count(), Max: time.Duration(h.Max() * float64(time.Second))}
+		if st.Count > 0 {
+			st.Avg = time.Duration(h.Sum() / float64(st.Count) * float64(time.Second))
 		}
 		snap.Stages[s] = st
 	}
+	m.stageMu.Unlock()
 	return snap
 }

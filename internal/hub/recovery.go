@@ -193,7 +193,7 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 	}
 	var resumables []*resumable
 	abandon := func(ss *sessionState, why string) {
-		h.metrics.add(&h.metrics.sessionsAbandoned, 1)
+		h.metrics.sessionsAbandoned.Inc()
 		// The WAL still holds the parties' keys: return whatever faucet
 		// funding is left in their accounts before closing the session
 		// out. (Partial deposits inside a contract are beyond reach.)
@@ -281,8 +281,8 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 	// Step 5: hand every survivor to the worker pool to finish.
 	for _, r := range resumables {
 		r := r
-		h.metrics.add(&h.metrics.sessionsRecovered, 1)
-		h.metrics.add(&h.metrics.sessionsStarted, 1)
+		h.metrics.sessionsRecovered.Inc()
+		h.metrics.sessionsStarted.Inc()
 		t := &Ticket{ID: r.ss.ID, Spec: r.spec, done: make(chan struct{})}
 		t.run = func(shard *hybrid.Participant) *Report {
 			return h.resumeSession(t, r.ss, r.sess, r.watch)

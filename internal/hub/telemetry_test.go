@@ -1,0 +1,118 @@
+package hub
+
+import (
+	"strings"
+	"testing"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+	"onoffchain/internal/whisper"
+)
+
+// TestSessionTraceCrossLayer is the end-to-end tracing contract: one
+// completed session, driven through a hub with a WAL attached, must leave
+// spans in at least four distinct layers (hub stages, chain transactions,
+// whisper exchange, store appends, tower window) with timestamps that
+// read as a coherent timeline.
+func TestSessionTraceCrossLayer(t *testing.T) {
+	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		types.Address(faucetKey.EthereumAddress()): new(uint256.Int).Mul(uint256.NewInt(1_000_000), uint256.NewInt(1e18)),
+	})
+	net := whisper.NewNetwork(c.Now)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(0)
+	st, err := store.Open(t.TempDir(), store.Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	h := New(c, net, faucetKey, Config{Workers: 2, Telemetry: reg, Tracer: tr, Store: st})
+	rep := h.Submit(BettingSpec(16, 600, false)).Report()
+	if rep.Err != nil {
+		t.Fatalf("session failed: %v", rep.Err)
+	}
+	h.Stop() // drain the journal so every store append span has landed
+
+	spans := tr.SID(rep.ID)
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded for the session")
+	}
+	layers := map[string]int{}
+	for _, s := range spans {
+		layers[s.Layer]++
+	}
+	if len(layers) < 4 {
+		t.Fatalf("spans cover %d layers (%v), want >= 4", len(layers), layers)
+	}
+	for _, l := range []string{"hub", "chain", "whisper", "store", "tower"} {
+		if layers[l] == 0 {
+			t.Errorf("no spans in layer %q (got %v)", l, layers)
+		}
+	}
+
+	// The timeline is monotonic: SID sorts by start time, and every span
+	// must carry a sane start and a non-negative duration.
+	for i, s := range spans {
+		if s.SID != rep.ID {
+			t.Fatalf("span %d belongs to session %d, want %d", i, s.SID, rep.ID)
+		}
+		if s.Start.IsZero() || s.Dur < 0 {
+			t.Errorf("span %d (%s/%s) has start=%v dur=%v", i, s.Layer, s.Name, s.Start, s.Dur)
+		}
+		if i > 0 && s.Start.Before(spans[i-1].Start) {
+			t.Errorf("span %d (%s) starts before span %d (%s): timeline not monotonic",
+				i, s.Name, i-1, spans[i-1].Name)
+		}
+	}
+
+	// The hub's stage spans appear in lifecycle order.
+	wantStages := []string{"stage:split", "stage:deployed", "stage:signed", "stage:executed", "stage:submitted", "stage:settled"}
+	var gotStages []string
+	for _, s := range spans {
+		if s.Layer == "hub" && strings.HasPrefix(s.Name, "stage:") {
+			gotStages = append(gotStages, s.Name)
+		}
+	}
+	if len(gotStages) != len(wantStages) {
+		t.Fatalf("hub stage spans = %v, want %v", gotStages, wantStages)
+	}
+	for i := range wantStages {
+		if gotStages[i] != wantStages[i] {
+			t.Fatalf("stage span order = %v, want %v", gotStages, wantStages)
+		}
+	}
+
+	// The per-layer rollup accounts real time in the layers that do work.
+	rollup := tr.Layers(rep.ID)
+	for _, l := range []string{"hub", "chain"} {
+		if rollup[l] <= 0 {
+			t.Errorf("layer %q rolled up %v of work, want > 0", l, rollup[l])
+		}
+	}
+}
+
+// TestTraceDisabledIsNoOp pins the zero-cost-when-off contract: a hub
+// without a tracer or registry must run a full session without creating
+// any telemetry state (nil handles all the way down).
+func TestTraceDisabledIsNoOp(t *testing.T) {
+	h, _ := newTestHub(t, 2)
+	rep := h.Submit(BettingSpec(16, 600, false)).Report()
+	if rep.Err != nil {
+		t.Fatalf("session failed: %v", rep.Err)
+	}
+	if h.tracer != nil {
+		t.Fatal("hub grew a tracer without one configured")
+	}
+	var tr *telemetry.Tracer
+	if got := tr.SID(rep.ID); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+}

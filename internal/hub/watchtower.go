@@ -8,6 +8,7 @@ import (
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 )
 
@@ -37,7 +38,8 @@ type Watchtower struct {
 	sub     *chain.BlockLogSubscription
 	filter  *chain.AddressSet // guarded contracts; gates log delivery chain-side
 	metrics *metrics
-	journal *journal // set by the hub; nil for a standalone tower
+	tracer  *telemetry.Tracer // set by the hub (or SetTracer); nil: no spans
+	journal *journal          // set by the hub; nil for a standalone tower
 	wg      sync.WaitGroup
 
 	// observer mirrors guard events to the federation layer; gate
@@ -143,7 +145,7 @@ type Window struct {
 // standalone towers) pass nil.
 func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 	if m == nil {
-		m = newMetrics()
+		m = newMetrics(nil)
 	}
 	// The tower subscribes at the chain's filter layer: only logs of
 	// guarded contracts (a live, per-tower address set) with lifecycle
@@ -178,6 +180,11 @@ func (w *Watchtower) SetObserver(obs TowerObserver) { w.observer = obs }
 // SetDisputeGate installs the filing arbiter. Must be called before any
 // session is guarded.
 func (w *Watchtower) SetDisputeGate(g DisputeGate) { w.gate = g }
+
+// SetTracer installs a span recorder for tower-layer events (windows
+// opened, settlements, dispute filings). Must be called before any
+// session is guarded; standalone federation towers use it.
+func (w *Watchtower) SetTracer(tr *telemetry.Tracer) { w.tracer = tr }
 
 // SetDisputeWorkers bounds the concurrent verify-and-file worker set
 // (default 4). Must be called before any session is guarded.
@@ -536,6 +543,9 @@ func (w *Watchtower) onSettled(e *Watch, addr types.Address, byDispute bool) {
 	delete(w.entries, addr)
 	w.mu.Unlock()
 	w.filter.Remove(addr) // settled for good: stop receiving its logs
+	if first && w.tracer != nil && e.id != 0 {
+		w.tracer.Event(e.id, "tower", "settled", fmt.Sprintf("by_dispute=%t", byDispute))
+	}
 	if first && w.observer != nil {
 		w.observer.WindowClosed(addr, byDispute)
 	}
@@ -548,7 +558,7 @@ func (w *Watchtower) onSubmission(e *Watch, l *types.Log) {
 	if err != nil {
 		return
 	}
-	w.metrics.add(&w.metrics.submissionsSeen, 1)
+	w.metrics.submissionsSeen.Inc()
 	period := e.sess.Split.Policy.ChallengePeriod
 	w.examine(e, ev.Result, ev.At, ev.At+period, ev.Submitter)
 }
@@ -586,6 +596,9 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 		e.pending = true
 	}
 	e.mu.Unlock()
+	if w.tracer != nil && e.id != 0 {
+		w.tracer.Event(e.id, "tower", "window_open", fmt.Sprintf("result=%d deadline=%d", result, deadline))
+	}
 	if w.journal != nil && e.id != 0 {
 		w.journal.log(&store.Record{
 			Kind: store.KindWindow, SID: e.id,
@@ -653,7 +666,7 @@ func (w *Watchtower) driveDispute(e *Watch) {
 		case GateStandDown:
 			return
 		case GateDefer:
-			w.metrics.add(&w.metrics.disputesDeferred, 1)
+			w.metrics.disputesDeferred.Inc()
 			if retry <= 0 {
 				retry = 10 * time.Millisecond
 			}
@@ -726,7 +739,8 @@ func (w *Watchtower) fileDispute(e *Watch, win Window) {
 	// now, while the window is provably still open. The dispute deploys
 	// the verified instance from the signed copy and has the miners
 	// recompute and enforce the true result.
-	w.metrics.add(&w.metrics.disputesRaised, 1)
+	w.metrics.disputesRaised.Inc()
+	disputeStart := time.Now()
 	if w.journal != nil && e.id != 0 {
 		w.journal.log(&store.Record{Kind: store.KindDisputed, SID: e.id})
 	}
@@ -743,11 +757,14 @@ func (w *Watchtower) fileDispute(e *Watch, win Window) {
 	settled, err := e.sess.IsSettled()
 	enforced := err == nil && settled
 	if enforced {
-		w.metrics.add(&w.metrics.disputesWon, 1)
+		w.metrics.disputesWon.Inc()
 		e.mu.Lock()
 		e.disputeWon = true
 		e.mu.Unlock()
 		w.onSettled(e, e.sess.OnChainAddr, true)
+	}
+	if w.tracer != nil && e.id != 0 {
+		w.tracer.Record(e.id, "tower", "dispute", disputeStart, time.Since(disputeStart), fmt.Sprintf("enforced=%t", enforced))
 	}
 	if w.observer != nil {
 		w.observer.DisputeFiled(e, e.sess.OnChainAddr, enforced)

@@ -3,6 +3,7 @@ package hybrid
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/lang"
@@ -24,6 +25,11 @@ type Participant struct {
 	// so workers blocked on a batch-mined receipt wake up when the hub
 	// dies instead of waiting for a block that may never come.
 	Ctx context.Context
+	// Trace, when set, receives one completed span per on-chain round
+	// trip this participant performs (submission through mined receipt).
+	// The hub binds it to the owning session's ID so chain time shows up
+	// in that session's cross-layer timeline.
+	Trace func(name string, start time.Time, dur time.Duration, attrs string)
 }
 
 // NewParticipant wires a key to the chain and the off-chain network.
@@ -73,11 +79,20 @@ func (p *Participant) SendTxAsync(to *types.Address, value *uint256.Int, gas uin
 // faucet refills) funnels through here, so no call site ever assumes a
 // receipt is synchronously available after SendTransaction.
 func (p *Participant) submitAndWait(to *types.Address, value *uint256.Int, gas uint64, data []byte) (*types.Receipt, error) {
+	start := time.Now()
 	hash, err := p.SendTxAsync(to, value, gas, data)
 	if err != nil {
 		return nil, err
 	}
-	return p.Chain.WaitReceipt(p.ctx(), hash)
+	r, err := p.Chain.WaitReceipt(p.ctx(), hash)
+	if p.Trace != nil {
+		name := "tx"
+		if to == nil {
+			name = "deploy"
+		}
+		p.Trace(name, start, time.Since(start), "")
+	}
+	return r, err
 }
 
 // SendTx signs and submits a transaction, then waits for its receipt
@@ -131,7 +146,12 @@ func (p *Participant) InvokeAsync(cc *lang.CompiledContract, at types.Address, v
 // WaitReceipt resolves a previously submitted transaction under the
 // participant's context.
 func (p *Participant) WaitReceipt(hash types.Hash) (*types.Receipt, error) {
-	return p.Chain.WaitReceipt(p.ctx(), hash)
+	start := time.Now()
+	r, err := p.Chain.WaitReceipt(p.ctx(), hash)
+	if p.Trace != nil {
+		p.Trace("wait_receipt", start, time.Since(start), "")
+	}
+	return r, err
 }
 
 // Query performs a read-only call and decodes the single return value.

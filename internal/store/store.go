@@ -11,6 +11,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"onoffchain/internal/telemetry"
 )
 
 // On-disk layout of one record frame:
@@ -63,6 +66,10 @@ type Options struct {
 	// the page cache survives. Turn it on when the failure domain is the
 	// whole machine.
 	Sync bool
+	// Telemetry, when set, publishes the WAL's series (append/fsync
+	// latency, group-commit batch size, bytes written, rotations). Nil
+	// disables exposition at no per-append cost beyond a nil check.
+	Telemetry *telemetry.Registry
 }
 
 // Store is an append-only WAL with snapshot compaction. Safe for
@@ -83,6 +90,14 @@ type Store struct {
 	qmu     sync.Mutex
 	queue   []*appendReq
 	writing bool
+
+	// Telemetry series (nil handles are no-ops when Options.Telemetry is
+	// unset).
+	hAppend    *telemetry.Histogram // store_append_seconds: one write(2)
+	hFsync     *telemetry.Histogram // store_fsync_seconds
+	hBatch     *telemetry.Histogram // store_batch_frames: group-commit size
+	mBytes     *telemetry.Counter   // store_bytes_total
+	mRotations *telemetry.Counter   // store_rotations_total
 }
 
 // appendReq is one queued frame awaiting group commit.
@@ -113,6 +128,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		next = snaps[n-1] + 1
 	}
 	s := &Store{dir: dir, opts: opts}
+	if reg := opts.Telemetry; reg != nil {
+		s.hAppend = reg.Histogram("store_append_seconds", telemetry.DurationBuckets())
+		s.hFsync = reg.Histogram("store_fsync_seconds", telemetry.DurationBuckets())
+		s.hBatch = reg.Histogram("store_batch_frames", telemetry.SizeBuckets())
+		s.mBytes = reg.Counter("store_bytes_total")
+		s.mRotations = reg.Counter("store_rotations_total")
+	}
 	if err := s.openSegment(next); err != nil {
 		return nil, err
 	}
@@ -269,19 +291,26 @@ func (s *Store) writeBatch(batch []*appendReq) error {
 		s.failed = err
 		return err
 	}
+	writeStart := time.Now()
 	if _, err := s.f.Write(buf); err != nil {
 		return fail(fmt.Errorf("store: append: %w", err))
 	}
+	s.hAppend.ObserveSince(writeStart)
+	s.hBatch.Observe(float64(len(batch)))
+	s.mBytes.Add(uint64(len(buf)))
 	s.size += int64(len(buf))
 	if s.opts.Sync {
+		syncStart := time.Now()
 		if err := s.f.Sync(); err != nil {
 			return fail(fmt.Errorf("store: sync: %w", err))
 		}
+		s.hFsync.ObserveSince(syncStart)
 	}
 	if s.size >= s.opts.SegmentSize {
 		if err := s.rotateLocked(); err != nil {
 			return fail(err)
 		}
+		s.mRotations.Inc()
 	}
 	return nil
 }

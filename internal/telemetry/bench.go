@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// BenchRecord is one benchmark result row in BENCH.json: enough to plot a
+// perf trajectory across commits without re-parsing `go test -bench`
+// output. Config carries the experiment axes (sessions, mining, towers,
+// wal, gossip...), Metrics the scalar results (sessions_per_sec, blocks,
+// allocs_per_session), Quantiles per-histogram latency quantiles.
+type BenchRecord struct {
+	Name      string                        `json:"name"`
+	GitRev    string                        `json:"git_rev"`
+	When      string                        `json:"when"`
+	Config    map[string]any                `json:"config,omitempty"`
+	Metrics   map[string]float64            `json:"metrics,omitempty"`
+	Quantiles map[string]map[string]float64 `json:"quantiles,omitempty"`
+}
+
+var gitRevOnce struct {
+	sync.Once
+	rev string
+}
+
+// GitRev returns the short git revision of the working tree, or "unknown"
+// outside a repository. The lookup shells out once and is cached.
+func GitRev() string {
+	gitRevOnce.Do(func() {
+		gitRevOnce.rev = "unknown"
+		out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err == nil {
+			if s := strings.TrimSpace(string(out)); s != "" {
+				gitRevOnce.rev = s
+			}
+		}
+	})
+	return gitRevOnce.rev
+}
+
+// QuantileMap extracts the standard quantile set from a histogram for a
+// BenchRecord.
+func QuantileMap(h *Histogram) map[string]float64 {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	return map[string]float64{
+		"p50": h.Quantile(0.50),
+		"p90": h.Quantile(0.90),
+		"p99": h.Quantile(0.99),
+		"max": h.Max(),
+	}
+}
+
+// AppendBenchJSON appends records to the JSON array in path, creating the
+// file if needed. The file stays a single well-formed array so downstream
+// tooling can `json.Unmarshal` the whole history.
+func AppendBenchJSON(path string, recs ...BenchRecord) error {
+	var all []BenchRecord
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &all); err != nil {
+			return err
+		}
+	}
+	all = append(all, recs...)
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

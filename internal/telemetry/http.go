@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NewMux builds the telemetry HTTP surface:
+//
+//	/metrics           Prometheus text exposition of the registry
+//	/healthz           liveness probe ("ok")
+//	/debug/trace/{sid} JSON span timeline for one session
+//	/debug/pprof/*     the standard runtime profiles
+//	/debug/vars        expvar
+//
+// reg and tr may each be nil; the endpoints degrade to empty output.
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		sid, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad session id", http.StatusBadRequest)
+			return
+		}
+		spans := tr.SID(sid)
+		w.Header().Set("Content-Type", "application/json")
+		type line struct {
+			SID   uint64 `json:"sid"`
+			Layer string `json:"layer"`
+			Name  string `json:"name"`
+			Start string `json:"start"`
+			DurUS int64  `json:"dur_us"`
+			Attrs string `json:"attrs,omitempty"`
+		}
+		out := struct {
+			SID   uint64 `json:"sid"`
+			Spans []line `json:"spans"`
+		}{SID: sid, Spans: make([]line, 0, len(spans))}
+		for _, s := range spans {
+			out.Spans = append(out.Spans, line{
+				SID:   s.SID,
+				Layer: s.Layer,
+				Name:  s.Name,
+				Start: s.Start.Format(time.RFC3339Nano),
+				DurUS: s.Dur.Microseconds(),
+				Attrs: s.Attrs,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Server is a running telemetry listener.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the telemetry surface on addr (e.g. ":6060"). Telemetry is
+// opt-in: nothing listens unless this is called. The returned server is
+// already accepting; Close to stop.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg, tr)}
+	go srv.Serve(ln)
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches ReadMemStats so a scrape touching several runtime
+// gauges stops the world once, not once per series. Samples are taken at
+// scrape time only — registering runtime metrics starts no goroutine.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+func (rs *runtimeSampler) stats() *runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.last) > 250*time.Millisecond {
+		runtime.ReadMemStats(&rs.ms)
+		rs.last = time.Now()
+	}
+	return &rs.ms
+}
+
+// RegisterRuntimeMetrics adds process-level gauges (goroutines, heap,
+// GC pauses) evaluated lazily at scrape time.
+func (r *Registry) RegisterRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	rs := &runtimeSampler{}
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 { return float64(rs.stats().HeapAlloc) })
+	r.GaugeFunc("go_heap_objects", func() float64 { return float64(rs.stats().HeapObjects) })
+	r.GaugeFunc("go_gc_pause_total_seconds", func() float64 { return float64(rs.stats().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("go_gc_runs_total", func() float64 { return float64(rs.stats().NumGC) })
+	r.GaugeFunc("go_total_alloc_bytes", func() float64 { return float64(rs.stats().TotalAlloc) })
+}

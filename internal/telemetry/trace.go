@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a session's lifecycle, attributed to a
+// layer ("hub", "whisper", "chain", "store", "tower", "federation"). An
+// event is a span with zero duration. Attrs is a small free-form note
+// ("kind=signed", "tx=0xab..".) — a string, not a map, to keep recording
+// allocation-light.
+type Span struct {
+	SID   uint64        `json:"sid"`
+	Layer string        `json:"layer"`
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	Attrs string        `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a fixed-size ring: old spans are overwritten,
+// never freed, so a long-running hub holds a bounded trailing window of
+// activity. All methods are nil-safe; a nil tracer records nothing.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	n    uint64 // total spans ever recorded
+}
+
+// DefaultTraceCapacity holds roughly the last few hundred sessions' worth
+// of spans at ~15 spans per session.
+const DefaultTraceCapacity = 8192
+
+// NewTracer creates a tracer holding the most recent capacity spans
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record appends a completed span. The write is a single slot store under
+// the tracer lock, so concurrent recorders never tear a span across
+// fields.
+func (t *Tracer) Record(sid uint64, layer, name string, start time.Time, dur time.Duration, attrs string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = Span{SID: sid, Layer: layer, Name: name, Start: start, Dur: dur, Attrs: attrs}
+	t.n++
+	t.mu.Unlock()
+}
+
+// Event records a point-in-time occurrence (zero duration) stamped now.
+func (t *Tracer) Event(sid uint64, layer, name, attrs string) {
+	if t == nil {
+		return
+	}
+	t.Record(sid, layer, name, time.Now(), 0, attrs)
+}
+
+// SID returns every retained span for the session, oldest first (by start
+// time, then recording order). The result is a copy.
+func (t *Tracer) SID(sid uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []Span
+	size := uint64(len(t.ring))
+	lo := uint64(0)
+	if t.n > size {
+		lo = t.n - size
+	}
+	for i := lo; i < t.n; i++ {
+		if s := t.ring[i%size]; s.SID == sid {
+			out = append(out, s)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Total returns how many spans have ever been recorded (including ones
+// the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Capacity returns the ring size (0 for a nil tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Layers summarises retained spans for a session: total recorded duration
+// per layer, in span-start order of first appearance. Useful for "where
+// did session X spend its time" at a glance.
+func (t *Tracer) Layers(sid uint64) map[string]time.Duration {
+	spans := t.SID(sid)
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	for _, s := range spans {
+		out[s.Layer] += s.Dur
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordAndQuery(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	tr.Record(7, "hub", "stage:split", base, time.Millisecond, "")
+	tr.Record(7, "chain", "tx", base.Add(time.Millisecond), 2*time.Millisecond, "kind=deploy")
+	tr.Record(8, "hub", "stage:split", base, time.Millisecond, "")
+	tr.Record(7, "tower", "settled", base.Add(3*time.Millisecond), 0, "")
+	tr.Event(9, "tower", "settled", "")
+	if ev := tr.SID(9); len(ev) != 1 || ev[0].Dur != 0 || ev[0].Start.IsZero() {
+		t.Fatalf("event span wrong: %+v", ev)
+	}
+
+	spans := tr.SID(7)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans for sid 7, want 3", len(spans))
+	}
+	if spans[0].Layer != "hub" || spans[1].Layer != "chain" {
+		t.Fatalf("spans out of order: %+v", spans)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatal("spans must come back start-ordered")
+		}
+	}
+	layers := tr.Layers(7)
+	if layers["chain"] != 2*time.Millisecond || layers["hub"] != time.Millisecond {
+		t.Fatalf("layer rollup wrong: %v", layers)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	if tr.Capacity() != 16 {
+		t.Fatalf("capacity = %d, want 16", tr.Capacity())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, "hub", "x", time.Now(), 0, "")
+	tr.Event(1, "hub", "x", "")
+	if tr.SID(1) != nil || tr.Total() != 0 || tr.Capacity() != 0 || tr.Layers(1) != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if got := NewTracer(0).Capacity(); got != DefaultTraceCapacity {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultTraceCapacity)
+	}
+}
+
+// TestTracerTornRing hammers a tiny ring from many goroutines, forcing
+// constant wraparound, then checks that no retained span is torn: every
+// field of a span must be internally consistent with the writer that
+// produced it.
+func TestTracerTornRing(t *testing.T) {
+	tr := NewTracer(32)
+	const writers = 8
+	const perWriter = 2000
+	base := time.Unix(1700000000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Encode writer+seq redundantly in every field so a torn
+				// write (fields from two different records) is detectable.
+				seq := uint64(w*perWriter + i)
+				tr.Record(seq, fmt.Sprintf("layer-%d", seq%5), fmt.Sprintf("name-%d", seq),
+					base.Add(time.Duration(seq)), time.Duration(seq%97), fmt.Sprintf("attr-%d", seq))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", tr.Total(), writers*perWriter)
+	}
+	// Inspect every retained slot via SID lookups across the whole space.
+	checked := 0
+	for sid := uint64(0); sid < writers*perWriter; sid++ {
+		for _, s := range tr.SID(sid) {
+			if s.Layer != fmt.Sprintf("layer-%d", sid%5) ||
+				s.Name != fmt.Sprintf("name-%d", sid) ||
+				s.Attrs != fmt.Sprintf("attr-%d", sid) ||
+				!s.Start.Equal(base.Add(time.Duration(sid))) ||
+				s.Dur != time.Duration(sid%97) {
+				t.Fatalf("torn span for sid %d: %+v", sid, s)
+			}
+			checked++
+		}
+	}
+	if checked != 32 {
+		t.Fatalf("retained spans = %d, want ring capacity 32", checked)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 )
 
@@ -64,14 +65,18 @@ func (e *Envelope) Verify() bool {
 }
 
 // Network is an in-process message hub connecting nodes, standing in for
-// the Whisper DHT/gossip overlay.
+// the Whisper DHT/gossip overlay. Loss tallies are telemetry counters the
+// network owns outright: Drops(), DropStats(), the hub's Snapshot and any
+// registry they are registered into (RegisterMetrics) all read the same
+// atomics, so no two views of whisper loss can ever disagree.
 type Network struct {
 	mu           sync.Mutex
 	subs         map[Topic][]*subscription
 	now          func() uint64
-	drops        int // expired envelopes dropped
-	backpressure int // envelopes dropped on a full subscriber buffer
-	partitioned  int // envelopes withheld by the link filter
+	posts        *telemetry.Counter // envelopes posted
+	drops        *telemetry.Counter // expired envelopes dropped
+	backpressure *telemetry.Counter // envelopes dropped on a full subscriber buffer
+	partitioned  *telemetry.Counter // envelopes withheld by the link filter
 	// linkFilter, when set, decides whether an envelope from one node may
 	// reach another (tests use it to simulate network partitions). nil
 	// means full connectivity.
@@ -89,7 +94,34 @@ func NewNetwork(clock func() uint64) *Network {
 	if clock == nil {
 		clock = func() uint64 { return 0 }
 	}
-	return &Network{subs: make(map[Topic][]*subscription), now: clock}
+	return &Network{
+		subs:         make(map[Topic][]*subscription),
+		now:          clock,
+		posts:        telemetry.NewCounter(),
+		drops:        telemetry.NewCounter(),
+		backpressure: telemetry.NewCounter(),
+		partitioned:  telemetry.NewCounter(),
+	}
+}
+
+// RegisterMetrics exposes the network's counters in a registry under
+// whisper_* series names. The counters themselves stay owned by the
+// network — registration adds a view, never a second tally — so calling
+// this for several registries (hub's, a standalone tower's) is fine. A
+// nil registry is ignored.
+func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(n.posts, "whisper_posts_total")
+	reg.RegisterCounter(n.drops, "whisper_dropped_total", "reason", "expired")
+	reg.RegisterCounter(n.backpressure, "whisper_dropped_total", "reason", "backpressure")
+	reg.RegisterCounter(n.partitioned, "whisper_partitioned_total")
+	reg.GaugeFunc("whisper_topics", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.subs))
+	})
 }
 
 // Drops reports how many envelopes were lost before delivery, for any
@@ -97,9 +129,7 @@ func NewNetwork(clock func() uint64) *Network {
 // about gossip health (the federation's heartbeat loop) should watch this
 // counter grow; DropStats breaks it down.
 func (n *Network) Drops() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.drops + n.backpressure
+	return int(n.drops.Value() + n.backpressure.Value())
 }
 
 // DropStats breaks the loss counter down: envelopes dropped because they
@@ -108,9 +138,7 @@ func (n *Network) Drops() int {
 // Envelopes withheld by a link filter (simulated partitions) are counted
 // separately and are NOT losses.
 func (n *Network) DropStats() (expired, backpressure int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.drops, n.backpressure
+	return int(n.drops.Value()), int(n.backpressure.Value())
 }
 
 // SetLinkFilter installs (or, with nil, removes) a delivery predicate:
@@ -213,21 +241,22 @@ func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, 
 		env.SigV, env.SigR, env.SigS = sig.V, sig.R, sig.S
 	}
 
+	nd.network.posts.Inc()
 	nd.network.mu.Lock()
 	defer nd.network.mu.Unlock()
 	if env.Expiry != 0 && nd.network.now() > env.Expiry {
-		nd.network.drops++
+		nd.network.drops.Inc()
 		return env, nil
 	}
 	for _, sub := range nd.network.subs[topic] {
 		if nd.network.linkFilter != nil && !nd.network.linkFilter(env.From, sub.node.address) {
-			nd.network.partitioned++
+			nd.network.partitioned.Inc()
 			continue
 		}
 		select {
 		case sub.ch <- env:
 		default: // lossy delivery under backpressure
-			nd.network.backpressure++
+			nd.network.backpressure.Inc()
 		}
 	}
 	return env, nil

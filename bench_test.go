@@ -208,13 +208,13 @@ func BenchmarkHubThroughput(b *testing.B) {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 1, false, false)
+				benchHubThroughput(b, n, mining, "serial", false, 1, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, true, 1, false, false)
+				benchHubThroughput(b, n, mining, "serial", true, 1, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 3, false, false)
+				benchHubThroughput(b, n, mining, "serial", false, 3, false, false)
 			})
 			// The signed-gossip leg: every fleet envelope (heartbeats,
 			// guard exports, window mirrors, intents) carries a secp256k1
@@ -222,7 +222,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// curve. Ran at the full matrix to show heartbeat-rate
 			// signing no longer taxes hub throughput.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off/gossip=signed", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 3, true, false)
+				benchHubThroughput(b, n, mining, "serial", false, 3, true, false)
 			})
 			// The telemetry leg: same fleet with a shared metrics registry
 			// and span tracer attached to every layer. Compare sessions/sec
@@ -230,15 +230,28 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// 5% (the hot path adds only atomic increments and one ring slot
 			// per lifecycle edge); see DESIGN.md §10.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, false, 1, false, true)
+				benchHubThroughput(b, n, mining, "serial", false, 1, false, true)
 			})
 		}
+		// The exec axis: batch-mined blocks executed by the optimistic
+		// parallel engine (chain.ExecParallel). Only meaningful under batch
+		// mining — AutoMine blocks hold one transaction, and a width-1 batch
+		// falls back to the serial engine anyway. Compare sessions/sec and
+		// the parallel_reexec_rate metric against the exec=serial twin; the
+		// speedup scales with cores (the Config.cores field in BENCH.json
+		// records what the host offered).
+		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel", n), func(b *testing.B) {
+			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, false)
+		})
+		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel/telemetry=on", n), func(b *testing.B) {
+			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, true)
+		})
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining string, wal bool, towers int, signGossip, telem bool) {
+func benchHubThroughput(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, wal, towers, signGossip, telem)
+		hubThroughputIteration(b, n, mining, exec, wal, towers, signGossip, telem)
 	}
 }
 
@@ -266,7 +279,11 @@ func BenchmarkHubThroughputProfile(b *testing.B) {
 	if mining == "" {
 		mining = "auto"
 	}
-	benchHubThroughput(b, n, mining, os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
+	exec := os.Getenv("ONOFFCHAIN_PROFILE_EXEC")
+	if exec == "" {
+		exec = "serial"
+	}
+	benchHubThroughput(b, n, mining, exec, os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
 		os.Getenv("ONOFFCHAIN_PROFILE_GOSSIP") == "signed", os.Getenv("ONOFFCHAIN_PROFILE_TELEMETRY") == "on")
 }
 
@@ -288,7 +305,7 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers int, signGossip, telem bool) {
+func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem bool) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
@@ -312,6 +329,9 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 	ccfg.Telemetry = reg
 	if mining == "batch" {
 		ccfg.AutoMine = false
+	}
+	if exec == "parallel" {
+		ccfg.Exec = chain.ExecParallel // workers default to GOMAXPROCS
 	}
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		faucetAddr: new(uint256.Int).Mul(uint256.NewInt(100_000_000), uint256.NewInt(1e18)),
@@ -443,6 +463,26 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 		if qm := telemetry.QuantileMap(reg.Histogram("chain_mine_seconds", telemetry.DurationBuckets())); qm != nil {
 			quantiles["chain_mine_seconds"] = qm
 		}
+		if qm := telemetry.QuantileMap(reg.Histogram("chain_exec_seconds", telemetry.DurationBuckets(), "exec", exec)); qm != nil {
+			quantiles["chain_exec_seconds"] = qm
+		}
+		metrics := map[string]float64{
+			"sessions_per_sec":   float64(n) / elapsed.Seconds(),
+			"blocks":             float64(c.Height()),
+			"disputes_won":       float64(m.DisputesWon),
+			"allocs_per_session": allocsPerSession,
+		}
+		if exec == "parallel" {
+			// The conflict cost of optimism: what fraction of speculatively
+			// executed transactions had to be re-run serially at commit.
+			parTxs := reg.Counter("chain_parallel_txs_total").Value()
+			reexec := reg.Counter("chain_parallel_reexec_total").Value()
+			metrics["parallel_txs"] = float64(parTxs)
+			metrics["parallel_reexec"] = float64(reexec)
+			if parTxs > 0 {
+				metrics["parallel_reexec_rate"] = float64(reexec) / float64(parTxs)
+			}
+		}
 		rec := telemetry.BenchRecord{
 			Name:   b.Name(),
 			GitRev: telemetry.GitRev(),
@@ -450,13 +490,9 @@ func hubThroughputIteration(b *testing.B, n int, mining string, wal bool, towers
 			Config: map[string]any{
 				"sessions": n, "mining": mining, "wal": wal,
 				"towers": towers, "gossip_signed": signGossip, "telemetry": telem,
+				"exec": exec, "cores": runtime.GOMAXPROCS(0),
 			},
-			Metrics: map[string]float64{
-				"sessions_per_sec":   float64(n) / elapsed.Seconds(),
-				"blocks":             float64(c.Height()),
-				"disputes_won":       float64(m.DisputesWon),
-				"allocs_per_session": allocsPerSession,
-			},
+			Metrics:   metrics,
 			Quantiles: quantiles,
 		}
 		if err := telemetry.AppendBenchJSON(benchJSON, rec); err != nil {

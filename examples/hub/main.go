@@ -46,10 +46,29 @@ type obs struct {
 	tr  *telemetry.Tracer
 }
 
+// execPolicy is the -exec flag mapped to a chain config value; every act's
+// chain is built with it. Parallel execution only changes anything for the
+// batch-mining act (AutoMine blocks hold one transaction, and width-1
+// batches fall back to the serial engine), but applying it everywhere keeps
+// the demo honest about "same results under either engine".
+var execPolicy chain.ExecPolicy
+
+func applyExec(ccfg *chain.Config) {
+	ccfg.Exec = execPolicy
+}
+
 func main() {
 	towers := flag.Int("towers", 3, "federation size for the tower-federation act (1 disables it)")
+	execMode := flag.String("exec", "serial", `block execution engine: "serial" or "parallel" (multi-core optimistic scheduling; identical blocks either way)`)
 	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060); serves /metrics, /healthz, /debug/trace/{sid}, /debug/pprof/* and keeps the process alive after the demos for scraping")
 	flag.Parse()
+	switch *execMode {
+	case "serial":
+	case "parallel":
+		execPolicy = chain.ExecParallel
+	default:
+		log.Fatalf("unknown -exec mode %q (want serial or parallel)", *execMode)
+	}
 
 	var o obs
 	if *telemetryAddr != "" {
@@ -71,6 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ccfg := chain.DefaultConfig()
+	applyExec(&ccfg)
 	ccfg.Telemetry = o.reg
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
@@ -165,6 +185,7 @@ func main() {
 func federationDemo(faucetKey *secp256k1.PrivateKey, towers int, o obs) {
 	fmt.Printf("\n--- tower federation: %d towers, primary killed mid-window, backup disputes ---\n", towers)
 	ccfg := chain.DefaultConfig()
+	applyExec(&ccfg)
 	ccfg.Telemetry = o.reg
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
@@ -263,6 +284,7 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int, o obs) {
 func batchMiningDemo(faucetKey *secp256k1.PrivateKey, o obs) {
 	fmt.Println("\n--- batch mining: one block per many sessions, receipts via WaitReceipt ---")
 	ccfg := chain.DefaultConfig()
+	applyExec(&ccfg)
 	ccfg.AutoMine = false // batch policy: pool transactions, let the driver seal
 	ccfg.Telemetry = o.reg
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{

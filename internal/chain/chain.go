@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,21 @@ var (
 	ErrTxDropped = errors.New("chain: transaction dropped at execution")
 )
 
+// ExecPolicy selects the block-execution engine.
+type ExecPolicy string
+
+const (
+	// ExecSerial executes a block's transactions one after another — the
+	// reference engine and the default.
+	ExecSerial ExecPolicy = "serial"
+	// ExecParallel executes a block's transactions concurrently on forked
+	// states with optimistic read/write-set scheduling, committing in
+	// canonical order and re-executing serially any transaction whose
+	// footprint overlaps an earlier transaction's writes. Bit-identical to
+	// ExecSerial by construction (see parallel.go and DESIGN.md §11).
+	ExecParallel ExecPolicy = "parallel"
+)
+
 // Config tunes chain behaviour.
 type Config struct {
 	// GasLimit is the per-block gas limit.
@@ -45,6 +61,17 @@ type Config struct {
 	Coinbase types.Address
 	// BlockInterval is the simulated seconds between blocks.
 	BlockInterval uint64
+	// Exec selects the block-execution engine: ExecSerial (the default,
+	// also chosen by the empty string) or ExecParallel. Serial and
+	// parallel execution produce byte-identical blocks — state root,
+	// receipts, logs and gas — which the differential harness in
+	// parallel_diff_test.go pins.
+	Exec ExecPolicy
+	// ExecWorkers bounds the speculative execution pool of ExecParallel
+	// (default GOMAXPROCS). Values above the core count are honoured —
+	// useful for wringing schedule variety out of race tests on small
+	// hosts.
+	ExecWorkers int
 	// AutoMine, when true, mines a block after every accepted transaction
 	// (dev-chain behaviour): the degenerate mining policy of one
 	// transaction per block, applied synchronously inside SendTransaction.
@@ -103,13 +130,34 @@ type Chain struct {
 	blockSubs    map[uint64]*BlockSubscription
 	blockLogSubs map[uint64]*BlockLogSubscription
 
+	// In-memory log index (see appendBlock/filterIndexedLocked): every
+	// mined log, keyed by emitting address, in chain order. LogCursor
+	// resumes and address-filtered FilterLogs queries walk only their
+	// matching logs instead of scanning every receipt of every block.
+	logIndex   map[types.Address][]indexedLog
+	logSeq     uint64 // global chain-order sequence for cross-address merges
+	logScanned uint64 // blocks walked by the fallback full-scan path
+	logIndexed uint64 // queries served by the index
+
 	// Telemetry series (nil handles are no-ops when Config.Telemetry is
 	// unset).
-	mBlocksMined *telemetry.Counter
-	mTxsAccepted *telemetry.Counter
-	mTxsDropped  *telemetry.Counter
-	hBlockTxs    *telemetry.Histogram
-	hMineSeconds *telemetry.Histogram
+	mBlocksMined  *telemetry.Counter
+	mTxsAccepted  *telemetry.Counter
+	mTxsDropped   *telemetry.Counter
+	hBlockTxs     *telemetry.Histogram
+	hMineSeconds  *telemetry.Histogram
+	mParTxs       *telemetry.Counter
+	mParReexec    *telemetry.Counter
+	hParWidth     *telemetry.Histogram
+	hExecSerial   *telemetry.Histogram
+	hExecParallel *telemetry.Histogram
+}
+
+// indexedLog is one log's position in the per-address index.
+type indexedLog struct {
+	block uint64
+	seq   uint64
+	log   *types.Log
 }
 
 // receiptOutcome is what a WaitReceipt waiter learns at mine time: the
@@ -131,6 +179,7 @@ func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 		dropped:      make(map[types.Hash]error),
 		waiters:      make(map[types.Hash][]chan receiptOutcome),
 		pendingNonce: make(map[types.Address]uint64),
+		logIndex:     make(map[types.Address][]indexedLog),
 		now:          1_500_000_000, // arbitrary epoch start
 	}
 	if reg := config.Telemetry; reg != nil {
@@ -139,6 +188,11 @@ func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 		c.mTxsDropped = reg.Counter("chain_txs_dropped_total")
 		c.hBlockTxs = reg.Histogram("chain_block_txs", telemetry.SizeBuckets())
 		c.hMineSeconds = reg.Histogram("chain_mine_seconds", telemetry.DurationBuckets())
+		c.mParTxs = reg.Counter("chain_parallel_txs_total")
+		c.mParReexec = reg.Counter("chain_parallel_reexec_total")
+		c.hParWidth = reg.Histogram("chain_parallel_batch_width", telemetry.SizeBuckets())
+		c.hExecSerial = reg.Histogram("chain_exec_seconds", telemetry.DurationBuckets(), "exec", "serial")
+		c.hExecParallel = reg.Histogram("chain_exec_seconds", telemetry.DurationBuckets(), "exec", "parallel")
 		reg.GaugeFunc("chain_pool_depth", func() float64 {
 			c.mu.Lock()
 			defer c.mu.Unlock()
@@ -177,6 +231,16 @@ func NewDefault(alloc map[types.Address]*uint256.Int) *Chain {
 func (c *Chain) appendBlock(b *types.Block) {
 	c.blocks = append(c.blocks, b)
 	c.byHash[b.Hash()] = b
+	// Index the block's logs by emitting address, in chain order. The seq
+	// stamp lets multi-address queries merge per-address runs back into
+	// exactly the order a full receipt scan would produce.
+	for _, r := range b.Receipts {
+		for _, l := range r.Logs {
+			c.logSeq++
+			c.logIndex[l.Address] = append(c.logIndex[l.Address],
+				indexedLog{block: b.Number(), seq: c.logSeq, log: l})
+		}
+	}
 }
 
 // Now returns the current simulated time.
@@ -428,36 +492,21 @@ func (c *Chain) mineLocked() *types.Block {
 	}
 
 	var (
-		receipts   []*types.Receipt
-		included   []*types.Transaction
-		cumulative uint64
+		receipts []*types.Receipt
+		included []*types.Transaction
 	)
-	for _, tx := range batch {
-		hash := tx.Hash()
-		delete(c.pendingSet, hash)
-		receipt, err := c.applyTransaction(tx, number, uint(len(included)))
-		if err != nil {
-			// Invalid at execution time (e.g. balance consumed by an
-			// earlier transaction in the same block): drop it, and resolve
-			// any receipt waiter with the distinct dropped error so nobody
-			// blocks forever on a transaction that will never mine. Both
-			// errors stay unwrappable: errors.Is sees ErrTxDropped AND the
-			// execution-time cause. The drop ledger is retained for the
-			// chain's lifetime so late waiters fail fast — same unbounded-
-			// by-design footprint as the receipts and txs maps.
-			dropErr := fmt.Errorf("%w: %w", ErrTxDropped, err)
-			c.dropped[hash] = dropErr
-			c.mTxsDropped.Inc()
-			c.resolveWaitersLocked(hash, receiptOutcome{err: dropErr})
-			continue
-		}
+	execStart := time.Now()
+	if c.config.Exec == ExecParallel && len(batch) > 1 {
+		included, receipts = c.executeParallelLocked(batch, number)
+		c.hExecParallel.ObserveSince(execStart)
+	} else {
+		included, receipts = c.executeSerialLocked(batch, number)
+		c.hExecSerial.ObserveSince(execStart)
+	}
+	var cumulative uint64
+	for _, receipt := range receipts {
 		cumulative += receipt.GasUsed
 		receipt.CumulativeGasUsed = cumulative
-		receipts = append(receipts, receipt)
-		included = append(included, tx)
-		c.receipts[hash] = receipt
-		c.txs[hash] = tx
-		c.resolveWaitersLocked(hash, receiptOutcome{receipt: receipt})
 	}
 	leftover := c.pending[len(batch):]
 	c.pending = append([]*types.Transaction(nil), leftover...)
@@ -492,6 +541,46 @@ func (c *Chain) mineLocked() *types.Block {
 	return block
 }
 
+// executeSerialLocked is the reference block-execution engine: every
+// transaction of the batch applied one after another against the canonical
+// state, in pool order.
+func (c *Chain) executeSerialLocked(batch []*types.Transaction, number uint64) ([]*types.Transaction, []*types.Receipt) {
+	var (
+		receipts []*types.Receipt
+		included []*types.Transaction
+	)
+	for _, tx := range batch {
+		hash := tx.Hash()
+		delete(c.pendingSet, hash)
+		receipt, err := c.applyTransaction(tx, number, uint(len(included)))
+		if err != nil {
+			c.dropTxLocked(hash, err)
+			continue
+		}
+		receipts = append(receipts, receipt)
+		included = append(included, tx)
+		c.receipts[hash] = receipt
+		c.txs[hash] = tx
+		c.resolveWaitersLocked(hash, receiptOutcome{receipt: receipt})
+	}
+	return included, receipts
+}
+
+// dropTxLocked records a transaction invalid at execution time (e.g. its
+// balance was consumed by an earlier transaction in the same block) and
+// resolves any receipt waiter with the distinct dropped error so nobody
+// blocks forever on a transaction that will never mine. Both errors stay
+// unwrappable: errors.Is sees ErrTxDropped AND the execution-time cause.
+// The drop ledger is retained for the chain's lifetime so late waiters
+// fail fast — same unbounded-by-design footprint as the receipts and txs
+// maps.
+func (c *Chain) dropTxLocked(hash types.Hash, err error) {
+	dropErr := fmt.Errorf("%w: %w", ErrTxDropped, err)
+	c.dropped[hash] = dropErr
+	c.mTxsDropped.Inc()
+	c.resolveWaitersLocked(hash, receiptOutcome{err: dropErr})
+}
+
 func (c *Chain) blockContext(number, timestamp uint64) vm.BlockContext {
 	return vm.BlockContext{
 		Coinbase: c.config.Coinbase,
@@ -507,16 +596,29 @@ func (c *Chain) blockContext(number, timestamp uint64) vm.BlockContext {
 	}
 }
 
-// applyTransaction runs one transaction against the current state.
+// applyTransaction runs one transaction against the canonical state.
 func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIndex uint) (*types.Receipt, error) {
+	return c.applyTransactionOn(c.state, tx, blockNumber, c.now, txIndex, true)
+}
+
+// applyTransactionOn runs one transaction against st — the canonical state
+// for serial execution and conflict re-execution, a recording fork for the
+// speculative phase of the parallel engine. creditCoinbase=false defers
+// the miner's fee: speculative runs must keep the coinbase account out of
+// their write sets (every transaction pays a fee, so recording it would
+// serialize the whole block), and the committer applies the fee to the
+// canonical state in commit order instead. A transaction that reads the
+// coinbase for any other reason still records that access and is re-run
+// serially by the scheduler.
+func (c *Chain) applyTransactionOn(st *state.StateDB, tx *types.Transaction, blockNumber, timestamp uint64, txIndex uint, creditCoinbase bool) (*types.Receipt, error) {
 	sender, err := tx.Sender()
 	if err != nil {
 		return nil, err
 	}
-	if c.state.GetNonce(sender) != tx.Nonce {
+	if st.GetNonce(sender) != tx.Nonce {
 		return nil, ErrNonceTooLow
 	}
-	if c.state.GetBalance(sender).Lt(tx.Cost()) {
+	if st.GetBalance(sender).Lt(tx.Cost()) {
 		return nil, ErrInsufficientFunds
 	}
 	intrinsic := vm.IntrinsicGas(tx.Data, tx.IsContractCreation())
@@ -527,13 +629,13 @@ func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIn
 	// Buy gas up front.
 	upfront := new(uint256.Int).SetUint64(tx.Gas)
 	upfront.Mul(upfront, tx.GasPrice)
-	c.state.SubBalance(sender, upfront)
+	st.SubBalance(sender, upfront)
 
-	c.state.SetTxContext(tx.Hash(), txIndex, blockNumber)
-	evm := vm.NewEVM(c.blockContext(blockNumber, c.now), vm.TxContext{
+	st.SetTxContext(tx.Hash(), txIndex, blockNumber)
+	evm := vm.NewEVM(c.blockContext(blockNumber, timestamp), vm.TxContext{
 		Origin:   sender,
 		GasPrice: tx.GasPrice,
-	}, c.state)
+	}, st)
 
 	gas := tx.Gas - intrinsic
 	var (
@@ -545,13 +647,13 @@ func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIn
 	if tx.IsContractCreation() {
 		ret, contractAddr, leftover, execErr = evm.Create(sender, tx.Data, gas, tx.Value)
 	} else {
-		c.state.SetNonce(sender, tx.Nonce+1)
+		st.SetNonce(sender, tx.Nonce+1)
 		ret, leftover, execErr = evm.Call(sender, *tx.To, tx.Data, gas, tx.Value)
 	}
 
 	gasUsed := tx.Gas - leftover
 	// Apply refund counter, capped at half the gas used (pre-London).
-	refund := c.state.GetRefund()
+	refund := st.GetRefund()
 	if max := gasUsed / vm.RefundQuotient; refund > max {
 		refund = max
 	}
@@ -561,16 +663,18 @@ func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIn
 	// Return unused gas, pay the miner.
 	back := new(uint256.Int).SetUint64(leftover)
 	back.Mul(back, tx.GasPrice)
-	c.state.AddBalance(sender, back)
-	fee := new(uint256.Int).SetUint64(gasUsed)
-	fee.Mul(fee, tx.GasPrice)
-	c.state.AddBalance(c.config.Coinbase, fee)
+	st.AddBalance(sender, back)
+	if creditCoinbase {
+		fee := new(uint256.Int).SetUint64(gasUsed)
+		fee.Mul(fee, tx.GasPrice)
+		st.AddBalance(c.config.Coinbase, fee)
+	}
 
 	receipt := &types.Receipt{
 		Status:  types.ReceiptStatusSuccessful,
 		GasUsed: gasUsed,
 		TxHash:  tx.Hash(),
-		Logs:    c.state.TakeLogs(),
+		Logs:    st.TakeLogs(),
 	}
 	if execErr != nil {
 		receipt.Status = types.ReceiptStatusFailed
@@ -585,7 +689,7 @@ func (c *Chain) applyTransaction(tx *types.Transaction, blockNumber uint64, txIn
 	for _, l := range receipt.Logs {
 		receipt.Bloom.AddLog(l)
 	}
-	c.state.Finalise()
+	st.Finalise()
 	return receipt, nil
 }
 
@@ -645,7 +749,12 @@ type FilterQuery struct {
 	Topics []types.Hash
 }
 
-// FilterLogs scans mined blocks for matching logs.
+// FilterLogs returns mined logs matching q. Address-selective queries
+// (Address or AddressIn set) are served from the in-memory per-address log
+// index — O(matching logs + log n), not O(blocks) — which is what makes a
+// LogCursor resume cheap: previously every watchtower recovery replay
+// re-walked every receipt of every block in range. Queries with no address
+// selector still fall back to the full scan.
 func (c *Chain) FilterLogs(q FilterQuery) []*types.Log {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -653,6 +762,14 @@ func (c *Chain) FilterLogs(q FilterQuery) []*types.Log {
 	if to == 0 || to >= uint64(len(c.blocks)) {
 		to = uint64(len(c.blocks)) - 1
 	}
+	if q.FromBlock > to {
+		return nil
+	}
+	if addrs, ok := queryAddresses(&q); ok {
+		c.logIndexed++
+		return c.filterIndexedLocked(&q, addrs, q.FromBlock, to)
+	}
+	c.logScanned += to - q.FromBlock + 1
 	var out []*types.Log
 	for n := q.FromBlock; n <= to; n++ {
 		for _, r := range c.blocks[n].Receipts {
@@ -664,6 +781,58 @@ func (c *Chain) FilterLogs(q FilterQuery) []*types.Log {
 		}
 	}
 	return out
+}
+
+// queryAddresses extracts the candidate address list of an
+// address-selective query (ok=false for queries that need a full scan).
+// The indexed path re-applies matchLog to every candidate log, so
+// returning the tighter of Address/AddressIn is purely a pruning choice.
+func queryAddresses(q *FilterQuery) ([]types.Address, bool) {
+	if q.Address != nil {
+		return []types.Address{*q.Address}, true
+	}
+	if q.AddressIn != nil {
+		return q.AddressIn.Snapshot(), true
+	}
+	return nil, false
+}
+
+// filterIndexedLocked serves an address-selective query from the log
+// index: binary-search each address's run for the block range, then merge
+// the per-address runs by their global sequence stamps so the result order
+// is exactly what the full receipt scan would produce.
+func (c *Chain) filterIndexedLocked(q *FilterQuery, addrs []types.Address, from, to uint64) []*types.Log {
+	var hits []indexedLog
+	for _, addr := range addrs {
+		list := c.logIndex[addr]
+		i := sort.Search(len(list), func(i int) bool { return list[i].block >= from })
+		for ; i < len(list) && list[i].block <= to; i++ {
+			if matchLog(q, list[i].log) {
+				hits = append(hits, list[i])
+			}
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	if len(addrs) > 1 {
+		sort.Slice(hits, func(i, j int) bool { return hits[i].seq < hits[j].seq })
+	}
+	out := make([]*types.Log, len(hits))
+	for i := range hits {
+		out[i] = hits[i].log
+	}
+	return out
+}
+
+// LogScanStats reports how FilterLogs queries have been served since the
+// chain started: blocks walked by the fallback full-scan path, and queries
+// answered entirely from the per-address log index. The log-index test
+// pins the LogCursor-resume fix with it.
+func (c *Chain) LogScanStats() (scannedBlocks, indexedQueries uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logScanned, c.logIndexed
 }
 
 // GasLimit returns the per-block gas limit.

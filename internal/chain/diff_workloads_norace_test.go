@@ -1,0 +1,9 @@
+//go:build !race
+
+package chain
+
+// defaultDiffWorkloads sizes the determinism harness in the normal build;
+// the race build (diff_workloads_race_test.go) runs fewer because the race
+// runtime slows each workload ~10x. Override either with
+// ONOFFCHAIN_DETERMINISM_WORKLOADS.
+const defaultDiffWorkloads = 1000

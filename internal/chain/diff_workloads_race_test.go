@@ -1,0 +1,7 @@
+//go:build race
+
+package chain
+
+// Race builds trade workload count for the schedule-perturbing coverage of
+// the race runtime; the full 1000 run in the normal build.
+const defaultDiffWorkloads = 120

@@ -1,0 +1,110 @@
+package chain
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+// BenchmarkParallelBlockExec measures the block EXECUTION engines head to
+// head, without the hub/whisper layers around them: one pooling chain, one
+// pre-signed batch of transactions per iteration, one MineBlock call. The
+// workload axis covers the two extremes of the conflict spectrum —
+// "disjoint" (every transfer touches its own accounts; the parallel engine
+// merges every speculative result) and "contended" (every transaction
+// increments one of two storage slots of a single contract; roughly half
+// the batch re-executes serially at commit). On a single-core host the
+// parallel legs mostly measure scheduling overhead; the speedup headline
+// needs >= 4 cores (cores are reported as a metric).
+func BenchmarkParallelBlockExec(b *testing.B) {
+	for _, txs := range []int{64, 512} {
+		for _, workload := range []string{"disjoint", "contended"} {
+			b.Run(fmt.Sprintf("txs=%d/%s/exec=serial", txs, workload), func(b *testing.B) {
+				benchBlockExec(b, txs, workload, ExecSerial)
+			})
+			b.Run(fmt.Sprintf("txs=%d/%s/exec=parallel", txs, workload), func(b *testing.B) {
+				benchBlockExec(b, txs, workload, ExecParallel)
+			})
+		}
+	}
+}
+
+func benchBlockExec(b *testing.B, txs int, workload string, exec ExecPolicy) {
+	accounts := make([]account, txs)
+	sinks := make([]types.Address, txs)
+	alloc := map[types.Address]*uint256.Int{}
+	for i := range accounts {
+		accounts[i] = newAccount(int64(50_000 + i))
+		alloc[accounts[i].addr] = eth(1_000_000)
+		// Pure recipients: in the disjoint workload no sink is ever a
+		// sender, so no two transactions share a single account.
+		sinks[i] = types.BytesToAddress([]byte{0x51, byte(i >> 8), byte(i)})
+	}
+	cfg := DefaultConfig()
+	cfg.AutoMine = false
+	cfg.Exec = exec
+	c := New(cfg, alloc)
+
+	var contract types.Address
+	if workload == "contended" {
+		deploy := types.NewContractCreation(0, nil, 300_000, uint256.NewInt(1), deployInit(counterRuntime))
+		if err := deploy.Sign(accounts[0].key); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.SendTransaction(deploy); err != nil {
+			b.Fatal(err)
+		}
+		c.MineBlock()
+		r, err := c.Receipt(deploy.Hash())
+		if err != nil {
+			b.Fatal(err)
+		}
+		contract = r.ContractAddress
+	}
+
+	// Pre-sign every iteration's batch outside the timer: signing costs
+	// would otherwise dwarf execution, and the sender-recovery cache must
+	// start cold each round (fresh transaction objects).
+	nonce := make([]uint64, txs)
+	if workload == "contended" {
+		nonce[0] = 1 // the deploy above
+	}
+	batches := make([][]*types.Transaction, b.N)
+	for i := range batches {
+		batch := make([]*types.Transaction, txs)
+		for j := range batch {
+			var tx *types.Transaction
+			if workload == "contended" {
+				var data [32]byte
+				data[31] = byte(j % 2)
+				tx = types.NewTransaction(nonce[j], contract, nil, 200_000, uint256.NewInt(1), data[:])
+			} else {
+				tx = types.NewTransaction(nonce[j], sinks[j], eth(1), 21000, uint256.NewInt(1), nil)
+			}
+			if err := tx.Sign(accounts[j].key); err != nil {
+				b.Fatal(err)
+			}
+			nonce[j]++
+			batch[j] = tx
+		}
+		batches[i] = batch
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tx := range batches[i] {
+			if _, err := c.SendTransaction(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if blk := c.MineBlock(); len(blk.Transactions) != txs {
+			b.Fatalf("included %d txs, want %d", len(blk.Transactions), txs)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ReportMetric(float64(txs)*float64(b.N)/b.Elapsed().Seconds(), "txs/sec")
+}

@@ -229,6 +229,19 @@ func (s *AddressSet) Len() int {
 	return len(s.m)
 }
 
+// Snapshot returns the current members, in unspecified order. The chain's
+// indexed FilterLogs path uses it to enumerate candidate per-address index
+// runs for an AddressIn query.
+func (s *AddressSet) Snapshot() []types.Address {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]types.Address, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	return out
+}
+
 // matchLog applies the Address/AddressIn/Topic/Topics selectors of a
 // FilterQuery.
 func matchLog(q *FilterQuery, l *types.Log) bool {

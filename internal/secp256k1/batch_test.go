@@ -1,0 +1,105 @@
+package secp256k1
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSqr256MatchesMul256: the specialized squaring must produce the
+// identical raw 512-bit product as the generic schoolbook path, before any
+// reduction — random limbs plus all-ones/zero boundary patterns.
+func TestSqr256MatchesMul256(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(x [4]uint64) {
+		var viaMul, viaSqr [8]uint64
+		mul256(&viaMul, &x, &x)
+		sqr256(&viaSqr, &x)
+		if viaMul != viaSqr {
+			t.Fatalf("sqr256(%x) = %x, mul256 says %x", x, viaSqr, viaMul)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		check([4]uint64{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()})
+	}
+	ones := ^uint64(0)
+	specials := []uint64{0, 1, 2, ones, ones - 1, 1 << 63, (1 << 63) - 1}
+	for _, a := range specials {
+		for _, b := range specials {
+			check([4]uint64{a, b, a, b})
+			check([4]uint64{a, 0, 0, b})
+			check([4]uint64{ones, a, b, ones})
+		}
+	}
+}
+
+// TestRecoverAddressesBatch: positional results match the serial path, and
+// a corrupt job yields its own error without poisoning its neighbours.
+func TestRecoverAddressesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 17
+	jobs := make([]RecoverJob, n)
+	want := make([][20]byte, n)
+	for i := 0; i < n; i++ {
+		key, err := PrivateKeyFromScalar(ScalarFromUint64(uint64(1000 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash := randBytes32(rng)
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = RecoverJob{Hash: hash, R: sig.R, S: sig.S, V: sig.V}
+		want[i] = key.EthereumAddress()
+	}
+	// Sabotage one job in the middle.
+	bad := 8
+	jobs[bad].R = Scalar{} // zero r is always invalid
+
+	for _, workers := range []int{0, 1, 3, 32} {
+		addrs, errs := RecoverAddresses(jobs, workers)
+		for i := 0; i < n; i++ {
+			if i == bad {
+				if errs[i] == nil {
+					t.Fatalf("workers=%d: sabotaged job %d recovered", workers, i)
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: job %d failed: %v", workers, i, errs[i])
+			}
+			if addrs[i] != want[i] {
+				t.Fatalf("workers=%d: job %d recovered %x, want %x", workers, i, addrs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestVerifyBatch: positional verification across pool sizes, including a
+// deliberately wrong signature.
+func TestVerifyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 9
+	jobs := make([]VerifyJob, n)
+	for i := 0; i < n; i++ {
+		key, err := PrivateKeyFromScalar(ScalarFromUint64(uint64(2000 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash := randBytes32(rng)
+		sig, err := Sign(key, hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = VerifyJob{Pub: &key.PublicKey, Hash: hash, R: sig.R, S: sig.S}
+	}
+	jobs[4].Hash[0] ^= 0xFF // tampered message
+	for _, workers := range []int{1, 4, 16} {
+		ok := VerifyBatch(jobs, workers)
+		for i := range ok {
+			if want := i != 4; ok[i] != want {
+				t.Fatalf("workers=%d: job %d verified=%v, want %v", workers, i, ok[i], want)
+			}
+		}
+	}
+}

@@ -93,6 +93,13 @@ type StateDB struct {
 	codes   map[types.Hash][]byte
 	objects map[types.Address]*stateObject
 
+	// fallbackCodes is a read-only parent code store consulted on misses
+	// (set by ForkRecording so concurrent forks never write the shared
+	// map); rec, when non-nil, captures the read/write footprint of the
+	// running transaction (see access.go).
+	fallbackCodes map[types.Hash][]byte
+	rec           *Access
+
 	root types.Hash // root as of the last Commit
 
 	// dirties are accounts mutated since the last Commit. Commit flushes
@@ -176,23 +183,27 @@ func (s *StateDB) appendJournal(addr types.Address, revert func(*StateDB)) {
 
 // Exist reports whether the account exists (even if empty).
 func (s *StateDB) Exist(addr types.Address) bool {
+	s.recordAccountRead(addr)
 	return s.getObject(addr) != nil
 }
 
 // Empty reports whether the account is non-existent or empty per EIP-161.
 func (s *StateDB) Empty(addr types.Address) bool {
+	s.recordAccountRead(addr)
 	obj := s.getObject(addr)
 	return obj == nil || obj.empty()
 }
 
 // CreateAccount explicitly creates an account (contract deployment target).
 func (s *StateDB) CreateAccount(addr types.Address) {
+	s.recordAccountWrite(addr, wCreated)
 	obj := s.getOrCreateObject(addr)
 	obj.created = true
 }
 
 // GetBalance returns the account balance (zero for missing accounts).
 func (s *StateDB) GetBalance(addr types.Address) *uint256.Int {
+	s.recordAccountRead(addr)
 	if obj := s.getObject(addr); obj != nil {
 		return obj.account.Balance.Clone()
 	}
@@ -201,6 +212,7 @@ func (s *StateDB) GetBalance(addr types.Address) *uint256.Int {
 
 // AddBalance credits the account.
 func (s *StateDB) AddBalance(addr types.Address, amount *uint256.Int) {
+	s.recordAccountWrite(addr, wBalance)
 	obj := s.getOrCreateObject(addr)
 	prev := obj.account.Balance.Clone()
 	s.appendJournal(addr, func(*StateDB) { obj.account.Balance = prev })
@@ -209,6 +221,7 @@ func (s *StateDB) AddBalance(addr types.Address, amount *uint256.Int) {
 
 // SubBalance debits the account (caller must check sufficiency).
 func (s *StateDB) SubBalance(addr types.Address, amount *uint256.Int) {
+	s.recordAccountWrite(addr, wBalance)
 	obj := s.getOrCreateObject(addr)
 	prev := obj.account.Balance.Clone()
 	s.appendJournal(addr, func(*StateDB) { obj.account.Balance = prev })
@@ -217,6 +230,7 @@ func (s *StateDB) SubBalance(addr types.Address, amount *uint256.Int) {
 
 // SetBalance forces a balance (used by genesis allocation and tests).
 func (s *StateDB) SetBalance(addr types.Address, amount *uint256.Int) {
+	s.recordAccountWrite(addr, wBalance)
 	obj := s.getOrCreateObject(addr)
 	prev := obj.account.Balance.Clone()
 	s.appendJournal(addr, func(*StateDB) { obj.account.Balance = prev })
@@ -225,6 +239,7 @@ func (s *StateDB) SetBalance(addr types.Address, amount *uint256.Int) {
 
 // GetNonce returns the account nonce.
 func (s *StateDB) GetNonce(addr types.Address) uint64 {
+	s.recordAccountRead(addr)
 	if obj := s.getObject(addr); obj != nil {
 		return obj.account.Nonce
 	}
@@ -233,6 +248,7 @@ func (s *StateDB) GetNonce(addr types.Address) uint64 {
 
 // SetNonce sets the account nonce.
 func (s *StateDB) SetNonce(addr types.Address, nonce uint64) {
+	s.recordAccountWrite(addr, wNonce)
 	obj := s.getOrCreateObject(addr)
 	prev := obj.account.Nonce
 	s.appendJournal(addr, func(*StateDB) { obj.account.Nonce = prev })
@@ -241,6 +257,7 @@ func (s *StateDB) SetNonce(addr types.Address, nonce uint64) {
 
 // GetCode returns the contract code.
 func (s *StateDB) GetCode(addr types.Address) []byte {
+	s.recordAccountRead(addr)
 	obj := s.getObject(addr)
 	if obj == nil {
 		return nil
@@ -251,13 +268,17 @@ func (s *StateDB) GetCode(addr types.Address) []byte {
 	if obj.account.CodeHash == types.EmptyCodeHash {
 		return nil
 	}
-	code := s.codes[obj.account.CodeHash]
+	code, ok := s.codes[obj.account.CodeHash]
+	if !ok && s.fallbackCodes != nil {
+		code = s.fallbackCodes[obj.account.CodeHash]
+	}
 	obj.code = code
 	return code
 }
 
 // GetCodeHash returns the code hash (zero hash for missing accounts).
 func (s *StateDB) GetCodeHash(addr types.Address) types.Hash {
+	s.recordAccountRead(addr)
 	obj := s.getObject(addr)
 	if obj == nil {
 		return types.Hash{}
@@ -272,6 +293,7 @@ func (s *StateDB) GetCodeSize(addr types.Address) int {
 
 // SetCode installs contract code.
 func (s *StateDB) SetCode(addr types.Address, code []byte) {
+	s.recordAccountWrite(addr, wCode)
 	obj := s.getOrCreateObject(addr)
 	prevHash, prevCode := obj.account.CodeHash, obj.code
 	s.appendJournal(addr, func(*StateDB) {
@@ -285,6 +307,7 @@ func (s *StateDB) SetCode(addr types.Address, code []byte) {
 
 // GetState reads a storage slot.
 func (s *StateDB) GetState(addr types.Address, key types.Hash) types.Hash {
+	s.recordSlotRead(addr, key)
 	obj := s.getObject(addr)
 	if obj == nil {
 		return types.Hash{}
@@ -298,6 +321,7 @@ func (s *StateDB) GetState(addr types.Address, key types.Hash) types.Hash {
 // GetCommittedState reads the slot value as of the last commit (the
 // "original" value used by SSTORE refund rules).
 func (s *StateDB) GetCommittedState(addr types.Address, key types.Hash) types.Hash {
+	s.recordSlotRead(addr, key)
 	obj := s.getObject(addr)
 	if obj == nil {
 		return types.Hash{}
@@ -327,6 +351,7 @@ func (s *StateDB) committedState(obj *stateObject, key types.Hash) types.Hash {
 
 // SetState writes a storage slot.
 func (s *StateDB) SetState(addr types.Address, key, value types.Hash) {
+	s.recordSlotWrite(addr, key)
 	obj := s.getOrCreateObject(addr)
 	prev, hadPrev := obj.storage[key]
 	s.appendJournal(addr, func(*StateDB) {
@@ -341,6 +366,7 @@ func (s *StateDB) SetState(addr types.Address, key, value types.Hash) {
 
 // SelfDestruct marks the contract for deletion and zeroes its balance.
 func (s *StateDB) SelfDestruct(addr types.Address) {
+	s.recordAccountWrite(addr, wDestroyed|wBalance)
 	obj := s.getObject(addr)
 	if obj == nil {
 		return
@@ -357,6 +383,7 @@ func (s *StateDB) SelfDestruct(addr types.Address) {
 
 // HasSelfDestructed reports whether the account is marked for deletion.
 func (s *StateDB) HasSelfDestructed(addr types.Address) bool {
+	s.recordAccountRead(addr)
 	obj := s.getObject(addr)
 	return obj != nil && obj.selfDestructed
 }
@@ -538,6 +565,9 @@ func (s *StateDB) Copy() *StateDB {
 	}
 	for addr := range s.dirties {
 		cp.dirties[addr] = struct{}{}
+	}
+	for h, code := range s.fallbackCodes {
+		cp.codes[h] = code
 	}
 	for h, code := range s.codes {
 		cp.codes[h] = code

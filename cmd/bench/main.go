@@ -11,13 +11,17 @@
 //	bench -exp participants
 //	bench -exp deposit
 //	bench -exp all -json BENCH.json   # append machine-readable records
+//	bench -compare BENCH.json         # diff latest records against the previous revision
+//	bench -compare BENCH.json -baseline 7c34d2d
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,11 +42,118 @@ func parseRounds(s string) ([]uint64, error) {
 	return out, nil
 }
 
+// configKey renders a record's config axes canonically (sorted keys) so
+// records of the same experiment row pair up across revisions.
+func configKey(cfg map[string]any) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, cfg[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// compare diffs the latest BENCH.json records of the newest revision in
+// the file against those of a baseline revision (the previous distinct
+// revision when the flag is empty), printing per-metric deltas.
+func compare(path, baseline string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var recs []telemetry.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s holds no records", path)
+	}
+	// The file is append-only, so "newest" is positional: the last record's
+	// revision is current, and the last revision before the current block
+	// started is the default baseline.
+	current := recs[len(recs)-1].GitRev
+	if baseline == "" {
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].GitRev != current {
+				baseline = recs[i].GitRev
+				break
+			}
+		}
+		if baseline == "" {
+			return fmt.Errorf("only one revision (%s) in %s; pass -baseline", current, path)
+		}
+	}
+	// Latest record per (name, config) for each side.
+	type side map[string]telemetry.BenchRecord
+	base, cur := side{}, side{}
+	for _, r := range recs {
+		key := r.Name + " | " + configKey(r.Config)
+		switch r.GitRev {
+		case baseline:
+			base[key] = r
+		case current:
+			cur[key] = r
+		}
+	}
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("comparing %s (baseline) -> %s (current) from %s\n\n", baseline, current, path)
+	matched := 0
+	for _, k := range keys {
+		b, ok := base[k]
+		if !ok {
+			fmt.Printf("%-60s  (new at %s, no baseline)\n", k, current)
+			continue
+		}
+		c := cur[k]
+		matched++
+		fmt.Println(k)
+		mnames := make([]string, 0, len(c.Metrics))
+		for m := range c.Metrics {
+			mnames = append(mnames, m)
+		}
+		sort.Strings(mnames)
+		for _, m := range mnames {
+			nv := c.Metrics[m]
+			ov, ok := b.Metrics[m]
+			if !ok {
+				fmt.Printf("  %-28s %14.3f  (new metric)\n", m, nv)
+				continue
+			}
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("  %-28s %14.3f -> %12.3f  %s\n", m, ov, nv, delta)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no overlapping rows between %s and %s", baseline, current)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table2|fig1|fig2|dispute-prob|privacy|participants|deposit|all")
 	roundsFlag := flag.String("rounds", "0,64,256,1024", "reveal-round sweep for table2/fig1")
 	jsonPath := flag.String("json", "", "append machine-readable result records to this BENCH.json file")
+	comparePath := flag.String("compare", "", "diff the latest records in this BENCH.json against a baseline revision and exit")
+	baselineRev := flag.String("baseline", "", "baseline git revision for -compare (default: previous distinct revision in the file)")
 	flag.Parse()
+
+	if *comparePath != "" {
+		if err := compare(*comparePath, *baselineRev); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rounds, err := parseRounds(*roundsFlag)
 	if err != nil {

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"time"
 
+	"onoffchain/internal/keccak"
+	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/state"
 	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
@@ -202,6 +204,18 @@ func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return float64(c.blocks[len(c.blocks)-1].Number())
+		})
+		// Crypto hot-path counters: cumulative totals maintained by the
+		// keccak and secp256k1 packages themselves, surfaced here so one
+		// scrape shows hashes-per-block and GLV splits alongside chain
+		// throughput. Keccak's counter costs an atomic add per permutation,
+		// so it stays off until a registry asks for it.
+		keccak.EnableMetrics()
+		reg.GaugeFunc("keccak_permutes_total", func() float64 {
+			return float64(keccak.Permutes())
+		})
+		reg.GaugeFunc("secp_glv_splits_total", func() float64 {
+			return float64(secp256k1.GLVSplits())
 		})
 	}
 	for addr, balance := range alloc {

@@ -79,6 +79,42 @@ func (sc *SignedCopy) Verify(participants []types.Address) error {
 	return nil
 }
 
+// VerifyWithKeys checks the copy against the participants' public keys,
+// in order, folding all signatures into a single shared-chain batch
+// verification (one random-linear-combination ladder instead of one
+// recovery per participant). Each signature is still checked with full
+// recovery equivalence — a pinned job verifies iff ecrecover of
+// (hash, r, s, v) yields exactly the participant's key — so the outcome
+// matches Verify whenever the keys hash to the given addresses. Call
+// sites that hold participant keys (the session protocol does) should
+// prefer this over the address-based Verify.
+func (sc *SignedCopy) VerifyWithKeys(pubs []*secp256k1.PublicKey) error {
+	if len(sc.Sigs) != len(pubs) {
+		return fmt.Errorf("hybrid: have %d signatures, need %d", len(sc.Sigs), len(pubs))
+	}
+	h := HashBytecode(sc.Bytecode)
+	jobs := make([]secp256k1.VerifyJob, len(pubs))
+	for i := range pubs {
+		sig := &sc.Sigs[i]
+		if sig.V != 27 && sig.V != 28 {
+			return fmt.Errorf("hybrid: signature %d has invalid v %d", i, sig.V)
+		}
+		r, rOK := secp256k1.ScalarFromBytes(sig.R[:])
+		s, sOK := secp256k1.ScalarFromBytes(sig.S[:])
+		if !rOK || !sOK {
+			return fmt.Errorf("hybrid: signature %d component out of scalar range", i)
+		}
+		jobs[i] = secp256k1.VerifyJob{Pub: pubs[i], Hash: [32]byte(h), R: r, S: s, V: sig.V}
+	}
+	ok := secp256k1.VerifyBatch(jobs, 1)
+	for i := range ok {
+		if !ok[i] {
+			return fmt.Errorf("hybrid: signature %d does not match participant key", i)
+		}
+	}
+	return nil
+}
+
 // AddSignature inserts a signature at the participant's index, growing the
 // list as needed.
 func (sc *SignedCopy) AddSignature(index int, sig SigTuple) {

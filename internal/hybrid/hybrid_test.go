@@ -179,6 +179,61 @@ func TestSignedCopyRoundTripAndTamper(t *testing.T) {
 	}
 }
 
+// TestSignedCopyVerifyWithKeys: the batch (shared-chain) verification path
+// must agree with the address-based Verify on every outcome — accept the
+// honest copy, reject swapped keys, missing signatures, tampered bytecode,
+// and a signature whose recovery hint was flipped.
+func TestSignedCopyVerifyWithKeys(t *testing.T) {
+	const n = 5 // more than one so the RLC fold actually engages
+	keys := make([]*secp256k1.PrivateKey, n)
+	pubs := make([]*secp256k1.PublicKey, n)
+	bytecode := []byte{0x60, 0x80, 0x60, 0x40, 0x52, 0x01, 0x02, 0x03, 0x00, 0x29}
+	sc := &SignedCopy{Bytecode: bytecode}
+	for i := range keys {
+		keys[i], _ = secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(uint64(7000 + i)))
+		pubs[i] = &keys[i].PublicKey
+		sig, err := SignBytecode(keys[i], bytecode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.AddSignature(i, sig)
+	}
+	if err := sc.VerifyWithKeys(pubs); err != nil {
+		t.Fatalf("honest copy rejected: %v", err)
+	}
+	// Swapped keys: signature i no longer matches key i.
+	swapped := append([]*secp256k1.PublicKey{}, pubs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := sc.VerifyWithKeys(swapped); err == nil {
+		t.Error("swapped keys verified")
+	}
+	// Wrong count.
+	if err := sc.VerifyWithKeys(pubs[:n-1]); err == nil {
+		t.Error("short key list verified")
+	}
+	// Tampered bytecode invalidates every signature.
+	tampered := &SignedCopy{Bytecode: append([]byte{}, bytecode...), Sigs: sc.Sigs}
+	tampered.Bytecode[3] ^= 0x01
+	if err := tampered.VerifyWithKeys(pubs); err == nil {
+		t.Error("tampered bytecode verified")
+	}
+	// A flipped recovery hint is rejected (the batch path is
+	// recovery-equivalent, not just (r, s)-equivalent).
+	sc.Sigs[2].V ^= 1 // 27 <-> 28
+	if err := sc.VerifyWithKeys(pubs); err == nil {
+		t.Error("flipped recovery hint verified")
+	}
+	sc.Sigs[2].V ^= 1
+	// Both paths agree on the honest copy.
+	addrs := make([]types.Address, n)
+	for i := range keys {
+		addrs[i] = types.Address(keys[i].EthereumAddress())
+	}
+	if err := sc.Verify(addrs); err != nil {
+		t.Fatalf("address path rejects what the key path accepts: %v", err)
+	}
+}
+
 // Honest path: rules 1-4 of paper Table I with a truthful representative.
 func TestBettingHonestPath(t *testing.T) {
 	fx := newFixture(t)

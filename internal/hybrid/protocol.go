@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"onoffchain/internal/rlp"
+	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -61,6 +62,16 @@ func (s *Session) ParticipantAddrs() []types.Address {
 		addrs[i] = p.Addr
 	}
 	return addrs
+}
+
+// participantPubs returns the ordered participant public keys, enabling
+// shared-chain batch verification of the signed copy.
+func (s *Session) participantPubs() []*secp256k1.PublicKey {
+	pubs := make([]*secp256k1.PublicKey, len(s.Parties))
+	for i, p := range s.Parties {
+		pubs[i] = &p.Key.PublicKey
+	}
+	return pubs
 }
 
 // DeployOnChain performs the first half of stage 2 (deploy/sign): any
@@ -167,7 +178,7 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 				return errors.New("hybrid: timed out collecting signatures")
 			}
 		}
-		if err := copyView.Verify(s.ParticipantAddrs()); err != nil {
+		if err := copyView.VerifyWithKeys(s.participantPubs()); err != nil {
 			return fmt.Errorf("hybrid: participant %d rejects copy: %w", pi, err)
 		}
 		if pi == 0 {
@@ -223,7 +234,7 @@ func (s *Session) Dispute(partyIdx int) (deployReceipt, returnReceipt *types.Rec
 	if s.Copy == nil {
 		return nil, nil, errors.New("hybrid: no signed copy")
 	}
-	if err := s.Copy.Verify(s.ParticipantAddrs()); err != nil {
+	if err := s.Copy.VerifyWithKeys(s.participantPubs()); err != nil {
 		return nil, nil, err
 	}
 	args := []interface{}{s.Copy.Bytecode}

@@ -3,93 +3,52 @@
 // 0x01) as used by Ethereum, plus the NIST SHA3 variants (domain byte 0x06)
 // for completeness. Ethereum's keccak256 predates the final SHA-3 standard,
 // which is why the padding differs from crypto/sha3-style functions.
+//
+// The hashing path is allocation-free: full blocks are absorbed directly
+// from the caller's input, the partial-block buffer is a fixed array inside
+// the digest, and finalize pads into a stack buffer. The nested-loop
+// reference implementation lives on in oracle_test.go and every digest is
+// differentially pinned against it.
 package keccak
 
 import (
 	"encoding/binary"
 	"hash"
+	"sync"
 )
 
-// roundConstants are the 24 iota-step constants of Keccak-f[1600].
-var roundConstants = [24]uint64{
-	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
-	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
-	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
-	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
-	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
-	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
-}
+const (
+	rate256 = 136 // rate in bytes for 256-bit output
+	rate512 = 72  // rate in bytes for 512-bit output
 
-// rotc[x][y] is the rho-step rotation offset for lane (x, y).
-var rotc = [5][5]uint{
-	{0, 36, 3, 41, 18},
-	{1, 44, 10, 45, 2},
-	{62, 6, 43, 15, 61},
-	{28, 55, 25, 21, 56},
-	{27, 20, 39, 8, 14},
-}
+	dsKeccak = 0x01 // original Keccak padding (Ethereum)
+	dsSHA3   = 0x06 // NIST SHA-3 padding
+)
 
-func rotl(v uint64, n uint) uint64 {
-	if n == 0 {
-		return v
-	}
-	return v<<n | v>>(64-n)
-}
-
-// permute applies the full 24-round Keccak-f[1600] permutation to the state.
-// The state is indexed a[x][y] as in the Keccak reference.
-func permute(a *[5][5]uint64) {
-	var c, d [5]uint64
-	var b [5][5]uint64
-	for round := 0; round < 24; round++ {
-		// theta
-		for x := 0; x < 5; x++ {
-			c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4]
-		}
-		for x := 0; x < 5; x++ {
-			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
-			for y := 0; y < 5; y++ {
-				a[x][y] ^= d[x]
-			}
-		}
-		// rho and pi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				b[y][(2*x+3*y)%5] = rotl(a[x][y], rotc[x][y])
-			}
-		}
-		// chi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x][y] = b[x][y] ^ (^b[(x+1)%5][y] & b[(x+2)%5][y])
-			}
-		}
-		// iota
-		a[0][0] ^= roundConstants[round]
-	}
-}
-
-// digest is a sponge-based hash.Hash implementation.
+// digest is a sponge-based hash.Hash implementation. The state is a flat
+// [25]uint64 (lane i of a block XORs into a[i]); pending input lives in the
+// fixed buf array, so a digest never allocates after construction.
 type digest struct {
-	state  [5][5]uint64
-	buf    []byte // pending input, less than rate bytes
-	rate   int    // rate in bytes (136 for 256-bit, 72 for 512-bit)
-	size   int    // output size in bytes
-	dsbyte byte   // domain-separation/padding byte (0x01 Keccak, 0x06 SHA3)
+	a      [25]uint64
+	buf    [rate256]byte // pending input, less than rate bytes
+	n      int           // number of buffered bytes
+	rate   int           // rate in bytes (136 for 256-bit, 72 for 512-bit)
+	size   int           // output size in bytes
+	dsbyte byte          // domain-separation/padding byte (0x01 Keccak, 0x06 SHA3)
 }
 
 // New256 returns a hash.Hash computing Keccak-256 (Ethereum padding).
-func New256() hash.Hash { return &digest{rate: 136, size: 32, dsbyte: 0x01} }
+func New256() hash.Hash { return &digest{rate: rate256, size: 32, dsbyte: dsKeccak} }
 
 // New512 returns a hash.Hash computing Keccak-512 (Ethereum padding).
-func New512() hash.Hash { return &digest{rate: 72, size: 64, dsbyte: 0x01} }
+func New512() hash.Hash { return &digest{rate: rate512, size: 64, dsbyte: dsKeccak} }
 
 // NewSHA3256 returns a hash.Hash computing NIST SHA3-256.
-func NewSHA3256() hash.Hash { return &digest{rate: 136, size: 32, dsbyte: 0x06} }
+func NewSHA3256() hash.Hash { return &digest{rate: rate256, size: 32, dsbyte: dsSHA3} }
 
 // Sum256 returns the Keccak-256 digest of data.
 func Sum256(data ...[]byte) [32]byte {
-	d := digest{rate: 136, size: 32, dsbyte: 0x01}
+	d := digest{rate: rate256, size: 32, dsbyte: dsKeccak}
 	for _, b := range data {
 		d.Write(b)
 	}
@@ -107,7 +66,7 @@ func Sum256Bytes(data ...[]byte) []byte {
 
 // Sum512 returns the Keccak-512 digest of data.
 func Sum512(data []byte) [64]byte {
-	d := digest{rate: 72, size: 64, dsbyte: 0x01}
+	d := digest{rate: rate512, size: 64, dsbyte: dsKeccak}
 	d.Write(data)
 	var out [64]byte
 	d.finalize(out[:])
@@ -118,60 +77,124 @@ func (d *digest) Size() int      { return d.size }
 func (d *digest) BlockSize() int { return d.rate }
 
 func (d *digest) Reset() {
-	d.state = [5][5]uint64{}
-	d.buf = d.buf[:0]
+	d.a = [25]uint64{}
+	d.n = 0
 }
 
 func (d *digest) Write(p []byte) (int, error) {
 	n := len(p)
-	d.buf = append(d.buf, p...)
-	for len(d.buf) >= d.rate {
-		d.absorb(d.buf[:d.rate])
-		d.buf = d.buf[d.rate:]
+	// Top up a partial block first.
+	if d.n > 0 {
+		c := copy(d.buf[d.n:d.rate], p)
+		d.n += c
+		p = p[c:]
+		if d.n == d.rate {
+			d.absorb(d.buf[:d.rate])
+			d.n = 0
+		}
+	}
+	// Absorb full blocks straight from the caller's input.
+	for len(p) >= d.rate {
+		d.absorb(p[:d.rate])
+		p = p[d.rate:]
+	}
+	// Buffer the tail.
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
 	}
 	return n, nil
 }
 
-// absorb XORs one full rate-sized block into the state and permutes.
+// absorb XORs one full rate-sized block into the state and permutes. Lane i
+// of the block maps to flat state index i (little-endian lanes).
 func (d *digest) absorb(block []byte) {
 	for i := 0; i < d.rate/8; i++ {
-		lane := binary.LittleEndian.Uint64(block[i*8:])
-		x, y := i%5, i/5
-		d.state[x][y] ^= lane
+		d.a[i] ^= binary.LittleEndian.Uint64(block[i*8:])
 	}
-	permute(&d.state)
+	permute(&d.a)
 }
 
 // finalize pads, absorbs the last block and squeezes into out. It operates
 // on a copy of the state so the digest remains usable for further writes
-// (matching hash.Hash Sum semantics).
+// (matching hash.Hash Sum semantics). Everything lives on the stack.
 func (d *digest) finalize(out []byte) {
-	dc := *d
-	dc.buf = append([]byte{}, d.buf...)
-	// Pad: dsbyte, zeros, final 0x80 (multi-rate padding).
-	pad := make([]byte, dc.rate-len(dc.buf))
-	pad[0] = dc.dsbyte
-	pad[len(pad)-1] |= 0x80
-	dc.buf = append(dc.buf, pad...)
-	dc.absorb(dc.buf[:dc.rate])
+	a := d.a
+	// Pad the buffered tail: dsbyte, zeros, final 0x80 (multi-rate padding).
+	var block [rate256]byte
+	copy(block[:], d.buf[:d.n])
+	block[d.n] = d.dsbyte
+	block[d.rate-1] |= 0x80
+	for i := 0; i < d.rate/8; i++ {
+		a[i] ^= binary.LittleEndian.Uint64(block[i*8:])
+	}
+	permute(&a)
 	// Squeeze.
 	off := 0
-	for off < len(out) {
-		for i := 0; i < dc.rate/8 && off < len(out); i++ {
-			x, y := i%5, i/5
+	for {
+		n := len(out) - off
+		if n > d.rate {
+			n = d.rate
+		}
+		for i := 0; i < n/8; i++ {
+			binary.LittleEndian.PutUint64(out[off+i*8:], a[i])
+		}
+		if rem := n % 8; rem != 0 {
 			var lane [8]byte
-			binary.LittleEndian.PutUint64(lane[:], dc.state[x][y])
-			n := copy(out[off:], lane[:])
-			off += n
+			binary.LittleEndian.PutUint64(lane[:], a[n/8])
+			copy(out[off+n-rem:], lane[:rem])
 		}
-		if off < len(out) {
-			permute(&dc.state)
+		off += n
+		if off >= len(out) {
+			return
 		}
+		permute(&a)
 	}
 }
 
 func (d *digest) Sum(b []byte) []byte {
-	out := make([]byte, d.size)
-	d.finalize(out)
-	return append(b, out...)
+	var out [64]byte
+	d.finalize(out[:d.size])
+	return append(b, out[:d.size]...)
+}
+
+// Hasher is a pooled Keccak-256 state for hot call sites (trie node
+// hashing, tx/receipt list roots, vm address derivation): grab one with
+// NewHasher, Write the preimage, read the digest with Sum256Into, and
+// Release it back to the pool. The whole round trip is allocation-free.
+type Hasher struct {
+	d digest
+}
+
+var hasherPool = sync.Pool{
+	New: func() any {
+		return &Hasher{d: digest{rate: rate256, size: 32, dsbyte: dsKeccak}}
+	},
+}
+
+// NewHasher returns a reset Keccak-256 Hasher from the pool.
+func NewHasher() *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.d.Reset()
+	return h
+}
+
+// Release returns the Hasher to the pool. The Hasher must not be used
+// after Release.
+func (h *Hasher) Release() { hasherPool.Put(h) }
+
+// Reset restores the Hasher to its initial state.
+func (h *Hasher) Reset() { h.d.Reset() }
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) { return h.d.Write(p) }
+
+// Sum256Into finalizes the digest into out without disturbing the running
+// state (more input may still be written).
+func (h *Hasher) Sum256Into(out *[32]byte) { h.d.finalize(out[:]) }
+
+// Sum256 finalizes and returns the digest by value.
+func (h *Hasher) Sum256() [32]byte {
+	var out [32]byte
+	h.d.finalize(out[:])
+	return out
 }

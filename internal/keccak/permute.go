@@ -1,0 +1,131 @@
+package keccak
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// roundConstants are the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// permuteMetrics gates the fleet-wide permutation counter. Counting costs
+// one predictable branch when off; telemetry wiring (chain.New) turns it
+// on, and the registry samples Permutes at scrape time.
+var (
+	permuteMetrics atomic.Bool
+	permuteCount   atomic.Uint64
+)
+
+// EnableMetrics turns on the package's permutation counter.
+func EnableMetrics() { permuteMetrics.Store(true) }
+
+// Permutes returns the number of Keccak-f[1600] applications since process
+// start (zero until EnableMetrics).
+func Permutes() uint64 { return permuteCount.Load() }
+
+// permute applies the full 24-round Keccak-f[1600] permutation. The state
+// is one flat [25]uint64 with lane (x, y) of the reference indexing at
+// a[5*y+x] — the same order the sponge absorbs little-endian lanes, so
+// lane i of a block XORs straight into a[i].
+//
+// The round body is fully unrolled: theta's parities and the rho/pi
+// schedule are spelled out lane by lane (the b locals below ARE the pi
+// permutation — b[dst] is the rotated source lane, so no temp state array
+// and no %5 indexing survives), chi and iota are fused into the
+// write-back, and every rotation is a bits.RotateLeft64 the compiler
+// lowers to a single instruction. The whole state lives in registers and
+// spill slots for all 24 rounds; the reference nested-loop implementation
+// this replaces is kept verbatim in oracle_test.go and pins every digest
+// bit-for-bit.
+func permute(a *[25]uint64) {
+	if permuteMetrics.Load() {
+		permuteCount.Add(1)
+	}
+	a0, a1, a2, a3, a4 := a[0], a[1], a[2], a[3], a[4]
+	a5, a6, a7, a8, a9 := a[5], a[6], a[7], a[8], a[9]
+	a10, a11, a12, a13, a14 := a[10], a[11], a[12], a[13], a[14]
+	a15, a16, a17, a18, a19 := a[15], a[16], a[17], a[18], a[19]
+	a20, a21, a22, a23, a24 := a[20], a[21], a[22], a[23], a[24]
+
+	for round := 0; round < 24; round++ {
+		// theta: column parities and the per-column twist.
+		c0 := a0 ^ a5 ^ a10 ^ a15 ^ a20
+		c1 := a1 ^ a6 ^ a11 ^ a16 ^ a21
+		c2 := a2 ^ a7 ^ a12 ^ a17 ^ a22
+		c3 := a3 ^ a8 ^ a13 ^ a18 ^ a23
+		c4 := a4 ^ a9 ^ a14 ^ a19 ^ a24
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+
+		// rho + pi, fused with theta's d: b[5*((2x+3y)%5)+y] =
+		// rotl(a[5y+x] ^ d[x], rho[x][y]), spelled out.
+		b0 := a0 ^ d0
+		b16 := bits.RotateLeft64(a5^d0, 36)
+		b7 := bits.RotateLeft64(a10^d0, 3)
+		b23 := bits.RotateLeft64(a15^d0, 41)
+		b14 := bits.RotateLeft64(a20^d0, 18)
+		b10 := bits.RotateLeft64(a1^d1, 1)
+		b1 := bits.RotateLeft64(a6^d1, 44)
+		b17 := bits.RotateLeft64(a11^d1, 10)
+		b8 := bits.RotateLeft64(a16^d1, 45)
+		b24 := bits.RotateLeft64(a21^d1, 2)
+		b20 := bits.RotateLeft64(a2^d2, 62)
+		b11 := bits.RotateLeft64(a7^d2, 6)
+		b2 := bits.RotateLeft64(a12^d2, 43)
+		b18 := bits.RotateLeft64(a17^d2, 15)
+		b9 := bits.RotateLeft64(a22^d2, 61)
+		b5 := bits.RotateLeft64(a3^d3, 28)
+		b21 := bits.RotateLeft64(a8^d3, 55)
+		b12 := bits.RotateLeft64(a13^d3, 25)
+		b3 := bits.RotateLeft64(a18^d3, 21)
+		b19 := bits.RotateLeft64(a23^d3, 56)
+		b15 := bits.RotateLeft64(a4^d4, 27)
+		b6 := bits.RotateLeft64(a9^d4, 20)
+		b22 := bits.RotateLeft64(a14^d4, 39)
+		b13 := bits.RotateLeft64(a19^d4, 8)
+		b4 := bits.RotateLeft64(a24^d4, 14)
+
+		// chi row by row, iota folded into lane 0.
+		a0 = b0 ^ (^b1 & b2) ^ roundConstants[round]
+		a1 = b1 ^ (^b2 & b3)
+		a2 = b2 ^ (^b3 & b4)
+		a3 = b3 ^ (^b4 & b0)
+		a4 = b4 ^ (^b0 & b1)
+		a5 = b5 ^ (^b6 & b7)
+		a6 = b6 ^ (^b7 & b8)
+		a7 = b7 ^ (^b8 & b9)
+		a8 = b8 ^ (^b9 & b5)
+		a9 = b9 ^ (^b5 & b6)
+		a10 = b10 ^ (^b11 & b12)
+		a11 = b11 ^ (^b12 & b13)
+		a12 = b12 ^ (^b13 & b14)
+		a13 = b13 ^ (^b14 & b10)
+		a14 = b14 ^ (^b10 & b11)
+		a15 = b15 ^ (^b16 & b17)
+		a16 = b16 ^ (^b17 & b18)
+		a17 = b17 ^ (^b18 & b19)
+		a18 = b18 ^ (^b19 & b15)
+		a19 = b19 ^ (^b15 & b16)
+		a20 = b20 ^ (^b21 & b22)
+		a21 = b21 ^ (^b22 & b23)
+		a22 = b22 ^ (^b23 & b24)
+		a23 = b23 ^ (^b24 & b20)
+		a24 = b24 ^ (^b20 & b21)
+	}
+
+	a[0], a[1], a[2], a[3], a[4] = a0, a1, a2, a3, a4
+	a[5], a[6], a[7], a[8], a[9] = a5, a6, a7, a8, a9
+	a[10], a[11], a[12], a[13], a[14] = a10, a11, a12, a13, a14
+	a[15], a[16], a[17], a[18], a[19] = a15, a16, a17, a18, a19
+	a[20], a[21], a[22], a[23], a[24] = a20, a21, a22, a23, a24
+}

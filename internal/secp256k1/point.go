@@ -231,6 +231,10 @@ var (
 	combTable [combWindows][combTeeth]affinePoint
 	// gWnafTable[i] = (2i+1) * G, affine.
 	gWnafTable [gWnafEntries]affinePoint
+	// psiGWnafTable[i] = ψ((2i+1) * G) = (2i+1) * λG: the gWnafTable with
+	// every x scaled by β, serving the second static stream of the GLV
+	// ladder.
+	psiGWnafTable [gWnafEntries]affinePoint
 )
 
 // initTables builds both precomputed G tables: Jacobian accumulation
@@ -279,6 +283,11 @@ func initTables() {
 	for i := 0; i < gWnafEntries; i++ {
 		gWnafTable[i] = flat[idx]
 		idx++
+	}
+	// ψ is one field multiplication per entry: ψ(x, y) = (β·x, y).
+	for i := 0; i < gWnafEntries; i++ {
+		psiGWnafTable[i].x.Mul(&gWnafTable[i].x, &glvBeta)
+		psiGWnafTable[i].y = gWnafTable[i].y
 	}
 }
 
@@ -336,13 +345,13 @@ func buildQTable(tab *[qWnafEntries]jacobianPoint, q *affinePoint) {
 	}
 }
 
-// addGDigit folds one signed wNAF digit of the static G table into p
+// addGDigit folds one signed wNAF digit of a static affine table into p
 // (mixed addition; negative digits add the y-negated entry).
-func (p *jacobianPoint) addGDigit(d int8) {
+func (p *jacobianPoint) addGDigit(tab *[gWnafEntries]affinePoint, d int8) {
 	if d > 0 {
-		p.addAffine(&gWnafTable[d>>1])
+		p.addAffine(&tab[d>>1])
 	} else if d < 0 {
-		neg := gWnafTable[(-d)>>1]
+		neg := tab[(-d)>>1]
 		neg.y.Negate(&neg.y)
 		p.addAffine(&neg)
 	}
@@ -359,29 +368,159 @@ func (p *jacobianPoint) addQDigit(tab *[qWnafEntries]jacobianPoint, d int8) {
 	}
 }
 
-// doubleScalarMult sets p = u1*G + u2*Q with one interleaved wNAF ladder:
-// a single doubling chain serves both scalars, G digits come from the
-// static width-8 table, Q digits from a small runtime width-5 table of
-// odd multiples.
+// doubleScalarMult sets p = u1*G + u2*Q as a GLV 4-stream interleaved
+// wNAF ladder. Both scalars are decomposed against the λ endomorphism
+// (u = u' + u”·λ with half-length components), so ONE shared doubling
+// chain of ~130 steps serves four digit streams: u1' over the static G
+// table, u1” over the static ψ(G) table, u2' over a runtime Q table and
+// u2” over its β-scaled ψ(Q) twin (one field mul per entry — ψ commutes
+// with the Jacobian projection). Negative components flip digit signs
+// rather than negating points.
 func doubleScalarMult(p *jacobianPoint, u1 *Scalar, u2 *Scalar, q *affinePoint) {
 	tableOnce.Do(initTables)
-	var qTab [qWnafEntries]jacobianPoint
+	u11, u12, neg11, neg12 := splitLambda(u1)
+	u21, u22, neg21, neg22 := splitLambda(u2)
+	var qTab, psiQTab [qWnafEntries]jacobianPoint
 	buildQTable(&qTab, q)
-	var d1, d2 [257]int8
-	l1 := u1.wnaf(&d1, gWnafWidth)
-	l2 := u2.wnaf(&d2, qWnafWidth)
-	l := l1
-	if l2 > l {
-		l = l2
+	for i := range qTab {
+		psiQTab[i] = qTab[i]
+		psiQTab[i].x.Mul(&psiQTab[i].x, &glvBeta)
+	}
+	var d11, d12, d21, d22 [257]int8
+	l11 := u11.wnaf(&d11, gWnafWidth)
+	l12 := u12.wnaf(&d12, gWnafWidth)
+	l21 := u21.wnaf(&d21, qWnafWidth)
+	l22 := u22.wnaf(&d22, qWnafWidth)
+	l := l11
+	for _, li := range [3]int{l12, l21, l22} {
+		if li > l {
+			l = li
+		}
+	}
+	s11, s12, s21, s22 := int8(1), int8(1), int8(1), int8(1)
+	if neg11 {
+		s11 = -1
+	}
+	if neg12 {
+		s12 = -1
+	}
+	if neg21 {
+		s21 = -1
+	}
+	if neg22 {
+		s22 = -1
 	}
 	p.setInfinity()
 	for i := l - 1; i >= 0; i-- {
 		p.double()
-		if i < l1 {
-			p.addGDigit(d1[i])
+		if i < l11 {
+			p.addGDigit(&gWnafTable, s11*d11[i])
 		}
-		if i < l2 {
-			p.addQDigit(&qTab, d2[i])
+		if i < l12 {
+			p.addGDigit(&psiGWnafTable, s12*d12[i])
+		}
+		if i < l21 {
+			p.addQDigit(&qTab, s21*d21[i])
+		}
+		if i < l22 {
+			p.addQDigit(&psiQTab, s22*d22[i])
+		}
+	}
+}
+
+// msmStream is one digit stream of the multi-scalar ladder: a runtime
+// table of odd multiples, the wNAF digits of a half-length GLV component,
+// and the component's sign. Tables are affine — the whole chunk is
+// normalized with ONE batched inversion, so every digit fold is a mixed
+// addition (four field muls cheaper than the general add).
+type msmStream struct {
+	tab    [qWnafEntries]affinePoint
+	digits [257]int8
+	length int
+	sign   int8
+}
+
+// addQDigitAffine folds one signed wNAF digit of an affine runtime table
+// into p (mixed addition).
+func (p *jacobianPoint) addQDigitAffine(tab *[qWnafEntries]affinePoint, d int8) {
+	if d > 0 {
+		p.addAffine(&tab[d>>1])
+	} else if d < 0 {
+		neg := tab[(-d)>>1]
+		neg.y.Negate(&neg.y)
+		p.addAffine(&neg)
+	}
+}
+
+// multiScalarMult sets p = gk*G + Σ scalars[i]*points[i] over ONE shared
+// doubling chain — the engine of shared-chain batch verification. Every
+// scalar is GLV-split, so each point contributes two half-length width-5
+// wNAF streams (its own table and the β-scaled ψ twin) and G contributes
+// two static-table streams; the whole sum costs ~130 doublings TOTAL plus
+// the digit additions, against ~130 doublings PER SIGNATURE for
+// independent ladders. The points must all have odd prime order (any
+// valid curve point does), so no table entry can be the point at infinity
+// and the batched normalization below is total.
+func multiScalarMult(p *jacobianPoint, gk *Scalar, scalars []Scalar, points []affinePoint) {
+	tableOnce.Do(initTables)
+	streams := make([]msmStream, 2*len(scalars))
+	jtabs := make([]jacobianPoint, len(scalars)*qWnafEntries)
+	for i := range scalars {
+		buildQTable((*[qWnafEntries]jacobianPoint)(jtabs[i*qWnafEntries:(i+1)*qWnafEntries]), &points[i])
+	}
+	flat := make([]affinePoint, len(jtabs))
+	batchToAffine(jtabs, flat)
+	for i := range scalars {
+		k1, k2, neg1, neg2 := splitLambda(&scalars[i])
+		s1, s2 := &streams[2*i], &streams[2*i+1]
+		copy(s1.tab[:], flat[i*qWnafEntries:(i+1)*qWnafEntries])
+		for j := range s2.tab {
+			s2.tab[j].x.Mul(&s1.tab[j].x, &glvBeta)
+			s2.tab[j].y = s1.tab[j].y
+		}
+		s1.length = k1.wnaf(&s1.digits, qWnafWidth)
+		s2.length = k2.wnaf(&s2.digits, qWnafWidth)
+		s1.sign, s2.sign = 1, 1
+		if neg1 {
+			s1.sign = -1
+		}
+		if neg2 {
+			s2.sign = -1
+		}
+	}
+	g1, g2, negG1, negG2 := splitLambda(gk)
+	var dg1, dg2 [257]int8
+	lg1 := g1.wnaf(&dg1, gWnafWidth)
+	lg2 := g2.wnaf(&dg2, gWnafWidth)
+	sg1, sg2 := int8(1), int8(1)
+	if negG1 {
+		sg1 = -1
+	}
+	if negG2 {
+		sg2 = -1
+	}
+	l := lg1
+	if lg2 > l {
+		l = lg2
+	}
+	for s := range streams {
+		if streams[s].length > l {
+			l = streams[s].length
+		}
+	}
+	p.setInfinity()
+	for i := l - 1; i >= 0; i-- {
+		p.double()
+		if i < lg1 {
+			p.addGDigit(&gWnafTable, sg1*dg1[i])
+		}
+		if i < lg2 {
+			p.addGDigit(&psiGWnafTable, sg2*dg2[i])
+		}
+		for s := range streams {
+			if i < streams[s].length {
+				p.addQDigitAffine(&streams[s].tab, streams[s].sign*streams[s].digits[i])
+			}
 		}
 	}
 }

@@ -6,7 +6,10 @@ package state
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"onoffchain/internal/keccak"
 	"onoffchain/internal/rlp"
@@ -460,6 +463,11 @@ func (s *StateDB) Finalise() {
 
 // Commit finalises the accounts mutated since the last Commit into the
 // trie and returns the new state root. Clean cached objects are skipped.
+//
+// The per-account storage flush is embarrassingly parallel — each account
+// owns a disjoint storage trie, and the shared node store is concurrency-
+// safe — so on multi-core hosts the storage tries are flushed across a
+// worker pool before the (serial, deterministic) account-trie update.
 func (s *StateDB) Commit() types.Hash {
 	s.Finalise()
 	// Deterministic iteration order for reproducible tries.
@@ -472,6 +480,17 @@ func (s *StateDB) Commit() types.Hash {
 	sort.Slice(addrs, func(i, j int) bool {
 		return string(addrs[i].Bytes()) < string(addrs[j].Bytes())
 	})
+	// Phase 1: flush every live account's dirty storage into its own
+	// storage trie, in parallel when it pays.
+	var flush []*stateObject
+	for _, addr := range addrs {
+		obj := s.objects[addr]
+		if !obj.deleted && len(obj.storage) > 0 {
+			flush = append(flush, obj)
+		}
+	}
+	s.flushStorage(flush, runtime.GOMAXPROCS(0))
+	// Phase 2: fold the accounts into the state trie serially.
 	for _, addr := range addrs {
 		obj := s.objects[addr]
 		if obj.deleted {
@@ -479,39 +498,73 @@ func (s *StateDB) Commit() types.Hash {
 			delete(s.objects, addr)
 			continue
 		}
-		// Flush dirty storage into the account's storage trie.
-		if len(obj.storage) > 0 {
-			st, err := trie.FromRoot(s.db, obj.account.Root)
-			if err != nil {
-				st, _ = trie.FromRoot(s.db, trie.EmptyRoot)
-			}
-			keys := make([]types.Hash, 0, len(obj.storage))
-			for k := range obj.storage {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool {
-				return string(keys[i].Bytes()) < string(keys[j].Bytes())
-			})
-			for _, k := range keys {
-				v := obj.storage[k]
-				hashedKey := keccak.Sum256Bytes(k.Bytes())
-				if v.IsZero() {
-					st.Delete(hashedKey)
-				} else {
-					// Store values RLP-encoded with leading zeros trimmed,
-					// matching Ethereum's storage encoding.
-					st.Update(hashedKey, rlp.EncodeBytes(trimLeftZeros(v.Bytes())))
-				}
-				obj.originStorage[k] = v
-			}
-			obj.account.Root = st.Hash()
-			obj.storage = make(map[types.Hash]types.Hash)
-		}
 		s.tr.Update(addr.Bytes(), obj.account.EncodeRLP())
 	}
 	s.dirties = make(map[types.Address]struct{})
 	s.root = s.tr.Hash()
 	return s.root
+}
+
+// flushStorage commits the dirty storage of every object across at most
+// workers goroutines. Each object's flush touches only that object and
+// its own storage trie (the shared node database is mutex-guarded), so
+// the resulting storage roots are identical to a serial flush.
+func (s *StateDB) flushStorage(objs []*stateObject, workers int) {
+	if workers > len(objs) {
+		workers = len(objs)
+	}
+	if workers <= 1 {
+		for _, obj := range objs {
+			s.flushOneStorage(obj)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(objs) {
+					return
+				}
+				s.flushOneStorage(objs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// flushOneStorage writes one account's dirty storage slots into its
+// storage trie and records the new root on the account.
+func (s *StateDB) flushOneStorage(obj *stateObject) {
+	st, err := trie.FromRoot(s.db, obj.account.Root)
+	if err != nil {
+		st, _ = trie.FromRoot(s.db, trie.EmptyRoot)
+	}
+	keys := make([]types.Hash, 0, len(obj.storage))
+	for k := range obj.storage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return string(keys[i].Bytes()) < string(keys[j].Bytes())
+	})
+	for _, k := range keys {
+		v := obj.storage[k]
+		hashedKey := keccak.Sum256Bytes(k.Bytes())
+		if v.IsZero() {
+			st.Delete(hashedKey)
+		} else {
+			// Store values RLP-encoded with leading zeros trimmed,
+			// matching Ethereum's storage encoding.
+			st.Update(hashedKey, rlp.EncodeBytes(trimLeftZeros(v.Bytes())))
+		}
+		obj.originStorage[k] = v
+	}
+	obj.account.Root = st.Hash()
+	obj.storage = make(map[types.Hash]types.Hash)
 }
 
 // Root returns the state root as of the last Commit.

@@ -451,18 +451,20 @@ func (b *Block) Time() uint64 { return b.Header.Time }
 // (A full trie-based commitment is unnecessary for a dev chain; a keccak
 // over the concatenated canonical encodings pins the same content.)
 func DeriveTxListHash(txs []*Transaction) Hash {
-	h := keccak.New256()
+	h := keccak.NewHasher()
+	defer h.Release()
 	for _, tx := range txs {
 		h.Write(tx.EncodeRLP())
 	}
-	return BytesToHash(h.Sum(nil))
+	return Hash(h.Sum256())
 }
 
 // DeriveReceiptListHash computes a commitment over ordered receipts.
 func DeriveReceiptListHash(receipts []*Receipt) Hash {
-	h := keccak.New256()
+	h := keccak.NewHasher()
+	defer h.Release()
 	for _, r := range receipts {
 		h.Write(r.EncodeRLP())
 	}
-	return BytesToHash(h.Sum(nil))
+	return Hash(h.Sum256())
 }

@@ -208,13 +208,13 @@ func BenchmarkHubThroughput(b *testing.B) {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 1, false, false)
+				benchHubThroughput(b, n, mining, "serial", false, 1, false, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", true, 1, false, false)
+				benchHubThroughput(b, n, mining, "serial", true, 1, false, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 3, false, false)
+				benchHubThroughput(b, n, mining, "serial", false, 3, false, false, false)
 			})
 			// The signed-gossip leg: every fleet envelope (heartbeats,
 			// guard exports, window mirrors, intents) carries a secp256k1
@@ -222,7 +222,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// curve. Ran at the full matrix to show heartbeat-rate
 			// signing no longer taxes hub throughput.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off/gossip=signed", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 3, true, false)
+				benchHubThroughput(b, n, mining, "serial", false, 3, true, false, false)
 			})
 			// The telemetry leg: same fleet with a shared metrics registry
 			// and span tracer attached to every layer. Compare sessions/sec
@@ -230,7 +230,16 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// 5% (the hot path adds only atomic increments and one ring slot
 			// per lifecycle edge); see DESIGN.md §10.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 1, false, true)
+				benchHubThroughput(b, n, mining, "serial", false, 1, false, true, false)
+			})
+			// The flight-recording leg: the tracer additionally tees every
+			// span to an on-disk flight recorder (the cross-process
+			// observability surface cmd/trace merges). Compare sessions/sec
+			// against the telemetry=on twin — the acceptance bound is 2%:
+			// Record is one non-blocking channel send, and the JSONL
+			// encoding happens on the recorder's own writer goroutine.
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on/flight=on", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, "serial", false, 1, false, true, true)
 			})
 		}
 		// The exec axis: batch-mined blocks executed by the optimistic
@@ -241,17 +250,17 @@ func BenchmarkHubThroughput(b *testing.B) {
 		// speedup scales with cores (the Config.cores field in BENCH.json
 		// records what the host offered).
 		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel", n), func(b *testing.B) {
-			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, false)
+			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, false, false)
 		})
 		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel/telemetry=on", n), func(b *testing.B) {
-			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, true)
+			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, true, false)
 		})
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem bool) {
+func benchHubThroughput(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem, flight bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, exec, wal, towers, signGossip, telem)
+		hubThroughputIteration(b, n, mining, exec, wal, towers, signGossip, telem, flight)
 	}
 }
 
@@ -283,8 +292,10 @@ func BenchmarkHubThroughputProfile(b *testing.B) {
 	if exec == "" {
 		exec = "serial"
 	}
+	flight := os.Getenv("ONOFFCHAIN_PROFILE_FLIGHT") == "on"
 	benchHubThroughput(b, n, mining, exec, os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
-		os.Getenv("ONOFFCHAIN_PROFILE_GOSSIP") == "signed", os.Getenv("ONOFFCHAIN_PROFILE_TELEMETRY") == "on")
+		os.Getenv("ONOFFCHAIN_PROFILE_GOSSIP") == "signed",
+		os.Getenv("ONOFFCHAIN_PROFILE_TELEMETRY") == "on" || flight, flight)
 }
 
 // Batch-mining parameters for the benchmark: the deadline is a few
@@ -305,7 +316,7 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem bool) {
+func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem, flight bool) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
@@ -323,6 +334,14 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 	}
 	if telem {
 		tracer = telemetry.NewTracer(0)
+		if flight {
+			fr, err := telemetry.NewFlightRecorder(b.TempDir(), "hub", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fr.Close()
+			tracer.Tee(fr.Record)
+		}
 	}
 	faucetAddr := types.Address(faucetKey.EthereumAddress())
 	ccfg := chain.DefaultConfig()
@@ -490,7 +509,7 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 			Config: map[string]any{
 				"sessions": n, "mining": mining, "wal": wal,
 				"towers": towers, "gossip_signed": signGossip, "telemetry": telem,
-				"exec": exec, "cores": runtime.GOMAXPROCS(0),
+				"flight": flight, "exec": exec, "cores": runtime.GOMAXPROCS(0),
 			},
 			Metrics:   metrics,
 			Quantiles: quantiles,

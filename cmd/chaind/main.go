@@ -224,6 +224,7 @@ func main() {
 	execMode := flag.String("exec", "serial", `block execution engine: "serial" or "parallel" (optimistic read/write-set scheduling across cores; bit-identical blocks)`)
 	execWorkers := flag.Int("exec-workers", 0, "parallel exec: speculative worker count (0 = GOMAXPROCS)")
 	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060) serving /metrics, /healthz, /debug/pprof/*")
+	flightDir := flag.String("flight-record", "", "directory for flight-recorder span files (crash forensics; merge across processes with cmd/trace)")
 	flag.Parse()
 
 	alloc := map[types.Address]*uint256.Int{}
@@ -253,12 +254,26 @@ func main() {
 	default:
 		log.Fatalf("unknown -exec mode %q (want serial or parallel)", *execMode)
 	}
-	var reg *telemetry.Registry
-	if *telemetryAddr != "" {
+	var (
+		reg *telemetry.Registry
+		tr  *telemetry.Tracer
+	)
+	if *telemetryAddr != "" || *flightDir != "" {
 		reg = telemetry.NewRegistry()
 		reg.RegisterRuntimeMetrics()
 		reg.PublishExpvar("chaind")
+		tr = telemetry.NewTracer(0)
 		ccfg.Telemetry = reg
+		ccfg.Tracer = tr
+	}
+	if *flightDir != "" {
+		fr, err := telemetry.NewFlightRecorder(*flightDir, "chaind", nil)
+		if err != nil {
+			log.Fatalf("flight recorder: %v", err)
+		}
+		defer fr.Close()
+		fr.RegisterMetrics(reg)
+		tr.Tee(fr.Record)
 	}
 	c := chain.New(ccfg, alloc)
 	if *mode == "batch" {
@@ -279,8 +294,8 @@ func main() {
 	mux.HandleFunc("/call", srv.call)
 	mux.HandleFunc("/advance", srv.advance)
 
-	if reg != nil {
-		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+	if *telemetryAddr != "" {
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, tr)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}

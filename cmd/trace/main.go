@@ -1,0 +1,165 @@
+// Command trace merges flight-recorder files from several processes —
+// a hub, standalone towers, a chaind node — into causal timelines, the
+// cross-process counterpart of the in-memory /debug/trace endpoint.
+//
+// Usage:
+//
+//	trace <file-or-dir> [more files/dirs...]             # index: one line per trace
+//	trace -trace 0x1a2b <files...>                       # merged timeline of one trace
+//	trace -trace 0x1a2b -layer tower <files...>          # only one layer's spans
+//	trace -sid 42 <files...>                             # traces touching session 42
+//
+// A directory argument expands to every *.jsonl recorder file inside it,
+// so `trace /tmp/flight` merges a whole fleet's recordings at once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"onoffchain/internal/telemetry"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// expand resolves each argument to recorder files: a file stands for
+// itself, a directory for every *.jsonl inside it.
+func expand(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.jsonl recorder files", a)
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	return files, nil
+}
+
+// parseTraceID accepts the forms the index itself prints: decimal,
+// 0x-prefixed hex, or bare hex as emitted in the JSONL traceId field.
+func parseTraceID(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	if v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64); err == nil && (strings.HasPrefix(s, "0x") || strings.ContainsAny(s, "abcdefABCDEF")) {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	// Long OTLP form: the low 16 hex chars carry the id.
+	if len(s) > 16 {
+		if v, err := strconv.ParseUint(s[len(s)-16:], 16, 64); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot parse trace id %q", s)
+}
+
+func filterLayer(entries []telemetry.TimelineEntry, layer string) []telemetry.TimelineEntry {
+	if layer == "" {
+		return entries
+	}
+	out := entries[:0:0]
+	for _, e := range entries {
+		if e.Layer == layer {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func main() {
+	traceArg := flag.String("trace", "", "trace ID to print a merged timeline for (hex or decimal)")
+	sid := flag.Uint64("sid", 0, "only traces touching this session ID")
+	layer := flag.String("layer", "", "only spans from this layer (hub, chain, whisper, tower, federation)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: trace [-trace id] [-sid n] [-layer name] <recorder file or dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	files, err := expand(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spans, err := telemetry.ReadFlightFiles(files...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(spans) == 0 {
+		fatalf("no spans in %d file(s)", len(files))
+	}
+
+	if *traceArg != "" {
+		id, err := parseTraceID(*traceArg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		entries := filterLayer(telemetry.BuildTimeline(spans, id), *layer)
+		if len(entries) == 0 {
+			fatalf("trace %#x: no spans in the supplied files", id)
+		}
+		fmt.Printf("trace %#x — %d span(s) from %d file(s)\n", id, len(entries), len(files))
+		fmt.Print(telemetry.FormatTimeline(entries))
+		return
+	}
+
+	summaries := telemetry.SummarizeTraces(spans)
+	if *sid != 0 || *layer != "" {
+		kept := summaries[:0:0]
+		for _, s := range summaries {
+			if *sid != 0 && s.SID != *sid {
+				continue
+			}
+			if *layer != "" {
+				found := false
+				for _, l := range s.Layers {
+					if l == *layer {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+			kept = append(kept, s)
+		}
+		summaries = kept
+	}
+	if len(summaries) == 0 {
+		fatalf("no matching traces in %d file(s)", len(files))
+	}
+	fmt.Printf("%-18s %8s %6s %-12s %-28s %s\n", "TRACE", "SID", "SPANS", "DUR", "PROCS", "LAYERS")
+	for _, s := range summaries {
+		fmt.Printf("%#-18x %8d %6d %-12s %-28s %s\n",
+			s.TraceID, s.SID, s.Spans, s.Dur.Round(1000).String(),
+			strings.Join(s.Procs, ","), strings.Join(s.Layers, ","))
+	}
+}

@@ -39,11 +39,31 @@ func eth(n uint64) *uint256.Int {
 }
 
 // obs bundles the opt-in observability handles threaded through every
-// act of the demo. Both fields are nil without -telemetry, and every
-// instrumented layer treats nil as a no-op.
+// act of the demo. The handles are nil without -telemetry/-flight-record,
+// and every instrumented layer treats nil as a no-op.
 type obs struct {
-	reg *telemetry.Registry
-	tr  *telemetry.Tracer
+	reg    *telemetry.Registry
+	tr     *telemetry.Tracer
+	flight string // -flight-record directory ("" disables)
+}
+
+// tracer returns a span recorder for one logical process of the demo.
+// Without -flight-record every act shares the main in-memory tracer; with
+// it, each process gets its own tracer teed into its own recorder file —
+// the cross-process split, exercised in-process — and the returned close
+// drains that file.
+func (o obs) tracer(proc string) (*telemetry.Tracer, func()) {
+	if o.flight == "" {
+		return o.tr, func() {}
+	}
+	tr := telemetry.NewTracer(0)
+	fr, err := telemetry.NewFlightRecorder(o.flight, proc, nil)
+	if err != nil {
+		log.Fatalf("flight recorder %s: %v", proc, err)
+	}
+	fr.RegisterMetrics(o.reg)
+	tr.Tee(fr.Record)
+	return tr, func() { fr.Close() }
 }
 
 // execPolicy is the -exec flag mapped to a chain config value; every act's
@@ -60,7 +80,8 @@ func applyExec(ccfg *chain.Config) {
 func main() {
 	towers := flag.Int("towers", 3, "federation size for the tower-federation act (1 disables it)")
 	execMode := flag.String("exec", "serial", `block execution engine: "serial" or "parallel" (multi-core optimistic scheduling; identical blocks either way)`)
-	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060); serves /metrics, /healthz, /debug/trace/{sid}, /debug/pprof/* and keeps the process alive after the demos for scraping")
+	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060); serves /metrics, /healthz, /debug/trace, /debug/pprof/* and keeps the process alive after the demos for scraping")
+	flightDir := flag.String("flight-record", "", "directory for flight-recorder span files, one sequence per logical process (merge with cmd/trace)")
 	flag.Parse()
 	switch *execMode {
 	case "serial":
@@ -71,17 +92,30 @@ func main() {
 	}
 
 	var o obs
-	if *telemetryAddr != "" {
+	o.flight = *flightDir
+	if *telemetryAddr != "" || *flightDir != "" {
 		o.reg = telemetry.NewRegistry()
 		o.tr = telemetry.NewTracer(0)
 		o.reg.RegisterRuntimeMetrics()
 		o.reg.PublishExpvar("hub")
+	}
+	if *telemetryAddr != "" {
 		tsrv, err := telemetry.Serve(*telemetryAddr, o.reg, o.tr)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		defer tsrv.Close()
-		fmt.Printf("telemetry: curl http://%s/metrics  (traces at /debug/trace/{sid})\n\n", tsrv.Addr())
+		fmt.Printf("telemetry: curl http://%s/metrics  (traces at /debug/trace)\n\n", tsrv.Addr())
+	}
+	if *flightDir != "" {
+		fr, err := telemetry.NewFlightRecorder(*flightDir, "hub", nil)
+		if err != nil {
+			log.Fatalf("flight recorder: %v", err)
+		}
+		defer fr.Close()
+		fr.RegisterMetrics(o.reg)
+		o.tr.Tee(fr.Record)
+		fmt.Printf("flight recorder: %s/hub-*.jsonl (merge with `go run ./cmd/trace %s`)\n\n", *flightDir, *flightDir)
 	}
 
 	// World: a dev chain with a rich faucet, a whisper network, a hub.
@@ -92,6 +126,7 @@ func main() {
 	ccfg := chain.DefaultConfig()
 	applyExec(&ccfg)
 	ccfg.Telemetry = o.reg
+	ccfg.Tracer = o.tr
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
@@ -192,6 +227,7 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int, o obs) {
 	ccfg := chain.DefaultConfig()
 	applyExec(&ccfg)
 	ccfg.Telemetry = o.reg
+	ccfg.Tracer = o.tr
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
@@ -233,7 +269,14 @@ func federationDemo(faucetKey *secp256k1.PrivateKey, towers int, o obs) {
 	}
 	backups := make([]*federation.Tower, 0, towers-1)
 	for i := 1; i < towers; i++ {
-		bt, err := federation.Join(mk(keys[i]))
+		// Each backup is a logical process of its own: with -flight-record
+		// it records spans under its own proc name, and cmd/trace stitches
+		// the hub's and the backups' files back into one causal timeline.
+		cfg := mk(keys[i])
+		tr, closeRec := o.tracer(fmt.Sprintf("tower-%d", i))
+		cfg.Tracer = tr
+		defer closeRec()
+		bt, err := federation.Join(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -292,6 +335,7 @@ func batchMiningDemo(faucetKey *secp256k1.PrivateKey, o obs) {
 	applyExec(&ccfg)
 	ccfg.AutoMine = false // batch policy: pool transactions, let the driver seal
 	ccfg.Telemetry = o.reg
+	ccfg.Tracer = o.tr
 	c := chain.New(ccfg, map[types.Address]*uint256.Int{
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})

@@ -87,6 +87,12 @@ type Config struct {
 	// txs per block, pool depth, mine latency) into the registry. Nil
 	// disables exposition; the per-call cost is a nil check.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records a "mine_block" span per sealed block.
+	// Block production serves every session at once, so these are root
+	// spans in the chain's own recorder, not children of any one session
+	// trace; per-session chain spans come from the participants' Trace
+	// hooks instead.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig mirrors a developer testnet.
@@ -153,6 +159,12 @@ type Chain struct {
 	hParWidth     *telemetry.Histogram
 	hExecSerial   *telemetry.Histogram
 	hExecParallel *telemetry.Histogram
+
+	// Mining-liveness clock for the chain_mining health check (under mu):
+	// lastSeal is the wall time of the most recent sealed block, oldestWait
+	// the wall time the oldest still-pending transaction was accepted.
+	lastSeal   time.Time
+	oldestWait time.Time
 }
 
 // indexedLog is one log's position in the per-address index.
@@ -217,6 +229,24 @@ func New(config Config, alloc map[types.Address]*uint256.Int) *Chain {
 		reg.GaugeFunc("secp_glv_splits_total", func() float64 {
 			return float64(secp256k1.GLVSplits())
 		})
+		// SLO: with transactions pooled, a block must seal within seconds of
+		// wall time (the dev chain mines on demand); a silent mining stall
+		// strands every open challenge window behind it.
+		reg.RegisterHealth("chain_mining", telemetry.StalenessCheck(
+			func() bool {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return len(c.pending) > 0
+			},
+			func() time.Time {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if c.lastSeal.After(c.oldestWait) {
+					return c.lastSeal
+				}
+				return c.oldestWait
+			},
+			5*time.Second, 30*time.Second))
 	}
 	for addr, balance := range alloc {
 		c.state.SetBalance(addr, balance)
@@ -367,6 +397,9 @@ func (c *Chain) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 	defer c.mu.Unlock()
 	if err := c.validateTx(tx); err != nil {
 		return types.Hash{}, err
+	}
+	if len(c.pending) == 0 {
+		c.oldestWait = time.Now()
 	}
 	c.pending = append(c.pending, tx)
 	c.pendingSet[tx.Hash()] = struct{}{}
@@ -552,6 +585,10 @@ func (c *Chain) mineLocked() *types.Block {
 	c.mBlocksMined.Inc()
 	c.hBlockTxs.Observe(float64(len(included)))
 	c.hMineSeconds.ObserveSince(mineStart)
+	c.lastSeal = time.Now()
+	c.oldestWait = c.lastSeal
+	c.config.Tracer.Record(0, "chain", "mine_block", mineStart, time.Since(mineStart),
+		fmt.Sprintf("height=%d txs=%d", number, len(included)))
 	return block
 }
 

@@ -34,7 +34,6 @@ package federation
 import (
 	"context"
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,7 +123,8 @@ type Config struct {
 	// taxed hub throughput on the big.Int curve — and the fixed-limb
 	// rewrite made it affordable: see DESIGN.md for the measured cost.
 	SignGossip bool
-	// Logf sinks diagnostics (default log.Printf).
+	// Logf sinks diagnostics (default: the structured telemetry logger's
+	// "federation" layer at Info level).
 	Logf func(string, ...interface{})
 	// Telemetry, when set, publishes the tower's federation_* series
 	// (labeled with the tower's address so a fleet can share one
@@ -174,7 +174,7 @@ func (c *Config) withDefaults() (Config, error) {
 		cfg.VouchWait = 50 * time.Millisecond
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = telemetry.Default().Layer("federation").Logf
 	}
 	return cfg, nil
 }
@@ -345,6 +345,17 @@ func (t *Tower) sidOf(contract types.Address) uint64 {
 		return gi.export.SID
 	}
 	return 0
+}
+
+// ctxOf returns the causal trace context of the guard on contract (zero
+// when unguarded or untraced), for parenting federation spans.
+func (t *Tower) ctxOf(contract types.Address) telemetry.TraceContext {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if gi := t.guards[contract]; gi != nil && gi.watch != nil {
+		return gi.watch.TraceCtx()
+	}
+	return telemetry.TraceContext{}
 }
 
 // start re-arms durable state, subscribes to gossip, and launches the
@@ -531,7 +542,7 @@ func (t *Tower) post(g *whisper.Gossip) {
 	// Default unsigned: the group key authenticates fleet traffic (see
 	// handleEnvelope). SignGossip opts into per-sender envelope
 	// signatures, affordable since the fixed-limb secp256k1 rewrite.
-	if _, err := t.node.Post(t.topic, g.Encode(), whisper.PostOptions{Key: t.symKey, Unsigned: !t.cfg.SignGossip}); err != nil {
+	if _, err := t.node.Post(t.topic, g.Encode(), whisper.PostOptions{Key: t.symKey, Unsigned: !t.cfg.SignGossip, Trace: g.TraceCtx()}); err != nil {
 		t.cfg.Logf("federation: gossip post failed: %v", err)
 	}
 }
@@ -686,6 +697,7 @@ func (t *Tower) handleGuardGossip(from types.Address, g *whisper.Gossip) {
 		SID: g.U3, Scenario: g.Str, Contract: g.Addr,
 		ChallengePeriod: g.U1, Honest: int(g.U2),
 		CopyEnc: g.Blob, Scalars: g.Blobs,
+		TraceID: g.TraceID, TraceSpan: g.TraceSpan,
 	}
 	select {
 	case t.adoptCh <- adoptReq{export: export, fromBlock: t.cfg.Chain.Height()}:
@@ -722,11 +734,26 @@ func (t *Tower) adopt(g *hub.GuardExport, fromBlock uint64, journalIt bool) erro
 	}
 	t.mu.Unlock()
 	adoptStart := time.Now()
+	// The gossiped trace context is the ORIGIN hub's root session span; the
+	// adoption becomes a child span in this tower's own recorder, and every
+	// chain interaction the adopted guard makes parents under the adoption —
+	// so a cross-process merge stitches hub and tower files into one tree.
+	gctx := telemetry.TraceContext{TraceID: g.TraceID, Span: g.TraceSpan}
+	adoptTC := t.cfg.Tracer.Child(gctx)
 	sess, err := t.rebuild(g)
 	if err != nil {
 		return err
 	}
-	watch, err := t.tower.Guard(sess, g.Honest, g.Scenario)
+	if adoptTC.Valid() {
+		sid := g.SID
+		for _, p := range sess.Parties {
+			p.Trace = func(name string, start time.Time, dur time.Duration, attrs string) {
+				t.cfg.Tracer.RecordChild(adoptTC, sid, "chain", name, start, dur, attrs)
+			}
+		}
+		sess.Trace = adoptTC
+	}
+	watch, err := t.tower.GuardWithTrace(sess, g.Honest, g.Scenario, adoptTC)
 	if err != nil {
 		return err
 	}
@@ -745,7 +772,7 @@ func (t *Tower) adopt(g *hub.GuardExport, fromBlock uint64, journalIt bool) erro
 		t.journal.log(guardRecord(g))
 	}
 	t.metrics.guardsAdopted.Inc()
-	t.cfg.Tracer.Record(g.SID, "federation", "adopt", adoptStart, time.Since(adoptStart), "tower="+t.self.Hex())
+	t.cfg.Tracer.RecordSpan(adoptTC, gctx.Span, g.SID, "federation", "adopt", adoptStart, time.Since(adoptStart), "tower="+t.self.Hex())
 	// The submission may already be on chain (the block raced the
 	// adoption queue): replay the contract's events since the gossip
 	// arrived through the same idempotent handlers as live delivery.
@@ -847,6 +874,11 @@ func (t *Tower) handleWindowGossip(from types.Address, g *whisper.Gossip) {
 		// landed — in which case the adoption catch-up scan started past
 		// it and nothing else would ever drive this window.
 		t.tower.RestoreWindow(adopted, w)
+	}
+	if pc := g.TraceCtx(); pc.Valid() {
+		t.cfg.Tracer.EventChild(pc, t.sidOf(g.Addr), "federation", "window_mirror", "from="+from.Hex())
+	} else if pc := t.ctxOf(g.Addr); pc.Valid() {
+		t.cfg.Tracer.EventChild(pc, t.sidOf(g.Addr), "federation", "window_mirror", "from="+from.Hex())
 	}
 	t.journal.log(windowRecord(w, hint))
 }
@@ -960,10 +992,10 @@ func (t *Tower) electFile(contract types.Address, mySlot int, now time.Time) (hu
 	if !announced {
 		if mySlot > 0 {
 			t.metrics.escalations.Inc()
-			t.cfg.Tracer.Event(t.sidOf(contract), "federation", "escalate", fmt.Sprintf("slot=%d tower=%s", mySlot, t.self.Hex()))
+			t.cfg.Tracer.EventChild(t.ctxOf(contract), t.sidOf(contract), "federation", "escalate", fmt.Sprintf("slot=%d tower=%s", mySlot, t.self.Hex()))
 		}
 		t.announceIntent(contract)
-		t.cfg.Tracer.Event(t.sidOf(contract), "federation", "intent_announced", "tower="+t.self.Hex())
+		t.cfg.Tracer.EventChild(t.ctxOf(contract), t.sidOf(contract), "federation", "intent_announced", "tower="+t.self.Hex())
 		return hub.GateDefer, t.cfg.ElectionDelay
 	}
 	if d := t.cfg.ElectionDelay - now.Sub(myAt); d > 0 {
@@ -994,7 +1026,9 @@ func (t *Tower) announceIntent(contract types.Address) {
 }
 
 func (t *Tower) postIntent(contract types.Address) {
-	t.post(&whisper.Gossip{Kind: gossipIntent, Addr: contract, Time: wallMillis()})
+	g := &whisper.Gossip{Kind: gossipIntent, Addr: contract, Time: wallMillis()}
+	g.SetTraceCtx(t.ctxOf(contract))
+	t.post(g)
 }
 
 // towerObserver adapts Tower to hub.TowerObserver (a distinct type so the
@@ -1022,6 +1056,13 @@ func (o *towerObserver) Guarded(e *hub.Watch, contract types.Address) {
 		Scalars:         scalars,
 		CopyEnc:         sess.Copy.Encode(),
 	}
+	// Export the session's ROOT trace context (not a child): adopters parent
+	// their own spans directly under the hub's root session span, so a
+	// dropped/re-gossiped export never leaves a dangling intermediate node.
+	if tc := e.TraceCtx(); tc.Valid() {
+		export.TraceID, export.TraceSpan = tc.TraceID, tc.Span
+		t.cfg.Tracer.EventChild(tc, export.SID, "federation", "guard_export", "tower="+t.self.Hex())
+	}
 	t.mu.Lock()
 	t.guards[contract] = &guardInfo{export: export, watch: e, own: true}
 	t.mu.Unlock()
@@ -1035,6 +1076,7 @@ func (t *Tower) postGuard(export *hub.GuardExport) {
 		Kind: gossipGuard, Addr: export.Contract,
 		U1: export.ChallengePeriod, U2: uint64(export.Honest), U3: export.SID,
 		Str: export.Scenario, Blob: export.CopyEnc, Blobs: export.Scalars,
+		TraceID: export.TraceID, TraceSpan: export.TraceSpan,
 	})
 }
 
@@ -1045,6 +1087,7 @@ func (t *Tower) postWindow(e *hub.Watch, w hub.Window) {
 		U1: w.Result, U2: w.OpenedAt, U3: w.Deadline,
 		Blob: w.Submitter[:],
 	}
+	g.SetTraceCtx(e.TraceCtx())
 	if exp, ok := e.ExpectedCached(); ok {
 		h := make([]byte, 8)
 		for i := 0; i < 8; i++ {

@@ -94,10 +94,15 @@ type Report struct {
 type Ticket struct {
 	ID     uint64
 	Spec   *Spec
+	tc     telemetry.TraceContext                  // causal identity minted at admission
 	run    func(shard *hybrid.Participant) *Report // non-nil: resume job
 	done   chan struct{}
 	report *Report
 }
+
+// TraceCtx returns the session's causal trace identity (zero without a
+// tracer).
+func (t *Ticket) TraceCtx() telemetry.TraceContext { return t.tc }
 
 // Done is closed when the session reaches a terminal stage.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
@@ -234,10 +239,36 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 	h.sid.Store(sidFloor)
 	cfg.Telemetry.GaugeFunc("hub_queue_depth", func() float64 { return float64(len(h.jobs)) })
 	cfg.Telemetry.GaugeFunc("hub_live_sessions", func() float64 { return float64(h.journal.live()) })
+	// SLO: a full submission queue means Submit callers are blocking —
+	// sustained saturation is the first symptom of a wedged worker pool.
+	cfg.Telemetry.RegisterHealth("hub_workers", func() telemetry.ComponentHealth {
+		depth, cap := len(h.jobs), cfg.QueueDepth
+		switch {
+		case depth >= cap:
+			return telemetry.Unhealthy(fmt.Sprintf("submission queue full (%d/%d)", depth, cap))
+		case depth*4 >= cap*3:
+			return telemetry.Degraded(fmt.Sprintf("submission queue %d/%d", depth, cap))
+		default:
+			return telemetry.Healthy()
+		}
+	})
 	if net != nil {
 		net.RegisterMetrics(cfg.Telemetry)
 	}
 	h.tower = NewWatchtower(c, m)
+	// SLO: open dispute decisions pile up when dispute workers stall or the
+	// chain stops confirming filings; a deep backlog risks missed windows.
+	cfg.Telemetry.RegisterHealth("tower_disputes", func() telemetry.ComponentHealth {
+		backlog := h.tower.PendingDisputes()
+		switch {
+		case backlog > 4*cfg.DisputeWorkers && backlog > 32:
+			return telemetry.Unhealthy(fmt.Sprintf("dispute backlog %d", backlog))
+		case backlog > 2*cfg.DisputeWorkers && backlog > 8:
+			return telemetry.Degraded(fmt.Sprintf("dispute backlog %d", backlog))
+		default:
+			return telemetry.Healthy()
+		}
+	})
 	h.tower.tracer = cfg.Tracer
 	h.tower.journal = h.journal
 	h.tower.SetDisputeWorkers(cfg.DisputeWorkers)
@@ -290,6 +321,11 @@ type GuardExport struct {
 	Honest          int
 	Scalars         [][]byte
 	CopyEnc         []byte
+	// TraceID/TraceSpan carry the session's causal identity to peers, so
+	// a backup tower's adoption (and any dispute it files) appears in the
+	// same trace as the hub's own spans. Zero when the hub runs untraced.
+	TraceID   uint64
+	TraceSpan uint64
 }
 
 // ExportGuard returns the guard state of a live session from the durable
@@ -337,6 +373,13 @@ func (h *Hub) Submit(spec *Spec) *Ticket {
 		h.metrics.sessionsFailed.Inc()
 		close(t.done)
 		return t
+	}
+	// Admission is the trace root: everything the session causes — stage
+	// advances, chain txs, whisper posts, tower windows, federated
+	// disputes — hangs below this span, across process boundaries.
+	if h.tracer != nil {
+		t.tc = h.tracer.NewTrace()
+		h.tracer.RecordSpan(t.tc, 0, t.ID, "hub", "session", time.Now(), 0, "scenario="+spec.Scenario)
 	}
 	h.jobs <- t
 	return t
@@ -540,7 +583,7 @@ func (h *Hub) advance(lc *lifecycle, s Stage) bool {
 	lc.rep.Stage = s
 	lc.rep.Latency[s] = d
 	h.metrics.recordStage(s, d)
-	h.tracer.Record(lc.t.ID, "hub", "stage:"+s.String(), lc.began, d, "")
+	h.tracer.RecordChild(lc.t.tc, lc.t.ID, "hub", "stage:"+s.String(), lc.began, d, "")
 	if h.cfg.StageHook != nil && !h.cfg.StageHook(lc.t.ID, s) {
 		return false
 	}
@@ -624,9 +667,9 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 		parties[i] = hybrid.NewParticipant(key, h.chain, h.net)
 		parties[i].Ctx = h.ctx
 		if h.tracer != nil {
-			sid := t.ID
+			sid, tc := t.ID, t.tc
 			parties[i].Trace = func(name string, start time.Time, dur time.Duration, attrs string) {
-				h.tracer.Record(sid, "chain", name, start, dur, attrs)
+				h.tracer.RecordChild(tc, sid, "chain", name, start, dur, attrs)
 			}
 		}
 		addrs[i] = parties[i].Addr
@@ -649,11 +692,14 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 	if err := h.fund(shard, addrs, funding); err != nil {
 		return fail(err)
 	}
-	h.tracer.Record(t.ID, "chain", "fund", fundStart, time.Since(fundStart), "")
+	h.tracer.RecordChild(t.tc, t.ID, "chain", "fund", fundStart, time.Since(fundStart), "")
 	sess, err := hybrid.NewSession(split, parties)
 	if err != nil {
 		return fail(err)
 	}
+	// Stamp the session so its whisper envelopes carry the trace across
+	// the (future) process boundary.
+	sess.Trace = t.tc
 	rep.Session = sess
 
 	// Stage 2a: deploy the on-chain half.
@@ -679,7 +725,7 @@ func (h *Hub) runSession(t *Ticket, shard *hybrid.Participant) *Report {
 	if err := sess.SignAndExchange(ctorArgs...); err != nil {
 		return fail(fmt.Errorf("hub: sign/exchange: %w", err))
 	}
-	h.tracer.Record(t.ID, "whisper", "sign_exchange", exchangeStart, time.Since(exchangeStart), "")
+	h.tracer.RecordChild(t.tc, t.ID, "whisper", "sign_exchange", exchangeStart, time.Since(exchangeStart), "")
 	h.journal.log(&store.Record{Kind: store.KindSigned, SID: t.ID, Blob: sess.Copy.Encode()})
 	if !h.advance(lc, StageSigned) {
 		return h.crashReport(t, StageSigned)
@@ -700,7 +746,7 @@ func (h *Hub) runFromSigned(lc *lifecycle, sess *hybrid.Session, watch *Watch, s
 	// so no challenge window ever opens unobserved.
 	if watch == nil {
 		var err error
-		watch, err = h.tower.guard(sess, 0, t.ID, spec.Scenario)
+		watch, err = h.tower.guard(sess, 0, t.ID, spec.Scenario, t.tc)
 		if err != nil {
 			return fail(err)
 		}

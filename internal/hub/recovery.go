@@ -11,6 +11,7 @@ import (
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -225,8 +226,16 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 			if honest < 0 {
 				honest = 0
 			}
+			// A recovered session starts a fresh trace: the dead process's
+			// trace ring died with it, and the WAL doesn't carry span state.
+			var rtc telemetry.TraceContext
+			if h.tracer != nil {
+				rtc = h.tracer.NewTrace()
+				h.tracer.RecordSpan(rtc, 0, ss.ID, "hub", "session_recovered", time.Now(), 0, "scenario="+ss.Scenario)
+				sess.Trace = rtc
+			}
 			var watch *Watch
-			if watch, err = h.tower.guard(sess, honest, ss.ID, ss.Scenario); err == nil {
+			if watch, err = h.tower.guard(sess, honest, ss.ID, ss.Scenario, rtc); err == nil {
 				if ss.HasWindow {
 					watch.mu.Lock()
 					watch.window = &Window{
@@ -283,7 +292,7 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 		r := r
 		h.metrics.sessionsRecovered.Inc()
 		h.metrics.sessionsStarted.Inc()
-		t := &Ticket{ID: r.ss.ID, Spec: r.spec, done: make(chan struct{})}
+		t := &Ticket{ID: r.ss.ID, Spec: r.spec, tc: r.watch.tc, done: make(chan struct{})}
 		t.run = func(shard *hybrid.Participant) *Report {
 			return h.resumeSession(t, r.ss, r.sess, r.watch)
 		}

@@ -109,9 +109,10 @@ type DisputeGate func(e *Watch, w Window) (GateDecision, time.Duration)
 // Watch is the watchtower's record of one guarded session.
 type Watch struct {
 	sess     *hybrid.Session
-	honest   int    // party index the tower files disputes as
-	id       uint64 // hub session ID (0 for sessions guarded standalone)
-	scenario string // spec label, for federated guard-state export
+	honest   int                    // party index the tower files disputes as
+	id       uint64                 // hub session ID (0 for sessions guarded standalone)
+	scenario string                 // spec label, for federated guard-state export
+	tc       telemetry.TraceContext // causal identity; zero when untraced
 
 	expectOnce sync.Once
 	expected   uint64
@@ -205,17 +206,25 @@ func (w *Watchtower) Metrics() Snapshot { return w.metrics.snapshot() }
 // Must be called after DeployOnChain and SignAndExchange (the tower needs
 // the address and the signed copy) and before any result is submitted.
 func (w *Watchtower) Guard(sess *hybrid.Session, honest int, scenario string) (*Watch, error) {
-	return w.guard(sess, honest, 0, scenario)
+	return w.guard(sess, honest, 0, scenario, telemetry.TraceContext{})
 }
 
-func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenario string) (*Watch, error) {
+// GuardWithTrace is Guard carrying a causal trace context, so the spans a
+// standalone tower records for this session (window openings, disputes)
+// join the trace that produced the session — the federation passes the
+// context it re-hydrated from gossip.
+func (w *Watchtower) GuardWithTrace(sess *hybrid.Session, honest int, scenario string, tc telemetry.TraceContext) (*Watch, error) {
+	return w.guard(sess, honest, 0, scenario, tc)
+}
+
+func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenario string, tc telemetry.TraceContext) (*Watch, error) {
 	if sess.OnChainAddr.IsZero() || sess.Copy == nil {
 		return nil, fmt.Errorf("hub: session not ready to guard (deploy and sign first)")
 	}
 	if !sess.Split.Policy.LifecycleEvents {
 		return nil, fmt.Errorf("hub: session's split policy has LifecycleEvents off; the watchtower cannot see its challenge windows")
 	}
-	e := &Watch{sess: sess, honest: honest, id: sid, scenario: scenario, settledCh: make(chan struct{})}
+	e := &Watch{sess: sess, honest: honest, id: sid, scenario: scenario, tc: tc, settledCh: make(chan struct{})}
 	w.mu.Lock()
 	if w.stopped {
 		w.mu.Unlock()
@@ -236,6 +245,10 @@ func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenari
 // SID returns the hub session ID the watch guards (0 for sessions guarded
 // standalone — e.g. a contract a federation tower mirrors for a peer).
 func (e *Watch) SID() uint64 { return e.id }
+
+// TraceCtx returns the causal trace context the session was guarded under
+// (zero when untraced).
+func (e *Watch) TraceCtx() telemetry.TraceContext { return e.tc }
 
 // Contract returns the guarded on-chain address.
 func (e *Watch) Contract() types.Address { return e.sess.OnChainAddr }
@@ -543,8 +556,8 @@ func (w *Watchtower) onSettled(e *Watch, addr types.Address, byDispute bool) {
 	delete(w.entries, addr)
 	w.mu.Unlock()
 	w.filter.Remove(addr) // settled for good: stop receiving its logs
-	if first && w.tracer != nil && e.id != 0 {
-		w.tracer.Event(e.id, "tower", "settled", fmt.Sprintf("by_dispute=%t", byDispute))
+	if first && w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
+		w.tracer.EventChild(e.tc, e.id, "tower", "settled", fmt.Sprintf("by_dispute=%t", byDispute))
 	}
 	if first && w.observer != nil {
 		w.observer.WindowClosed(addr, byDispute)
@@ -596,8 +609,8 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 		e.pending = true
 	}
 	e.mu.Unlock()
-	if w.tracer != nil && e.id != 0 {
-		w.tracer.Event(e.id, "tower", "window_open", fmt.Sprintf("result=%d deadline=%d", result, deadline))
+	if w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
+		w.tracer.EventChild(e.tc, e.id, "tower", "window_open", fmt.Sprintf("result=%d deadline=%d", result, deadline))
 	}
 	if w.journal != nil && e.id != 0 {
 		w.journal.log(&store.Record{
@@ -763,8 +776,8 @@ func (w *Watchtower) fileDispute(e *Watch, win Window) {
 		e.mu.Unlock()
 		w.onSettled(e, e.sess.OnChainAddr, true)
 	}
-	if w.tracer != nil && e.id != 0 {
-		w.tracer.Record(e.id, "tower", "dispute", disputeStart, time.Since(disputeStart), fmt.Sprintf("enforced=%t", enforced))
+	if w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
+		w.tracer.RecordChild(e.tc, e.id, "tower", "dispute", disputeStart, time.Since(disputeStart), fmt.Sprintf("enforced=%t", enforced))
 	}
 	if w.observer != nil {
 		w.observer.DisputeFiled(e, e.sess.OnChainAddr, enforced)

@@ -7,6 +7,7 @@ import (
 
 	"onoffchain/internal/rlp"
 	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
 	"onoffchain/internal/whisper"
@@ -25,6 +26,11 @@ type Session struct {
 	// InstanceAddr is the verified instance created during a dispute
 	// (stage 4).
 	InstanceAddr types.Address
+
+	// Trace is the session's causal identity; when set, whisper envelopes
+	// posted on the session channel carry it so a remote peer can stitch
+	// the exchange into the originating trace. Zero means untraced.
+	Trace telemetry.TraceContext
 
 	topic  whisper.Topic
 	symKey []byte
@@ -133,7 +139,7 @@ func (s *Session) SignAndExchange(ctorArgs ...interface{}) error {
 			rlp.Bytes(sig.R[:]),
 			rlp.Bytes(sig.S[:]),
 		)
-		if _, err := p.Node.Post(s.topic, payload, whisper.PostOptions{Key: s.symKey}); err != nil {
+		if _, err := p.Node.Post(s.topic, payload, whisper.PostOptions{Key: s.symKey, Trace: s.Trace}); err != nil {
 			return err
 		}
 	}

@@ -134,6 +134,24 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.hBatch = reg.Histogram("store_batch_frames", telemetry.SizeBuckets())
 		s.mBytes = reg.Counter("store_bytes_total")
 		s.mRotations = reg.Counter("store_rotations_total")
+		// SLO: a sticky write failure means every in-flight session journal
+		// is lost on crash — fail the probe outright. A p99 append above
+		// 50ms (spinning disk contention, throttled volume) only degrades:
+		// group commit keeps the hub live, but admission latency suffers.
+		reg.RegisterHealth("wal_append", func() telemetry.ComponentHealth {
+			s.mu.Lock()
+			failed := s.failed
+			s.mu.Unlock()
+			if failed != nil {
+				return telemetry.Unhealthy("sticky append failure: " + failed.Error())
+			}
+			if s.hAppend.Count() >= 16 {
+				if p99 := s.hAppend.Quantile(0.99); p99 > 0.05 {
+					return telemetry.Degraded(fmt.Sprintf("append p99 %.1fms", p99*1e3))
+				}
+			}
+			return telemetry.Healthy()
+		})
 	}
 	if err := s.openSegment(next); err != nil {
 		return nil, err

@@ -1,0 +1,18 @@
+package telemetry
+
+// TraceContext is the compact causal handle threaded through the stack:
+// a trace identity plus the span the holder is working under, which
+// becomes the parent of any child span recorded through it. It is minted
+// at session admission (Tracer.NewTrace), carried on hub tickets, whisper
+// envelopes and federation gossip, and re-hydrated by whichever process
+// picks the work up — two uint64s, cheap enough to stamp on every frame.
+//
+// The zero value means "untraced": every API accepting a TraceContext
+// degrades to the legacy SID-only behaviour, so call sites never branch.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id"`
+	Span    uint64 `json:"span_id"`
+}
+
+// Valid reports whether the context carries a trace identity.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }

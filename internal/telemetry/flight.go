@@ -1,0 +1,568 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder streams spans to a bounded, rotating JSONL file — the
+// crash-forensics sibling of the in-memory ring. Records are OTLP-shaped
+// (hex trace/span ids, unix-nano timestamps, key/value attributes) so the
+// files remain readable by standard tooling, one line per span, one file
+// sequence per process.
+//
+// Record never blocks the hot path: spans go through a bounded channel
+// and a full channel drops the span and counts it, mirroring whisper's
+// backpressure contract. Close drains what was accepted.
+type FlightRecorder struct {
+	dir  string
+	proc string
+
+	maxBytes int64
+	maxFiles int
+
+	ch      chan Span
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	drops   atomic.Uint64
+	written atomic.Uint64
+
+	err atomic.Value // first writer error, if any
+}
+
+// FlightOptions bound the recorder. Zero values pick the defaults.
+type FlightOptions struct {
+	MaxFileBytes int64 // rotate after this many bytes per file (default 4 MiB)
+	MaxFiles     int   // keep at most this many rotated files (default 4)
+	Buffer       int   // async channel depth (default 1024)
+}
+
+// NewFlightRecorder starts a recorder writing <proc>-NNNNN.jsonl files
+// under dir (created if missing). proc names the process/tower the file
+// belongs to — cmd/trace uses it to label the merged timeline.
+func NewFlightRecorder(dir, proc string, opts *FlightOptions) (*FlightRecorder, error) {
+	var o FlightOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxFileBytes <= 0 {
+		o.MaxFileBytes = 4 << 20
+	}
+	if o.MaxFiles <= 0 {
+		o.MaxFiles = 4
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 1024
+	}
+	if proc == "" {
+		proc = "proc"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: flight dir %s: %w", dir, err)
+	}
+	f := &FlightRecorder{
+		dir:      dir,
+		proc:     proc,
+		maxBytes: o.MaxFileBytes,
+		maxFiles: o.MaxFiles,
+		ch:       make(chan Span, o.Buffer),
+		done:     make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Record enqueues one span, dropping (and counting) when the writer is
+// behind or the recorder is closed. Nil-safe.
+func (f *FlightRecorder) Record(s Span) {
+	if f == nil {
+		return
+	}
+	if f.closed.Load() {
+		f.drops.Add(1)
+		return
+	}
+	select {
+	case f.ch <- s:
+	default:
+		f.drops.Add(1)
+	}
+}
+
+// Drops returns how many spans were discarded because the writer could
+// not keep up.
+func (f *FlightRecorder) Drops() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.drops.Load()
+}
+
+// Written returns how many spans reached disk.
+func (f *FlightRecorder) Written() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.written.Load()
+}
+
+// Err returns the first writer error, if any (disk full, permission).
+func (f *FlightRecorder) Err() error {
+	if f == nil {
+		return nil
+	}
+	if v := f.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Close stops accepting spans, drains the queue to disk and syncs the
+// current file. Safe to call more than once.
+func (f *FlightRecorder) Close() error {
+	if f == nil {
+		return nil
+	}
+	if f.closed.CompareAndSwap(false, true) {
+		close(f.done)
+	}
+	f.wg.Wait()
+	return f.Err()
+}
+
+// RegisterMetrics exposes the recorder's counters on a registry.
+func (f *FlightRecorder) RegisterMetrics(r *Registry) {
+	if f == nil || r == nil {
+		return
+	}
+	r.GaugeFunc("telemetry_flight_written_total", func() float64 { return float64(f.Written()) }, "proc", f.proc)
+	r.GaugeFunc("telemetry_flight_dropped_total", func() float64 { return float64(f.Drops()) }, "proc", f.proc)
+}
+
+func (f *FlightRecorder) fail(err error) {
+	if err != nil {
+		f.err.CompareAndSwap(nil, err)
+	}
+}
+
+func (f *FlightRecorder) run() {
+	defer f.wg.Done()
+	var (
+		file  *os.File
+		w     *bufio.Writer
+		size  int64
+		seq   int
+		names []string // rotated file names, oldest first
+	)
+	open := func() bool {
+		seq++
+		name := fmt.Sprintf("%s-%05d.jsonl", f.proc, seq)
+		fl, err := os.Create(filepath.Join(f.dir, name))
+		if err != nil {
+			f.fail(err)
+			return false
+		}
+		file, w, size = fl, bufio.NewWriter(fl), 0
+		names = append(names, name)
+		for len(names) > f.maxFiles {
+			os.Remove(filepath.Join(f.dir, names[0]))
+			names = names[1:]
+		}
+		return true
+	}
+	closeFile := func() {
+		if file == nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			f.fail(err)
+		}
+		if err := file.Close(); err != nil {
+			f.fail(err)
+		}
+		file = nil
+	}
+	defer closeFile()
+	if !open() {
+		// Writer dead on arrival: keep draining so Record keeps its
+		// non-blocking contract, counting everything as dropped.
+		for {
+			select {
+			case <-f.ch:
+				f.drops.Add(1)
+			case <-f.done:
+				for {
+					select {
+					case <-f.ch:
+						f.drops.Add(1)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}
+	write := func(s Span) {
+		line, err := marshalFlight(f.proc, s)
+		if err != nil {
+			f.fail(err)
+			return
+		}
+		if size+int64(len(line))+1 > f.maxBytes && size > 0 {
+			closeFile()
+			if !open() {
+				f.drops.Add(1)
+				return
+			}
+		}
+		n, err := w.Write(append(line, '\n'))
+		if err != nil {
+			f.fail(err)
+			return
+		}
+		size += int64(n)
+		f.written.Add(1)
+	}
+	for {
+		select {
+		case s := <-f.ch:
+			write(s)
+		default:
+			// Idle: flush the buffered writer so a killed process (the
+			// crash-forensics case) leaves complete lines on disk, then
+			// park until the next span or shutdown.
+			if file != nil {
+				if err := w.Flush(); err != nil {
+					f.fail(err)
+				}
+			}
+			select {
+			case s := <-f.ch:
+				write(s)
+			case <-f.done:
+				for {
+					select {
+					case s := <-f.ch:
+						write(s)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// flightValue is the OTLP AnyValue JSON shape (ints are strings, per the
+// OTLP/JSON mapping of 64-bit values).
+type flightValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    string `json:"intValue,omitempty"`
+}
+
+type flightAttr struct {
+	Key   string      `json:"key"`
+	Value flightValue `json:"value"`
+}
+
+// flightRecord is one JSONL line: a single OTLP-shaped span with the
+// producing process tucked into the resource.
+type flightRecord struct {
+	Resource     map[string]string `json:"resource"`
+	Name         string            `json:"name"`
+	TraceID      string            `json:"traceId,omitempty"`
+	SpanID       string            `json:"spanId,omitempty"`
+	ParentSpanID string            `json:"parentSpanId,omitempty"`
+	Start        int64             `json:"startTimeUnixNano"`
+	End          int64             `json:"endTimeUnixNano"`
+	Attributes   []flightAttr      `json:"attributes"`
+}
+
+func marshalFlight(proc string, s Span) ([]byte, error) {
+	rec := flightRecord{
+		Resource: map[string]string{"proc": proc},
+		Name:     s.Name,
+		Start:    s.Start.UnixNano(),
+		End:      s.Start.Add(s.Dur).UnixNano(),
+		Attributes: []flightAttr{
+			{Key: "layer", Value: flightValue{StringValue: s.Layer}},
+			{Key: "sid", Value: flightValue{IntValue: strconv.FormatUint(s.SID, 10)}},
+		},
+	}
+	if s.TraceID != 0 {
+		rec.TraceID = fmt.Sprintf("%032x", s.TraceID)
+		rec.SpanID = fmt.Sprintf("%016x", s.SpanID)
+	}
+	if s.Parent != 0 {
+		rec.ParentSpanID = fmt.Sprintf("%016x", s.Parent)
+	}
+	if s.Attrs != "" {
+		rec.Attributes = append(rec.Attributes, flightAttr{Key: "attrs", Value: flightValue{StringValue: s.Attrs}})
+	}
+	return json.Marshal(rec)
+}
+
+// FlightSpan is a span read back from a recorder file, tagged with the
+// process that produced it.
+type FlightSpan struct {
+	Span
+	Proc string
+}
+
+func parseHexID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	if len(s) > 16 {
+		s = s[len(s)-16:]
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// ReadFlightFile parses one recorder file back into spans. Unparseable
+// lines are skipped (a crash can truncate the tail mid-line); an
+// unreadable file is an error.
+func ReadFlightFile(path string) ([]FlightSpan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []FlightSpan
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec flightRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		fs := FlightSpan{Proc: rec.Resource["proc"]}
+		fs.Name = rec.Name
+		fs.TraceID = parseHexID(rec.TraceID)
+		fs.SpanID = parseHexID(rec.SpanID)
+		fs.Parent = parseHexID(rec.ParentSpanID)
+		fs.Start = time.Unix(0, rec.Start)
+		if rec.End > rec.Start {
+			fs.Dur = time.Duration(rec.End - rec.Start)
+		}
+		for _, a := range rec.Attributes {
+			switch a.Key {
+			case "layer":
+				fs.Layer = a.Value.StringValue
+			case "sid":
+				fs.SID, _ = strconv.ParseUint(a.Value.IntValue, 10, 64)
+			case "attrs":
+				fs.Attrs = a.Value.StringValue
+			}
+		}
+		out = append(out, fs)
+	}
+	return out, sc.Err()
+}
+
+// ReadFlightFiles reads and concatenates several recorder files — one per
+// tower/process — into a single span pool for merging.
+func ReadFlightFiles(paths ...string) ([]FlightSpan, error) {
+	var out []FlightSpan
+	for _, p := range paths {
+		spans, err := ReadFlightFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, spans...)
+	}
+	return out, nil
+}
+
+// TimelineEntry is one row of a merged causal timeline: the span, its
+// depth under the trace root, its offset from the trace start, and
+// whether its parent was missing from the merged pool (a tower whose
+// recorder file wasn't supplied).
+type TimelineEntry struct {
+	FlightSpan
+	Depth  int
+	Offset time.Duration
+	Orphan bool
+}
+
+// BuildTimeline merges spans (typically from several recorder files or
+// tracers) into the causal timeline of one trace: a depth-first walk of
+// the parent/child forest, children in start order. Spans whose parent is
+// absent from the pool are promoted to roots and flagged Orphan.
+func BuildTimeline(spans []FlightSpan, traceID uint64) []TimelineEntry {
+	var pool []FlightSpan
+	for _, s := range spans {
+		if s.TraceID == traceID && traceID != 0 {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	t0 := pool[0].Start
+	for _, s := range pool {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	present := make(map[uint64]bool, len(pool))
+	for _, s := range pool {
+		if s.SpanID != 0 {
+			present[s.SpanID] = true
+		}
+	}
+	children := make(map[uint64][]int)
+	var roots []int
+	for i, s := range pool {
+		// A span parented on itself (corrupt input) would recurse forever;
+		// treat it as a root.
+		if s.Parent != 0 && present[s.Parent] && s.Parent != s.SpanID {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return pool[idx[a]].Start.Before(pool[idx[b]].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+	out := make([]TimelineEntry, 0, len(pool))
+	visited := make([]bool, len(pool))
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		if visited[i] {
+			return
+		}
+		visited[i] = true
+		s := pool[i]
+		out = append(out, TimelineEntry{
+			FlightSpan: s,
+			Depth:      depth,
+			Offset:     s.Start.Sub(t0),
+			Orphan:     s.Parent != 0 && !present[s.Parent],
+		})
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	// A parent cycle (corrupt input) is unreachable from any root; sweep
+	// the leftovers in so no span silently vanishes from the timeline.
+	for i := range pool {
+		if !visited[i] {
+			walk(i, 0)
+		}
+	}
+	return out
+}
+
+// FlightTraceSummary is one row of the merged recent-traces index.
+type FlightTraceSummary struct {
+	TraceID uint64
+	SID     uint64
+	Spans   int
+	Procs   []string
+	Layers  []string
+	Start   time.Time
+	Dur     time.Duration
+}
+
+// SummarizeTraces indexes a merged span pool by trace, in chronological
+// order of first span.
+func SummarizeTraces(spans []FlightSpan) []FlightTraceSummary {
+	type acc struct {
+		FlightTraceSummary
+		procs  map[string]bool
+		layers map[string]bool
+	}
+	byID := make(map[uint64]*acc)
+	for _, s := range spans {
+		if s.TraceID == 0 {
+			continue
+		}
+		a := byID[s.TraceID]
+		if a == nil {
+			a = &acc{procs: map[string]bool{}, layers: map[string]bool{}}
+			a.TraceID = s.TraceID
+			a.Start = s.Start
+			byID[s.TraceID] = a
+		}
+		if s.SID != 0 && a.SID == 0 {
+			a.SID = s.SID
+		}
+		if s.Start.Before(a.Start) {
+			a.Start = s.Start
+		}
+		if end := s.Start.Add(s.Dur).Sub(a.Start); end > a.Dur {
+			a.Dur = end
+		}
+		a.Spans++
+		if s.Proc != "" {
+			a.procs[s.Proc] = true
+		}
+		a.layers[s.Layer] = true
+	}
+	out := make([]FlightTraceSummary, 0, len(byID))
+	for _, a := range byID {
+		for p := range a.procs {
+			a.Procs = append(a.Procs, p)
+		}
+		sort.Strings(a.Procs)
+		for l := range a.layers {
+			a.Layers = append(a.Layers, l)
+		}
+		sort.Strings(a.Layers)
+		out = append(out, a.FlightTraceSummary)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+// FormatTimeline renders a merged timeline as indented text, one span per
+// line — shared by cmd/trace and the e2e assertions.
+func FormatTimeline(entries []TimelineEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		mark := ""
+		if e.Orphan {
+			mark = " [orphan-parent]"
+		}
+		fmt.Fprintf(&b, "%s%-10s %-9s %-22s +%-10s %8s%s",
+			strings.Repeat("  ", e.Depth), e.Proc, e.Layer, e.Name,
+			e.Offset.Round(time.Microsecond), e.Dur.Round(time.Microsecond), mark)
+		if e.Attrs != "" {
+			fmt.Fprintf(&b, "  %s", e.Attrs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

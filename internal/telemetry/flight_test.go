@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testSpan(trace, span, parent, sid uint64, layer, name string, at time.Time, dur time.Duration) Span {
+	return Span{TraceID: trace, SpanID: span, Parent: parent, SID: sid, Layer: layer, Name: name, Start: at, Dur: dur}
+}
+
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, "hub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	fr.Record(testSpan(7, 7, 0, 42, "hub", "session", t0, time.Second))
+	fr.Record(Span{TraceID: 7, SpanID: 8, Parent: 7, SID: 42, Layer: "chain", Name: "deploy",
+		Start: t0.Add(time.Millisecond), Dur: time.Millisecond, Attrs: "gas=3000000"})
+	fr.Record(Span{SID: 1, Layer: "hub", Name: "untraced", Start: t0}) // legacy ring span
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Written() != 3 || fr.Drops() != 0 {
+		t.Fatalf("written=%d drops=%d, want 3/0", fr.Written(), fr.Drops())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "hub-*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("got %d files, want 1", len(files))
+	}
+	spans, err := ReadFlightFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("read %d spans, want 3", len(spans))
+	}
+	got := spans[1]
+	if got.Proc != "hub" || got.TraceID != 7 || got.SpanID != 8 || got.Parent != 7 ||
+		got.SID != 42 || got.Layer != "chain" || got.Name != "deploy" ||
+		got.Attrs != "gas=3000000" || got.Dur != time.Millisecond || !got.Start.Equal(t0.Add(time.Millisecond)) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if spans[2].TraceID != 0 || spans[2].SpanID != 0 {
+		t.Fatalf("untraced span grew ids: %+v", spans[2])
+	}
+	// Closed recorder: further records are counted drops, never panics.
+	fr.Record(testSpan(1, 1, 0, 0, "x", "late", t0, 0))
+	if fr.Drops() != 1 {
+		t.Fatalf("drops after close = %d, want 1", fr.Drops())
+	}
+}
+
+func TestFlightRecorderRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, "tower", &FlightOptions{MaxFileBytes: 600, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 50; i++ {
+		fr.Record(testSpan(9, uint64(i+1), 0, 5, "tower", fmt.Sprintf("span-%03d", i), t0, time.Millisecond))
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "tower-*.jsonl"))
+	if len(files) != 2 {
+		t.Fatalf("got %d files after pruning, want MaxFiles=2", len(files))
+	}
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One line may straddle the limit; the cap is per-line granular.
+		if st.Size() > 600+512 {
+			t.Fatalf("%s is %d bytes, rotation failed", f, st.Size())
+		}
+	}
+	// The newest file holds the LAST spans (oldest were pruned with their file).
+	spans, err := ReadFlightFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := spans[len(spans)-1]
+	if last.Name != "span-049" {
+		t.Fatalf("last surviving span is %q, want span-049", last.Name)
+	}
+	if int(fr.Written()) != 50 {
+		t.Fatalf("written=%d, want 50 (pruning deletes files, not the tally)", fr.Written())
+	}
+}
+
+func TestFlightRecorderConcurrentWritersDropAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, "p", &FlightOptions{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 500
+	var wg sync.WaitGroup
+	t0 := time.Unix(1_700_000_000, 0)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				fr.Record(testSpan(uint64(w+1), uint64(w*each+i+1), 0, uint64(w), "bench", "s", t0, 0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written, drops := fr.Written(), fr.Drops()
+	if written+drops != writers*each {
+		t.Fatalf("written(%d)+drops(%d) = %d, want every Record accounted (%d)", written, drops, written+drops, writers*each)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "p-*.jsonl"))
+	spans, err := ReadFlightFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(spans)) != written {
+		t.Fatalf("%d spans on disk, recorder claims %d written", len(spans), written)
+	}
+}
+
+func TestFlightRecorderDeadWriterKeepsContract(t *testing.T) {
+	dir := t.TempDir()
+	// A file where the directory should be: every open fails, yet Record
+	// must never block and Close must still account for everything.
+	path := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFlightRecorder(path, "p", nil)
+	if err == nil {
+		fr.Record(testSpan(1, 1, 0, 0, "x", "s", time.Unix(0, 0), 0))
+		if err := fr.Close(); err == nil {
+			t.Fatal("recorder with an unusable dir reported no error")
+		}
+		if fr.Written() != 0 {
+			t.Fatalf("written=%d on a dead writer", fr.Written())
+		}
+	}
+}
+
+func TestBuildTimelineCausalOrder(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	mk := func(proc string, s Span) FlightSpan { return FlightSpan{Span: s, Proc: proc} }
+	spans := []FlightSpan{
+		// Supplied out of order, across three procs.
+		mk("tower-1", testSpan(7, 30, 7, 42, "federation", "adopt", t0.Add(3*time.Millisecond), time.Millisecond)),
+		mk("hub", testSpan(7, 7, 0, 42, "hub", "session", t0, 10*time.Millisecond)),
+		mk("hub", testSpan(7, 8, 7, 42, "chain", "deploy", t0.Add(time.Millisecond), time.Millisecond)),
+		mk("tower-2", testSpan(7, 40, 7, 42, "federation", "adopt", t0.Add(4*time.Millisecond), time.Millisecond)),
+		mk("tower-1", testSpan(7, 31, 30, 42, "tower", "dispute", t0.Add(5*time.Millisecond), 2*time.Millisecond)),
+		mk("hub", testSpan(9, 90, 0, 1, "hub", "other-trace", t0, 0)),
+	}
+	tl := BuildTimeline(spans, 7)
+	if len(tl) != 5 {
+		t.Fatalf("timeline has %d entries, want 5 (other trace excluded)", len(tl))
+	}
+	if tl[0].SpanID != 7 || tl[0].Depth != 0 {
+		t.Fatalf("root is %+v, want the hub session span at depth 0", tl[0])
+	}
+	depth := map[uint64]int{}
+	for _, e := range tl {
+		depth[e.SpanID] = e.Depth
+		if e.Orphan {
+			t.Fatalf("span %d flagged orphan with its parent present", e.SpanID)
+		}
+	}
+	if depth[8] != 1 || depth[30] != 1 || depth[40] != 1 || depth[31] != 2 {
+		t.Fatalf("depths wrong: %v", depth)
+	}
+	// Children walk in start order: deploy before the adoptions.
+	if tl[1].SpanID != 8 {
+		t.Fatalf("first child is span %d, want 8 (earliest start)", tl[1].SpanID)
+	}
+	text := FormatTimeline(tl)
+	for _, want := range []string{"tower-1", "tower-2", "adopt", "dispute"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBuildTimelineOrphansAndCycles(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	spans := []FlightSpan{
+		// Parent 99 was recorded by a tower whose file wasn't supplied.
+		{Span: testSpan(5, 10, 99, 1, "tower", "orphaned", t0, 0)},
+		// Corrupt input: self-parented, and a two-span parent cycle.
+		{Span: testSpan(5, 11, 11, 1, "x", "self", t0, 0)},
+		{Span: testSpan(5, 12, 13, 1, "x", "cycle-a", t0, 0)},
+		{Span: testSpan(5, 13, 12, 1, "x", "cycle-b", t0.Add(time.Millisecond), 0)},
+	}
+	tl := BuildTimeline(spans, 5)
+	if len(tl) != 4 {
+		t.Fatalf("timeline has %d entries, want all 4 (nothing silently vanishes)", len(tl))
+	}
+	var orphans int
+	for _, e := range tl {
+		if e.Orphan {
+			orphans++
+		}
+	}
+	if orphans != 1 {
+		t.Fatalf("%d orphan marks, want exactly the missing-parent span", orphans)
+	}
+	if BuildTimeline(spans, 0) != nil {
+		t.Fatal("trace 0 must never build a timeline")
+	}
+}
+
+func TestSummarizeTraces(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	spans := []FlightSpan{
+		{Span: testSpan(7, 7, 0, 42, "hub", "session", t0.Add(time.Second), 10*time.Millisecond), Proc: "hub"},
+		{Span: testSpan(7, 8, 7, 42, "tower", "dispute", t0.Add(time.Second+2*time.Millisecond), 5*time.Millisecond), Proc: "tower-1"},
+		{Span: testSpan(3, 30, 0, 9, "hub", "session", t0, time.Millisecond), Proc: "hub"},
+		{Span: testSpan(0, 0, 0, 1, "hub", "untraced", t0, 0), Proc: "hub"},
+	}
+	sums := SummarizeTraces(spans)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2 (untraced spans excluded)", len(sums))
+	}
+	if sums[0].TraceID != 3 || sums[1].TraceID != 7 {
+		t.Fatalf("chronological order broken: %+v", sums)
+	}
+	s7 := sums[1]
+	if s7.SID != 42 || s7.Spans != 2 {
+		t.Fatalf("trace 7 summary: %+v", s7)
+	}
+	if strings.Join(s7.Procs, ",") != "hub,tower-1" || strings.Join(s7.Layers, ",") != "hub,tower" {
+		t.Fatalf("trace 7 procs=%v layers=%v", s7.Procs, s7.Layers)
+	}
+	if s7.Dur != 10*time.Millisecond {
+		t.Fatalf("trace 7 dur=%s, want the root span's full 10ms extent", s7.Dur)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(Span{})
+	fr.RegisterMetrics(nil)
+	if fr.Drops() != 0 || fr.Written() != 0 || fr.Err() != nil || fr.Close() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestFlightRecorderMetricsAndTee(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, "hub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	fr.RegisterMetrics(reg)
+	tr := NewTracer(16)
+	tr.Tee(fr.Record)
+	tc := tr.NewTrace()
+	tr.RecordSpan(tc, 0, 1, "hub", "session", time.Unix(1_700_000_000, 0), time.Millisecond, "")
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `telemetry_flight_written_total{proc="hub"} 1`) {
+		t.Fatalf("flight metrics missing from exposition:\n%s", buf.String())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "hub-*.jsonl"))
+	spans, err := ReadFlightFiles(files...)
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("teed span not on disk: %v, %d spans", err, len(spans))
+	}
+	if spans[0].TraceID != tc.TraceID {
+		t.Fatalf("teed span trace %#x, want %#x", spans[0].TraceID, tc.TraceID)
+	}
+}

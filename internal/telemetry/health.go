@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HealthStatus is a component's condition: OK, Degraded (SLO at risk,
+// still serving) or Unhealthy (stop routing work here).
+type HealthStatus int
+
+const (
+	HealthOK HealthStatus = iota
+	HealthDegraded
+	HealthUnhealthy
+)
+
+// String renders the probe-friendly lowercase form.
+func (s HealthStatus) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "unhealthy"
+	}
+}
+
+// MarshalJSON emits the string form, so /healthz stays human-readable.
+func (s HealthStatus) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// ComponentHealth is one reporter's verdict plus a short diagnostic.
+type ComponentHealth struct {
+	Status HealthStatus `json:"status"`
+	Detail string       `json:"detail,omitempty"`
+}
+
+// Healthy is the all-clear verdict.
+func Healthy() ComponentHealth { return ComponentHealth{Status: HealthOK} }
+
+// Degraded flags an SLO at risk with a reason.
+func Degraded(detail string) ComponentHealth {
+	return ComponentHealth{Status: HealthDegraded, Detail: detail}
+}
+
+// Unhealthy flags a component that should fail the probe.
+func Unhealthy(detail string) ComponentHealth {
+	return ComponentHealth{Status: HealthUnhealthy, Detail: detail}
+}
+
+// HealthReport is the rolled-up verdict: worst component wins.
+type HealthReport struct {
+	Status     HealthStatus               `json:"status"`
+	Components map[string]ComponentHealth `json:"components,omitempty"`
+}
+
+// healthChecks is the mutable health side of a registry, kept apart from
+// the metrics entries so scrapes and health probes never contend.
+type healthChecks struct {
+	mu     sync.Mutex
+	checks map[string]func() ComponentHealth
+	last   map[string]HealthStatus
+}
+
+// RegisterHealth adds a component health reporter, evaluated at every
+// /healthz probe (and HealthReport call). check must be safe to call from
+// the probe goroutine. Re-registering a component replaces its check. An
+// OK→non-OK transition increments telemetry_slo_breaches_total{component}.
+func (r *Registry) RegisterHealth(component string, check func() ComponentHealth) {
+	if r == nil || check == nil {
+		return
+	}
+	r.health.mu.Lock()
+	if r.health.checks == nil {
+		r.health.checks = map[string]func() ComponentHealth{}
+		r.health.last = map[string]HealthStatus{}
+	}
+	r.health.checks[component] = check
+	r.health.mu.Unlock()
+}
+
+// HealthReport evaluates every registered component and rolls the worst
+// status up. With no reporters the process is OK (liveness only), which
+// keeps /healthz meaningful for thin binaries.
+func (r *Registry) HealthReport() HealthReport {
+	rep := HealthReport{Status: HealthOK}
+	if r == nil {
+		return rep
+	}
+	r.health.mu.Lock()
+	checks := make(map[string]func() ComponentHealth, len(r.health.checks))
+	for k, v := range r.health.checks {
+		checks[k] = v
+	}
+	r.health.mu.Unlock()
+	if len(checks) == 0 {
+		return rep
+	}
+	rep.Components = make(map[string]ComponentHealth, len(checks))
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch := checks[name]()
+		rep.Components[name] = ch
+		if ch.Status > rep.Status {
+			rep.Status = ch.Status
+		}
+		r.health.mu.Lock()
+		prev := r.health.last[name]
+		r.health.last[name] = ch.Status
+		r.health.mu.Unlock()
+		if prev == HealthOK && ch.Status != HealthOK {
+			r.Counter("telemetry_slo_breaches_total", "component", name).Inc()
+		}
+	}
+	return rep
+}
+
+// StalenessCheck builds a liveness reporter from a last-activity clock:
+// OK while there is no pending work or the last activity is fresh,
+// Degraded past softLimit, Unhealthy past hardLimit. pendingFn reports
+// whether the component even owes progress (a chain with an empty tx pool
+// is idle, not stalled); lastFn is the time of the most recent progress.
+func StalenessCheck(pendingFn func() bool, lastFn func() time.Time, softLimit, hardLimit time.Duration) func() ComponentHealth {
+	return func() ComponentHealth {
+		if pendingFn != nil && !pendingFn() {
+			return Healthy()
+		}
+		last := time.Time{}
+		if lastFn != nil {
+			last = lastFn()
+		}
+		if last.IsZero() {
+			return Healthy()
+		}
+		age := time.Since(last)
+		if hardLimit > 0 && age > hardLimit {
+			return Unhealthy("no progress for " + age.Round(time.Millisecond).String())
+		}
+		if softLimit > 0 && age > softLimit {
+			return Degraded("no progress for " + age.Round(time.Millisecond).String())
+		}
+		return Healthy()
+	}
+}
+
+// RatioCheck builds a reporter over an error ratio (drops/posts,
+// failures/attempts): Degraded above softLimit, Unhealthy above
+// hardLimit. Ratios are only meaningful with some volume, so totals under
+// minTotal report OK.
+func RatioCheck(numFn, denFn func() uint64, minTotal uint64, softLimit, hardLimit float64, what string) func() ComponentHealth {
+	return func() ComponentHealth {
+		den := denFn()
+		if den < minTotal || den == 0 {
+			return Healthy()
+		}
+		ratio := float64(numFn()) / float64(den)
+		detail := what + " ratio " + strconv.FormatFloat(ratio, 'f', 3, 64)
+		if hardLimit > 0 && ratio > hardLimit {
+			return Unhealthy(detail)
+		}
+		if softLimit > 0 && ratio > softLimit {
+			return Degraded(detail)
+		}
+		return Healthy()
+	}
+}

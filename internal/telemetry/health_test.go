@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthRollupWorstWins(t *testing.T) {
+	r := NewRegistry()
+	if rep := r.HealthReport(); rep.Status != HealthOK || rep.Components != nil {
+		t.Fatalf("empty registry must be OK with no components, got %+v", rep)
+	}
+	r.RegisterHealth("a", func() ComponentHealth { return Healthy() })
+	r.RegisterHealth("b", func() ComponentHealth { return Degraded("slow") })
+	rep := r.HealthReport()
+	if rep.Status != HealthDegraded || rep.Components["b"].Detail != "slow" {
+		t.Fatalf("rollup %+v, want degraded via b", rep)
+	}
+	r.RegisterHealth("c", func() ComponentHealth { return Unhealthy("dead") })
+	if rep := r.HealthReport(); rep.Status != HealthUnhealthy {
+		t.Fatalf("rollup %v, want unhealthy to win", rep.Status)
+	}
+	// Re-registering replaces the check.
+	r.RegisterHealth("c", func() ComponentHealth { return Healthy() })
+	if rep := r.HealthReport(); rep.Status != HealthDegraded {
+		t.Fatalf("rollup %v after replacing c, want degraded", rep.Status)
+	}
+}
+
+func TestHealthBreachCounter(t *testing.T) {
+	r := NewRegistry()
+	status := HealthOK
+	r.RegisterHealth("flappy", func() ComponentHealth { return ComponentHealth{Status: status} })
+	breaches := func() float64 {
+		return r.Snapshot()[`telemetry_slo_breaches_total{component="flappy"}`]
+	}
+	r.HealthReport()
+	if breaches() != 0 {
+		t.Fatal("healthy probe counted a breach")
+	}
+	status = HealthDegraded
+	r.HealthReport()
+	r.HealthReport() // still degraded: same breach, no double count
+	if breaches() != 1 {
+		t.Fatalf("breaches=%v after one OK→degraded transition, want 1", breaches())
+	}
+	status = HealthOK
+	r.HealthReport()
+	status = HealthUnhealthy
+	r.HealthReport()
+	if breaches() != 2 {
+		t.Fatalf("breaches=%v after a second breach, want 2", breaches())
+	}
+}
+
+func TestHealthStatusStringsAndNil(t *testing.T) {
+	if HealthOK.String() != "ok" || HealthDegraded.String() != "degraded" || HealthUnhealthy.String() != "unhealthy" {
+		t.Fatal("status strings wrong")
+	}
+	b, err := HealthDegraded.MarshalJSON()
+	if err != nil || string(b) != `"degraded"` {
+		t.Fatalf("MarshalJSON: %s, %v", b, err)
+	}
+	var r *Registry
+	r.RegisterHealth("x", func() ComponentHealth { return Healthy() })
+	if rep := r.HealthReport(); rep.Status != HealthOK {
+		t.Fatal("nil registry must report OK")
+	}
+	r2 := NewRegistry()
+	r2.RegisterHealth("x", nil) // ignored
+	if rep := r2.HealthReport(); rep.Components != nil {
+		t.Fatal("nil check must not register")
+	}
+}
+
+func TestStalenessCheck(t *testing.T) {
+	pending := false
+	last := time.Time{}
+	check := StalenessCheck(func() bool { return pending }, func() time.Time { return last }, 50*time.Millisecond, 200*time.Millisecond)
+	if ch := check(); ch.Status != HealthOK {
+		t.Fatalf("idle component: %+v, want OK", ch)
+	}
+	pending = true
+	if ch := check(); ch.Status != HealthOK {
+		t.Fatalf("pending with zero clock: %+v, want OK (no baseline yet)", ch)
+	}
+	last = time.Now()
+	if ch := check(); ch.Status != HealthOK {
+		t.Fatalf("fresh progress: %+v, want OK", ch)
+	}
+	last = time.Now().Add(-100 * time.Millisecond)
+	if ch := check(); ch.Status != HealthDegraded || !strings.Contains(ch.Detail, "no progress") {
+		t.Fatalf("soft-stale: %+v, want degraded", ch)
+	}
+	last = time.Now().Add(-time.Second)
+	if ch := check(); ch.Status != HealthUnhealthy {
+		t.Fatalf("hard-stale: %+v, want unhealthy", ch)
+	}
+}
+
+func TestRatioCheck(t *testing.T) {
+	var num, den uint64
+	check := RatioCheck(func() uint64 { return num }, func() uint64 { return den }, 100, 0.01, 0.10, "drop")
+	num, den = 5, 10 // 50% but under minTotal
+	if ch := check(); ch.Status != HealthOK {
+		t.Fatalf("under min volume: %+v, want OK", ch)
+	}
+	num, den = 0, 1000
+	if ch := check(); ch.Status != HealthOK {
+		t.Fatalf("zero ratio: %+v, want OK", ch)
+	}
+	num, den = 50, 1000 // 5%
+	if ch := check(); ch.Status != HealthDegraded || !strings.Contains(ch.Detail, "drop ratio 0.050") {
+		t.Fatalf("soft breach: %+v, want degraded", ch)
+	}
+	num, den = 500, 1000 // 50%
+	if ch := check(); ch.Status != HealthUnhealthy {
+		t.Fatalf("hard breach: %+v, want unhealthy", ch)
+	}
+}

@@ -12,13 +12,67 @@ import (
 	"time"
 )
 
+// traceLine is the JSON rendering of one span on the debug surface.
+type traceLine struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+	Parent  string `json:"parent_id,omitempty"`
+	SID     uint64 `json:"sid"`
+	Layer   string `json:"layer"`
+	Name    string `json:"name"`
+	Start   string `json:"start"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   string `json:"attrs,omitempty"`
+}
+
+func toTraceLine(s Span) traceLine {
+	l := traceLine{
+		SID:   s.SID,
+		Layer: s.Layer,
+		Name:  s.Name,
+		Start: s.Start.Format(time.RFC3339Nano),
+		DurUS: s.Dur.Microseconds(),
+		Attrs: s.Attrs,
+	}
+	if s.TraceID != 0 {
+		l.TraceID = fmt.Sprintf("%016x", s.TraceID)
+		l.SpanID = fmt.Sprintf("%016x", s.SpanID)
+	}
+	if s.Parent != 0 {
+		l.Parent = fmt.Sprintf("%016x", s.Parent)
+	}
+	return l
+}
+
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// filterLayer drops spans not belonging to layer ("" keeps all).
+func filterLayer(spans []Span, layer string) []Span {
+	if layer == "" {
+		return spans
+	}
+	out := spans[:0]
+	for _, s := range spans {
+		if s.Layer == layer {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // NewMux builds the telemetry HTTP surface:
 //
-//	/metrics           Prometheus text exposition of the registry
-//	/healthz           liveness probe ("ok")
-//	/debug/trace/{sid} JSON span timeline for one session
-//	/debug/pprof/*     the standard runtime profiles
-//	/debug/vars        expvar
+//	/metrics               Prometheus text exposition of the registry
+//	/healthz               component health rollup (JSON; 503 when unhealthy)
+//	/debug/trace           recent traces index (?layer= filters the summaries)
+//	/debug/trace/{sid}     JSON span timeline for one session (?layer= filters)
+//	/debug/pprof/*         the standard runtime profiles
+//	/debug/vars            expvar
 //
 // reg and tr may each be nil; the endpoints degrade to empty output.
 func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
@@ -28,7 +82,46 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		rep := reg.HealthReport()
+		if rep.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeIndentedJSON(w, rep)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		layer := r.URL.Query().Get("layer")
+		sums := tr.Traces(100)
+		type row struct {
+			TraceID string           `json:"trace_id"`
+			SID     uint64           `json:"sid"`
+			Spans   int              `json:"spans"`
+			Start   string           `json:"start"`
+			DurUS   int64            `json:"dur_us"`
+			Layers  map[string]int64 `json:"layers_us"`
+		}
+		out := make([]row, 0, len(sums))
+		for _, s := range sums {
+			if layer != "" {
+				if _, ok := s.Layers[layer]; !ok {
+					continue
+				}
+			}
+			layers := make(map[string]int64, len(s.Layers))
+			for k, v := range s.Layers {
+				layers[k] = v.Microseconds()
+			}
+			out = append(out, row{
+				TraceID: fmt.Sprintf("%016x", s.TraceID),
+				SID:     s.SID,
+				Spans:   s.Spans,
+				Start:   s.Start.Format(time.RFC3339Nano),
+				DurUS:   s.Dur.Microseconds(),
+				Layers:  layers,
+			})
+		}
+		writeIndentedJSON(w, struct {
+			Traces []row `json:"traces"`
+		}{Traces: out})
 	})
 	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
 		raw := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
@@ -37,33 +130,15 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			http.Error(w, "bad session id", http.StatusBadRequest)
 			return
 		}
-		spans := tr.SID(sid)
-		w.Header().Set("Content-Type", "application/json")
-		type line struct {
-			SID   uint64 `json:"sid"`
-			Layer string `json:"layer"`
-			Name  string `json:"name"`
-			Start string `json:"start"`
-			DurUS int64  `json:"dur_us"`
-			Attrs string `json:"attrs,omitempty"`
-		}
+		spans := filterLayer(tr.SID(sid), r.URL.Query().Get("layer"))
 		out := struct {
-			SID   uint64 `json:"sid"`
-			Spans []line `json:"spans"`
-		}{SID: sid, Spans: make([]line, 0, len(spans))}
+			SID   uint64      `json:"sid"`
+			Spans []traceLine `json:"spans"`
+		}{SID: sid, Spans: make([]traceLine, 0, len(spans))}
 		for _, s := range spans {
-			out.Spans = append(out.Spans, line{
-				SID:   s.SID,
-				Layer: s.Layer,
-				Name:  s.Name,
-				Start: s.Start.Format(time.RFC3339Nano),
-				DurUS: s.Dur.Microseconds(),
-				Attrs: s.Attrs,
-			})
+			out.Spans = append(out.Spans, toTraceLine(s))
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		writeIndentedJSON(w, out)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

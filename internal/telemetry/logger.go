@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// Logger is the structured logging facade for the stack: a thin wrapper
+// over log/slog with an independently adjustable level per layer
+// ("federation", "whisper", "hub", ...) and printf-style helpers whose
+// signatures match the legacy Logf hooks, so ad-hoc log.Printf sinks swap
+// out without touching call sites. All methods are nil-safe.
+type Logger struct {
+	mu     sync.Mutex
+	out    io.Writer
+	levels map[string]*slog.LevelVar
+	layers map[string]*LayerLogger
+}
+
+// NewLogger creates a logger writing slog text lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{out: w, levels: map[string]*slog.LevelVar{}, layers: map[string]*LayerLogger{}}
+}
+
+var (
+	defaultLogger     *Logger
+	defaultLoggerOnce sync.Once
+)
+
+// Default returns the process-wide logger (stderr), created on first use.
+func Default() *Logger {
+	defaultLoggerOnce.Do(func() { defaultLogger = NewLogger(os.Stderr) })
+	return defaultLogger
+}
+
+// level returns (creating if needed) the level var of one layer.
+func (l *Logger) level(layer string) *slog.LevelVar {
+	lv := l.levels[layer]
+	if lv == nil {
+		lv = new(slog.LevelVar)
+		l.levels[layer] = lv
+	}
+	return lv
+}
+
+// SetLevel adjusts one layer's threshold ("federation" to Debug while
+// chasing an election bug, everything else at Info).
+func (l *Logger) SetLevel(layer string, level slog.Level) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.level(layer).Set(level)
+	l.mu.Unlock()
+}
+
+// SetAllLevels adjusts every known layer and the default for new ones.
+func (l *Logger) SetAllLevels(level slog.Level) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	for _, lv := range l.levels {
+		lv.Set(level)
+	}
+	l.mu.Unlock()
+}
+
+// Layer returns the logger of one layer, creating it on first use. Every
+// record it emits carries layer=<name>.
+func (l *Logger) Layer(name string) *LayerLogger {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ll := l.layers[name]; ll != nil {
+		return ll
+	}
+	lv := l.level(name)
+	h := slog.NewTextHandler(l.out, &slog.HandlerOptions{Level: lv})
+	ll := &LayerLogger{s: slog.New(h).With("layer", name)}
+	l.layers[name] = ll
+	return ll
+}
+
+// LayerLogger emits structured records for one layer. The printf helpers
+// render the message with fmt and attach structure (layer, sid, trace)
+// as slog attributes. Nil-safe.
+type LayerLogger struct {
+	s *slog.Logger
+}
+
+// With returns a child logger carrying extra attributes on every record.
+func (ll *LayerLogger) With(args ...any) *LayerLogger {
+	if ll == nil {
+		return nil
+	}
+	return &LayerLogger{s: ll.s.With(args...)}
+}
+
+// Session returns a child logger enriched with the session id and, when
+// valid, the trace identity — the trace-correlation hook for log lines.
+func (ll *LayerLogger) Session(sid uint64, tc TraceContext) *LayerLogger {
+	if ll == nil {
+		return nil
+	}
+	args := []any{"sid", sid}
+	if tc.Valid() {
+		args = append(args, "trace_id", fmt.Sprintf("%016x", tc.TraceID), "span_id", fmt.Sprintf("%016x", tc.Span))
+	}
+	return ll.With(args...)
+}
+
+// Logf logs at Info level. Its signature matches the legacy Logf hooks
+// (federation.Config.Logf), so it drops in for log.Printf.
+func (ll *LayerLogger) Logf(format string, args ...any) {
+	if ll == nil {
+		return
+	}
+	ll.s.Info(fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at Debug level.
+func (ll *LayerLogger) Debugf(format string, args ...any) {
+	if ll == nil {
+		return
+	}
+	ll.s.Debug(fmt.Sprintf(format, args...))
+}
+
+// Warnf logs at Warn level.
+func (ll *LayerLogger) Warnf(format string, args ...any) {
+	if ll == nil {
+		return
+	}
+	ll.s.Warn(fmt.Sprintf(format, args...))
+}
+
+// Errorf logs at Error level.
+func (ll *LayerLogger) Errorf(format string, args ...any) {
+	if ll == nil {
+		return
+	}
+	ll.s.Error(fmt.Sprintf(format, args...))
+}

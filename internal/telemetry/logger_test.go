@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a strings.Builder safe for the concurrent emit test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestLoggerLayersAndLevels(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf)
+	fed := l.Layer("federation")
+	fed.Logf("tower %s joined", "0xAB")
+	fed.Debugf("hidden at the default Info level")
+	l.Layer("whisper").Warnf("drop #%d", 8)
+	out := buf.String()
+	if !strings.Contains(out, "level=INFO") || !strings.Contains(out, `layer=federation`) ||
+		!strings.Contains(out, `msg="tower 0xAB joined"`) {
+		t.Fatalf("federation line malformed:\n%s", out)
+	}
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line leaked at Info level:\n%s", out)
+	}
+	if !strings.Contains(out, "level=WARN") || !strings.Contains(out, "layer=whisper") {
+		t.Fatalf("whisper warn line malformed:\n%s", out)
+	}
+
+	// Per-layer level: federation to Debug, whisper stays at Info.
+	l.SetLevel("federation", slog.LevelDebug)
+	fed.Debugf("now visible")
+	l.Layer("whisper").Debugf("still hidden")
+	out = buf.String()
+	if !strings.Contains(out, "now visible") || strings.Contains(out, "still hidden") {
+		t.Fatalf("per-layer levels not independent:\n%s", out)
+	}
+	l.SetAllLevels(slog.LevelError)
+	fed.Logf("info squelched")
+	fed.Errorf("errors pass")
+	out = buf.String()
+	if strings.Contains(out, "info squelched") || !strings.Contains(out, "errors pass") {
+		t.Fatalf("SetAllLevels broken:\n%s", out)
+	}
+	if l.Layer("federation") != fed {
+		t.Fatal("Layer must return the cached instance")
+	}
+}
+
+func TestLoggerSessionEnrichment(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf)
+	tc := TraceContext{TraceID: 0xabcd, Span: 0x1234}
+	l.Layer("hub").Session(42, tc).Logf("stage done")
+	out := buf.String()
+	for _, want := range []string{"sid=42", "trace_id=000000000000abcd", "span_id=0000000000001234", "layer=hub"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("enriched line missing %q:\n%s", want, out)
+		}
+	}
+	buf = syncBuffer{}
+	l2 := NewLogger(&buf)
+	l2.Layer("hub").Session(7, TraceContext{}).Logf("untraced")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("zero trace context must not add trace attrs:\n%s", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.SetLevel("x", slog.LevelDebug)
+	l.SetAllLevels(slog.LevelDebug)
+	ll := l.Layer("x")
+	if ll != nil {
+		t.Fatal("nil logger must hand out nil layers")
+	}
+	ll.Logf("no panic")
+	ll.Debugf("no panic")
+	ll.Warnf("no panic")
+	ll.Errorf("no panic")
+	ll.With("k", "v").Session(1, TraceContext{}).Logf("no panic")
+}
+
+func TestDefaultLoggerSingleton(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default must return one process-wide logger")
+	}
+	// The federation default swaps in Layer("federation").Logf — the
+	// signature must keep matching func(string, ...any).
+	var logf func(string, ...any) = Default().Layer("federation").Logf
+	_ = logf
+}

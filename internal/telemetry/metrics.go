@@ -345,6 +345,7 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	health  healthChecks
 }
 
 // NewRegistry creates an empty registry.

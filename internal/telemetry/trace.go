@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,22 +14,40 @@ import (
 // event is a span with zero duration. Attrs is a small free-form note
 // ("kind=signed", "tx=0xab..".) — a string, not a map, to keep recording
 // allocation-light.
+//
+// TraceID/SpanID/Parent are the causal tier: spans recorded through the
+// TraceContext API carry a trace identity and a parent edge, so a
+// session's timeline can be stitched across processes. Spans recorded
+// through the legacy Record/Event API leave them zero and remain plain
+// SID-bucketed samples.
 type Span struct {
-	SID   uint64        `json:"sid"`
-	Layer string        `json:"layer"`
-	Name  string        `json:"name"`
-	Start time.Time     `json:"start"`
-	Dur   time.Duration `json:"dur_ns"`
-	Attrs string        `json:"attrs,omitempty"`
+	TraceID uint64        `json:"trace_id,omitempty"`
+	SpanID  uint64        `json:"span_id,omitempty"`
+	Parent  uint64        `json:"parent_id,omitempty"`
+	SID     uint64        `json:"sid"`
+	Layer   string        `json:"layer"`
+	Name    string        `json:"name"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Attrs   string        `json:"attrs,omitempty"`
 }
 
 // Tracer records spans into a fixed-size ring: old spans are overwritten,
 // never freed, so a long-running hub holds a bounded trailing window of
 // activity. All methods are nil-safe; a nil tracer records nothing.
+//
+// Span and trace IDs are allocated from a per-tracer random base plus an
+// atomic sequence, so IDs minted by different tracers (one per process
+// after the cross-process split) collide with negligible probability
+// while staying cheap — no per-span entropy read.
 type Tracer struct {
+	idBase uint64
+	idSeq  atomic.Uint64
+
 	mu   sync.Mutex
 	ring []Span
-	n    uint64 // total spans ever recorded
+	n    uint64     // total spans ever recorded
+	sink func(Span) // optional tee (flight recorder); called outside mu
 }
 
 // DefaultTraceCapacity holds roughly the last few hundred sessions' worth
@@ -39,20 +60,57 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{ring: make([]Span, capacity)}
+	var seed [8]byte
+	base := uint64(time.Now().UnixNano()) // fallback if the entropy pool fails
+	if _, err := crand.Read(seed[:]); err == nil {
+		base = binary.LittleEndian.Uint64(seed[:])
+	}
+	return &Tracer{idBase: base, ring: make([]Span, capacity)}
 }
 
-// Record appends a completed span. The write is a single slot store under
-// the tracer lock, so concurrent recorders never tear a span across
-// fields.
-func (t *Tracer) Record(sid uint64, layer, name string, start time.Time, dur time.Duration, attrs string) {
+// nextID mints a non-zero identifier unique within this tracer.
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := t.idBase + t.idSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// Tee registers a sink invoked (outside the tracer lock) for every span
+// recorded from now on — the hook the flight recorder attaches to. A nil
+// sink detaches.
+func (t *Tracer) Tee(sink func(Span)) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.ring[t.n%uint64(len(t.ring))] = Span{SID: sid, Layer: layer, Name: name, Start: start, Dur: dur, Attrs: attrs}
-	t.n++
+	t.sink = sink
 	t.mu.Unlock()
+}
+
+// record stores one span and fans it to the tee sink. The ring write is a
+// single slot store under the tracer lock, so concurrent recorders never
+// tear a span across fields.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = s
+	t.n++
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(s)
+	}
+}
+
+// Record appends a completed span with no trace identity (legacy API;
+// kept for call sites that sample work not tied to a session's causal
+// timeline, like WAL appends).
+func (t *Tracer) Record(sid uint64, layer, name string, start time.Time, dur time.Duration, attrs string) {
+	if t == nil {
+		return
+	}
+	t.record(Span{SID: sid, Layer: layer, Name: name, Start: start, Dur: dur, Attrs: attrs})
 }
 
 // Event records a point-in-time occurrence (zero duration) stamped now.
@@ -63,26 +121,168 @@ func (t *Tracer) Event(sid uint64, layer, name, attrs string) {
 	t.Record(sid, layer, name, time.Now(), 0, attrs)
 }
 
+// NewTrace mints a fresh trace: the returned context names both the trace
+// and its root span. Nothing is recorded yet — record the root with
+// RecordSpan (parent 0) when its duration is known, or immediately with
+// zero duration.
+func (t *Tracer) NewTrace() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	id := t.nextID()
+	return TraceContext{TraceID: id, Span: id}
+}
+
+// Child allocates a span identity under tc without recording anything —
+// for work whose sub-spans must reference it as parent before it
+// completes (a federation adopt that parents the rebuild's chain spans).
+// Record it later with RecordSpan. A zero context yields a zero context.
+func (t *Tracer) Child(tc TraceContext) TraceContext {
+	if t == nil || !tc.Valid() {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: tc.TraceID, Span: t.nextID()}
+}
+
+// RecordSpan records a completed span AS tc.Span with an explicit parent
+// edge. With a zero context it degrades to a legacy untraced record.
+func (t *Tracer) RecordSpan(tc TraceContext, parent uint64, sid uint64, layer, name string, start time.Time, dur time.Duration, attrs string) {
+	if t == nil {
+		return
+	}
+	if !tc.Valid() {
+		t.Record(sid, layer, name, start, dur, attrs)
+		return
+	}
+	t.record(Span{TraceID: tc.TraceID, SpanID: tc.Span, Parent: parent, SID: sid, Layer: layer, Name: name, Start: start, Dur: dur, Attrs: attrs})
+}
+
+// RecordChild records a completed span as a new child of tc and returns
+// the child's context, so further work can hang below it. With a zero
+// context it degrades to a legacy record and returns a zero context.
+func (t *Tracer) RecordChild(tc TraceContext, sid uint64, layer, name string, start time.Time, dur time.Duration, attrs string) TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	child := t.Child(tc)
+	if !child.Valid() {
+		t.Record(sid, layer, name, start, dur, attrs)
+		return TraceContext{}
+	}
+	t.RecordSpan(child, tc.Span, sid, layer, name, start, dur, attrs)
+	return child
+}
+
+// EventChild records a zero-duration child span stamped now and returns
+// its context.
+func (t *Tracer) EventChild(tc TraceContext, sid uint64, layer, name, attrs string) TraceContext {
+	return t.RecordChild(tc, sid, layer, name, time.Now(), 0, attrs)
+}
+
+// retained copies every span still held by the ring, recording order.
+func (t *Tracer) retained() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := uint64(len(t.ring))
+	lo := uint64(0)
+	if t.n > size {
+		lo = t.n - size
+	}
+	out := make([]Span, 0, t.n-lo)
+	for i := lo; i < t.n; i++ {
+		out = append(out, t.ring[i%size])
+	}
+	return out
+}
+
 // SID returns every retained span for the session, oldest first (by start
 // time, then recording order). The result is a copy.
 func (t *Tracer) SID(sid uint64) []Span {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
 	var out []Span
-	size := uint64(len(t.ring))
-	lo := uint64(0)
-	if t.n > size {
-		lo = t.n - size
-	}
-	for i := lo; i < t.n; i++ {
-		if s := t.ring[i%size]; s.SID == sid {
+	for _, s := range t.retained() {
+		if s.SID == sid {
 			out = append(out, s)
 		}
 	}
-	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// ByTrace returns every retained span of one trace, oldest first.
+func (t *Tracer) ByTrace(traceID uint64) []Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.retained() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Spans returns a copy of every retained span, recording order — the
+// bulk export used when merging several tracers' views of one fleet.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.retained()
+}
+
+// TraceSummary is one row of the recent-traces index: identity, reach and
+// where the time went.
+type TraceSummary struct {
+	TraceID uint64                   `json:"trace_id"`
+	SID     uint64                   `json:"sid"`
+	Spans   int                      `json:"spans"`
+	Start   time.Time                `json:"start"`
+	Dur     time.Duration            `json:"dur_ns"`
+	Layers  map[string]time.Duration `json:"layers"`
+}
+
+// Traces summarises retained traces, most recent first, at most limit
+// rows (all when limit <= 0). Only spans recorded with a trace identity
+// contribute.
+func (t *Tracer) Traces(limit int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	byID := make(map[uint64]*TraceSummary)
+	for _, s := range t.retained() {
+		if s.TraceID == 0 {
+			continue
+		}
+		sum := byID[s.TraceID]
+		if sum == nil {
+			sum = &TraceSummary{TraceID: s.TraceID, SID: s.SID, Start: s.Start, Layers: make(map[string]time.Duration)}
+			byID[s.TraceID] = sum
+		}
+		if s.SID != 0 && sum.SID == 0 {
+			sum.SID = s.SID
+		}
+		if s.Start.Before(sum.Start) {
+			sum.Start = s.Start
+		}
+		if end := s.Start.Add(s.Dur).Sub(sum.Start); end > sum.Dur {
+			sum.Dur = end
+		}
+		sum.Spans++
+		sum.Layers[s.Layer] += s.Dur
+	}
+	out := make([]TraceSummary, 0, len(byID))
+	for _, sum := range byID {
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
 	return out
 }
 

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerCausalAPI(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.NewTrace()
+	if !root.Valid() || root.TraceID != root.Span {
+		t.Fatalf("NewTrace must mint trace id == root span id, got %+v", root)
+	}
+	if tr.Total() != 0 {
+		t.Fatal("NewTrace must not record anything")
+	}
+	root2 := tr.NewTrace()
+	if root2.TraceID == root.TraceID {
+		t.Fatal("trace ids must be unique")
+	}
+
+	t0 := time.Now()
+	tr.RecordSpan(root, 0, 42, "hub", "session", t0, time.Second, "scenario=betting")
+	child := tr.RecordChild(root, 42, "chain", "deploy", t0, time.Millisecond, "")
+	if !child.Valid() || child.TraceID != root.TraceID || child.Span == root.Span {
+		t.Fatalf("RecordChild context %+v, want same trace, fresh span", child)
+	}
+	grand := tr.EventChild(child, 42, "tower", "window_open", "")
+	if grand.TraceID != root.TraceID {
+		t.Fatalf("EventChild context %+v", grand)
+	}
+
+	spans := tr.ByTrace(root.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("ByTrace found %d spans, want 3", len(spans))
+	}
+	byID := map[uint64]Span{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	if byID[root.Span].Parent != 0 || byID[child.Span].Parent != root.Span || byID[grand.Span].Parent != child.Span {
+		t.Fatalf("parent edges wrong: %+v", byID)
+	}
+
+	// Child allocates a span id without recording — the adopt-ordering
+	// primitive: children may parent under it before it completes.
+	pre := tr.Total()
+	mid := tr.Child(root)
+	if tr.Total() != pre {
+		t.Fatal("Child must not record")
+	}
+	tr.RecordSpan(mid, root.Span, 42, "federation", "adopt", t0, time.Millisecond, "")
+	if got := tr.ByTrace(root.TraceID); len(got) != 4 {
+		t.Fatalf("adopt span missing: %d spans", len(got))
+	}
+
+	// Zero contexts degrade to legacy untraced recording.
+	tr.RecordSpan(TraceContext{}, 0, 7, "hub", "legacy", t0, 0, "")
+	if c := tr.RecordChild(TraceContext{}, 7, "hub", "legacy2", t0, 0, ""); c.Valid() {
+		t.Fatal("child of a zero context must be zero")
+	}
+	for _, s := range tr.SID(7) {
+		if s.TraceID != 0 {
+			t.Fatalf("legacy span grew a trace id: %+v", s)
+		}
+	}
+}
+
+func TestTracerTraceSummaries(t *testing.T) {
+	tr := NewTracer(64)
+	t0 := time.Now()
+	a := tr.NewTrace()
+	tr.RecordSpan(a, 0, 1, "hub", "session", t0, 10*time.Millisecond, "")
+	tr.RecordChild(a, 1, "chain", "deploy", t0.Add(time.Millisecond), 2*time.Millisecond, "")
+	b := tr.NewTrace()
+	tr.RecordSpan(b, 0, 2, "hub", "session", t0.Add(time.Second), time.Millisecond, "")
+
+	sums := tr.Traces(10)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sums))
+	}
+	// Most recent first.
+	if sums[0].TraceID != b.TraceID || sums[1].TraceID != a.TraceID {
+		t.Fatalf("order wrong: %+v", sums)
+	}
+	sa := sums[1]
+	if sa.SID != 1 || sa.Spans != 2 || sa.Layers["chain"] != 2*time.Millisecond {
+		t.Fatalf("summary for a: %+v", sa)
+	}
+	if got := tr.Traces(1); len(got) != 1 || got[0].TraceID != b.TraceID {
+		t.Fatalf("limit=1 gave %+v", got)
+	}
+
+	all := tr.Spans()
+	if len(all) != 3 {
+		t.Fatalf("Spans() exported %d, want 3", len(all))
+	}
+}
+
+func TestTracerTeeRunsOutsideLock(t *testing.T) {
+	tr := NewTracer(16)
+	var got []Span
+	tr.Tee(func(s Span) {
+		// Re-entering the tracer from the sink must not deadlock.
+		_ = tr.Total()
+		got = append(got, s)
+	})
+	tc := tr.NewTrace()
+	tr.RecordSpan(tc, 0, 1, "hub", "x", time.Now(), 0, "")
+	if len(got) != 1 || got[0].TraceID != tc.TraceID {
+		t.Fatalf("sink saw %+v", got)
+	}
+}
+
+func TestTracerNilCausalSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NewTrace().Valid() || tr.Child(TraceContext{TraceID: 1, Span: 1}).Valid() {
+		t.Fatal("nil tracer must mint zero contexts")
+	}
+	tr.Tee(func(Span) {})
+	tr.RecordSpan(TraceContext{TraceID: 1, Span: 1}, 0, 0, "x", "y", time.Now(), 0, "")
+	if tr.RecordChild(TraceContext{TraceID: 1, Span: 1}, 0, "x", "y", time.Now(), 0, "").Valid() {
+		t.Fatal("nil tracer RecordChild must be zero")
+	}
+	tr.EventChild(TraceContext{}, 0, "x", "y", "")
+	if tr.ByTrace(1) != nil || tr.Traces(5) != nil || tr.Spans() != nil {
+		t.Fatal("nil tracer queries must be empty")
+	}
+}

@@ -1,0 +1,103 @@
+package whisper
+
+import (
+	"errors"
+	"fmt"
+
+	"onoffchain/internal/rlp"
+	"onoffchain/internal/secp256k1"
+)
+
+// Envelope wire codec — the frame format the networked whisper transport
+// (the cross-process split on the roadmap) will put on the wire. Like the
+// gossip codec it is canonical and generation-tolerant: an untraced
+// envelope is a 7-item RLP list
+//
+//	[topic, expiry, payload, from, sigV, sigR, sigS]
+//
+// and a traced one appends [traceID, traceSpan]. Decoders accept both, so
+// old peers keep decoding frames from new peers' untraced traffic and new
+// peers decode everything. The trace items ride OUTSIDE the signing hash
+// (keccak over topic‖expiry‖payload), so adding or stripping them never
+// invalidates the sender signature.
+
+// ErrBadEnvelope marks a frame DecodeEnvelope refuses.
+var ErrBadEnvelope = errors.New("whisper: malformed envelope frame")
+
+// EncodeEnvelope serializes an envelope to its canonical wire frame.
+func EncodeEnvelope(e *Envelope) []byte {
+	items := []*rlp.Item{
+		rlp.Bytes(e.Topic[:]),
+		rlp.Uint(e.Expiry),
+		rlp.Bytes(e.Payload),
+		rlp.Bytes(e.From[:]),
+		rlp.Uint(uint64(e.SigV)),
+		rlp.Bytes(e.SigR.Bytes()),
+		rlp.Bytes(e.SigS.Bytes()),
+	}
+	if e.TraceID != 0 || e.TraceSpan != 0 {
+		items = append(items, rlp.Uint(e.TraceID), rlp.Uint(e.TraceSpan))
+	}
+	return rlp.EncodeList(items...)
+}
+
+// DecodeEnvelope parses one wire frame, accepting both the legacy 7-item
+// shape and the traced 9-item shape.
+func DecodeEnvelope(frame []byte) (*Envelope, error) {
+	item, err := rlp.Decode(frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if item.Kind != rlp.KindList || (len(item.Items) != 7 && len(item.Items) != 9) {
+		return nil, fmt.Errorf("%w: want 7- or 9-item list", ErrBadEnvelope)
+	}
+	e := &Envelope{}
+	if item.Items[0].Kind != rlp.KindBytes || len(item.Items[0].Bytes) != len(e.Topic) {
+		return nil, fmt.Errorf("%w: topic must be %d bytes", ErrBadEnvelope, len(e.Topic))
+	}
+	copy(e.Topic[:], item.Items[0].Bytes)
+	if e.Expiry, err = item.Items[1].Uint64(); err != nil {
+		return nil, fmt.Errorf("%w: expiry: %v", ErrBadEnvelope, err)
+	}
+	if item.Items[2].Kind != rlp.KindBytes {
+		return nil, fmt.Errorf("%w: payload must be a byte string", ErrBadEnvelope)
+	}
+	if len(item.Items[2].Bytes) > 0 {
+		e.Payload = item.Items[2].Bytes
+	}
+	if item.Items[3].Kind != rlp.KindBytes || len(item.Items[3].Bytes) != len(e.From) {
+		return nil, fmt.Errorf("%w: from must be %d bytes", ErrBadEnvelope, len(e.From))
+	}
+	copy(e.From[:], item.Items[3].Bytes)
+	v, err := item.Items[4].Uint64()
+	if err != nil || v > 255 {
+		return nil, fmt.Errorf("%w: bad sig v", ErrBadEnvelope)
+	}
+	e.SigV = byte(v)
+	for i, dst := range []*secp256k1.Scalar{&e.SigR, &e.SigS} {
+		b := item.Items[5+i].Bytes
+		if item.Items[5+i].Kind != rlp.KindBytes || len(b) > 32 || (len(b) > 0 && b[0] == 0) {
+			return nil, fmt.Errorf("%w: sig scalar must be a minimal byte string", ErrBadEnvelope)
+		}
+		var buf [32]byte
+		copy(buf[32-len(b):], b)
+		s, ok := secp256k1.ScalarFromBytes(buf[:])
+		if !ok {
+			return nil, fmt.Errorf("%w: sig scalar out of range", ErrBadEnvelope)
+		}
+		*dst = s
+	}
+	if len(item.Items) == 9 {
+		for i, dst := range []*uint64{&e.TraceID, &e.TraceSpan} {
+			v, err := item.Items[7+i].Uint64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: trace field: %v", ErrBadEnvelope, err)
+			}
+			*dst = v
+		}
+		if e.TraceID == 0 && e.TraceSpan == 0 {
+			return nil, fmt.Errorf("%w: empty trace fields must be omitted", ErrBadEnvelope)
+		}
+	}
+	return e, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"onoffchain/internal/rlp"
+	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 )
 
@@ -32,18 +33,38 @@ type Gossip struct {
 	Blob       []byte
 	Str        string
 	Blobs      [][]byte
+	// TraceID/TraceSpan carry the causal trace context of the session the
+	// record concerns (guard exports, window mirrors, dispute intents).
+	// Encoded as two extra trailing RLP items only when non-zero, so
+	// untraced senders emit the legacy 10-item frame and old decoders
+	// keep working; see Encode/DecodeGossip.
+	TraceID   uint64
+	TraceSpan uint64
+}
+
+// TraceCtx returns the record's causal trace context (zero if untraced).
+func (g *Gossip) TraceCtx() telemetry.TraceContext {
+	return telemetry.TraceContext{TraceID: g.TraceID, Span: g.TraceSpan}
+}
+
+// SetTraceCtx stamps the record with a causal trace context.
+func (g *Gossip) SetTraceCtx(tc telemetry.TraceContext) {
+	g.TraceID, g.TraceSpan = tc.TraceID, tc.Span
 }
 
 // ErrBadGossip marks a payload DecodeGossip refuses.
 var ErrBadGossip = errors.New("whisper: malformed gossip record")
 
-// Encode serializes the record with RLP.
+// Encode serializes the record with RLP. The codec is canonical: a record
+// without trace context encodes to the legacy 10-item frame, a traced one
+// appends exactly two items — so DecodeGossip∘Encode is the identity on
+// bytes in both generations.
 func (g *Gossip) Encode() []byte {
 	blobs := make([]*rlp.Item, len(g.Blobs))
 	for i, b := range g.Blobs {
 		blobs[i] = rlp.Bytes(b)
 	}
-	return rlp.EncodeList(
+	items := []*rlp.Item{
 		rlp.Uint(uint64(g.Kind)),
 		rlp.Uint(g.Seq),
 		rlp.Uint(g.Time),
@@ -54,7 +75,11 @@ func (g *Gossip) Encode() []byte {
 		rlp.Bytes(g.Blob),
 		rlp.String(g.Str),
 		rlp.List(blobs...),
-	)
+	}
+	if g.TraceID != 0 || g.TraceSpan != 0 {
+		items = append(items, rlp.Uint(g.TraceID), rlp.Uint(g.TraceSpan))
+	}
+	return rlp.EncodeList(items...)
 }
 
 // DecodeGossip parses one RLP-encoded gossip record, rejecting unknown
@@ -66,8 +91,8 @@ func DecodeGossip(payload []byte) (*Gossip, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadGossip, err)
 	}
-	if item.Kind != rlp.KindList || len(item.Items) != 10 {
-		return nil, fmt.Errorf("%w: want 10-item list", ErrBadGossip)
+	if item.Kind != rlp.KindList || (len(item.Items) != 10 && len(item.Items) != 12) {
+		return nil, fmt.Errorf("%w: want 10- or 12-item list", ErrBadGossip)
 	}
 	kind, err := item.Items[0].Uint64()
 	if err != nil || kind == 0 || kind > 255 {
@@ -108,6 +133,21 @@ func DecodeGossip(payload []byte) (*Gossip, error) {
 			return nil, fmt.Errorf("%w: blobs[%d] must be a byte string", ErrBadGossip, i)
 		}
 		g.Blobs = append(g.Blobs, b.Bytes)
+	}
+	if len(item.Items) == 12 {
+		for i, dst := range []*uint64{&g.TraceID, &g.TraceSpan} {
+			v, err := item.Items[10+i].Uint64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: field %d: %v", ErrBadGossip, 10+i, err)
+			}
+			*dst = v
+		}
+		// Canonical form: an untraced record is the 10-item frame, so a
+		// 12-item frame with zero trace context would not re-encode to
+		// its own bytes.
+		if g.TraceID == 0 && g.TraceSpan == 0 {
+			return nil, fmt.Errorf("%w: empty trace fields must be omitted", ErrBadGossip)
+		}
 	}
 	return g, nil
 }

@@ -42,6 +42,18 @@ type Envelope struct {
 	SigV    byte
 	SigR    secp256k1.Scalar
 	SigS    secp256k1.Scalar
+	// TraceID/TraceSpan carry the poster's causal trace context (zero
+	// when untraced). Observability metadata only: deliberately excluded
+	// from the signing hash, so traced and untraced peers interoperate
+	// and a relay may strip or add tracing without breaking signatures.
+	TraceID   uint64
+	TraceSpan uint64
+}
+
+// TraceCtx returns the envelope's causal trace context (zero when the
+// poster was untraced).
+func (e *Envelope) TraceCtx() telemetry.TraceContext {
+	return telemetry.TraceContext{TraceID: e.TraceID, Span: e.TraceSpan}
 }
 
 func (e *Envelope) signingHash() []byte {
@@ -81,6 +93,10 @@ type Network struct {
 	// reach another (tests use it to simulate network partitions). nil
 	// means full connectivity.
 	linkFilter func(from, to types.Address) bool
+	// log, when set, sinks structured warnings about message loss. Sampled:
+	// one line per power-of-two backpressure drop, so a stalled subscriber
+	// cannot turn the post hot path into a logging hot path.
+	log *telemetry.LayerLogger
 }
 
 type subscription struct {
@@ -122,6 +138,18 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
 		defer n.mu.Unlock()
 		return float64(len(n.subs))
 	})
+	// SLO: backpressure loss above 1% of posts degrades gossip delivery;
+	// above 10% towers are likely missing guard exports outright.
+	reg.RegisterHealth("whisper_drops", telemetry.RatioCheck(
+		n.backpressure.Value, n.posts.Value,
+		100, 0.01, 0.10, "backpressure drop"))
+}
+
+// SetLogger installs a structured logger for loss warnings (nil disables).
+func (n *Network) SetLogger(l *telemetry.LayerLogger) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = l
 }
 
 // Drops reports how many envelopes were lost before delivery, for any
@@ -212,6 +240,9 @@ type PostOptions struct {
 	// reports false for such envelopes; receivers that need per-sender
 	// authenticity must not set this.
 	Unsigned bool
+	// Trace stamps the envelope with the poster's causal trace context so
+	// receivers can parent their handling spans under it. Zero is fine.
+	Trace telemetry.TraceContext
 }
 
 // Post signs and publishes payload on the topic, delivering to all current
@@ -226,9 +257,11 @@ func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, 
 		body = enc
 	}
 	env := &Envelope{
-		Topic:   topic,
-		Payload: body,
-		From:    nd.address,
+		Topic:     topic,
+		Payload:   body,
+		From:      nd.address,
+		TraceID:   opts.Trace.TraceID,
+		TraceSpan: opts.Trace.Span,
 	}
 	if opts.TTL > 0 {
 		env.Expiry = nd.network.now() + opts.TTL
@@ -257,6 +290,10 @@ func (nd *Node) Post(topic Topic, payload []byte, opts PostOptions) (*Envelope, 
 		case sub.ch <- env:
 		default: // lossy delivery under backpressure
 			nd.network.backpressure.Inc()
+			n := nd.network.backpressure.Value()
+			if nd.network.log != nil && n&(n-1) == 0 {
+				nd.network.log.Warnf("whisper: subscriber buffer full, envelope dropped (drop #%d, topic %x, to %s)", n, topic, sub.node.address.Hex())
+			}
 		}
 	}
 	return env, nil

@@ -208,13 +208,13 @@ func BenchmarkHubThroughput(b *testing.B) {
 		for _, mining := range []string{"auto", "batch"} {
 			mining := mining
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 1, false, false, false)
+				benchHubThroughput(b, n, mining, "serial", "persession", false, 1, false, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", true, 1, false, false, false)
+				benchHubThroughput(b, n, mining, "serial", "persession", true, 1, false, false, false)
 			})
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 3, false, false, false)
+				benchHubThroughput(b, n, mining, "serial", "persession", false, 3, false, false, false)
 			})
 			// The signed-gossip leg: every fleet envelope (heartbeats,
 			// guard exports, window mirrors, intents) carries a secp256k1
@@ -222,7 +222,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// curve. Ran at the full matrix to show heartbeat-rate
 			// signing no longer taxes hub throughput.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=3/wal=off/gossip=signed", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 3, true, false, false)
+				benchHubThroughput(b, n, mining, "serial", "persession", false, 3, true, false, false)
 			})
 			// The telemetry leg: same fleet with a shared metrics registry
 			// and span tracer attached to every layer. Compare sessions/sec
@@ -230,7 +230,7 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// 5% (the hot path adds only atomic increments and one ring slot
 			// per lifecycle edge); see DESIGN.md §10.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 1, false, true, false)
+				benchHubThroughput(b, n, mining, "serial", "persession", false, 1, false, true, false)
 			})
 			// The flight-recording leg: the tracer additionally tees every
 			// span to an on-disk flight recorder (the cross-process
@@ -239,9 +239,27 @@ func BenchmarkHubThroughput(b *testing.B) {
 			// Record is one non-blocking channel send, and the JSONL
 			// encoding happens on the recorder's own writer goroutine.
 			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/telemetry=on/flight=on", n, mining), func(b *testing.B) {
-				benchHubThroughput(b, n, mining, "serial", false, 1, false, true, true)
+				benchHubThroughput(b, n, mining, "serial", "persession", false, 1, false, true, true)
+			})
+			// The settlement axis: Merkle-batched rollup settlement
+			// (internal/rollup) instead of one submit + one finalize
+			// transaction per session. Compare the settle_txs and
+			// settle_gas_total metrics against the settle=persession twin
+			// above — the acceptance bound is ≥50× fewer settlement
+			// transactions and ≥10× less settlement gas at 1000 sessions
+			// (see DESIGN.md §14); sessions/sec should not regress, since
+			// the sequencer removes two receipt waits per session.
+			b.Run(fmt.Sprintf("sessions=%d/mining=%s/towers=1/wal=off/settle=rollup", n, mining), func(b *testing.B) {
+				benchHubThroughput(b, n, mining, "serial", "rollup", false, 1, false, false, false)
 			})
 		}
+		// Rollup with the WAL attached: every leaf, seal, and post is
+		// journaled ahead of the irreversible action (the crash-recovery
+		// contract the torn-epoch tests enforce). Compare against the
+		// wal=off rollup twin.
+		b.Run(fmt.Sprintf("sessions=%d/mining=auto/towers=1/wal=on/settle=rollup", n), func(b *testing.B) {
+			benchHubThroughput(b, n, "auto", "serial", "rollup", true, 1, false, false, false)
+		})
 		// The exec axis: batch-mined blocks executed by the optimistic
 		// parallel engine (chain.ExecParallel). Only meaningful under batch
 		// mining — AutoMine blocks hold one transaction, and a width-1 batch
@@ -250,17 +268,17 @@ func BenchmarkHubThroughput(b *testing.B) {
 		// speedup scales with cores (the Config.cores field in BENCH.json
 		// records what the host offered).
 		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel", n), func(b *testing.B) {
-			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, false, false)
+			benchHubThroughput(b, n, "batch", "parallel", "persession", false, 1, false, false, false)
 		})
 		b.Run(fmt.Sprintf("sessions=%d/mining=batch/towers=1/wal=off/exec=parallel/telemetry=on", n), func(b *testing.B) {
-			benchHubThroughput(b, n, "batch", "parallel", false, 1, false, true, false)
+			benchHubThroughput(b, n, "batch", "parallel", "persession", false, 1, false, true, false)
 		})
 	}
 }
 
-func benchHubThroughput(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem, flight bool) {
+func benchHubThroughput(b *testing.B, n int, mining, exec, settle string, wal bool, towers int, signGossip, telem, flight bool) {
 	for i := 0; i < b.N; i++ {
-		hubThroughputIteration(b, n, mining, exec, wal, towers, signGossip, telem, flight)
+		hubThroughputIteration(b, n, mining, exec, settle, wal, towers, signGossip, telem, flight)
 	}
 }
 
@@ -293,7 +311,7 @@ func BenchmarkHubThroughputProfile(b *testing.B) {
 		exec = "serial"
 	}
 	flight := os.Getenv("ONOFFCHAIN_PROFILE_FLIGHT") == "on"
-	benchHubThroughput(b, n, mining, exec, os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
+	benchHubThroughput(b, n, mining, exec, "persession", os.Getenv("ONOFFCHAIN_PROFILE_WAL") == "on", towers,
 		os.Getenv("ONOFFCHAIN_PROFILE_GOSSIP") == "signed",
 		os.Getenv("ONOFFCHAIN_PROFILE_TELEMETRY") == "on" || flight, flight)
 }
@@ -316,7 +334,7 @@ const (
 // its defers run PER ITERATION: a Fatal (or just -count=N) must not leave
 // the dev chain's subscription pump goroutines, the mining driver, the
 // worker pool, or the WAL's segment file open into the next measurement.
-func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, towers int, signGossip, telem, flight bool) {
+func hubThroughputIteration(b *testing.B, n int, mining, exec, settle string, wal bool, towers int, signGossip, telem, flight bool) {
 	b.StopTimer()
 	defer b.StartTimer()
 	faucetKey, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0xFA0CE7))
@@ -363,6 +381,12 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 	}
 	net := whisper.NewNetwork(c.Now)
 	cfg := hub.Config{Workers: benchWorkers, Telemetry: reg, Tracer: tracer}
+	if settle == "rollup" {
+		// Depth 8 = up to 256 leaves per epoch; the age bound seals a
+		// partial epoch after one mining deadline so a trickle of stragglers
+		// cannot stall the fleet's tail.
+		cfg.Rollup = &hub.RollupConfig{Depth: 8, EpochAge: benchMineInterval}
+	}
 	if wal {
 		st, err := store.Open(b.TempDir(), store.Options{Telemetry: reg})
 		if err != nil {
@@ -464,12 +488,18 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 	}
 	b.ReportMetric(float64(n)/elapsed.Seconds(), "sessions/sec")
 	b.ReportMetric(float64(c.Height()), "blocks")
-	for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled} {
+	for _, st := range []hub.Stage{hub.StageDeployed, hub.StageSigned, hub.StageExecuted, hub.StageSubmitted, hub.StageSettled, hub.StageRolledUp} {
 		if agg, ok := m.Stages[st]; ok {
 			b.ReportMetric(float64(agg.Avg.Microseconds())/1000, "ms/"+st.String())
 		}
 	}
 	b.ReportMetric(float64(m.DisputesWon), "disputes-won")
+	// The settlement cost axis (satellite of DESIGN.md §14): settlement
+	// COMMITS only — submit+finalize transactions in per-session mode,
+	// epoch posts in rollup mode. Dispute enforcement is costed separately
+	// in both modes and excluded here.
+	b.ReportMetric(float64(m.SettleTxs), "settle-txs")
+	b.ReportMetric(float64(m.SettleGas)/float64(n), "gas/session-settle")
 
 	if benchJSON != "" {
 		quantiles := map[string]map[string]float64{}
@@ -486,10 +516,18 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 			quantiles["chain_exec_seconds"] = qm
 		}
 		metrics := map[string]float64{
-			"sessions_per_sec":   float64(n) / elapsed.Seconds(),
-			"blocks":             float64(c.Height()),
-			"disputes_won":       float64(m.DisputesWon),
-			"allocs_per_session": allocsPerSession,
+			"sessions_per_sec":    float64(n) / elapsed.Seconds(),
+			"blocks":              float64(c.Height()),
+			"disputes_won":        float64(m.DisputesWon),
+			"allocs_per_session":  allocsPerSession,
+			"settle_txs":          float64(m.SettleTxs),
+			"settle_gas_total":    float64(m.SettleGas),
+			"settle_gas_per_sess": float64(m.SettleGas) / float64(n),
+			"settle_txs_per_sess": float64(m.SettleTxs) / float64(n),
+		}
+		if settle == "rollup" && reg != nil {
+			metrics["rollup_epochs"] = float64(reg.Counter("rollup_epochs_total").Value())
+			metrics["rollup_leaves"] = float64(reg.Counter("rollup_leaves_total").Value())
 		}
 		if exec == "parallel" {
 			// The conflict cost of optimism: what fraction of speculatively
@@ -508,7 +546,7 @@ func hubThroughputIteration(b *testing.B, n int, mining, exec string, wal bool, 
 			When:   time.Now().UTC().Format(time.RFC3339),
 			Config: map[string]any{
 				"sessions": n, "mining": mining, "wal": wal,
-				"towers": towers, "gossip_signed": signGossip, "telemetry": telem,
+				"towers": towers, "gossip_signed": signGossip, "telemetry": telem, "settle": settle,
 				"flight": flight, "exec": exec, "cores": runtime.GOMAXPROCS(0),
 			},
 			Metrics:   metrics,

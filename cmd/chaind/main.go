@@ -20,6 +20,7 @@
 //	chaind -listen :8545 -fund 0xAddr1,0xAddr2
 //	chaind -mine batch -mine-interval 250ms -mine-batch 256   # batch-mined blocks
 //	chaind -mine batch -exec parallel                         # parallel block execution
+//	chaind -store /var/lib/chaind                             # durable: restart resumes height + log index
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"onoffchain/internal/chain"
+	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
 	"onoffchain/internal/uint256"
@@ -225,6 +227,7 @@ func main() {
 	execWorkers := flag.Int("exec-workers", 0, "parallel exec: speculative worker count (0 = GOMAXPROCS)")
 	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060) serving /metrics, /healthz, /debug/pprof/*")
 	flightDir := flag.String("flight-record", "", "directory for flight-recorder span files (crash forensics; merge across processes with cmd/trace)")
+	storeDir := flag.String("store", "", "durable block journal directory: every sealed block is written ahead, and a restart with the same -fund set replays it — height, receipts, and the log index come back without rescanning")
 	flag.Parse()
 
 	alloc := map[types.Address]*uint256.Int{}
@@ -276,6 +279,27 @@ func main() {
 		tr.Tee(fr.Record)
 	}
 	c := chain.New(ccfg, alloc)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Telemetry: reg})
+		if err != nil {
+			log.Fatalf("open block journal: %v", err)
+		}
+		defer st.Close()
+		recs, err := st.Replay()
+		if err != nil {
+			log.Fatalf("replay block journal: %v", err)
+		}
+		n, err := chain.RestoreChain(c, recs)
+		if err != nil {
+			log.Fatalf("restore chain: %v", err)
+		}
+		if n > 0 {
+			scanned, _ := c.LogScanStats()
+			log.Printf("chaind: restored %d blocks from %s (height %d, log index rebuilt, %d blocks rescanned)",
+				n, *storeDir, c.Height(), scanned)
+		}
+		c.AttachJournal(st.Append, func(err error) { log.Printf("chaind: block journal write failed: %v", err) })
+	}
 	if *mode == "batch" {
 		if err := c.StartMining(*mineInterval, *mineBatch); err != nil {
 			log.Fatalf("start mining: %v", err)

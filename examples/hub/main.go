@@ -26,6 +26,7 @@ import (
 	"onoffchain/internal/federation"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
@@ -79,10 +80,19 @@ func applyExec(ccfg *chain.Config) {
 
 func main() {
 	towers := flag.Int("towers", 3, "federation size for the tower-federation act (1 disables it)")
+	settleMode := flag.String("settle", "persession", `settlement mode for the fleet act: "persession" (one submit + one finalize transaction per session) or "rollup" (Merkle-batched epochs, one transaction per epoch)`)
 	execMode := flag.String("exec", "serial", `block execution engine: "serial" or "parallel" (multi-core optimistic scheduling; identical blocks either way)`)
 	telemetryAddr := flag.String("telemetry", "", "optional observability listen address (e.g. :6060); serves /metrics, /healthz, /debug/trace, /debug/pprof/* and keeps the process alive after the demos for scraping")
 	flightDir := flag.String("flight-record", "", "directory for flight-recorder span files, one sequence per logical process (merge with cmd/trace)")
 	flag.Parse()
+	var rollupCfg *hub.RollupConfig
+	switch *settleMode {
+	case "persession":
+	case "rollup":
+		rollupCfg = &hub.RollupConfig{Depth: 4, EpochAge: 150 * time.Millisecond}
+	default:
+		log.Fatalf("unknown -settle mode %q (want persession or rollup)", *settleMode)
+	}
 	switch *execMode {
 	case "serial":
 	case "parallel":
@@ -131,13 +141,25 @@ func main() {
 		types.Address(faucetKey.EthereumAddress()): eth(1_000_000),
 	})
 	net := whisper.NewNetwork(c.Now)
-	h := hub.New(c, net, faucetKey, hub.Config{Workers: 4, Telemetry: o.reg, Tracer: o.tr})
+	h := hub.New(c, net, faucetKey, hub.Config{Workers: 4, Telemetry: o.reg, Tracer: o.tr, Rollup: rollupCfg})
 
-	// Stream finalization and dispute events live over the push API.
+	// Stream finalization and dispute events live over the push API. In
+	// rollup mode no per-session finalizations exist — the epoch feed shows
+	// the batched commits instead.
 	finalized := c.SubscribeLogs(chain.FilterQuery{Topic: &hybrid.TopicResultFinalized})
 	resolved := c.SubscribeLogs(chain.FilterQuery{Topic: &hybrid.TopicDisputeResolved})
+	epochs := c.SubscribeLogs(chain.FilterQuery{Topic: &rollup.TopicEpochPosted})
 	var feedWG sync.WaitGroup
-	feedWG.Add(2)
+	feedWG.Add(3)
+	go func() {
+		defer feedWG.Done()
+		for l := range epochs.Logs() {
+			if ev, err := rollup.DecodeEpochPosted(l); err == nil {
+				fmt.Printf("  [events] block %4d  epoch %d POSTED root=%s.. (%d sessions in one tx)\n",
+					l.BlockNumber, ev.Epoch, ev.Root.Hex()[:10], ev.Count)
+			}
+		}
+	}()
 	go func() {
 		defer feedWG.Done()
 		for l := range finalized.Logs() {
@@ -172,6 +194,7 @@ func main() {
 	h.Stop()
 	finalized.Unsubscribe()
 	resolved.Unsubscribe()
+	epochs.Unsubscribe()
 	feedWG.Wait()
 
 	fmt.Println("\nper-session outcome:")
@@ -180,6 +203,9 @@ func main() {
 			log.Fatalf("session %d (%s) failed: %v", i, rep.Scenario, rep.Err)
 		}
 		verdict := "settled honestly"
+		if rep.Stage == hub.StageRolledUp {
+			verdict = "rolled up (no per-session settle tx)"
+		}
 		if rep.Disputed {
 			at, deadline := rep.Watch.DisputeTiming()
 			// The margin is against the watchtower's NOMINAL window
@@ -195,6 +221,10 @@ func main() {
 
 	fmt.Printf("\nhub metrics: %d sessions in %s (%.1f sessions/sec), watchtower saw %d submissions, disputes raised/won %d/%d\n",
 		m.SessionsCompleted, m.Elapsed.Round(1e6), m.SessionsPerSec, m.SubmissionsSeen, m.DisputesRaised, m.DisputesWon)
+	if rollupCfg != nil {
+		fmt.Printf("settlement: %d sessions committed by %d rollup transaction(s), %d gas total (%d gas/session)\n",
+			m.SessionsCompleted, m.SettleTxs, m.SettleGas, m.SettleGas/m.SessionsCompleted)
+	}
 	fmt.Println("per-stage latency (avg/max):")
 	var stages []hub.Stage
 	for s := range m.Stages {

@@ -147,6 +147,12 @@ type Chain struct {
 	logScanned uint64 // blocks walked by the fallback full-scan path
 	logIndexed uint64 // queries served by the index
 
+	// Block journal (see persist.go): sealJournal, when attached, makes
+	// each sealed block durable before subscribers hear about it;
+	// importing suppresses it while RestoreChain replays those records.
+	sealJournal func(*types.Block)
+	importing   bool
+
 	// Telemetry series (nil handles are no-ops when Config.Telemetry is
 	// unset).
 	mBlocksMined  *telemetry.Counter
@@ -581,6 +587,9 @@ func (c *Chain) mineLocked() *types.Block {
 	}
 	block := &types.Block{Header: header, Transactions: included, Receipts: receipts}
 	c.appendBlock(block)
+	if c.sealJournal != nil && !c.importing {
+		c.sealJournal(block)
+	}
 	c.notifySubs(block)
 	c.mBlocksMined.Inc()
 	c.hBlockTxs.Observe(float64(len(included)))

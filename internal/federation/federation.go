@@ -41,6 +41,7 @@ import (
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
@@ -135,6 +136,19 @@ type Config struct {
 	// dispute intents, escalations) under the gossiped session IDs, so a
 	// session's cross-layer timeline shows fleet activity too.
 	Tracer *telemetry.Tracer
+	// RollupRegistry and RollupSource, when both set, arm the member's
+	// tower for Merkle-batched settlement: EpochPosted events on the
+	// registry open batch challenge windows over the epochs RollupSource
+	// resolves, and disputes pin their leaf against the posted root
+	// before enforcing through the session contract. The sequencer seam:
+	// today the source is the hub's sequencer handed across (see
+	// hub.Hub.RollupHandles); a future federation-hosted sequencer plugs
+	// in here without touching the tower. Exactly-once leaf disputes
+	// across members come from the same machinery as per-session mode —
+	// the gate's primary election, the registry's on-chain opened-leaf
+	// veto, and the session contract's settled flag.
+	RollupRegistry *rollup.Registry
+	RollupSource   rollup.Source
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -258,6 +272,9 @@ func Join(cfg Config) (*Tower, error) {
 	w.SetDisputeGate(t.decide)
 	w.SetDisputeWorkers(t.cfg.DisputeWorkers)
 	w.SetTracer(t.cfg.Tracer)
+	if cfg.RollupRegistry != nil && cfg.RollupSource != nil {
+		w.ArmRollup(cfg.RollupRegistry, cfg.RollupSource)
+	}
 	t.tower = w
 	t.ownTower = true
 	t.start()
@@ -278,6 +295,9 @@ func AttachHub(h *hub.Hub, cfg Config) (*Tower, error) {
 	t.tower = h.Watchtower()
 	t.tower.SetObserver((*towerObserver)(t))
 	t.tower.SetDisputeGate(t.decide)
+	if cfg.RollupRegistry != nil && cfg.RollupSource != nil {
+		t.tower.ArmRollup(cfg.RollupRegistry, cfg.RollupSource)
+	}
 	t.start()
 	// Back-fill sessions guarded before the attach (a recovered hub).
 	for _, e := range t.tower.Watches() {

@@ -12,6 +12,7 @@ import (
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hub"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/types"
@@ -685,4 +686,124 @@ func TestSignedGossip(t *testing.T) {
 	waitUntil(t, 5*time.Second, "unsigned envelope rejected", func() bool {
 		return s0.Metrics().SigRejected > 0 && s1.Metrics().SigRejected > 0
 	})
+}
+
+// TestFederationRollupFleet runs batched settlement under federation
+// guard: the hub member hosts the sequencer, and every tower — the hub's
+// own plus two standalone backups — is armed on the same rollup registry
+// and epoch source. Honest sessions roll up with ZERO per-session
+// transactions; each fraudulent leaf is opened against the posted root
+// and disputed exactly once fleet-wide.
+func TestFederationRollupFleet(t *testing.T) {
+	for _, mode := range miningModes(t) {
+		mode := mode
+		t.Run("mining="+mode, func(t *testing.T) { fedRollupRun(t, mode) })
+	}
+}
+
+func fedRollupRun(t *testing.T, mode string) {
+	c, net, faucetKey := fedWorld(t, mode)
+	keys, members := memberKeys(t, 3)
+
+	h := hub.New(c, net, faucetKey, hub.Config{
+		Workers: 4,
+		Rollup:  &hub.RollupConfig{Depth: 4, EpochAge: 60 * time.Millisecond},
+	})
+	rreg, rsrc := h.RollupHandles()
+	if rreg == nil || rsrc == nil {
+		t.Fatal("rollup hub exposes no handles")
+	}
+	mk := func(k *secp256k1.PrivateKey) Config {
+		cfg := fedConfig(c, net, k, members)
+		cfg.RollupRegistry = rreg
+		cfg.RollupSource = rsrc
+		return cfg
+	}
+	hubTower, err := AttachHub(h, mk(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Join(mk(keys[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Join(mk(keys[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []*hub.Spec{
+		hub.BettingSpec(4, 600, false),
+		hub.BettingSpec(4, 600, true),
+		hub.PoolSpec(3, 600, false),
+		hub.BettingSpec(4, 600, false),
+		hub.PoolSpec(3, 600, true),
+		hub.AuctionSpec(600, false),
+	}
+	adversarial := 0
+	for _, s := range specs {
+		if s.Adversarial {
+			adversarial++
+		}
+	}
+	reports := h.Run(specs)
+	for i, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("session %d (%s) failed: %v", i, rep.Scenario, rep.Err)
+		}
+		if specs[i].Adversarial {
+			if rep.Stage != hub.StageResolved || !rep.Disputed {
+				t.Errorf("session %d (%s): stage=%s disputed=%v, want a resolved dispute", i, rep.Scenario, rep.Stage, rep.Disputed)
+			}
+		} else if rep.Stage != hub.StageRolledUp || rep.Disputed {
+			t.Errorf("session %d (%s): stage=%s disputed=%v, want rolled-up", i, rep.Scenario, rep.Stage, rep.Disputed)
+		}
+	}
+	h.Stop()
+	hubTower.Stop()
+	s1.Stop()
+	s2.Stop()
+
+	// Chain truth. No session contract ever saw a submit or finalize —
+	// settlement commits are epoch posts — and every lie was enforced
+	// exactly once despite three towers guarding the same batches.
+	ec := countEvents(c)
+	for i, rep := range reports {
+		addr := rep.OnChainAddr
+		if ec.submitted[addr] != 0 || ec.finalized[addr] != 0 {
+			t.Errorf("contract %s: submitted=%d finalized=%d, want 0/0 in rollup mode",
+				addr.Hex(), ec.submitted[addr], ec.finalized[addr])
+		}
+		if specs[i].Adversarial {
+			if ec.resolved[addr] != 1 {
+				t.Errorf("adversarial contract %s: resolved=%d, want exactly 1", addr.Hex(), ec.resolved[addr])
+			}
+		} else if ec.opened[addr] != 0 || ec.resolved[addr] != 0 {
+			t.Errorf("honest contract %s: opened=%d resolved=%d, want 0/0", addr.Hex(), ec.opened[addr], ec.resolved[addr])
+		}
+	}
+	posted, leavesOpened := 0, 0
+	for _, l := range c.FilterLogs(chain.FilterQuery{}) {
+		if len(l.Topics) == 0 {
+			continue
+		}
+		switch l.Topics[0] {
+		case rollup.TopicEpochPosted:
+			posted++
+		case rollup.TopicLeafOpened:
+			leavesOpened++
+		}
+	}
+	if posted == 0 || posted >= len(specs) {
+		t.Errorf("epoch posts = %d for %d sessions, want batching in [1, %d)", posted, len(specs), len(specs))
+	}
+	if leavesOpened != adversarial {
+		t.Errorf("leaves opened on chain = %d, adversarial sessions = %d", leavesOpened, adversarial)
+	}
+	m0, m1, m2 := hubTower.Metrics(), s1.Metrics(), s2.Metrics()
+	filed := m0.DisputesFiled + m1.DisputesFiled + m2.DisputesFiled
+	if int(filed) != adversarial {
+		t.Errorf("fleet filed %d disputes (hub %d, s1 %d, s2 %d), want %d",
+			filed, m0.DisputesFiled, m1.DisputesFiled, m2.DisputesFiled, adversarial)
+	}
 }

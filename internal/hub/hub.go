@@ -23,6 +23,7 @@ import (
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
 	"onoffchain/internal/keccak"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
@@ -157,6 +158,11 @@ type Config struct {
 	// whisper exchange, chain submit→receipt, store appends, tower
 	// windows) into its ring. Nil disables tracing at zero cost.
 	Tracer *telemetry.Tracer
+	// Rollup, when set, switches settlement to Merkle-batched epochs: the
+	// hub hosts a sequencer that replaces every session's submit+finalize
+	// transactions with one postEpoch per batch. Nil (the default) keeps
+	// per-session settlement. See RollupConfig.
+	Rollup *RollupConfig
 }
 
 // Hub owns a worker pool that runs sessions end-to-end, a watchtower
@@ -184,6 +190,7 @@ type Hub struct {
 	metrics *metrics
 	tracer  *telemetry.Tracer
 	journal *journal
+	seq     *rollup.Sequencer // nil in per-session settlement mode
 
 	sid     atomic.Uint64 // session ID allocator
 	crashed atomic.Bool   // Kill() was called: simulate process death
@@ -204,7 +211,16 @@ type Hub struct {
 // New creates a hub. faucetKey's account must hold enough balance to fund
 // every participant of every submitted session.
 func New(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKey, cfg Config) *Hub {
-	return newHub(c, net, faucetKey, cfg, 0, 0, false)
+	h := newHub(c, net, faucetKey, cfg, 0, 0, false)
+	if cfg.Rollup != nil {
+		if err := h.startRollup(); err != nil {
+			// Same contract as the shard-key failure below: the hub cannot
+			// exist half-constructed, and rollup startup only fails on a
+			// broken environment (empty faucet, dead chain).
+			panic(fmt.Sprintf("hub: rollup sequencer: %v", err))
+		}
+	}
+	return h
 }
 
 // newHub is the shared constructor; Recover passes non-zero floors so
@@ -269,8 +285,8 @@ func newHub(c *chain.Chain, net *whisper.Network, faucetKey *secp256k1.PrivateKe
 			return telemetry.Healthy()
 		}
 	})
-	h.tower.tracer = cfg.Tracer
-	h.tower.journal = h.journal
+	h.tower.SetTracer(cfg.Tracer)
+	h.tower.setJournal(h.journal)
 	h.tower.SetDisputeWorkers(cfg.DisputeWorkers)
 	h.tower.SetObserver(cfg.Observer)
 	h.tower.SetDisputeGate(cfg.DisputeGate)
@@ -408,6 +424,9 @@ func (h *Hub) Stop() {
 		close(h.jobs)
 		h.wg.Wait()
 		h.tower.Stop()
+		if h.seq != nil {
+			h.seq.Stop()
+		}
 		h.cancel()
 	})
 }
@@ -423,6 +442,13 @@ func (h *Hub) Kill() {
 	h.crashed.Store(true)
 	h.cancel()
 	h.tower.halt()
+	if h.seq != nil {
+		// The sequencer "dies" too: its loop stops (in-flight receipt waits
+		// just unblocked via the canceled generation context), unresolved
+		// tickets stay unresolved, and the WAL is left exactly as-is for
+		// recovery to reconcile against the chain.
+		h.seq.Halt()
+	}
 }
 
 // Crashed reports whether Kill was called.
@@ -799,6 +825,9 @@ func (h *Hub) runFromSigned(lc *lifecycle, sess *hybrid.Session, watch *Watch, s
 		}
 	}
 	rep.Submitted = submitted
+	if h.seq != nil {
+		return h.settleRollup(lc, sess, watch, submitted)
+	}
 	if rep := h.gate(lc, StageSubmitted); rep != nil {
 		return rep
 	}
@@ -814,6 +843,8 @@ func (h *Hub) runFromSigned(lc *lifecycle, sess *hybrid.Session, watch *Watch, s
 	if !r.Succeeded() {
 		return fail(errors.New("hub: submitResult reverted"))
 	}
+	h.metrics.settleTxs.Inc()
+	h.metrics.settleGas.Add(r.GasUsed)
 	if !h.advance(lc, StageSubmitted) {
 		return h.crashReport(t, StageSubmitted)
 	}
@@ -891,6 +922,8 @@ func (h *Hub) awaitSettlement(lc *lifecycle, sess *hybrid.Session, watch *Watch)
 		}
 		return fail(errors.New("hub: finalizeResult reverted"))
 	}
+	h.metrics.settleTxs.Inc()
+	h.metrics.settleGas.Add(fr.GasUsed)
 	if !h.advance(lc, StageSettled) {
 		return h.crashReport(t, StageSettled)
 	}

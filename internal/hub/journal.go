@@ -68,6 +68,12 @@ type journal struct {
 	// tracer, when set, records one store-layer span per durable append
 	// (reserve through group-commit completion) under the record's SID.
 	tracer *telemetry.Tracer
+	// extra, when set, contributes subsystem state to compaction snapshots
+	// (the rollup sequencer's registry + epoch records). It is called with
+	// j.mu held and must not journal — the sequencer's StateRecords only
+	// takes its own lock, and the sequencer never journals while holding
+	// it, so the j.mu → sequencer-lock order is acyclic.
+	extra func() []*store.Record
 }
 
 func newJournal(st *store.Store, compactEvery int, holdCursor bool) *journal {
@@ -226,6 +232,9 @@ func (j *journal) stateRecordsLocked() []*store.Record {
 	var out []*store.Record
 	for _, ss := range j.sessions {
 		out = append(out, encodeSessionState(ss)...)
+	}
+	if j.extra != nil {
+		out = append(out, j.extra()...)
 	}
 	out = append(out,
 		&store.Record{Kind: store.KindCursor, U1: j.cursor},

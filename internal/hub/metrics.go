@@ -27,6 +27,14 @@ type metrics struct {
 	sessionsAbandoned  *telemetry.Counter // sessions Recover could not safely resume
 	illegalTransitions *telemetry.Counter // lifecycle moves outside ValidTransition
 
+	// Settlement-commit cost, the axis the rollup amortizes: transactions
+	// and gas spent committing outcomes on chain — submit+finalize in
+	// per-session mode, one postEpoch per batch in rollup mode. Dispute
+	// enforcement cost is NOT included (identical machinery either way).
+	settleTxs    *telemetry.Counter
+	settleGas    *telemetry.Counter
+	leavesOpened *telemetry.Counter // rollup leaves pinned on chain by disputes
+
 	stageMu sync.Mutex
 	stages  map[Stage]*telemetry.Histogram // hub_stage_seconds{stage=...}
 }
@@ -48,6 +56,9 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		sessionsRecovered:  reg.Counter("hub_sessions_recovered_total"),
 		sessionsAbandoned:  reg.Counter("hub_sessions_abandoned_total"),
 		illegalTransitions: reg.Counter("hub_illegal_transitions_total"),
+		settleTxs:          reg.Counter("hub_settle_txs_total"),
+		settleGas:          reg.Counter("hub_settle_gas_total"),
+		leavesOpened:       reg.Counter("hub_rollup_leaves_opened_total"),
 		stages:             make(map[Stage]*telemetry.Histogram),
 	}
 }
@@ -103,7 +114,15 @@ type Snapshot struct {
 	// IllegalTransitions counts lifecycle moves outside ValidTransition;
 	// it must be zero in a correct hub.
 	IllegalTransitions uint64
-	Stages             map[Stage]StageStats
+	// SettleTxs / SettleGas meter settlement COMMITS: submit+finalize
+	// transactions in per-session mode, postEpoch transactions in rollup
+	// mode. Dispute-enforcement cost is excluded from both, so the pair is
+	// a like-for-like comparison of what batching amortizes.
+	SettleTxs uint64
+	SettleGas uint64
+	// LeavesOpened counts rollup leaves pinned on chain by disputes.
+	LeavesOpened uint64
+	Stages       map[Stage]StageStats
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -120,6 +139,9 @@ func (m *metrics) snapshot() Snapshot {
 		SessionsRecovered:  m.sessionsRecovered.Value(),
 		SessionsAbandoned:  m.sessionsAbandoned.Value(),
 		IllegalTransitions: m.illegalTransitions.Value(),
+		SettleTxs:          m.settleTxs.Value(),
+		SettleGas:          m.settleGas.Value(),
+		LeavesOpened:       m.leavesOpened.Value(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		snap.SessionsPerSec = float64(snap.SessionsCompleted) / sec

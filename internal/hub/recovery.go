@@ -2,6 +2,7 @@ package hub
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/secp256k1"
 	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
@@ -178,6 +180,17 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 	h.journal.seedCursor(cursor)
 	h.journal.seedKeySeq(keyFloor)
 	h.journal.seedSIDHigh(sidFloor)
+	// Rebuild the sequencer from the WAL's rollup records now — resumed
+	// sessions route through h.seq — but do NOT start it yet: Start can
+	// re-post epochs the crash tore between seal and receipt, and those
+	// posts must open batch windows on a tower that already guards the
+	// sessions (launchRollup runs after the guard loop below).
+	if cfg.Rollup != nil {
+		if err := h.initRollup(rollup.Fold(recs)); err != nil {
+			h.Stop()
+			return nil, nil, fmt.Errorf("hub: recover: rollup: %w", err)
+		}
+	}
 	report := &RecoverReport{Cursor: cursor}
 
 	for sid, stage := range terminal {
@@ -270,9 +283,22 @@ func Recover(st *store.Store, c *chain.Chain, net *whisper.Network, faucetKey *s
 	// the chain events the dead tower never saw. The tower's live
 	// subscription has been running since newHub, so events mined from
 	// here on are handled twice at most — idempotently.
-	for _, r := range resumables {
-		if w := r.watch.OpenWindow(); w != nil {
-			h.tower.RestoreWindow(r.watch, *w)
+	if h.seq != nil {
+		// Batch mode: a restored per-session window carries no Merkle
+		// context (KindWindow predates the epoch), so batch windows are
+		// re-armed by re-ingesting every cached posted epoch instead —
+		// launchRollup also reconciles torn epochs against the chain,
+		// re-posting exactly the ones that never landed, with the guard
+		// set armed so those posts open their windows.
+		if err := h.launchRollup(); err != nil {
+			h.Stop()
+			return nil, nil, fmt.Errorf("hub: recover: rollup: %w", err)
+		}
+	} else {
+		for _, r := range resumables {
+			if w := r.watch.OpenWindow(); w != nil {
+				h.tower.RestoreWindow(r.watch, *w)
+			}
 		}
 	}
 	cur := c.NewLogCursor(chain.FilterQuery{}, cursor+1)
@@ -450,6 +476,31 @@ func (h *Hub) resumeSession(t *Ticket, ss *sessionState, sess *hybrid.Session, w
 		h.metrics.recordStage(final, time.Since(lc.began))
 		h.terminal(lc, final)
 		return rep
+	}
+
+	if h.seq != nil {
+		// Rollup mode: no per-session settlement exists to wait for. A
+		// submitted session re-enqueues its leaf — idempotent: it adopts
+		// the live ticket if the crash left one pending, or resolves
+		// instantly if the leaf already rode a posted epoch — and rejoins
+		// at the epoch wait. Anything earlier re-runs from the signed copy.
+		if exp, err := watch.Expected(); err == nil {
+			rep.Result = exp
+		}
+		if ss.SubmittedSet {
+			rep.Stage = StageSubmitted
+			rep.Submitted = ss.Submitted
+			fut, err := h.seq.Enqueue(rollup.Leaf{SID: ss.ID, Contract: sess.OnChainAddr, Outcome: ss.Submitted}, t.tc)
+			if err != nil {
+				if h.crashed.Load() || errors.Is(err, rollup.ErrHalted) {
+					return h.crashReport(t, rep.Stage)
+				}
+				return fail(fmt.Errorf("hub: rollup re-enqueue: %w", err))
+			}
+			return h.awaitRollup(lc, sess, watch, fut)
+		}
+		rep.Stage = StageSigned
+		return h.runFromSigned(lc, sess, watch, ss.SetupDone)
 	}
 
 	if w := watch.OpenWindow(); w != nil {

@@ -2,16 +2,20 @@ package hub
 
 // Stage is one state of the per-session lifecycle state machine. A session
 // moves strictly forward; the terminal states are StageSettled (honest
-// finalization), StageResolved (dispute enforced the true result) and
+// finalization), StageResolved (dispute enforced the true result),
+// StageRolledUp (outcome committed under a posted rollup epoch root) and
 // StageFailed.
 //
 //	Pending → Split → Deployed → Signed → Executed → Submitted
 //	                                                     │
-//	                            ┌────────────────────────┤
-//	                            ▼                        ▼
-//	                        Disputed → Resolved      Settled
+//	                            ┌────────────────────────┼──────────┐
+//	                            ▼                        ▼          ▼
+//	                        Disputed → Resolved      Settled    RolledUp
 //
-// Any stage can fall into StageFailed on error.
+// In rollup settlement, StageSubmitted means "leaf enqueued with the
+// sequencer" rather than "result transaction mined"; the submit intent is
+// the same durable fact either way. Any stage can fall into StageFailed
+// on error.
 type Stage int
 
 const (
@@ -40,6 +44,11 @@ const (
 	StageResolved
 	// StageFailed: the session aborted; Report.Err has the cause.
 	StageFailed
+	// StageRolledUp: rollup settlement — the session's outcome leaf is
+	// committed under a posted epoch root and its batch challenge window
+	// opened without a dispute. Appended after StageFailed so the numeric
+	// values of pre-rollup stages stay stable in the WAL.
+	StageRolledUp
 )
 
 var stageNames = map[Stage]string{
@@ -53,6 +62,7 @@ var stageNames = map[Stage]string{
 	StageDisputed:  "disputed",
 	StageResolved:  "resolved",
 	StageFailed:    "failed",
+	StageRolledUp:  "rolled-up",
 }
 
 func (s Stage) String() string {
@@ -64,7 +74,7 @@ func (s Stage) String() string {
 
 // Terminal reports whether the state machine stops at s.
 func (s Stage) Terminal() bool {
-	return s == StageSettled || s == StageResolved || s == StageFailed
+	return s == StageSettled || s == StageResolved || s == StageFailed || s == StageRolledUp
 }
 
 // validNext encodes the lifecycle DAG drawn above: the only legal
@@ -76,7 +86,7 @@ var validNext = map[Stage][]Stage{
 	StageDeployed:  {StageSigned},
 	StageSigned:    {StageExecuted},
 	StageExecuted:  {StageSubmitted},
-	StageSubmitted: {StageSettled, StageDisputed},
+	StageSubmitted: {StageSettled, StageDisputed, StageRolledUp},
 	StageDisputed:  {StageResolved},
 }
 

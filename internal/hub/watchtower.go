@@ -7,6 +7,7 @@ import (
 
 	"onoffchain/internal/chain"
 	"onoffchain/internal/hybrid"
+	"onoffchain/internal/rollup"
 	"onoffchain/internal/store"
 	"onoffchain/internal/telemetry"
 	"onoffchain/internal/types"
@@ -38,13 +39,17 @@ type Watchtower struct {
 	sub     *chain.BlockLogSubscription
 	filter  *chain.AddressSet // guarded contracts; gates log delivery chain-side
 	metrics *metrics
-	tracer  *telemetry.Tracer // set by the hub (or SetTracer); nil: no spans
-	journal *journal          // set by the hub; nil for a standalone tower
 	wg      sync.WaitGroup
 
-	// observer mirrors guard events to the federation layer; gate
-	// arbitrates dispute filing. Both are set before any session is
-	// guarded and never changed after.
+	// Collaborators installed after construction: the hub wires tracer and
+	// journal right after NewWatchtower, and federation.AttachHub installs
+	// observer/gate on an already-running hub — by which time the event
+	// loop may have processed blocks (the rollup registry deploy mines one
+	// during hub.New), so every access goes through cbMu. All four are
+	// set before any session is guarded and never changed after.
+	cbMu     sync.RWMutex
+	tracer   *telemetry.Tracer // set by the hub (or SetTracer); nil: no spans
+	journal  *journal          // set by the hub; nil for a standalone tower
 	observer TowerObserver
 	gate     DisputeGate
 
@@ -52,6 +57,13 @@ type Watchtower struct {
 	pacerWG sync.WaitGroup
 	stopCh  chan struct{} // closed by Stop: pacers wind down undecided
 	haltCh  chan struct{} // closed by halt: the "process" is dead
+
+	// Rollup guard state (nil in per-session mode): the registry whose
+	// EpochPosted events open batch challenge windows, and the Source that
+	// resolves an epoch number to its leaves + proofs.
+	rollupMu  sync.Mutex
+	rollupReg *rollup.Registry
+	rollupSrc rollup.Source
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -121,7 +133,8 @@ type Watch struct {
 
 	mu               sync.Mutex
 	window           *Window
-	pending          bool // a dispute pipeline job is driving this watch
+	rollup           *rollupLeaf // batch context; set when a posted epoch carries this session
+	pending          bool        // a dispute pipeline job is driving this watch
 	disputed         bool
 	disputeWon       bool
 	disputedAt       uint64 // chain time when the tower filed the dispute
@@ -176,16 +189,62 @@ func NewWatchtower(c *chain.Chain, m *metrics) *Watchtower {
 
 // SetObserver installs the federation mirror. Must be called before any
 // session is guarded.
-func (w *Watchtower) SetObserver(obs TowerObserver) { w.observer = obs }
+func (w *Watchtower) SetObserver(obs TowerObserver) {
+	w.cbMu.Lock()
+	w.observer = obs
+	w.cbMu.Unlock()
+}
 
 // SetDisputeGate installs the filing arbiter. Must be called before any
 // session is guarded.
-func (w *Watchtower) SetDisputeGate(g DisputeGate) { w.gate = g }
+func (w *Watchtower) SetDisputeGate(g DisputeGate) {
+	w.cbMu.Lock()
+	w.gate = g
+	w.cbMu.Unlock()
+}
 
 // SetTracer installs a span recorder for tower-layer events (windows
 // opened, settlements, dispute filings). Must be called before any
 // session is guarded; standalone federation towers use it.
-func (w *Watchtower) SetTracer(tr *telemetry.Tracer) { w.tracer = tr }
+func (w *Watchtower) SetTracer(tr *telemetry.Tracer) {
+	w.cbMu.Lock()
+	w.tracer = tr
+	w.cbMu.Unlock()
+}
+
+// setJournal wires the hub's WAL (nil for a standalone tower). Like the
+// setters above it may run after the event loop has started.
+func (w *Watchtower) setJournal(j *journal) {
+	w.cbMu.Lock()
+	w.journal = j
+	w.cbMu.Unlock()
+}
+
+// obs/disputeGate/spanTracer/jrnl are the loop-side reads of the
+// late-installed collaborators.
+func (w *Watchtower) obs() TowerObserver {
+	w.cbMu.RLock()
+	defer w.cbMu.RUnlock()
+	return w.observer
+}
+
+func (w *Watchtower) disputeGate() DisputeGate {
+	w.cbMu.RLock()
+	defer w.cbMu.RUnlock()
+	return w.gate
+}
+
+func (w *Watchtower) spanTracer() *telemetry.Tracer {
+	w.cbMu.RLock()
+	defer w.cbMu.RUnlock()
+	return w.tracer
+}
+
+func (w *Watchtower) jrnl() *journal {
+	w.cbMu.RLock()
+	defer w.cbMu.RUnlock()
+	return w.journal
+}
 
 // SetDisputeWorkers bounds the concurrent verify-and-file worker set
 // (default 4). Must be called before any session is guarded.
@@ -236,10 +295,25 @@ func (w *Watchtower) guard(sess *hybrid.Session, honest int, sid uint64, scenari
 	// Guard is called before any result can be submitted, so the filter
 	// is listening before the first event that matters can be mined.
 	w.filter.Add(sess.OnChainAddr)
-	if w.observer != nil {
-		w.observer.Guarded(e, sess.OnChainAddr)
+	if o := w.obs(); o != nil {
+		o.Guarded(e, sess.OnChainAddr)
 	}
+	// A rollup-armed tower can adopt a guard AFTER the epoch carrying the
+	// session was posted and ingested — federated guard gossip (whisper)
+	// trails the chain's EpochPosted event, and the live ingest skipped
+	// leaves nobody guarded yet. Re-examine cached epochs that carry this
+	// contract so the late watch still gets its batch window and Merkle
+	// leaf context, and its dispute goes through the leaf-open path.
+	w.seedRollupContext(e)
 	return e, nil
+}
+
+// epochLister is the optional Source extension that lets a tower re-check
+// already-posted epochs when it adopts a guard late. The hub's sequencer
+// satisfies it; a Source that cannot enumerate simply skips the re-check
+// (its towers only guard leaves for sessions guarded before the post).
+type epochLister interface {
+	CachedEpochs() []*rollup.Epoch
 }
 
 // SID returns the hub session ID the watch guards (0 for sessions guarded
@@ -460,11 +534,11 @@ func (w *Watchtower) loop() {
 		if w.isHalted() {
 			continue
 		}
-		if w.journal != nil {
-			w.journal.log(&store.Record{Kind: store.KindCursor, U1: b.Number})
+		if j := w.jrnl(); j != nil {
+			j.log(&store.Record{Kind: store.KindCursor, U1: b.Number})
 		}
-		if w.observer != nil {
-			w.observer.BlockProcessed(b.Number)
+		if o := w.obs(); o != nil {
+			o.BlockProcessed(b.Number)
 		}
 		w.mu.Lock()
 		if b.Number > w.processed {
@@ -500,8 +574,194 @@ func (w *Watchtower) MarkProcessed(h uint64) {
 // RestoreWindow re-arms a window from durable state (the WAL's or a
 // federation journal's window record) and re-examines it through the
 // dispute pipeline, exactly as if the submission had just been observed.
+// On a rollup-armed tower the restored window may be a batch window whose
+// gossip outran this tower's own EpochPosted processing, so the Merkle
+// leaf context is seeded from cached epochs first — otherwise the dispute
+// pipeline could file before the leaf-open context exists.
 func (w *Watchtower) RestoreWindow(e *Watch, win Window) {
+	w.seedRollupContext(e)
 	w.examine(e, win.Result, win.OpenedAt, win.Deadline, win.Submitter)
+}
+
+// seedRollupContext back-fills a watch's batch leaf context from already
+// posted epochs. Two paths need it: a guard adopted after its epoch's
+// chain event was ingested (the live ingest skipped leaves nobody
+// guarded), and a gossiped window restored before this tower's event loop
+// reached the EpochPosted log. No-op unless the tower is rollup-armed and
+// its Source can enumerate cached epochs; IngestEpoch is idempotent.
+func (w *Watchtower) seedRollupContext(e *Watch) {
+	reg, src := w.rollupHandles()
+	if reg == nil || src == nil {
+		return
+	}
+	lister, ok := src.(epochLister)
+	if !ok {
+		return
+	}
+	addr := e.sess.OnChainAddr
+	for _, ep := range lister.CachedEpochs() {
+		for _, leaf := range ep.Leaves {
+			if leaf.Contract == addr {
+				w.IngestEpoch(ep)
+				return
+			}
+		}
+	}
+}
+
+// rollupLeafOpenGas bounds one openLeaf transaction: a fixed number of
+// keccak folds (the tree depth) plus one storage write.
+const rollupLeafOpenGas = 1_000_000
+
+// rollupLeaf pins a watch's leaf inside a posted epoch — everything a
+// dispute needs to open the leaf against the batch root.
+type rollupLeaf struct {
+	reg   *rollup.Registry
+	epoch uint64
+	index int
+	leaf  rollup.Leaf
+	proof []types.Hash
+}
+
+// ArmRollup switches the tower into batch-settlement guarding: reg is the
+// rollup registry whose EpochPosted events open batch challenge windows,
+// src resolves an epoch number to its leaves and proofs (the hub's
+// sequencer, or a federation tower's gossip cache). Adds the registry to
+// the subscription filter; guarded sessions keep their per-session
+// subscriptions too, so dispute resolutions still settle watches the
+// normal way.
+func (w *Watchtower) ArmRollup(reg *rollup.Registry, src rollup.Source) {
+	w.rollupMu.Lock()
+	w.rollupReg = reg
+	w.rollupSrc = src
+	w.rollupMu.Unlock()
+	if reg != nil {
+		w.filter.Add(reg.Addr)
+	}
+}
+
+func (w *Watchtower) rollupHandles() (*rollup.Registry, rollup.Source) {
+	w.rollupMu.Lock()
+	defer w.rollupMu.Unlock()
+	return w.rollupReg, w.rollupSrc
+}
+
+// onEpochPosted resolves an EpochPosted event to its epoch data and opens
+// a batch window per guarded leaf. The hub's own tower resolves
+// synchronously — its Source is the sequencer, which caches every epoch
+// before posting it — so the caught-up barrier still counts these windows
+// before the block is marked processed. A federated backup can see the
+// chain event before the sequencer's gossip arrives; it polls off the
+// event loop until the epoch shows up.
+func (w *Watchtower) onEpochPosted(l *types.Log) {
+	reg, src := w.rollupHandles()
+	if reg == nil || src == nil || l.Address != reg.Addr {
+		return
+	}
+	ev, err := rollup.DecodeEpochPosted(l)
+	if err != nil {
+		return
+	}
+	if ep, ok := src.EpochByNumber(ev.Epoch); ok {
+		w.IngestEpoch(ep)
+		return
+	}
+	w.pacerWG.Add(1)
+	go func() {
+		defer w.pacerWG.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stopCh:
+				return
+			case <-w.haltCh:
+				return
+			case <-tick.C:
+				if ep, ok := src.EpochByNumber(ev.Epoch); ok {
+					w.IngestEpoch(ep)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// IngestEpoch examines a posted epoch against the tower's guard set: each
+// guarded leaf gets a batch challenge window (postedAt .. postedAt +
+// window) plus its Merkle context, and rides the same dispute pipeline as
+// a per-session submission — with enforcement routed through a leaf-open
+// against the posted root before the dispute itself. Idempotent: the live
+// event path, the sequencer's OnEpoch hook, and recovery all feed it.
+func (w *Watchtower) IngestEpoch(ep *rollup.Epoch) {
+	reg, _ := w.rollupHandles()
+	if reg == nil || ep == nil || ep.Tree == nil {
+		return
+	}
+	deadline := ep.PostedAt + reg.Window
+	for i, leaf := range ep.Leaves {
+		w.mu.Lock()
+		e := w.entries[leaf.Contract]
+		w.mu.Unlock()
+		if e == nil {
+			continue // another guard's session, or already settled/released
+		}
+		proof, err := ep.Tree.Proof(i)
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		if e.rollup == nil {
+			e.rollup = &rollupLeaf{reg: reg, epoch: ep.Number, index: i, leaf: leaf, proof: proof}
+		}
+		e.mu.Unlock()
+		// The epoch claims this outcome for the session; examine it exactly
+		// like a per-session submission. No submitter address exists — the
+		// sequencer spoke for the session — so the window records the zero
+		// address.
+		w.examine(e, leaf.Outcome, ep.PostedAt, deadline, types.Address{})
+	}
+}
+
+// release drops a guarded contract whose session reached a clean batch
+// settlement (rolled up; the tower's dispute decision for its window is
+// already final, or no window ever opened). The per-session paths never
+// need this — settlement events delete entries in onSettled — but a
+// rolled-up honest session emits no per-contract event, so the hub calls
+// release at the RolledUp terminal.
+func (w *Watchtower) release(addr types.Address) {
+	w.mu.Lock()
+	_, ok := w.entries[addr]
+	delete(w.entries, addr)
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	w.filter.Remove(addr)
+	if o := w.obs(); o != nil {
+		o.WindowClosed(addr, false)
+	}
+}
+
+// openLeaf pins the disputed leaf against its epoch's posted root. A
+// revert is tolerated here: the on-chain exactly-once veto (a peer tower
+// or a prior incarnation already opened this leaf) and a closed batch
+// window both surface as reverts, and neither changes what the follow-up
+// session-contract dispute will enforce — at-most-once enforcement is
+// arbitrated by the contract's own settled flag, which the caller
+// re-checks right after this returns.
+func (w *Watchtower) openLeaf(e *Watch, rl *rollupLeaf) {
+	opener := e.sess.Parties[e.honest]
+	start := time.Now()
+	rec, err := rl.reg.OpenLeaf(opener, rl.epoch, rl.leaf, rl.index, rl.proof, rollupLeafOpenGas)
+	ok := err == nil && rec != nil && rec.Succeeded()
+	if ok {
+		w.metrics.leavesOpened.Inc()
+	}
+	if tr := w.spanTracer(); tr != nil && (e.id != 0 || e.tc.Valid()) {
+		tr.RecordChild(e.tc, e.id, "tower", "leaf_open", start, time.Since(start),
+			fmt.Sprintf("epoch=%d index=%d ok=%t", rl.epoch, rl.index, ok))
+	}
 }
 
 // towerTopics are the lifecycle topics the tower subscribes to at the
@@ -513,10 +773,18 @@ var towerTopics = []types.Hash{
 	hybrid.TopicResultSubmitted,
 	hybrid.TopicResultFinalized,
 	hybrid.TopicDisputeResolved,
+	rollup.TopicEpochPosted,
 }
 
 func (w *Watchtower) handleLog(l *types.Log) {
 	if len(l.Topics) == 0 {
+		return
+	}
+	if l.Topics[0] == rollup.TopicEpochPosted {
+		// Batch settlement: one registry event opens a challenge window
+		// for EVERY leaf in the epoch. Routed before the entries lookup —
+		// the registry itself is in the filter set, not the sessions'.
+		w.onEpochPosted(l)
 		return
 	}
 	w.mu.Lock()
@@ -556,11 +824,11 @@ func (w *Watchtower) onSettled(e *Watch, addr types.Address, byDispute bool) {
 	delete(w.entries, addr)
 	w.mu.Unlock()
 	w.filter.Remove(addr) // settled for good: stop receiving its logs
-	if first && w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
-		w.tracer.EventChild(e.tc, e.id, "tower", "settled", fmt.Sprintf("by_dispute=%t", byDispute))
+	if tr := w.spanTracer(); first && tr != nil && (e.id != 0 || e.tc.Valid()) {
+		tr.EventChild(e.tc, e.id, "tower", "settled", fmt.Sprintf("by_dispute=%t", byDispute))
 	}
-	if first && w.observer != nil {
-		w.observer.WindowClosed(addr, byDispute)
+	if o := w.obs(); first && o != nil {
+		o.WindowClosed(addr, byDispute)
 	}
 }
 
@@ -609,18 +877,18 @@ func (w *Watchtower) examine(e *Watch, result, openedAt, deadline uint64, submit
 		e.pending = true
 	}
 	e.mu.Unlock()
-	if w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
-		w.tracer.EventChild(e.tc, e.id, "tower", "window_open", fmt.Sprintf("result=%d deadline=%d", result, deadline))
+	if tr := w.spanTracer(); tr != nil && (e.id != 0 || e.tc.Valid()) {
+		tr.EventChild(e.tc, e.id, "tower", "window_open", fmt.Sprintf("result=%d deadline=%d", result, deadline))
 	}
-	if w.journal != nil && e.id != 0 {
-		w.journal.log(&store.Record{
+	if j := w.jrnl(); j != nil && e.id != 0 {
+		j.log(&store.Record{
 			Kind: store.KindWindow, SID: e.id,
 			U1: result, U2: openedAt, U3: deadline,
 			Blob: submitter[:],
 		})
 	}
-	if w.observer != nil {
-		w.observer.WindowOpened(e, win)
+	if o := w.obs(); o != nil {
+		o.WindowOpened(e, win)
 	}
 	if driven {
 		return
@@ -672,8 +940,8 @@ func (w *Watchtower) driveDispute(e *Watch) {
 			return // settled (or re-guarded) while we deliberated
 		}
 		decision, retry := GateFile, time.Duration(0)
-		if w.gate != nil {
-			decision, retry = w.gate(e, *win)
+		if g := w.disputeGate(); g != nil {
+			decision, retry = g(e, *win)
 		}
 		switch decision {
 		case GateStandDown:
@@ -754,16 +1022,33 @@ func (w *Watchtower) fileDispute(e *Watch, win Window) {
 	// recompute and enforce the true result.
 	w.metrics.disputesRaised.Inc()
 	disputeStart := time.Now()
-	if w.journal != nil && e.id != 0 {
-		w.journal.log(&store.Record{Kind: store.KindDisputed, SID: e.id})
+	if j := w.jrnl(); j != nil && e.id != 0 {
+		j.log(&store.Record{Kind: store.KindDisputed, SID: e.id})
 	}
-	if w.observer != nil {
-		w.observer.DisputeClaimed(e, e.sess.OnChainAddr)
+	if o := w.obs(); o != nil {
+		o.DisputeClaimed(e, e.sess.OnChainAddr)
+	}
+	// Batch settlement: pin WHICH leaf of WHICH epoch this dispute refutes
+	// by opening it against the posted root, then re-check the settled
+	// flag — a revert usually means a peer's open won the race, and if
+	// that peer's dispute already enforced, this one stops here.
+	e.mu.Lock()
+	rl := e.rollup
+	e.mu.Unlock()
+	if rl != nil {
+		w.openLeaf(e, rl)
+		if settled, err := e.sess.IsSettled(); err == nil && settled {
+			w.onSettled(e, e.sess.OnChainAddr, true)
+			if o := w.obs(); o != nil {
+				o.DisputeFiled(e, e.sess.OnChainAddr, false)
+			}
+			return
+		}
 	}
 	_, _, err = e.sess.Dispute(e.honest)
 	if err != nil {
-		if w.observer != nil {
-			w.observer.DisputeFiled(e, e.sess.OnChainAddr, false)
+		if o := w.obs(); o != nil {
+			o.DisputeFiled(e, e.sess.OnChainAddr, false)
 		}
 		return
 	}
@@ -776,10 +1061,10 @@ func (w *Watchtower) fileDispute(e *Watch, win Window) {
 		e.mu.Unlock()
 		w.onSettled(e, e.sess.OnChainAddr, true)
 	}
-	if w.tracer != nil && (e.id != 0 || e.tc.Valid()) {
-		w.tracer.RecordChild(e.tc, e.id, "tower", "dispute", disputeStart, time.Since(disputeStart), fmt.Sprintf("enforced=%t", enforced))
+	if tr := w.spanTracer(); tr != nil && (e.id != 0 || e.tc.Valid()) {
+		tr.RecordChild(e.tc, e.id, "tower", "dispute", disputeStart, time.Since(disputeStart), fmt.Sprintf("enforced=%t", enforced))
 	}
-	if w.observer != nil {
-		w.observer.DisputeFiled(e, e.sess.OnChainAddr, enforced)
+	if o := w.obs(); o != nil {
+		o.DisputeFiled(e, e.sess.OnChainAddr, enforced)
 	}
 }

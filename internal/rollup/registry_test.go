@@ -1,0 +1,152 @@
+package rollup
+
+import (
+	"testing"
+
+	"onoffchain/internal/chain"
+	"onoffchain/internal/hybrid"
+	"onoffchain/internal/secp256k1"
+	"onoffchain/internal/types"
+	"onoffchain/internal/uint256"
+)
+
+func eth(n uint64) *uint256.Int {
+	return new(uint256.Int).Mul(uint256.NewInt(n), uint256.NewInt(1e18))
+}
+
+func newParty(t *testing.T, scalar uint64, c *chain.Chain) *hybrid.Participant {
+	t.Helper()
+	key, err := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(scalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybrid.NewParticipant(key, c, nil)
+}
+
+// registryFixture deploys a depth-4 registry with seq as sequencer.
+func registryFixture(t *testing.T, window uint64) (*chain.Chain, *hybrid.Participant, *hybrid.Participant, *Registry) {
+	t.Helper()
+	keySeq, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x5EC))
+	keyOther, _ := secp256k1.PrivateKeyFromScalar(secp256k1.ScalarFromUint64(0x07E6))
+	c := chain.NewDefault(map[types.Address]*uint256.Int{
+		types.Address(keySeq.EthereumAddress()):   eth(100),
+		types.Address(keyOther.EthereumAddress()): eth(100),
+	})
+	seq := hybrid.NewParticipant(keySeq, c, nil)
+	other := hybrid.NewParticipant(keyOther, c, nil)
+	reg, err := DeployRegistry(seq, 4, seq.Addr, window, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, seq, other, reg
+}
+
+func TestRegistryPostAndOpen(t *testing.T) {
+	_, seq, other, reg := registryFixture(t, 600)
+
+	leaves := mkLeaves(5)
+	tree, err := NewTree(4, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reg.PostEpoch(seq, tree.Root(), uint64(len(leaves)), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GasUsed == 0 {
+		t.Fatal("postEpoch gas not accounted")
+	}
+	if n, err := reg.Epochs(seq); err != nil || n != 1 {
+		t.Fatalf("epochs = %d, %v", n, err)
+	}
+	if root, err := reg.RootOf(seq, 0); err != nil || root != tree.Root() {
+		t.Fatalf("rootOf = %x, %v", root, err)
+	}
+	if at, err := reg.PostedAt(seq, 0); err != nil || at == 0 {
+		t.Fatalf("postedAt = %d, %v", at, err)
+	}
+	if n, err := reg.LeafCount(seq, 0); err != nil || n != 5 {
+		t.Fatalf("leafCount = %d, %v", n, err)
+	}
+
+	// Anyone (not just the sequencer) can open a committed leaf within
+	// the window — the honest party files the dispute.
+	proof, _ := tree.Proof(3)
+	r, err := reg.OpenLeaf(other, 0, leaves[3], 3, proof, 500_000)
+	if err != nil || !r.Succeeded() {
+		t.Fatalf("openLeaf: %v (receipt %+v)", err, r)
+	}
+	opened, err := reg.IsOpened(other, 0, leaves[3].SID, leaves[3].Contract)
+	if err != nil || !opened {
+		t.Fatalf("isOpened = %v, %v", opened, err)
+	}
+	if got := len(r.Logs); got != 1 {
+		t.Fatalf("openLeaf emitted %d logs", got)
+	}
+	if r.Logs[0].Topics[0] != TopicLeafOpened {
+		t.Fatal("wrong topic on LeafOpened")
+	}
+}
+
+func TestRegistryRejectsFraudulentOpens(t *testing.T) {
+	c, seq, other, reg := registryFixture(t, 600)
+
+	leaves := mkLeaves(6)
+	tree, _ := NewTree(4, leaves)
+	if _, err := reg.PostEpoch(seq, tree.Root(), 6, 500_000); err != nil {
+		t.Fatal(err)
+	}
+
+	proof, _ := tree.Proof(1)
+
+	// A leaf with a lied-about outcome must not open: the proof will not
+	// fold back to the root.
+	lie := leaves[1]
+	lie.Outcome = 1 - lie.Outcome
+	if r, err := reg.OpenLeaf(other, 0, lie, 1, proof, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("lied outcome opened against the root")
+	}
+
+	// Unposted epoch.
+	if r, err := reg.OpenLeaf(other, 7, leaves[1], 1, proof, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("open against unposted epoch succeeded")
+	}
+
+	// Honest open succeeds once…
+	if r, err := reg.OpenLeaf(other, 0, leaves[1], 1, proof, 500_000); err != nil || !r.Succeeded() {
+		t.Fatalf("honest open: %v", err)
+	}
+	// …and the second open of the SAME leaf reverts: the on-chain
+	// exactly-once veto for batched disputes.
+	if r, err := reg.OpenLeaf(seq, 0, leaves[1], 1, proof, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("double open succeeded")
+	}
+
+	// Stale root: a proof computed against a DIFFERENT epoch's tree must
+	// not open a leaf of this one.
+	tree2, _ := NewTree(4, mkLeaves(9))
+	if _, err := reg.PostEpoch(seq, tree2.Root(), 9, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	staleProof, _ := tree.Proof(2) // epoch-0 proof…
+	if r, err := reg.OpenLeaf(other, 1, leaves[2], 2, staleProof, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("stale-root proof opened a leaf of epoch 1")
+	}
+
+	// Window expiry: past the batch challenge window the leaf can no
+	// longer be opened (mirror of per-session finalize semantics).
+	c.AdvanceTime(700)
+	p2, _ := tree2.Proof(0)
+	nine := mkLeaves(9)
+	if r, err := reg.OpenLeaf(other, 1, nine[0], 0, p2, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("open succeeded after window expiry")
+	}
+}
+
+func TestRegistryOnlySequencerPosts(t *testing.T) {
+	_, _, other, reg := registryFixture(t, 600)
+	tree, _ := NewTree(4, mkLeaves(2))
+	if r, err := reg.PostEpoch(other, tree.Root(), 2, 500_000); err == nil && r.Succeeded() {
+		t.Fatal("non-sequencer posted an epoch")
+	}
+}

@@ -98,6 +98,46 @@ const (
 	// dispute resolution); its guard state is dead and a restarted member
 	// must not re-arm it.
 	KindFedClosed
+
+	// Rollup kinds: the durable state of an internal/rollup sequencer
+	// (written into the hosting hub's WAL; the hub's per-session fold
+	// ignores everything >= KindFedMember, so these ride alongside).
+
+	// KindEpochLeaf: a finished session's outcome was enqueued for
+	// rollup settlement. SID = session ID, U1 = outcome word,
+	// Blob = 20-byte session-contract address. Recovery re-enqueues
+	// leaves that never made it into a sealed epoch.
+	KindEpochLeaf
+	// KindEpochSealed: write-ahead intent — the sequencer is ABOUT to
+	// post the epoch in U1 (U2 = leaf count, Blob = 32-byte Merkle root,
+	// Blobs = the sealed leaf encodings in tree order). Logged BEFORE the
+	// rollup transaction, so a crash between seal and post leaves the
+	// full epoch reconstructible; whether the post landed is decided by
+	// querying the registry contract, never by this record alone.
+	KindEpochSealed
+	// KindEpochPosted: the rollup transaction for epoch U1 landed
+	// (Blob = root, U2 = block number). Forensic + fast-path: recovery
+	// skips the on-chain probe for epochs with this record.
+	KindEpochPosted
+	// KindRollupRegistry: the rollup-registry contract is deployed.
+	// Blob = 20-byte address, U1 = challenge window (seconds),
+	// U2 = Merkle tree depth. A recovered sequencer reuses it instead of
+	// deploying a second registry.
+	KindRollupRegistry
+
+	// Chain kinds: durable block journal for a chain node (cmd/chaind
+	// -store); a separate store from any hub or federation WAL.
+
+	// KindChainBlock: one sealed block. U1 = block number, U2 = block
+	// time, Blobs = the raw signed transactions in block order. Restart
+	// re-executes the batch deterministically, rebuilding state,
+	// receipts, AND the in-memory log index without scanning.
+	KindChainBlock
+	// KindChainIndex: log-index high-water mark. U1 = highest block whose
+	// logs are indexed, U2 = global log sequence counter. Restore asserts
+	// the rebuilt index reaches exactly this mark, proving index
+	// completeness without a full re-scan.
+	KindChainIndex
 	kindMax
 )
 
@@ -120,6 +160,14 @@ var kindNames = map[Kind]string{
 	KindFedWindow:  "fed-window",
 	KindFedIntent:  "fed-intent",
 	KindFedClosed:  "fed-closed",
+
+	KindEpochLeaf:      "epoch-leaf",
+	KindEpochSealed:    "epoch-sealed",
+	KindEpochPosted:    "epoch-posted",
+	KindRollupRegistry: "rollup-registry",
+
+	KindChainBlock: "chain-block",
+	KindChainIndex: "chain-index",
 }
 
 func (k Kind) String() string {
